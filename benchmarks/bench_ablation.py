@@ -1,0 +1,162 @@
+"""ABL — ablations of the design choices of Section 4 / Section 5.
+
+Ablation 1 — the two search-space-reduction techniques.  The paper
+introduces (a) possible resource allocations (the boolean equation) and
+(b) flexibility estimation.  Disabling either must never change the
+front but must inflate the work.
+
+Ablation 2 — the case-study comm pruning ("combinations of a single
+functional component and an arbitrary number of communication
+resources ... are left out").
+
+Ablation 3 — the 69% utilisation estimate versus the exact list
+scheduler the paper defers to future work: the estimate is safe
+(everything it accepts also passes an exact one-period schedule) but
+conservative (it rejects bindings the exact schedule would accept —
+e.g. the game console on muP2, whose makespan 185 <= 240 fits even
+though its utilisation 0.77 > 0.69).
+"""
+
+from repro.activation import flatten
+from repro.binding import Allocation, BindingSolver
+from repro.core import explore
+from repro.report import format_table
+from repro.timing import meets_utilization_bound, schedule_meets_periods
+
+
+class TestPruningAblation:
+    def test_ablation_no_estimation(self, benchmark, settop_spec, settop_result):
+        result = benchmark.pedantic(
+            explore,
+            args=(settop_spec,),
+            kwargs=dict(use_estimation=False),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.front() == settop_result.front()
+        assert (
+            result.stats.solver_invocations
+            > settop_result.stats.solver_invocations
+        )
+
+    def test_ablation_no_possible_filter(self, benchmark, settop_spec, settop_result):
+        result = benchmark.pedantic(
+            explore,
+            args=(settop_spec,),
+            kwargs=dict(use_possible_filter=False),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.front() == settop_result.front()
+
+    def test_ablation_no_comm_pruning(self, benchmark, settop_spec, settop_result):
+        result = benchmark.pedantic(
+            explore,
+            args=(settop_spec,),
+            kwargs=dict(prune_comm=False),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.front() == settop_result.front()
+        assert (
+            result.stats.estimate_exceeded
+            >= settop_result.stats.estimate_exceeded
+        )
+
+    def test_ablation_summary(self, settop_spec, settop_result, capsys):
+        rows = [["paper configuration",
+                 str(settop_result.stats.estimate_exceeded),
+                 str(settop_result.stats.solver_invocations)]]
+        for label, kwargs in (
+            ("no flexibility estimation", dict(use_estimation=False)),
+            ("no comm pruning", dict(prune_comm=False)),
+            ("no possible filter", dict(use_possible_filter=False)),
+        ):
+            result = explore(settop_spec, **kwargs)
+            assert result.front() == settop_result.front()
+            rows.append([
+                label,
+                str(result.stats.estimate_exceeded),
+                str(result.stats.solver_invocations),
+            ])
+        print()
+        print(format_table(
+            ["configuration", "binding attempts", "solver calls"], rows,
+        ))
+
+
+class TestTimingAblation:
+    def test_ablation_estimate_is_safe(self, settop_spec):
+        """Whatever the 69% estimate accepts, the exact schedule accepts."""
+        spec = settop_spec
+        selections = [
+            {"I_App": "gamma_I"},
+            {"I_App": "gamma_G", "I_G": "gamma_G1"},
+            {"I_App": "gamma_D", "I_D": "gamma_D1", "I_U": "gamma_U1"},
+        ]
+        allocation = Allocation(spec, {"muP1", "muP2", "C0"})
+        solver = BindingSolver(spec, allocation)
+        for selection in selections:
+            flat = flatten(spec.problem, selection)
+            for binding in solver.iter_solutions(flat, limit=20):
+                assert meets_utilization_bound(spec, flat, binding.as_dict())
+                assert schedule_meets_periods(spec, flat, binding.as_dict())
+
+    def test_ablation_estimate_is_conservative(self, settop_spec):
+        """Section 5 rejects the game on muP2 (95+90 > 0.69*240); an
+        exact one-period schedule fits (185 <= 240)."""
+        spec = settop_spec
+        flat = flatten(
+            spec.problem, {"I_App": "gamma_G", "I_G": "gamma_G1"}
+        )
+        binding = {"P_C_G": "muP2", "P_G1": "muP2", "P_D": "muP2"}
+        assert not meets_utilization_bound(spec, flat, binding)
+        assert schedule_meets_periods(spec, flat, binding)
+
+    def test_ablation_exact_schedule_exploration(self, benchmark, settop_spec):
+        """Whole-front ablation: replacing the 69% estimate with exact
+        one-period scheduling shifts the cheap end of the tradeoff curve
+        left — the $100 box reaches flexibility 3 and flexibility 5
+        drops from $290 to $230."""
+        result = benchmark.pedantic(
+            explore,
+            args=(settop_spec,),
+            kwargs=dict(timing_mode="schedule"),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.front()[0] == (100.0, 3.0)
+        by_flex = {f: c for c, f in result.front()}
+        assert by_flex[5.0] < 290.0
+        assert by_flex[8.0] == 430.0  # the flagship point is timing-robust
+
+    def test_ablation_exact_acceptance_count(self, benchmark, settop_spec):
+        """Count bindings where the two tests disagree across the whole
+        muP2-only design point (the paper's first candidate)."""
+        spec = settop_spec
+        allocation = Allocation(spec, {"muP2"})
+        solver = BindingSolver(
+            spec, allocation, check_utilization=False
+        )
+        selections = [
+            {"I_App": "gamma_I"},
+            {"I_App": "gamma_G", "I_G": "gamma_G1"},
+            {"I_App": "gamma_D", "I_D": "gamma_D1", "I_U": "gamma_U1"},
+        ]
+
+        def census():
+            estimate_ok = exact_ok = 0
+            for selection in selections:
+                flat = flatten(spec.problem, selection)
+                for binding in solver.iter_solutions(flat):
+                    mapping = binding.as_dict()
+                    if meets_utilization_bound(spec, flat, mapping):
+                        estimate_ok += 1
+                    if schedule_meets_periods(spec, flat, mapping):
+                        exact_ok += 1
+            return estimate_ok, exact_ok
+
+        estimate_ok, exact_ok = benchmark(census)
+        assert exact_ok > estimate_ok  # the estimate under-approximates
+        assert estimate_ok == 2  # browser + TV, game rejected
+        assert exact_ok == 3

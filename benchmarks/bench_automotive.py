@@ -1,0 +1,51 @@
+"""EXT3 — automotive ECU consolidation (extension case study).
+
+A second, independently constructed specification exercising the whole
+pipeline on a different domain: three vehicle functions (cruise
+control, lane keeping, infotainment) with algorithm alternatives on an
+ECU/GPU/DSP platform.  Verifies the explored front against exhaustive
+ground truth and reports the scenario matrix.
+"""
+
+from repro.analysis import compare_scenarios, scenario_table
+from repro.casestudies import build_automotive_spec
+from repro.core import exhaustive_front, explore
+
+
+def test_ext3_explore(benchmark):
+    spec = build_automotive_spec()
+    result = benchmark(explore, spec)
+    assert result.front() == [
+        (120.0, 3.0), (285.0, 4.0), (335.0, 7.0),
+    ]
+
+
+def test_ext3_ground_truth():
+    spec = build_automotive_spec()
+    assert explore(spec).front() == [
+        impl.point for impl in exhaustive_front(spec)
+    ]
+
+
+def test_ext3_scenarios(benchmark, capsys):
+    spec = build_automotive_spec()
+    results = benchmark.pedantic(
+        compare_scenarios,
+        args=(
+            spec,
+            {
+                "baseline": {},
+                "no GPU": {"forbid_units": {"GPU"}},
+                "exact timing": {"timing_mode": "schedule"},
+            },
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # losing the GPU caps flexibility at 4 (no NN, no video, no MPC
+    # within the cruise-control period)
+    assert results["no GPU"].best().flexibility == 4.0
+    # exact scheduling fits lane keeping on a single ECU
+    assert results["exact timing"].front()[0][1] >= 3.0
+    print()
+    print(scenario_table(results))

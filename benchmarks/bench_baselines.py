@@ -1,0 +1,99 @@
+"""BASE — EXPLORE against the baselines it supersedes.
+
+The paper positions EXPLORE against exhaustive search ("there are
+2^|V_S| possible solutions ... not a viable solution") and builds on
+the evolutionary system-level synthesis of Blickle et al. [2] /
+Pareto-front EA exploration [12].  This bench compares all three on the
+same specifications: front quality (EXPLORE and exhaustive are exact
+and must agree; NSGA-II approximates) and effort (implementations
+evaluated).
+"""
+
+from repro.core import dominates, exhaustive_front, explore, nsga2_explore
+from repro.report import format_table
+
+
+def test_base_explore_settop(benchmark, settop_spec):
+    result = benchmark(explore, settop_spec)
+    assert len(result.points) == 6
+
+
+def test_base_exhaustive_tv(benchmark, tv_spec):
+    exact = benchmark.pedantic(
+        exhaustive_front, args=(tv_spec,), rounds=1, iterations=1
+    )
+    assert [impl.point for impl in exact] == [
+        (100.0, 1.0), (135.0, 2.0), (160.0, 3.0), (200.0, 4.0),
+    ]
+
+
+def test_base_explore_equals_exhaustive(tv_spec):
+    assert explore(tv_spec).front() == [
+        impl.point for impl in exhaustive_front(tv_spec)
+    ]
+
+
+def test_base_nsga2_tv(benchmark, tv_spec):
+    result = benchmark.pedantic(
+        nsga2_explore,
+        args=(tv_spec,),
+        kwargs=dict(population_size=40, generations=30, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    exact = [impl.point for impl in exhaustive_front(tv_spec)]
+    assert set(result.points()) == set(exact)
+
+
+def test_base_nsga2_settop_quality(settop_spec, settop_result):
+    """NSGA-II never produces a point EXPLORE's front doesn't dominate
+    or contain, and with a modest budget finds most of the front."""
+    approx = nsga2_explore(
+        settop_spec, population_size=50, generations=30, seed=5
+    )
+    exact = settop_result.front()
+    for point in approx.points():
+        assert any(p == point or dominates(p, point) for p in exact)
+    found = sum(1 for p in exact if p in approx.points())
+    assert found >= 3
+
+
+def test_base_front_quality_metrics(settop_spec, settop_result, capsys):
+    """Quantitative comparison: hypervolume and C-metric coverage."""
+    from repro.report import coverage, front_summary, hypervolume
+
+    approx = nsga2_explore(
+        settop_spec, population_size=50, generations=30, seed=5
+    )
+    exact = settop_result.front()
+    reference = (max(c for c, _ in exact), 0.0)
+    hv_exact = hypervolume(exact, reference)
+    hv_nsga = hypervolume(approx.points(), reference)
+    assert hv_exact >= hv_nsga  # exact front is an upper bound
+    assert hv_nsga >= 0.7 * hv_exact  # NSGA-II comes reasonably close
+    assert coverage(exact, approx.points()) == 1.0
+    summary = front_summary(exact)
+    assert summary["knee"] == (120.0, 3.0)  # muP1 is the bang-per-buck box
+    print()
+    print(f"hypervolume: EXPLORE {hv_exact:g}, NSGA-II {hv_nsga:g} "
+          f"({hv_nsga / hv_exact:.0%})")
+    print(f"knee point: {summary['knee']}")
+
+
+def test_base_effort_comparison(tv_spec, capsys):
+    explore_result = explore(tv_spec)
+    nsga = nsga2_explore(
+        tv_spec, population_size=40, generations=30, seed=1
+    )
+    exhaustive_evals = tv_spec.design_space_size()
+    print()
+    print(format_table(
+        ["method", "implementations evaluated", "exact?"],
+        [
+            ["EXPLORE", str(explore_result.stats.estimate_exceeded), "yes"],
+            ["exhaustive", str(exhaustive_evals), "yes"],
+            ["NSGA-II", str(nsga.evaluations), "no"],
+        ],
+    ))
+    assert explore_result.stats.estimate_exceeded < exhaustive_evals
+    assert explore_result.stats.estimate_exceeded < nsga.evaluations

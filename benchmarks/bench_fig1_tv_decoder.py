@@ -1,0 +1,43 @@
+"""FIG1 — the hierarchical TV-decoder specification of Figure 1.
+
+Regenerates the Figure 1 problem graph and verifies the quantities the
+paper derives from it: the leaf set of Equation (1),
+
+    ``V_l(G) = {P_A, P_C} u {P_D^1..3} u {P_U^1..2}``,
+
+the element counts (two top-level vertices, two interfaces, five
+clusters) and the decoder's maximal flexibility (3 decryptions + 2
+uncompressions - 1 = 4).  The benchmark measures model construction
+plus the recursive leaf computation.
+"""
+
+from repro.casestudies import build_tv_decoder_problem
+from repro.core import max_flexibility
+from repro.hgraph import count_elements, leaves
+
+#: Equation (1) applied to Figure 1, as spelled out in the paper text.
+PAPER_LEAVES = {"P_A", "P_C", "P_D1", "P_D2", "P_D3", "P_U1", "P_U2"}
+
+
+def build_and_analyze():
+    problem = build_tv_decoder_problem()
+    return problem, leaves(problem), count_elements(problem)
+
+
+def test_fig1_leaf_set_equation_1(benchmark):
+    problem, leaf_map, stats = benchmark(build_and_analyze)
+    assert set(leaf_map) == PAPER_LEAVES
+
+
+def test_fig1_element_counts(benchmark):
+    _, _, stats = benchmark(build_and_analyze)
+    assert stats["vertices"] == 7
+    assert stats["interfaces"] == 2  # I_D and I_U
+    assert stats["clusters"] == 5  # gamma_D1..3, gamma_U1..2
+    assert stats["max_depth"] == 1
+
+
+def test_fig1_decoder_flexibility(benchmark):
+    problem = build_tv_decoder_problem()
+    value = benchmark(max_flexibility, problem)
+    assert value == 4.0

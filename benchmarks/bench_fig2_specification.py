@@ -1,0 +1,83 @@
+"""FIG2 — the hierarchical specification graph of Figure 2.
+
+Regenerates the TV-decoder specification graph (problem + muP/ASIC/FPGA
+architecture + mapping edges) and verifies the two facts the paper
+derives from the figure:
+
+* the possible-resource-allocation set ``A`` has the published shape —
+  it contains ``muP``, ``muP C1``, ``muP C2``, ``muP C1 C2``,
+  ``muP D3``, ``muP U2`` ... up to the full allocation, and nothing
+  without the processor;
+* binding ``P_D^2`` onto the ASIC together with ``P_U^1`` onto the FPGA
+  is infeasible because no bus connects ASIC and FPGA.
+
+The benchmark measures the boolean-equation construction and its
+evaluation over the full subset lattice (2^7 assignments).
+"""
+
+from itertools import combinations
+
+from repro.activation import flatten
+from repro.binding import Allocation, Binding, binding_violations
+from repro.boolexpr import evaluate_over_set
+from repro.core import possible_allocation_expr
+from repro.spec import supports_problem
+
+#: The prefix of A published in Section 4 (D1 in the final element read
+#: as the full allocation; Figure 2's numeric annotations are partly
+#: unreadable in the source, see DESIGN.md).
+PAPER_ALLOCATION_PREFIX = (
+    {"muP"},
+    {"muP", "C1"},
+    {"muP", "C2"},
+    {"muP", "C1", "C2"},
+    {"muP", "D3"},
+    {"muP", "U2"},
+    {"muP", "C1", "D3"},
+    {"muP", "C2", "D3"},
+    {"muP", "C1", "U2"},
+    {"muP", "C2", "U2"},
+    {"muP", "C1", "C2", "D3"},
+)
+
+
+def enumerate_possible(spec):
+    expr = possible_allocation_expr(spec)
+    names = list(spec.units.names())
+    possible = []
+    for size in range(len(names) + 1):
+        for subset in combinations(names, size):
+            if evaluate_over_set(expr, subset):
+                possible.append(frozenset(subset))
+    return possible
+
+
+def test_fig2_possible_allocation_set(benchmark, tv_spec):
+    possible = benchmark(enumerate_possible, tv_spec)
+    for element in PAPER_ALLOCATION_PREFIX:
+        assert frozenset(element) in possible, element
+    assert frozenset(tv_spec.units.names()) in possible
+    # every possible allocation contains the processor (the only host
+    # of P_A and P_C)
+    assert all("muP" in subset for subset in possible)
+    # A = all supersets of {muP}: 2^6 of them
+    assert len(possible) == 2 ** 6
+
+
+def test_fig2_equation_matches_reduction(tv_spec):
+    for subset in enumerate_possible(tv_spec):
+        assert supports_problem(tv_spec, subset)
+
+
+def test_fig2_infeasible_asic_fpga_binding(benchmark, tv_spec):
+    """The published infeasible-binding example."""
+    flat = flatten(tv_spec.problem, {"I_D": "gamma_D2", "I_U": "gamma_U1"})
+    allocation = Allocation(tv_spec, set(tv_spec.units.names()))
+    binding = Binding(
+        tv_spec,
+        {"P_A": "muP", "P_C": "muP", "P_D2": "A", "P_U1": "U1_res"},
+    )
+    violations = benchmark(
+        binding_violations, tv_spec, allocation, flat, binding
+    )
+    assert any("rule 3" in v for v in violations)

@@ -1,0 +1,42 @@
+"""FIG4 — the cost/(1/flexibility) tradeoff curve (Figure 4).
+
+Figure 4 sketches the design space: design points in the
+(cost, 1/flexibility) plane, the Pareto points, and the dominated
+regions that can be pruned.  This bench regenerates the curve from the
+explored case study, renders it, and verifies its defining properties:
+four-to-six Pareto points (six for the case study), mutual
+non-dominance, and monotonicity (1/f strictly decreasing with cost
+along the front).  The benchmark measures the full EXPLORE run that
+produces the curve.
+"""
+
+from repro.core import dominates, explore
+from repro.report import tradeoff_plot
+
+
+def test_fig4_explore_produces_curve(benchmark, settop_spec):
+    result = benchmark(explore, settop_spec)
+    front = result.front()
+    assert len(front) == 6
+
+
+def test_fig4_front_monotone_reciprocal(settop_result):
+    front = settop_result.front()
+    reciprocal = [1.0 / f for _, f in front]
+    costs = [c for c, _ in front]
+    assert costs == sorted(costs)
+    assert reciprocal == sorted(reciprocal, reverse=True)
+
+
+def test_fig4_points_mutually_non_dominated(settop_result):
+    front = settop_result.front()
+    for a in front:
+        for b in front:
+            assert not dominates(a, b)
+
+
+def test_fig4_render(settop_result, capsys):
+    text = tradeoff_plot(settop_result.front())
+    print()
+    print(text)
+    assert text.count("P") >= 6  # all Pareto points marked

@@ -1,0 +1,62 @@
+"""FIG5 — the full Set-Top box specification of Figure 5.
+
+Regenerates the case-study specification (problem graph of Figure 3 on
+the architecture of Figure 5 with the Table 1 mapping edges) and
+verifies its published structure: two processors, three ASICs, an FPGA
+with the three designs D3/U2/G1 as architecture clusters, bus
+connectivity, and the reconstructed costs that reproduce the published
+Pareto totals.  The benchmark measures building + freezing the model.
+"""
+
+from repro.casestudies import FIG5_COSTS, build_settop_spec
+
+
+def test_fig5_build_and_freeze(benchmark):
+    spec = benchmark(build_settop_spec)
+    assert spec.frozen
+
+
+def test_fig5_architecture_inventory(settop_spec):
+    catalog = settop_spec.units
+    names = set(catalog.names())
+    assert {"muP1", "muP2", "A1", "A2", "A3"} <= names
+    assert {"D3", "U2", "G1"} <= names  # FPGA designs as cluster units
+    for design in ("D3", "U2", "G1"):
+        unit = catalog.unit(design)
+        assert unit.kind == "cluster"
+        assert unit.interface == "FPGA"
+    buses = {u.name for u in catalog.comm_units()}
+    assert {"C1", "C2", "C5"} <= buses  # named in the Section 5 text
+
+
+def test_fig5_costs_reproduce_published_totals(settop_spec):
+    """The unit-cost reconstruction must add up to every published row."""
+    catalog = settop_spec.units
+    for name, cost in FIG5_COSTS.items():
+        assert catalog.unit(name).cost == cost
+    assert catalog.total_cost(["muP2"]) == 100.0
+    assert catalog.total_cost(["muP1"]) == 120.0
+    assert catalog.total_cost(["muP2", "G1", "U2", "C1"]) == 230.0
+    assert catalog.total_cost(["muP2", "D3", "G1", "U2", "C1"]) == 290.0
+    assert catalog.total_cost(["muP2", "A1", "C2"]) == 360.0
+    assert catalog.total_cost(["muP2", "A1", "D3", "C1", "C2"]) == 430.0
+
+
+def test_fig5_bus_topology(settop_spec):
+    """C1: muP2-FPGA, C2: muP2-A1, C5: muP1-FPGA (from the text)."""
+    pairs = {e.pair for e in settop_spec.architecture.edges}
+    assert ("C1", "muP2") in pairs and ("C1", "FPGA") in pairs
+    assert ("C2", "muP2") in pairs and ("C2", "A1") in pairs
+    assert ("C5", "muP1") in pairs and ("C5", "FPGA") in pairs
+    # the infeasibility driver: no direct ASIC-FPGA connection
+    assert not any(
+        {a, b} == {"A1", "FPGA"} for a, b in pairs
+    )
+
+
+def test_fig5_problem_side_counts(settop_spec):
+    index = settop_spec.p_index
+    assert len(index.vertices) == 15  # the 15 Table 1 processes
+    assert len(index.clusters) == 11
+    assert len(index.interfaces) == 4  # I_App, I_G, I_D, I_U
+    assert len(settop_spec.mappings) == 47  # filled cells of Table 1

@@ -1,0 +1,73 @@
+"""EXT2 — graceful degradation (extension).
+
+The paper motivates flexibility with adaptation to "new environmental
+conditions"; this extension quantifies the harshest one — resource
+failure — across the published Pareto points.  Flexibility bought at
+design time doubles as fault tolerance at run time: the richer boxes
+keep serving applications after single failures that reduce the budget
+box to nothing.
+"""
+
+from repro.core import (
+    critical_units,
+    explore,
+    failure_impact,
+    single_failure_report,
+)
+from repro.report import format_table
+
+
+def test_ext2_single_failure_report(benchmark, settop_spec, settop_result):
+    flagship = settop_result.points[-1]
+    report = benchmark.pedantic(
+        single_failure_report,
+        args=(settop_spec, flagship),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(report) == 5
+    by_unit = {
+        next(iter(impact.failed_units)): impact for impact in report
+    }
+    assert by_unit["muP2"].total_outage
+    assert by_unit["D3"].remaining_flexibility == 7.0
+    assert by_unit["A1"].remaining_flexibility == 3.0
+
+
+def test_ext2_only_processor_is_critical(settop_spec, settop_result):
+    flagship = settop_result.points[-1]
+    assert critical_units(settop_spec, flagship) == frozenset({"muP2"})
+
+
+def test_ext2_flexibility_buys_fault_tolerance(settop_spec, settop_result):
+    """Average surviving flexibility grows along the Pareto front."""
+    averages = []
+    for implementation in settop_result.points:
+        report = single_failure_report(settop_spec, implementation)
+        averages.append(
+            sum(i.remaining_flexibility for i in report) / len(report)
+        )
+    assert averages[-1] > averages[0]
+    assert max(averages) == averages[-1] or max(averages) >= 3.0
+
+
+def test_ext2_render(settop_spec, settop_result, capsys):
+    rows = []
+    for implementation in settop_result.points:
+        report = single_failure_report(settop_spec, implementation)
+        worst = report[0]
+        average = sum(
+            i.remaining_flexibility for i in report
+        ) / len(report)
+        rows.append([
+            f"${implementation.cost:g}",
+            f"{implementation.flexibility:g}",
+            f"{average:.2f}",
+            ", ".join(sorted(worst.failed_units)),
+            f"{worst.remaining_flexibility:g}",
+        ])
+    print()
+    print(format_table(
+        ["box", "f", "avg f after 1 failure", "worst failure", "f then"],
+        rows,
+    ))

@@ -1,0 +1,34 @@
+"""Shared fixtures of the benchmark harness.
+
+Each ``bench_*`` file regenerates one artifact of the paper (a figure,
+a table, or a block of prose statistics), asserts that the reproduced
+shape matches the published one, and measures the runtime of the
+regenerating computation with pytest-benchmark.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.core import explore
+
+
+@pytest.fixture(scope="session")
+def settop_spec():
+    """The Figure 5 / Table 1 Set-Top box specification."""
+    return build_settop_spec()
+
+
+@pytest.fixture(scope="session")
+def tv_spec():
+    """The Figure 2 digital-TV-decoder specification."""
+    return build_tv_decoder_spec()
+
+
+@pytest.fixture(scope="session")
+def settop_result(settop_spec):
+    """One canonical EXPLORE run over the case study (reused for checks)."""
+    return explore(settop_spec)

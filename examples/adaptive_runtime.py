@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Adaptive Set-Top box at run time.
+
+The paper motivates flexibility with systems that switch behaviour
+during operation.  This example explores the Set-Top specification,
+picks two Pareto implementations — the cheap $100 box and the $290
+reconfigurable box — and replays the same evening of channel surfing
+(browser -> digital TV -> premium TV channel -> game) against both,
+showing which requests each box can serve and what FPGA
+reconfigurations the flexible box performs.
+
+Run:  python examples/adaptive_runtime.py
+"""
+
+from repro import AdaptiveSimulator, explore
+from repro.adaptive import trace_report
+from repro.casestudies import build_settop_spec
+
+#: One evening of mode requests: (time in seconds, required clusters).
+EVENING = (
+    (0.0, {"gamma_I"}),            # check the TV guide in the browser
+    (120.0, {"gamma_D1", "gamma_U1"}),  # standard TV station
+    (1800.0, {"gamma_D3"}),        # premium station: decryption 3
+    (3600.0, {"gamma_U2"}),        # station using uncompression 2
+    (5400.0, {"gamma_G"}),         # the kids want to play
+    (7200.0, {"gamma_D1", "gamma_U1"}),  # back to the news
+)
+
+
+def replay(label, spec, implementation) -> None:
+    print("-" * 72)
+    print(
+        f"{label}: units={sorted(implementation.units)} "
+        f"cost=${implementation.cost:g} "
+        f"flexibility={implementation.flexibility:g}"
+    )
+    print("-" * 72)
+    simulator = AdaptiveSimulator(spec, implementation)
+    for time, clusters in EVENING:
+        change = simulator.request(time, clusters)
+        if change.accepted:
+            config = (
+                f", FPGA loads {list(change.reconfigured)}"
+                f" ({change.reconfig_delay:g} ns)"
+                if change.reconfigured
+                else ""
+            )
+            print(
+                f"  t={time:7.0f}s  OK    {sorted(clusters)}"
+                f" -> selection {change.selection}{config}"
+            )
+        else:
+            print(
+                f"  t={time:7.0f}s  FAIL  {sorted(clusters)}: "
+                f"{change.reason}"
+            )
+    print(
+        f"  served {len(simulator.accepted())}/{len(EVENING)} requests, "
+        f"{simulator.reconfiguration_count()} reconfigurations, "
+        f"total reconfiguration time "
+        f"{simulator.total_reconfig_delay():g} ns"
+    )
+    report = trace_report(simulator, horizon=9000.0)
+    busiest, load = report.busiest_resource()
+    if busiest:
+        print(
+            f"  over the evening: busiest resource {busiest} at "
+            f"{load:.0%} average utilisation, "
+            f"{len(report.mode_residency)} distinct modes"
+        )
+    print()
+
+
+def main() -> None:
+    spec = build_settop_spec()
+    result = explore(spec)
+    by_cost = {impl.cost: impl for impl in result.points}
+    replay("Budget box ($100)", spec, by_cost[100.0])
+    replay("Reconfigurable box ($290)", spec, by_cost[290.0])
+    replay("Flagship box ($430)", spec, by_cost[430.0])
+
+
+if __name__ == "__main__":
+    main()

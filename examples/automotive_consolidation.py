@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Automotive ECU consolidation with what-if analysis.
+
+A second full case study (not from the paper) showing the analysis
+toolkit: three vehicle functions with algorithm alternatives on an
+ECU/GPU/DSP platform.  Explores the baseline front, compares business
+scenarios (GPU vendor dropped; exact scheduling), sweeps the GPU price,
+and writes an SVG of the front.
+
+Run:  python examples/automotive_consolidation.py
+"""
+
+import os
+import tempfile
+
+from repro.analysis import (
+    compare_scenarios,
+    cost_sensitivity,
+    ladder_stability,
+    scenario_table,
+)
+from repro.casestudies import build_automotive_spec
+from repro.core import explore
+from repro.report import (
+    format_table,
+    front_summary,
+    pareto_table,
+    save_front_svg,
+)
+
+
+def main() -> None:
+    spec = build_automotive_spec()
+    result = explore(spec)
+    print("Baseline flexibility/cost front:")
+    print(pareto_table(result))
+    summary = front_summary(result.front())
+    print(f"knee point (best flexibility per euro): {summary['knee']}")
+    print()
+
+    print("Scenario comparison (cheapest cost reaching each target):")
+    scenarios = compare_scenarios(
+        spec,
+        {
+            "baseline": {},
+            "no GPU": {"forbid_units": {"GPU"}},
+            "keep DSP": {"require_units": {"DSP", "ALINK", "ECU2"}},
+            "exact timing": {"timing_mode": "schedule"},
+        },
+    )
+    print(scenario_table(scenarios))
+
+    print("GPU price sensitivity (front per scale factor):")
+    sweep = cost_sensitivity(spec, "GPU", factors=(0.5, 0.75, 1.0, 1.5, 2.0))
+    rows = [
+        [
+            f"x{point.factor:g}",
+            f"{point.unit_cost:g}",
+            " ".join(f"({c:g},{f:g})" for c, f in point.front),
+        ]
+        for point in sweep
+    ]
+    print(format_table(["factor", "GPU cost", "front"], rows))
+    print(
+        f"flexibility-ladder stability across the sweep: "
+        f"{ladder_stability(sweep):.0%}"
+    )
+
+    svg_path = os.path.join(tempfile.gettempdir(), "automotive_front.svg")
+    save_front_svg(
+        result.front(), svg_path,
+        title="Automotive consolidation: flexibility vs cost",
+    )
+    print()
+    print(f"wrote {svg_path}")
+
+
+if __name__ == "__main__":
+    main()

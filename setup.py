@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists only so that the package can be installed editable on machines
+without the ``wheel`` package (legacy ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

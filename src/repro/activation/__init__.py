@@ -1,0 +1,22 @@
+"""Hierarchical timed activation (rules 1-4, flattening, timelines)."""
+
+from .activation import (
+    Activation,
+    activation_from_selection,
+    selection_from_clusters,
+)
+from .flatten import FlatProblem, flatten
+from .rules import assert_valid_activation, check_activation
+from .timeline import ActivationTimeline, SwitchEvent
+
+__all__ = [
+    "Activation",
+    "ActivationTimeline",
+    "FlatProblem",
+    "SwitchEvent",
+    "activation_from_selection",
+    "assert_valid_activation",
+    "check_activation",
+    "flatten",
+    "selection_from_clusters",
+]

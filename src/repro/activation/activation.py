@@ -1,0 +1,160 @@
+"""Hierarchical activation of problem graphs.
+
+A *hierarchical activation* assigns 1 (activated) or 0 to every vertex,
+interface and cluster of a hierarchical graph at a given time.  This
+module builds the activation induced by a *cluster selection* — the
+choice of exactly one cluster per activated interface — which is the
+canonical way feasible activations arise (activation rules 1, 2 and 4
+then hold by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from ..errors import ActivationError
+from ..hgraph import GraphScope, HierarchyIndex
+
+
+class Activation:
+    """The activated element sets of one hierarchical graph at one instant.
+
+    Attributes
+    ----------
+    vertices / interfaces / clusters:
+        Frozen sets of activated element names.
+    selection:
+        The inducing cluster selection (interface name -> cluster name)
+        when the activation was built from one, else ``None``.
+    """
+
+    __slots__ = ("vertices", "interfaces", "clusters", "selection")
+
+    def __init__(
+        self,
+        vertices: FrozenSet[str],
+        interfaces: FrozenSet[str],
+        clusters: FrozenSet[str],
+        selection: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.vertices = frozenset(vertices)
+        self.interfaces = frozenset(interfaces)
+        self.clusters = frozenset(clusters)
+        self.selection = dict(selection) if selection is not None else None
+
+    def is_active(self, name: str) -> bool:
+        """True when ``name`` (vertex, interface or cluster) is activated."""
+        return (
+            name in self.vertices
+            or name in self.interfaces
+            or name in self.clusters
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Activation)
+            and self.vertices == other.vertices
+            and self.interfaces == other.interfaces
+            and self.clusters == other.clusters
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.vertices, self.interfaces, self.clusters))
+
+    def __repr__(self) -> str:
+        return (
+            f"Activation(|V|={len(self.vertices)}, "
+            f"|Psi|={len(self.interfaces)}, |Gamma|={len(self.clusters)})"
+        )
+
+
+def activation_from_selection(
+    root: GraphScope,
+    selection: Mapping[str, str],
+    index: Optional[HierarchyIndex] = None,
+) -> Activation:
+    """Build the activation induced by a cluster selection.
+
+    ``selection`` maps interface names to the cluster chosen for them.
+    Following the activation rules, the top-level scope is fully active
+    (rule 4); an active interface activates exactly the selected cluster
+    (rule 1); an active cluster activates all embedded vertices and
+    interfaces (rule 2).  Selections for interfaces that never become
+    active are ignored (they are simply not reached).
+
+    Raises :class:`~repro.errors.ActivationError` when an active
+    interface has no selection or the selected cluster does not refine
+    that interface.
+    """
+    if index is None:
+        index = HierarchyIndex(root)
+    vertices: set = set()
+    interfaces: set = set()
+    clusters: set = set()
+
+    def visit(scope: GraphScope) -> None:
+        vertices.update(scope.vertices)
+        for interface_name, interface in scope.interfaces.items():
+            interfaces.add(interface_name)
+            chosen = selection.get(interface_name)
+            if chosen is None:
+                raise ActivationError(
+                    f"active interface {interface_name!r} has no selected "
+                    f"cluster"
+                )
+            if chosen not in interface.cluster_names():
+                raise ActivationError(
+                    f"cluster {chosen!r} does not refine interface "
+                    f"{interface_name!r}"
+                )
+            clusters.add(chosen)
+            visit(index.cluster(chosen))
+
+    visit(root)
+    return Activation(
+        frozenset(vertices),
+        frozenset(interfaces),
+        frozenset(clusters),
+        selection,
+    )
+
+
+def selection_from_clusters(
+    root: GraphScope,
+    active_clusters,
+    index: Optional[HierarchyIndex] = None,
+) -> Dict[str, str]:
+    """Derive the interface -> cluster selection from a set of clusters.
+
+    The cluster set must contain exactly one cluster per interface that
+    becomes active; extra clusters (for interfaces that are never
+    reached) are rejected to surface inconsistent elementary
+    cluster-activations early.
+    """
+    if index is None:
+        index = HierarchyIndex(root)
+    chosen = set(active_clusters)
+    selection: Dict[str, str] = {}
+    used: set = set()
+
+    def visit(scope: GraphScope) -> None:
+        for interface_name, interface in scope.interfaces.items():
+            candidates = [
+                c for c in interface.cluster_names() if c in chosen
+            ]
+            if len(candidates) != 1:
+                raise ActivationError(
+                    f"interface {interface_name!r} needs exactly one "
+                    f"selected cluster, got {candidates!r}"
+                )
+            selection[interface_name] = candidates[0]
+            used.add(candidates[0])
+            visit(index.cluster(candidates[0]))
+
+    visit(root)
+    unused = chosen - used
+    if unused:
+        raise ActivationError(
+            f"clusters {sorted(unused)!r} are selected but unreachable"
+        )
+    return selection

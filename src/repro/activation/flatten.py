@@ -1,0 +1,118 @@
+"""Flattening of a hierarchical problem graph under a cluster selection.
+
+"For a given selection of clusters, the hierarchical model can be
+flattened. ... The result is a non-hierarchical specification."
+(Section 2.)  The flattened view is what the binding solver and the
+scheduler operate on: a plain set of active leaf processes and the
+dependence edges between them, with interface endpoints resolved to
+concrete leaves through the clusters' port mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ActivationError
+from ..hgraph import Cluster, GraphScope, HierarchyIndex, Interface, Vertex
+from .activation import Activation, activation_from_selection
+
+
+class FlatProblem:
+    """A flattened (non-hierarchical) problem under one selection.
+
+    Attributes
+    ----------
+    leaves:
+        Names of the active leaf processes.
+    edges:
+        Dependence pairs ``(src_leaf, dst_leaf)`` after resolving
+        interface endpoints through the selected clusters' port maps.
+    selection:
+        The inducing cluster selection (interface -> cluster).
+    activation:
+        The full hierarchical activation the selection induces.
+    """
+
+    __slots__ = ("leaves", "edges", "selection", "activation")
+
+    def __init__(
+        self,
+        leaves: Tuple[str, ...],
+        edges: Tuple[Tuple[str, str], ...],
+        selection: Dict[str, str],
+        activation: Activation,
+    ) -> None:
+        self.leaves = leaves
+        self.edges = edges
+        self.selection = selection
+        self.activation = activation
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatProblem(|leaves|={len(self.leaves)}, "
+            f"|edges|={len(self.edges)})"
+        )
+
+
+def flatten(
+    root: GraphScope,
+    selection: Mapping[str, str],
+    index: Optional[HierarchyIndex] = None,
+) -> FlatProblem:
+    """Flatten ``root`` under ``selection``.
+
+    Every edge of an active scope is kept; endpoints that are interfaces
+    are resolved into the selected cluster via its port mapping (with a
+    single-node fallback for clusters that contain exactly one node).
+    Raises :class:`~repro.errors.ActivationError` when an endpoint
+    cannot be resolved unambiguously.
+    """
+    if index is None:
+        index = HierarchyIndex(root)
+    activation = activation_from_selection(root, selection, index)
+    leaves: List[str] = []
+    edges: List[Tuple[str, str]] = []
+
+    def selected_cluster(interface: Interface) -> Cluster:
+        chosen = selection[interface.name]
+        return index.cluster(chosen)
+
+    def resolve(scope: GraphScope, name: str, port: Optional[str]) -> str:
+        node = scope.node(name)
+        if isinstance(node, Vertex):
+            return name
+        if isinstance(node, Interface):
+            cluster = selected_cluster(node)
+            target = None
+            if port is not None:
+                target = cluster.port_map.get(port)
+            if target is None:
+                inner_names = cluster.node_names()
+                if len(inner_names) == 1:
+                    target = inner_names[0]
+                elif len(set(cluster.port_map.values())) == 1:
+                    target = next(iter(cluster.port_map.values()))
+                else:
+                    raise ActivationError(
+                        f"cannot resolve port {port!r} of interface "
+                        f"{name!r} inside cluster {cluster.name!r}: no port "
+                        f"mapping and the cluster is not single-node"
+                    )
+            return resolve(cluster, target, port)
+        raise ActivationError(
+            f"edge endpoint {name!r} not found in scope {scope.name!r}"
+        )
+
+    def visit(scope: GraphScope) -> None:
+        leaves.extend(scope.vertices)
+        for edge in scope.edges:
+            src = resolve(scope, edge.src, edge.src_port)
+            dst = resolve(scope, edge.dst, edge.dst_port)
+            edges.append((src, dst))
+        for interface in scope.interfaces.values():
+            visit(selected_cluster(interface))
+
+    visit(root)
+    return FlatProblem(
+        tuple(leaves), tuple(edges), dict(selection), activation
+    )

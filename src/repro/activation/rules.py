@@ -1,0 +1,123 @@
+"""The hierarchical activation rules (Section 2 of the paper).
+
+1. The activation of an interface at time t implies the activation of
+   exactly one associated cluster at the same time.
+2. The activation of a cluster activates all embedded vertices and
+   edges (and, by embedding, interfaces) of the cluster.
+3. Each activated edge has to start and end at an activated vertex.
+4. All top-level vertices and interfaces of the problem graph are
+   activated.
+
+:func:`check_activation` verifies an arbitrary
+:class:`~repro.activation.activation.Activation` against these rules
+and returns the list of violations (empty = feasible);
+:func:`assert_valid_activation` raises instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ActivationError
+from ..hgraph import GraphScope, HierarchyIndex
+from .activation import Activation
+
+
+def check_activation(
+    root: GraphScope,
+    activation: Activation,
+    index: Optional[HierarchyIndex] = None,
+) -> List[str]:
+    """Return all rule violations of ``activation`` w.r.t. ``root``."""
+    if index is None:
+        index = HierarchyIndex(root)
+    violations: List[str] = []
+
+    # Rule 4: the complete top level must be active.
+    for name in root.vertices:
+        if name not in activation.vertices:
+            violations.append(f"rule 4: top-level vertex {name!r} inactive")
+    for name in root.interfaces:
+        if name not in activation.interfaces:
+            violations.append(f"rule 4: top-level interface {name!r} inactive")
+
+    # Rule 1: every active interface selects exactly one active cluster.
+    for interface_name in activation.interfaces:
+        if interface_name not in index.interfaces:
+            violations.append(
+                f"unknown active interface {interface_name!r}"
+            )
+            continue
+        interface = index.interfaces[interface_name]
+        active = [
+            c for c in interface.cluster_names() if c in activation.clusters
+        ]
+        if len(active) != 1:
+            violations.append(
+                f"rule 1: interface {interface_name!r} has {len(active)} "
+                f"active clusters (needs exactly 1)"
+            )
+
+    # Rule 2: an active cluster activates all embedded elements, and its
+    # owning interface must itself be active (no dangling activations).
+    for cluster_name in activation.clusters:
+        if cluster_name not in index.clusters:
+            violations.append(f"unknown active cluster {cluster_name!r}")
+            continue
+        cluster = index.clusters[cluster_name]
+        owner = index.interface_of_cluster[cluster_name]
+        if owner not in activation.interfaces:
+            violations.append(
+                f"rule 1: cluster {cluster_name!r} active but its interface "
+                f"{owner!r} is not"
+            )
+        for name in cluster.vertices:
+            if name not in activation.vertices:
+                violations.append(
+                    f"rule 2: vertex {name!r} of active cluster "
+                    f"{cluster_name!r} inactive"
+                )
+        for name in cluster.interfaces:
+            if name not in activation.interfaces:
+                violations.append(
+                    f"rule 2: interface {name!r} of active cluster "
+                    f"{cluster_name!r} inactive"
+                )
+
+    # Converse containment: active vertices/interfaces must live in an
+    # active scope (the top level or an active cluster).  Together with
+    # rule 2 this makes edge endpoints well-defined, which is rule 3 for
+    # the implicit edge activation used by the library (an edge is
+    # active iff its scope is active).
+    for name in activation.vertices:
+        if name not in index.vertices:
+            violations.append(f"unknown active vertex {name!r}")
+            continue
+        scope = index.scope_of_node[name]
+        if scope is not root and scope.name not in activation.clusters:
+            violations.append(
+                f"rule 3: vertex {name!r} active outside any active scope"
+            )
+    for name in activation.interfaces:
+        if name not in index.interfaces:
+            continue
+        scope = index.scope_of_node[name]
+        if scope is not root and scope.name not in activation.clusters:
+            violations.append(
+                f"rule 3: interface {name!r} active outside any active scope"
+            )
+    return violations
+
+
+def assert_valid_activation(
+    root: GraphScope,
+    activation: Activation,
+    index: Optional[HierarchyIndex] = None,
+) -> None:
+    """Raise :class:`~repro.errors.ActivationError` on any rule violation."""
+    violations = check_activation(root, activation, index)
+    if violations:
+        raise ActivationError(
+            f"activation of {root.name!r} violates the activation rules:\n"
+            + "\n".join(f"  - {v}" for v in violations)
+        )

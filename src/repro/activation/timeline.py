@@ -1,0 +1,139 @@
+"""Time-variant activations.
+
+The paper's activation is *timed*: a boolean function over ``t in T
+(= R)``.  We model the practically relevant subclass of piecewise-
+constant activations: a timeline of breakpoints, each switching the
+system to a new cluster selection.  This is the substrate of the
+adaptive-system simulator and of reconfigurable-architecture modelling
+(time-dependent switching of clusters).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ActivationError
+from ..hgraph import GraphScope, HierarchyIndex
+from .activation import Activation, activation_from_selection
+from .rules import assert_valid_activation
+
+
+class SwitchEvent:
+    """One reconfiguration step between consecutive timeline segments."""
+
+    __slots__ = ("time", "changed_interfaces", "activated", "deactivated")
+
+    def __init__(
+        self,
+        time: float,
+        changed_interfaces: Tuple[str, ...],
+        activated: Tuple[str, ...],
+        deactivated: Tuple[str, ...],
+    ) -> None:
+        #: Instant of the switch.
+        self.time = time
+        #: Interfaces whose selected cluster changed.
+        self.changed_interfaces = changed_interfaces
+        #: Clusters becoming active at this instant.
+        self.activated = activated
+        #: Clusters becoming inactive at this instant.
+        self.deactivated = deactivated
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchEvent(t={self.time}, "
+            f"interfaces={list(self.changed_interfaces)})"
+        )
+
+
+class ActivationTimeline:
+    """A piecewise-constant hierarchical timed activation.
+
+    Segments are added in increasing time order with :meth:`switch_to`;
+    each segment's selection is validated against the activation rules
+    at construction time, so every instant of the timeline is a feasible
+    hierarchical activation.
+    """
+
+    def __init__(self, root: GraphScope, index: Optional[HierarchyIndex] = None) -> None:
+        self.root = root
+        self.index = index if index is not None else HierarchyIndex(root)
+        self._times: List[float] = []
+        self._activations: List[Activation] = []
+
+    def switch_to(self, time: float, selection: Mapping[str, str]) -> Activation:
+        """Append a segment starting at ``time`` with ``selection``."""
+        if self._times and time <= self._times[-1]:
+            raise ActivationError(
+                f"timeline breakpoints must strictly increase; got {time} "
+                f"after {self._times[-1]}"
+            )
+        activation = activation_from_selection(
+            self.root, selection, self.index
+        )
+        assert_valid_activation(self.root, activation, self.index)
+        self._times.append(float(time))
+        self._activations.append(activation)
+        return activation
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> List[Tuple[float, Activation]]:
+        """All ``(start_time, activation)`` segments in order."""
+        return list(zip(self._times, self._activations))
+
+    def activation_at(self, time: float) -> Activation:
+        """The activation in force at ``time``.
+
+        Raises :class:`~repro.errors.ActivationError` before the first
+        breakpoint.
+        """
+        position = bisect_right(self._times, time) - 1
+        if position < 0:
+            raise ActivationError(
+                f"time {time} precedes the first timeline segment"
+            )
+        return self._activations[position]
+
+    def selection_at(self, time: float) -> Dict[str, str]:
+        """The cluster selection in force at ``time``."""
+        activation = self.activation_at(time)
+        assert activation.selection is not None
+        return dict(activation.selection)
+
+    def switch_events(self) -> List[SwitchEvent]:
+        """The reconfiguration events between consecutive segments."""
+        events: List[SwitchEvent] = []
+        for i in range(1, len(self._activations)):
+            before = self._activations[i - 1]
+            after = self._activations[i]
+            sel_before = before.selection or {}
+            sel_after = after.selection or {}
+            changed = tuple(
+                sorted(
+                    name
+                    for name in set(sel_before) | set(sel_after)
+                    if sel_before.get(name) != sel_after.get(name)
+                    and (
+                        name in after.interfaces or name in before.interfaces
+                    )
+                )
+            )
+            events.append(
+                SwitchEvent(
+                    self._times[i],
+                    changed,
+                    tuple(sorted(after.clusters - before.clusters)),
+                    tuple(sorted(before.clusters - after.clusters)),
+                )
+            )
+        return events
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:
+        return f"ActivationTimeline(|segments|={len(self)})"

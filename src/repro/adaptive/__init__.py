@@ -1,0 +1,15 @@
+"""Adaptive/reconfigurable runtime: mode switching over implementations."""
+
+from .modes import ModeChange, ModeRequest
+from .report import TraceReport, mode_label, trace_report
+from .simulator import AdaptiveSimulator, simulate_requests
+
+__all__ = [
+    "AdaptiveSimulator",
+    "ModeChange",
+    "ModeRequest",
+    "TraceReport",
+    "mode_label",
+    "simulate_requests",
+    "trace_report",
+]

@@ -1,0 +1,81 @@
+"""Mode requests and mode-change records of the adaptive runtime.
+
+The paper motivates flexibility with systems that "adopt their behavior
+during operation, e.g., due to new environmental conditions": at run
+time the environment requests functionality (an application variant),
+and the system switches its cluster selection — possibly reconfiguring
+hardware (architecture clusters) on the way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+
+class ModeRequest:
+    """A runtime request for functionality.
+
+    ``clusters`` names the problem clusters that must be active in the
+    new mode — typically the application cluster (``gamma_D``) or a
+    specific alternative (``gamma_D3``); the simulator completes the
+    request into a full elementary cluster-activation from the
+    implementation's coverage.
+    """
+
+    __slots__ = ("time", "clusters")
+
+    def __init__(self, time: float, clusters: Iterable[str]) -> None:
+        self.time = float(time)
+        self.clusters: FrozenSet[str] = frozenset(clusters)
+
+    def __repr__(self) -> str:
+        return f"ModeRequest(t={self.time}, clusters={sorted(self.clusters)})"
+
+
+class ModeChange:
+    """The outcome of one mode request."""
+
+    __slots__ = (
+        "request",
+        "accepted",
+        "reason",
+        "selection",
+        "binding",
+        "configurations",
+        "reconfigured",
+        "reconfig_delay",
+        "effective_time",
+    )
+
+    def __init__(
+        self,
+        request: ModeRequest,
+        accepted: bool,
+        reason: str = "",
+        selection: Optional[Dict[str, str]] = None,
+        binding: Optional[Dict[str, str]] = None,
+        configurations: Optional[Dict[str, str]] = None,
+        reconfigured: Tuple[str, ...] = (),
+        reconfig_delay: float = 0.0,
+    ) -> None:
+        self.request = request
+        #: Whether the implementation can serve the request.
+        self.accepted = accepted
+        #: Rejection reason when not accepted.
+        self.reason = reason
+        #: interface -> cluster selection of the new mode.
+        self.selection = dict(selection) if selection else None
+        #: process -> resource binding of the new mode.
+        self.binding = dict(binding) if binding else None
+        #: architecture interface -> active cluster unit (e.g. FPGA design).
+        self.configurations = dict(configurations) if configurations else {}
+        #: Architecture clusters newly loaded by this switch.
+        self.reconfigured = reconfigured
+        #: Total reconfiguration delay paid for this switch.
+        self.reconfig_delay = reconfig_delay
+        #: Time at which the new mode is up (request time + delay).
+        self.effective_time = request.time + reconfig_delay
+
+    def __repr__(self) -> str:
+        status = "accepted" if self.accepted else f"rejected ({self.reason})"
+        return f"ModeChange(t={self.request.time}, {status})"

@@ -1,0 +1,118 @@
+"""Occupancy reporting over adaptive traces.
+
+Aggregates an :class:`~repro.adaptive.simulator.AdaptiveSimulator`
+trace into operations-facing numbers: how long each mode was resident,
+the time-weighted utilisation of every resource across the whole trace,
+and how much time went into reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..activation import flatten
+from ..spec import SpecificationGraph
+from ..timing import utilization_by_resource
+from .simulator import AdaptiveSimulator
+
+
+class TraceReport:
+    """Aggregated statistics of one adaptive trace."""
+
+    __slots__ = (
+        "horizon",
+        "mode_residency",
+        "resource_occupancy",
+        "reconfig_time",
+        "idle_time",
+    )
+
+    def __init__(
+        self,
+        horizon: float,
+        mode_residency: Dict[str, float],
+        resource_occupancy: Dict[str, float],
+        reconfig_time: float,
+        idle_time: float,
+    ) -> None:
+        #: End of the observation window.
+        self.horizon = horizon
+        #: Seconds spent per mode, keyed by sorted-cluster label.
+        self.mode_residency = mode_residency
+        #: Time-weighted utilisation per resource over the window.
+        self.resource_occupancy = resource_occupancy
+        #: Total time spent reconfiguring.
+        self.reconfig_time = reconfig_time
+        #: Window time before the first accepted mode.
+        self.idle_time = idle_time
+
+    def busiest_resource(self) -> Tuple[str, float]:
+        """The resource with the highest time-weighted utilisation."""
+        if not self.resource_occupancy:
+            return ("", 0.0)
+        name = max(self.resource_occupancy, key=self.resource_occupancy.get)
+        return (name, self.resource_occupancy[name])
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceReport(horizon={self.horizon}, "
+            f"modes={len(self.mode_residency)})"
+        )
+
+
+def mode_label(clusters) -> str:
+    """Canonical label of a mode: sorted cluster names joined by '+'."""
+    return "+".join(sorted(clusters))
+
+
+def trace_report(
+    simulator: AdaptiveSimulator,
+    horizon: float,
+) -> TraceReport:
+    """Aggregate ``simulator``'s accepted trace up to ``horizon``.
+
+    Each accepted mode runs from its request time to the next accepted
+    request (or the horizon); its binding's utilisation is weighted by
+    that residency.  Reconfiguration delays are charged to
+    ``reconfig_time`` (and excluded from useful residency).
+    """
+    spec: SpecificationGraph = simulator.spec
+    accepted = simulator.accepted()
+    residency: Dict[str, float] = {}
+    occupancy: Dict[str, float] = {}
+    reconfig_time = 0.0
+    if not accepted:
+        return TraceReport(horizon, {}, {}, 0.0, horizon)
+    idle = max(0.0, min(accepted[0].request.time, horizon))
+    segments: List[Tuple[float, float, object]] = []
+    for i, change in enumerate(accepted):
+        start = change.request.time
+        end = (
+            accepted[i + 1].request.time
+            if i + 1 < len(accepted)
+            else horizon
+        )
+        start = min(start, horizon)
+        end = min(end, horizon)
+        if end <= start:
+            continue
+        usable_start = min(start + change.reconfig_delay, end)
+        reconfig_time += usable_start - start
+        segments.append((usable_start, end, change))
+    for start, end, change in segments:
+        duration = end - start
+        if duration <= 0:
+            continue
+        label = mode_label(change.selection.values())
+        residency[label] = residency.get(label, 0.0) + duration
+        flat = flatten(spec.problem, change.selection, spec.p_index)
+        utilisation = utilization_by_resource(spec, flat, change.binding)
+        for resource, value in utilisation.items():
+            occupancy[resource] = (
+                occupancy.get(resource, 0.0) + value * duration
+            )
+    window = max(horizon, 1e-12)
+    occupancy = {
+        resource: value / window for resource, value in occupancy.items()
+    }
+    return TraceReport(horizon, residency, occupancy, reconfig_time, idle)

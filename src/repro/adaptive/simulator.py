@@ -1,0 +1,150 @@
+"""Runtime simulation of an adaptive, reconfigurable implementation.
+
+Replays a sequence of :class:`~repro.adaptive.modes.ModeRequest`\\ s
+against an explored :class:`~repro.core.result.Implementation`:
+
+* a request is *accepted* when some covering elementary
+  cluster-activation of the implementation contains all requested
+  clusters — i.e. the flexibility paid for at design time actually
+  serves the request;
+* every accepted switch is validated against the hierarchical
+  activation rules through an
+  :class:`~repro.activation.timeline.ActivationTimeline`;
+* architecture-side cluster switching (FPGA reconfiguration) is
+  tracked per architecture interface, accumulating the designs'
+  ``reconfig_delay`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..activation import ActivationTimeline
+from ..core.result import EcsRecord, Implementation
+from ..errors import ReproError
+from ..spec import SpecificationGraph, reconfig_delay_of
+from .modes import ModeChange, ModeRequest
+
+
+class AdaptiveSimulator:
+    """Drives one implementation through runtime mode changes."""
+
+    def __init__(self, spec: SpecificationGraph, implementation: Implementation) -> None:
+        self.spec = spec
+        self.implementation = implementation
+        self.timeline = ActivationTimeline(spec.problem, spec.p_index)
+        #: All mode changes, accepted and rejected, in request order.
+        self.trace: List[ModeChange] = []
+        self._configurations: Dict[str, str] = {}
+        self._last_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request(self, time: float, clusters: Iterable[str]) -> ModeChange:
+        """Request a mode containing ``clusters`` at ``time``."""
+        mode_request = ModeRequest(time, clusters)
+        if self._last_time is not None and time <= self._last_time:
+            raise ReproError(
+                f"mode requests must strictly increase in time; got {time} "
+                f"after {self._last_time}"
+            )
+        record = self._find_record(mode_request.clusters)
+        if record is None:
+            missing = mode_request.clusters - self.implementation.clusters
+            if missing:
+                reason = (
+                    f"clusters {sorted(missing)} are not implemented "
+                    f"(flexibility {self.implementation.flexibility})"
+                )
+            else:
+                reason = (
+                    "no covering elementary cluster-activation contains "
+                    f"{sorted(mode_request.clusters)} simultaneously"
+                )
+            change = ModeChange(mode_request, False, reason)
+            self.trace.append(change)
+            return change
+
+        configurations = self._configurations_of(record)
+        reconfigured = tuple(
+            sorted(
+                unit
+                for interface, unit in configurations.items()
+                if self._configurations.get(interface) != unit
+            )
+        )
+        delay = sum(
+            reconfig_delay_of(self.spec.a_index.cluster(unit))
+            for unit in reconfigured
+        )
+        change = ModeChange(
+            mode_request,
+            True,
+            selection=record.selection,
+            binding=record.binding,
+            configurations=configurations,
+            reconfigured=reconfigured,
+            reconfig_delay=delay,
+        )
+        # Validate against the activation rules (raises on corruption).
+        self.timeline.switch_to(time, record.selection)
+        self._configurations.update(configurations)
+        self._last_time = time
+        self.trace.append(change)
+        return change
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def accepted(self) -> List[ModeChange]:
+        """All accepted mode changes."""
+        return [c for c in self.trace if c.accepted]
+
+    def rejected(self) -> List[ModeChange]:
+        """All rejected mode changes."""
+        return [c for c in self.trace if not c.accepted]
+
+    def total_reconfig_delay(self) -> float:
+        """Accumulated reconfiguration time over the whole trace."""
+        return sum(c.reconfig_delay for c in self.trace if c.accepted)
+
+    def reconfiguration_count(self) -> int:
+        """Number of architecture-cluster loads performed."""
+        return sum(len(c.reconfigured) for c in self.trace if c.accepted)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find_record(self, clusters) -> Optional[EcsRecord]:
+        for record in self.implementation.coverage:
+            if clusters <= record.clusters:
+                return record
+        return None
+
+    def _configurations_of(self, record: EcsRecord) -> Dict[str, str]:
+        """Architecture interface -> cluster unit used by the binding."""
+        configurations: Dict[str, str] = {}
+        for resource in record.binding.values():
+            unit = self.spec.units.unit_of(resource)
+            if unit.interface is not None:
+                configurations[unit.interface] = unit.name
+        return configurations
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveSimulator(|trace|={len(self.trace)}, "
+            f"accepted={len(self.accepted())})"
+        )
+
+
+def simulate_requests(
+    spec: SpecificationGraph,
+    implementation: Implementation,
+    requests: Iterable[Tuple[float, Iterable[str]]],
+) -> AdaptiveSimulator:
+    """Convenience driver: replay ``(time, clusters)`` pairs."""
+    simulator = AdaptiveSimulator(spec, implementation)
+    for time, clusters in requests:
+        simulator.request(time, clusters)
+    return simulator

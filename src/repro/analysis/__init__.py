@@ -1,0 +1,33 @@
+"""Design-space analytics on top of the explorer.
+
+Cost-sensitivity sweeps, what-if scenario comparison, and
+non-destructive specification patching.
+"""
+
+from .frontier import LevelChange, diff_fronts, diff_table, summarize_diff
+from .merge import merge_specifications, shared_platform_saving
+from .patch import with_latency, with_unit_costs
+from .scenarios import compare_scenarios, scenario_table
+from .sensitivity import (
+    SensitivityPoint,
+    cost_sensitivity,
+    ladder_stability,
+    most_sensitive_units,
+)
+
+__all__ = [
+    "LevelChange",
+    "SensitivityPoint",
+    "compare_scenarios",
+    "cost_sensitivity",
+    "diff_fronts",
+    "diff_table",
+    "ladder_stability",
+    "merge_specifications",
+    "most_sensitive_units",
+    "scenario_table",
+    "shared_platform_saving",
+    "summarize_diff",
+    "with_latency",
+    "with_unit_costs",
+]

@@ -1,0 +1,118 @@
+"""Front diffing: what changed between two explorations.
+
+Companion to the scenario and sensitivity tools: given a baseline and a
+variant front, report per flexibility level whether it got cheaper,
+dearer, appeared or disappeared — the summary a platform owner actually
+reads after a price change or a vendor constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..report import format_table
+
+Point = Tuple[float, float]
+
+
+class LevelChange:
+    """Cost movement of one flexibility level between two fronts."""
+
+    __slots__ = ("flexibility", "before", "after")
+
+    def __init__(
+        self,
+        flexibility: float,
+        before: Optional[float],
+        after: Optional[float],
+    ) -> None:
+        self.flexibility = flexibility
+        #: Cheapest cost reaching the level in the baseline (None = absent).
+        self.before = before
+        #: Cheapest cost reaching the level in the variant (None = absent).
+        self.after = after
+
+    @property
+    def verdict(self) -> str:
+        """One of ``appeared``/``disappeared``/``cheaper``/``dearer``/``same``."""
+        if self.before is None and self.after is None:
+            return "same"
+        if self.before is None:
+            return "appeared"
+        if self.after is None:
+            return "disappeared"
+        if self.after < self.before:
+            return "cheaper"
+        if self.after > self.before:
+            return "dearer"
+        return "same"
+
+    @property
+    def delta(self) -> Optional[float]:
+        """Cost change (positive = dearer); ``None`` when incomparable."""
+        if self.before is None or self.after is None:
+            return None
+        return self.after - self.before
+
+    def __repr__(self) -> str:
+        return (
+            f"LevelChange(f={self.flexibility:g}, {self.verdict}, "
+            f"{self.before} -> {self.after})"
+        )
+
+
+def _cheapest_at_level(front: Iterable[Point], level: float) -> Optional[float]:
+    costs = [c for c, f in front if f >= level]
+    return min(costs) if costs else None
+
+
+def diff_fronts(
+    baseline: Iterable[Point], variant: Iterable[Point]
+) -> List[LevelChange]:
+    """Per-flexibility-level changes from ``baseline`` to ``variant``.
+
+    Levels are the union of flexibility values on either front, compared
+    by "cheapest cost reaching at least this flexibility".  Returned in
+    increasing flexibility order.
+    """
+    base_points = list(baseline)
+    variant_points = list(variant)
+    levels = sorted(
+        {f for _, f in base_points} | {f for _, f in variant_points}
+    )
+    return [
+        LevelChange(
+            level,
+            _cheapest_at_level(base_points, level),
+            _cheapest_at_level(variant_points, level),
+        )
+        for level in levels
+    ]
+
+
+def diff_table(changes: Iterable[LevelChange]) -> str:
+    """Text rendering of a front diff."""
+    rows = []
+    for change in changes:
+        before = "-" if change.before is None else f"${change.before:g}"
+        after = "-" if change.after is None else f"${change.after:g}"
+        delta = (
+            ""
+            if change.delta is None
+            else f"{change.delta:+g}"
+        )
+        rows.append(
+            [f"f>={change.flexibility:g}", before, after, delta,
+             change.verdict]
+        )
+    return format_table(
+        ["target", "baseline", "variant", "delta", "verdict"], rows
+    )
+
+
+def summarize_diff(changes: Iterable[LevelChange]) -> Dict[str, int]:
+    """Verdict histogram of a diff (``{"cheaper": 2, ...}``)."""
+    histogram: Dict[str, int] = {}
+    for change in changes:
+        histogram[change.verdict] = histogram.get(change.verdict, 0) + 1
+    return histogram

@@ -1,0 +1,105 @@
+"""Merging specifications into product families.
+
+Platform-based design often starts from existing single-product
+specifications: "dimension one platform that implements everything the
+TV box and the gateway do today".  :func:`merge_specifications` builds
+that family specification — the union of both problem hierarchies
+(side by side at the top level, all simultaneously active under rule
+4), the union of both architectures, and the union of the mapping
+tables — after checking that no names collide.
+
+Because flexibility is additive over top-level interfaces (minus the
+``|Psi|-1`` correction), the merged maximum satisfies
+``f(merged) = f(a) + f(b) - 1``, which the tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import ModelError
+from ..io import spec_from_dict, spec_to_dict
+from ..spec import SpecificationGraph
+
+
+def _names_of(scope_doc) -> set:
+    names = {v["name"] for v in scope_doc.get("vertices", ())}
+    for interface in scope_doc.get("interfaces", ()):
+        names.add(interface["name"])
+        for cluster in interface.get("clusters", ()):
+            names.add(cluster["name"])
+            names |= _names_of(cluster)
+    return names
+
+
+def _merge_scopes(target, source) -> None:
+    target["vertices"] = list(target.get("vertices", ())) + list(
+        source.get("vertices", ())
+    )
+    target["interfaces"] = list(target.get("interfaces", ())) + list(
+        source.get("interfaces", ())
+    )
+    target["edges"] = list(target.get("edges", ())) + list(
+        source.get("edges", ())
+    )
+
+
+def merge_specifications(
+    first: SpecificationGraph,
+    second: SpecificationGraph,
+    name: str = "merged",
+) -> SpecificationGraph:
+    """The family specification implementing both inputs.
+
+    Top-level vertices, interfaces and edges of both problem graphs
+    (and both architectures) are placed side by side; mapping tables
+    are concatenated.  Raises :class:`~repro.errors.ModelError` when
+    element names collide between the inputs — rename before merging
+    (the JSON patching tools in :mod:`repro.analysis.patch` show the
+    document-level technique).
+    """
+    doc_a = spec_to_dict(first)
+    doc_b = spec_to_dict(second)
+    for side in ("problem", "architecture"):
+        collisions = _names_of(doc_a[side]) & _names_of(doc_b[side])
+        if collisions:
+            raise ModelError(
+                f"cannot merge: {side} graphs share element names "
+                f"{sorted(collisions)[:5]}"
+            )
+    merged = doc_a
+    merged["name"] = name
+    merged["problem"]["name"] = f"{name}_P"
+    merged["architecture"]["name"] = f"{name}_A"
+    _merge_scopes(merged["problem"], doc_b["problem"])
+    _merge_scopes(merged["architecture"], doc_b["architecture"])
+    merged["mappings"] = list(merged.get("mappings", ())) + list(
+        doc_b.get("mappings", ())
+    )
+    merged["attrs"] = dict(doc_b.get("attrs", {}), **doc_a.get("attrs", {}))
+    return spec_from_dict(merged)
+
+
+def shared_platform_saving(
+    first: SpecificationGraph,
+    second: SpecificationGraph,
+    **explore_kwargs,
+) -> Tuple[float, float, float]:
+    """Cost of two separate platforms vs one shared platform.
+
+    Explores each input and their merge at maximal flexibility and
+    returns ``(separate_cost, merged_cost, saving)`` where
+    ``separate_cost`` is the sum of the two best boxes and ``saving``
+    is how much the shared platform undercuts them (negative = the
+    merge costs more, e.g. when timing forbids consolidation).
+    """
+    from ..core import explore
+
+    best_a = explore(first, **explore_kwargs).best()
+    best_b = explore(second, **explore_kwargs).best()
+    merged = merge_specifications(first, second)
+    best_merged = explore(merged, **explore_kwargs).best()
+    if best_a is None or best_b is None or best_merged is None:
+        raise ModelError("one of the specifications has no implementation")
+    separate = best_a.cost + best_b.cost
+    return (separate, best_merged.cost, separate - best_merged.cost)

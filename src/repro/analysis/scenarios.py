@@ -1,0 +1,54 @@
+"""Scenario comparison: explore the same specification under variants.
+
+Wraps :func:`repro.core.explore` for the common planning workflow of
+running several named what-if configurations (vendor constraints,
+timing models, budgets) and comparing the resulting fronts side by
+side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..core import explore
+from ..core.result import ExplorationResult
+from ..report import format_table
+from ..spec import SpecificationGraph
+
+Point = Tuple[float, float]
+
+
+def compare_scenarios(
+    spec: SpecificationGraph,
+    scenarios: Mapping[str, Mapping],
+) -> Dict[str, ExplorationResult]:
+    """Explore ``spec`` once per scenario.
+
+    ``scenarios`` maps a label to keyword arguments for
+    :func:`repro.core.explore` (e.g. ``{"no FPGA": {"forbid_units":
+    {"D3", "U2", "G1"}}}``).  Returns the results keyed by label, in
+    input order.
+    """
+    return {
+        label: explore(spec, **dict(kwargs))
+        for label, kwargs in scenarios.items()
+    }
+
+
+def scenario_table(results: Mapping[str, ExplorationResult]) -> str:
+    """A text matrix: rows = flexibility levels, columns = scenarios,
+    cells = cheapest cost reaching that flexibility (or '-')."""
+    levels: List[float] = sorted(
+        {f for result in results.values() for _, f in result.front()}
+    )
+    rows = []
+    for level in levels:
+        row = [f"f>={level:g}"]
+        for result in results.values():
+            cheapest = min(
+                (c for c, f in result.front() if f >= level),
+                default=None,
+            )
+            row.append("-" if cheapest is None else f"${cheapest:g}")
+        rows.append(row)
+    return format_table(["target"] + list(results), rows)

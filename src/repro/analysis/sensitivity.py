@@ -1,0 +1,103 @@
+"""Cost-sensitivity analysis of the flexibility/cost front.
+
+Unit prices are the least certain inputs of platform dimensioning (the
+paper's Figure 5 costs are catalog estimates).  This module sweeps one
+unit's cost over scale factors, re-explores, and reports how the Pareto
+front responds — which flexibility levels get cheaper/dearer and where
+the front's *shape* (the flexibility ladder) changes at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core import explore
+from ..spec import SpecificationGraph
+from .patch import with_unit_costs
+
+Point = Tuple[float, float]
+
+
+class SensitivityPoint:
+    """The explored front under one scaled unit cost."""
+
+    __slots__ = ("factor", "unit_cost", "front")
+
+    def __init__(self, factor: float, unit_cost: float, front: List[Point]) -> None:
+        #: Scale factor applied to the unit's nominal cost.
+        self.factor = factor
+        #: The resulting absolute unit cost.
+        self.unit_cost = unit_cost
+        #: The (cost, flexibility) front under that cost.
+        self.front = front
+
+    def flexibility_ladder(self) -> Tuple[float, ...]:
+        """The achieved flexibility levels, in cost order."""
+        return tuple(f for _, f in self.front)
+
+    def __repr__(self) -> str:
+        return (
+            f"SensitivityPoint(factor={self.factor}, front={self.front})"
+        )
+
+
+def cost_sensitivity(
+    spec: SpecificationGraph,
+    unit: str,
+    factors: Sequence[float] = (0.5, 0.75, 1.0, 1.25, 1.5),
+    **explore_kwargs,
+) -> List[SensitivityPoint]:
+    """Sweep ``unit``'s cost over ``factors`` and explore each variant."""
+    nominal = spec.units.unit(unit).cost
+    results: List[SensitivityPoint] = []
+    for factor in factors:
+        scaled = nominal * factor
+        variant = with_unit_costs(spec, {unit: scaled})
+        front = explore(variant, **explore_kwargs).front()
+        results.append(SensitivityPoint(factor, scaled, front))
+    return results
+
+
+def ladder_stability(points: Iterable[SensitivityPoint]) -> float:
+    """Fraction of sweep points whose flexibility ladder matches nominal.
+
+    The *ladder* (which flexibility levels appear on the front, in
+    order) captures the front's shape independent of absolute cost;
+    a stability of 1.0 means price changes only slid points along the
+    cost axis without changing which platforms are worth building.
+    """
+    materialised = list(points)
+    if not materialised:
+        return 1.0
+    nominal = min(materialised, key=lambda p: abs(p.factor - 1.0))
+    reference = nominal.flexibility_ladder()
+    same = sum(
+        1 for p in materialised if p.flexibility_ladder() == reference
+    )
+    return same / len(materialised)
+
+
+def most_sensitive_units(
+    spec: SpecificationGraph,
+    factors: Sequence[float] = (0.5, 1.5),
+    units: Iterable[str] = (),
+    **explore_kwargs,
+) -> Dict[str, float]:
+    """Ladder stability per unit, lowest (most sensitive) first.
+
+    Sweeps each given unit (default: all functional units) and returns
+    ``{unit: stability}`` ordered ascending, so the units whose price
+    most endangers the platform decision come first.
+    """
+    selected = list(units) or [
+        u.name for u in spec.units.functional_units()
+    ]
+    stability: Dict[str, float] = {}
+    for unit in selected:
+        sweep = cost_sensitivity(
+            spec, unit, tuple(factors) + (1.0,), **explore_kwargs
+        )
+        stability[unit] = ladder_stability(sweep)
+    return dict(
+        sorted(stability.items(), key=lambda item: (item[1], item[0]))
+    )

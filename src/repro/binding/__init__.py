@@ -1,0 +1,21 @@
+"""Timed allocation and binding (Definitions 2-3) with feasibility solvers."""
+
+from .allocation import Allocation, allocation_of
+from .binding import Binding
+from .feasibility import binding_violations, is_feasible_binding
+from .routing import Router
+from .sat_binding import solve_binding_sat
+from .solver import BindingSolver, SolverStats, solve_binding
+
+__all__ = [
+    "Allocation",
+    "Binding",
+    "BindingSolver",
+    "Router",
+    "SolverStats",
+    "allocation_of",
+    "binding_violations",
+    "is_feasible_binding",
+    "solve_binding",
+    "solve_binding_sat",
+]

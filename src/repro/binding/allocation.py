@@ -1,0 +1,91 @@
+"""Timed allocations (Definition 2).
+
+A timed allocation is the subset of activated vertices and edges of the
+problem and architecture graph at a time t.  On the architecture side
+we represent it by the set of allocated resource *units*; the problem
+side is given by the hierarchical activation in force at t.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..errors import BindingError
+from ..spec import SpecificationGraph
+
+
+class Allocation:
+    """An architecture-side allocation: a set of resource units.
+
+    The allocation knows its total cost (the paper's allocation-cost
+    objective ``c_impl``) and can report whether it is closed under the
+    nested-cluster ancestor requirement.
+    """
+
+    __slots__ = ("spec", "units")
+
+    def __init__(self, spec: SpecificationGraph, units: Iterable[str]) -> None:
+        self.spec = spec
+        unit_set = frozenset(units)
+        for name in unit_set:
+            spec.units.unit(name)  # raises on unknown units
+        self.units: FrozenSet[str] = unit_set
+
+    @property
+    def cost(self) -> float:
+        """Allocation cost ``c_impl``: sum of allocated unit costs."""
+        return self.spec.units.total_cost(self.units)
+
+    @property
+    def closed(self) -> bool:
+        """True when all ancestors of nested units are also allocated."""
+        return all(
+            set(self.spec.units.unit(u).ancestors) <= self.units
+            for u in self.units
+        )
+
+    def require_closed(self) -> None:
+        """Raise :class:`~repro.errors.BindingError` unless :attr:`closed`."""
+        if not self.closed:
+            raise BindingError(
+                f"allocation {sorted(self.units)!r} misses ancestor clusters "
+                f"of nested units"
+            )
+
+    def functional_unit_names(self) -> FrozenSet[str]:
+        """Allocated non-communication units."""
+        return frozenset(
+            u for u in self.units if not self.spec.units.unit(u).comm
+        )
+
+    def comm_unit_names(self) -> FrozenSet[str]:
+        """Allocated communication units."""
+        return frozenset(
+            u for u in self.units if self.spec.units.unit(u).comm
+        )
+
+    def __contains__(self, unit: str) -> bool:
+        return unit in self.units
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Allocation)
+            and self.spec is other.spec
+            and self.units == other.units
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.units)
+
+    def __repr__(self) -> str:
+        return f"Allocation({sorted(self.units)!r}, cost={self.cost})"
+
+
+def allocation_of(
+    spec: SpecificationGraph, units: Iterable[str], closed: bool = True
+) -> Allocation:
+    """Build an :class:`Allocation`, optionally enforcing closure."""
+    allocation = Allocation(spec, units)
+    if closed:
+        allocation.require_closed()
+    return allocation

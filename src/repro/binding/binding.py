@@ -1,0 +1,79 @@
+"""Timed bindings (Definition 3).
+
+A timed binding is the subset of activated mapping edges at time t —
+equivalently, an assignment of every active leaf process to one
+resource leaf (rule 2 of binding feasibility: "for each activated leaf
+of the problem graph, exactly one outgoing mapping edge is activated").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from ..errors import BindingError
+from ..spec import SpecificationGraph
+
+
+class Binding:
+    """An immutable process -> resource-leaf assignment."""
+
+    __slots__ = ("spec", "_assignment")
+
+    def __init__(self, spec: SpecificationGraph, assignment: Mapping[str, str]) -> None:
+        self.spec = spec
+        for process, resource in assignment.items():
+            if spec.mappings.edge(process, resource) is None:
+                raise BindingError(
+                    f"binding {process!r} -> {resource!r} has no mapping edge"
+                )
+        self._assignment: Dict[str, str] = dict(assignment)
+
+    def resource_of(self, process: str) -> str:
+        """The resource leaf hosting ``process``."""
+        try:
+            return self._assignment[process]
+        except KeyError:
+            raise BindingError(f"process {process!r} is unbound") from None
+
+    def unit_of(self, process: str) -> str:
+        """The resource *unit* hosting ``process``."""
+        return self.spec.units.unit_of(self.resource_of(process)).name
+
+    def latency_of(self, process: str) -> float:
+        """Core execution time of ``process`` on its bound resource."""
+        return self.spec.mappings.latency(
+            process, self.resource_of(process)
+        )
+
+    def used_units(self) -> frozenset:
+        """Units actually hosting at least one process."""
+        return frozenset(
+            self.spec.units.unit_of(r).name
+            for r in self._assignment.values()
+        )
+
+    def as_dict(self) -> Dict[str, str]:
+        """A copy of the underlying assignment."""
+        return dict(self._assignment)
+
+    def items(self) -> Iterator[Tuple[str, str]]:
+        """Iterate ``(process, resource)`` pairs."""
+        return iter(self._assignment.items())
+
+    def __contains__(self, process: str) -> bool:
+        return process in self._assignment
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Binding)
+            and self._assignment == other._assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._assignment.items()))
+
+    def __repr__(self) -> str:
+        return f"Binding(|processes|={len(self)})"

@@ -1,0 +1,112 @@
+"""Binding-feasibility rules (Section 2 of the paper).
+
+A feasible timed binding satisfies:
+
+1. every activated mapping edge starts and ends at activated elements —
+   here: every bound process is an active leaf and its resource is
+   provided by a usable allocated unit;
+2. each activated problem leaf has exactly one activated mapping edge —
+   here: the binding is total over the flattened activation;
+3. for each activated dependence edge, either both processes share a
+   resource or an activated architecture path routes the communication.
+
+Two further checks close the model:
+
+* architecture-side rule 1 (one active cluster per architecture
+  interface at any instant): processes may not simultaneously use two
+  designs of the same reconfigurable device;
+* the utilisation bound (the paper's quick performance test).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..activation import FlatProblem
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND, utilization_violations
+from .allocation import Allocation
+from .binding import Binding
+from .routing import Router
+
+
+def binding_violations(
+    spec: SpecificationGraph,
+    allocation: Allocation,
+    flat: FlatProblem,
+    binding: Binding,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+) -> List[str]:
+    """All feasibility violations of ``binding`` (empty = feasible)."""
+    violations: List[str] = []
+    catalog = spec.units
+    usable = {
+        u
+        for u in allocation.units
+        if set(catalog.unit(u).ancestors) <= allocation.units
+    }
+
+    # Rule 2: totality — and rule 1: endpoints active/allocated.
+    for leaf in flat.leaves:
+        if leaf not in binding:
+            violations.append(f"rule 2: active process {leaf!r} is unbound")
+    for process, resource in binding.items():
+        if process not in flat.leaves:
+            violations.append(
+                f"rule 1: bound process {process!r} is not active"
+            )
+            continue
+        unit = catalog.unit_of(resource)
+        if unit.name not in usable:
+            violations.append(
+                f"rule 1: resource {resource!r} (unit {unit.name!r}) is not "
+                f"allocated"
+            )
+    if violations:
+        return violations
+
+    # Architecture-side rule 1: one cluster per architecture interface.
+    used_by_interface: Dict[str, set] = {}
+    for process, resource in binding.items():
+        unit = catalog.unit_of(resource)
+        if unit.interface is not None:
+            used_by_interface.setdefault(unit.interface, set()).add(unit.name)
+    for interface, used in sorted(used_by_interface.items()):
+        if len(used) > 1:
+            violations.append(
+                f"architecture interface {interface!r} would need "
+                f"{len(used)} simultaneously active clusters: {sorted(used)}"
+            )
+
+    # Rule 3: communication.
+    router = Router(spec, allocation.units)
+    for src, dst in flat.edges:
+        resource_src = binding.resource_of(src)
+        resource_dst = binding.resource_of(dst)
+        if not router.resources_connected(resource_src, resource_dst):
+            violations.append(
+                f"rule 3: no activated route between {src!r} on "
+                f"{resource_src!r} and {dst!r} on {resource_dst!r}"
+            )
+
+    # Performance estimate (Section 5).
+    if check_utilization:
+        violations.extend(
+            utilization_violations(spec, flat, binding.as_dict(), util_bound)
+        )
+    return violations
+
+
+def is_feasible_binding(
+    spec: SpecificationGraph,
+    allocation: Allocation,
+    flat: FlatProblem,
+    binding: Binding,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+) -> bool:
+    """True when ``binding`` satisfies all feasibility rules."""
+    return not binding_violations(
+        spec, allocation, flat, binding, util_bound, check_utilization
+    )

@@ -1,0 +1,125 @@
+"""SAT-backed binding solver.
+
+Alternative backend to the backtracking CSP solver: the structural
+constraints (totality, communication routing, one cluster per
+architecture interface) are encoded as CNF clauses and solved with the
+DPLL engine of :mod:`repro.boolexpr.sat`; the utilisation bound — a
+pseudo-boolean constraint — is handled by lazy refinement: every model
+violating the bound is excluded by a blocking clause and the solver is
+re-run.  Tests use this backend to cross-check the CSP solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..activation import FlatProblem
+from ..boolexpr.sat import solve_cnf
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND, meets_utilization_bound
+from .allocation import Allocation
+from .binding import Binding
+from .routing import Router
+
+Clause = FrozenSet[Tuple[str, bool]]
+
+
+def _var(process: str, resource: str) -> str:
+    return f"b::{process}::{resource}"
+
+
+def solve_binding_sat(
+    spec: SpecificationGraph,
+    allocation: Allocation,
+    flat: FlatProblem,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+    max_refinements: int = 2000,
+) -> Optional[Binding]:
+    """Find a feasible binding via SAT + lazy utilisation refinement.
+
+    Returns ``None`` when the structural encoding is unsatisfiable or
+    every structural model violates the utilisation bound within the
+    refinement budget.
+    """
+    catalog = spec.units
+    usable = {
+        u
+        for u in allocation.units
+        if set(catalog.unit(u).ancestors) <= allocation.units
+    }
+    domains: Dict[str, List[str]] = {}
+    for leaf in flat.leaves:
+        candidates = [
+            edge.resource
+            for edge in spec.mappings.of_process(leaf)
+            if catalog.unit_of(edge.resource).name in usable
+        ]
+        if not candidates:
+            return None
+        domains[leaf] = candidates
+
+    clauses: List[Clause] = []
+    # Exactly one resource per process.
+    for leaf, candidates in domains.items():
+        clauses.append(
+            frozenset((_var(leaf, r), True) for r in candidates)
+        )
+        for i, r1 in enumerate(candidates):
+            for r2 in candidates[i + 1 :]:
+                clauses.append(
+                    frozenset(
+                        {(_var(leaf, r1), False), (_var(leaf, r2), False)}
+                    )
+                )
+    # Communication feasibility per dependence edge.
+    router = Router(spec, allocation.units)
+    for src, dst in flat.edges:
+        if src == dst:
+            continue
+        for r1 in domains[src]:
+            for r2 in domains[dst]:
+                if not router.resources_connected(r1, r2):
+                    clauses.append(
+                        frozenset(
+                            {(_var(src, r1), False), (_var(dst, r2), False)}
+                        )
+                    )
+    # One active cluster per architecture interface.
+    placements: List[Tuple[str, str, str, str]] = []  # (p, r, iface, unit)
+    for leaf, candidates in domains.items():
+        for resource in candidates:
+            unit = catalog.unit_of(resource)
+            if unit.interface is not None:
+                placements.append((leaf, resource, unit.interface, unit.name))
+    for i, (p1, r1, if1, u1) in enumerate(placements):
+        for p2, r2, if2, u2 in placements[i + 1 :]:
+            if if1 == if2 and u1 != u2:
+                clauses.append(
+                    frozenset({(_var(p1, r1), False), (_var(p2, r2), False)})
+                )
+
+    leaves = list(domains)
+    for _ in range(max_refinements):
+        model = solve_cnf(clauses)
+        if model is None:
+            return None
+        assignment: Dict[str, str] = {}
+        for leaf in leaves:
+            for resource in domains[leaf]:
+                if model.get(_var(leaf, resource), False):
+                    assignment[leaf] = resource
+                    break
+        binding = Binding(spec, assignment)
+        if not check_utilization or meets_utilization_bound(
+            spec, flat, assignment, util_bound
+        ):
+            return binding
+        # Lazy refinement: block this exact assignment and retry.
+        clauses.append(
+            frozenset(
+                (_var(leaf, resource), False)
+                for leaf, resource in assignment.items()
+            )
+        )
+    return None

@@ -1,0 +1,201 @@
+"""Backtracking CSP solver for the NP-complete binding problem.
+
+Variables are the active leaf processes of a flattened activation;
+domains are the resource leaves offered by the allocated units; the
+constraints are the binding-feasibility rules of
+:mod:`repro.binding.feasibility` — communication routing, one active
+cluster per architecture interface, and the utilisation bound — all
+checked incrementally during search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..activation import FlatProblem
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND, task_set
+from .allocation import Allocation
+from .binding import Binding
+from .routing import Router
+
+
+class SolverStats:
+    """Search-effort counters of one :class:`BindingSolver`."""
+
+    __slots__ = ("invocations", "assignments", "backtracks", "solutions")
+
+    def __init__(self) -> None:
+        self.invocations = 0
+        self.assignments = 0
+        self.backtracks = 0
+        self.solutions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverStats(invocations={self.invocations}, "
+            f"assignments={self.assignments}, "
+            f"backtracks={self.backtracks}, solutions={self.solutions})"
+        )
+
+
+class BindingSolver:
+    """Finds feasible bindings for activations under one allocation."""
+
+    def __init__(
+        self,
+        spec: SpecificationGraph,
+        allocation: Allocation,
+        util_bound: float = PAPER_UTILIZATION_BOUND,
+        check_utilization: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.allocation = allocation
+        self.util_bound = util_bound
+        self.check_utilization = check_utilization
+        self.router = Router(spec, allocation.units)
+        self.stats = SolverStats()
+        catalog = spec.units
+        self._usable = {
+            u
+            for u in allocation.units
+            if set(catalog.unit(u).ancestors) <= allocation.units
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self, flat: FlatProblem) -> Optional[Binding]:
+        """First feasible binding of ``flat``, or ``None``."""
+        for binding in self.iter_solutions(flat, limit=1):
+            return binding
+        return None
+
+    def iter_solutions(
+        self, flat: FlatProblem, limit: Optional[int] = None
+    ) -> Iterator[Binding]:
+        """Yield feasible bindings (up to ``limit`` when given)."""
+        self.stats.invocations += 1
+        domains = self._domains(flat)
+        if domains is None:
+            return
+        order = sorted(
+            domains,
+            key=lambda leaf: (len(domains[leaf]), leaf),
+        )
+        neighbors = self._neighbors(flat)
+        tasks = task_set(self.spec, flat)
+        assignment: Dict[str, str] = {}
+        utilization: Dict[str, float] = {}
+        interface_choice: Dict[str, str] = {}
+        interface_count: Dict[str, int] = {}
+        yielded = 0
+
+        def backtrack(position: int) -> Iterator[Binding]:
+            nonlocal yielded
+            if limit is not None and yielded >= limit:
+                return
+            if position == len(order):
+                self.stats.solutions += 1
+                yielded += 1
+                yield Binding(self.spec, assignment)
+                return
+            leaf = order[position]
+            task = tasks[leaf]
+            for resource in domains[leaf]:
+                self.stats.assignments += 1
+                unit = self.spec.units.unit_of(resource)
+                # architecture rule 1: one cluster per interface
+                if unit.interface is not None:
+                    current = interface_choice.get(unit.interface)
+                    if current is not None and current != unit.name:
+                        continue
+                # utilisation bound
+                increment = 0.0
+                if self.check_utilization and task.loaded:
+                    increment = task.utilization(
+                        self.spec.mappings.latency(leaf, resource)
+                    )
+                    if (
+                        utilization.get(resource, 0.0) + increment
+                        > self.util_bound + 1e-12
+                    ):
+                        continue
+                # communication with already-bound neighbours
+                feasible = True
+                for other in neighbors.get(leaf, ()):
+                    bound_resource = assignment.get(other)
+                    if bound_resource is None:
+                        continue
+                    if not self.router.resources_connected(
+                        resource, bound_resource
+                    ):
+                        feasible = False
+                        break
+                if not feasible:
+                    continue
+                # commit
+                assignment[leaf] = resource
+                if increment:
+                    utilization[resource] = (
+                        utilization.get(resource, 0.0) + increment
+                    )
+                if unit.interface is not None:
+                    interface_choice[unit.interface] = unit.name
+                    interface_count[unit.interface] = (
+                        interface_count.get(unit.interface, 0) + 1
+                    )
+                yield from backtrack(position + 1)
+                # rollback
+                del assignment[leaf]
+                if increment:
+                    utilization[resource] -= increment
+                if unit.interface is not None:
+                    interface_count[unit.interface] -= 1
+                    if not interface_count[unit.interface]:
+                        del interface_count[unit.interface]
+                        del interface_choice[unit.interface]
+                if limit is not None and yielded >= limit:
+                    return
+            self.stats.backtracks += 1
+
+        yield from backtrack(0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _domains(self, flat: FlatProblem) -> Optional[Dict[str, List[str]]]:
+        """Per-process candidate resources; ``None`` when one is empty."""
+        catalog = self.spec.units
+        domains: Dict[str, List[str]] = {}
+        for leaf in flat.leaves:
+            candidates = [
+                edge.resource
+                for edge in self.spec.mappings.of_process(leaf)
+                if catalog.unit_of(edge.resource).name in self._usable
+            ]
+            if not candidates:
+                return None
+            domains[leaf] = candidates
+        return domains
+
+    def _neighbors(self, flat: FlatProblem) -> Dict[str, Tuple[str, ...]]:
+        adjacency: Dict[str, set] = {}
+        for src, dst in flat.edges:
+            if src == dst:
+                continue
+            adjacency.setdefault(src, set()).add(dst)
+            adjacency.setdefault(dst, set()).add(src)
+        return {k: tuple(v) for k, v in adjacency.items()}
+
+
+def solve_binding(
+    spec: SpecificationGraph,
+    allocation: Allocation,
+    flat: FlatProblem,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+) -> Optional[Binding]:
+    """One-shot convenience wrapper around :class:`BindingSolver`."""
+    solver = BindingSolver(spec, allocation, util_bound, check_utilization)
+    return solver.solve(flat)

@@ -1,0 +1,67 @@
+"""Boolean expression engine.
+
+Backs the paper's "single boolean equation" techniques: the
+possible-resource-allocation predicate and the flexibility-estimation
+predicates are built as expression trees over resource-unit variables
+and evaluated per candidate allocation.  A Tseitin CNF converter and a
+DPLL SAT solver provide an alternative binding-solver backend.
+"""
+
+from .bdd import Bdd, expr_to_bdd, model_count
+from .cnf import CNF, clause_to_str, tseitin
+from .derived import (
+    at_most_one,
+    exactly_one,
+    iff,
+    implies,
+    substitute,
+    xor,
+)
+from .expr import (
+    And,
+    BoolExprError,
+    Const,
+    Expr,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    all_of,
+    any_of,
+    evaluate_over_set,
+)
+from .sat import count_models, solve_cnf, solve_expr
+from .simplify import expression_size, simplify
+
+__all__ = [
+    "And",
+    "Bdd",
+    "BoolExprError",
+    "CNF",
+    "Const",
+    "Expr",
+    "FALSE",
+    "Not",
+    "Or",
+    "TRUE",
+    "Var",
+    "all_of",
+    "any_of",
+    "at_most_one",
+    "clause_to_str",
+    "count_models",
+    "evaluate_over_set",
+    "exactly_one",
+    "expr_to_bdd",
+    "expression_size",
+    "model_count",
+    "iff",
+    "implies",
+    "simplify",
+    "solve_cnf",
+    "solve_expr",
+    "substitute",
+    "tseitin",
+    "xor",
+]

@@ -1,0 +1,124 @@
+"""Conversion of boolean expressions to conjunctive normal form.
+
+Provides Tseitin transformation (equisatisfiable, linear-size, used by
+the SAT-backed binding solver) and a small clause container shared with
+:mod:`repro.boolexpr.sat`.
+
+Clause representation: a clause is a frozenset of signed literals,
+where a literal is ``(name, polarity)`` with ``polarity`` ``True`` for
+the positive literal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .expr import And, Const, Expr, Not, Or, Var
+
+Literal = Tuple[str, bool]
+Clause = FrozenSet[Literal]
+
+
+class CNF:
+    """A formula in conjunctive normal form.
+
+    ``variables`` lists the *original* expression variables; Tseitin
+    auxiliaries are prefixed with ``"__t"`` and excluded from models
+    reported to callers.
+    """
+
+    def __init__(self, clauses: List[Clause], variables: Set[str]) -> None:
+        self.clauses = clauses
+        self.variables = set(variables)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(|clauses|={len(self.clauses)}, |vars|={len(self.variables)})"
+
+
+def _literal(name: str, polarity: bool) -> Literal:
+    return (name, polarity)
+
+
+def tseitin(expr: Expr) -> CNF:
+    """Tseitin-transform ``expr`` into an equisatisfiable CNF.
+
+    Each internal node gets a fresh auxiliary variable constrained to be
+    equivalent to the node's value; the root auxiliary is asserted.
+    """
+    clauses: List[Clause] = []
+    counter = [0]
+    cache: Dict[Expr, Literal] = {}
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"__t{counter[0]}"
+
+    def encode(node: Expr) -> Literal:
+        """Return a literal equivalent to ``node``, emitting clauses."""
+        if node in cache:
+            return cache[node]
+        if isinstance(node, Const):
+            aux = fresh()
+            lit = _literal(aux, True)
+            # assert aux == constant
+            clauses.append(frozenset({_literal(aux, node.value)}))
+            cache[node] = lit
+            return lit
+        if isinstance(node, Var):
+            lit = _literal(node.name, True)
+            cache[node] = lit
+            return lit
+        if isinstance(node, Not):
+            name, polarity = encode(node.operand)
+            lit = _literal(name, not polarity)
+            cache[node] = lit
+            return lit
+        if isinstance(node, (And, Or)):
+            operand_lits = [encode(op) for op in node.operands]
+            aux = fresh()
+            aux_pos = _literal(aux, True)
+            aux_neg = _literal(aux, False)
+            if isinstance(node, And):
+                # aux -> each operand ; all operands -> aux
+                for name, pol in operand_lits:
+                    clauses.append(frozenset({aux_neg, _literal(name, pol)}))
+                clauses.append(
+                    frozenset(
+                        {aux_pos}
+                        | {_literal(n, not p) for (n, p) in operand_lits}
+                    )
+                )
+                if not operand_lits:  # empty AND is TRUE
+                    clauses.append(frozenset({aux_pos}))
+            else:
+                # operand -> aux ; aux -> some operand
+                for name, pol in operand_lits:
+                    clauses.append(
+                        frozenset({aux_pos, _literal(name, not pol)})
+                    )
+                clauses.append(
+                    frozenset(
+                        {aux_neg} | {_literal(n, p) for (n, p) in operand_lits}
+                    )
+                )
+                if not operand_lits:  # empty OR is FALSE
+                    clauses.append(frozenset({aux_neg}))
+            lit = aux_pos
+            cache[node] = lit
+            return lit
+        raise TypeError(f"unknown expression node {node!r}")
+
+    root = encode(expr)
+    clauses.append(frozenset({root}))
+    return CNF(clauses, set(expr.variables()))
+
+
+def clause_to_str(clause: Clause) -> str:
+    """Human-readable rendering of one clause (for debugging/reports)."""
+    parts = sorted(
+        (name if polarity else f"~{name}") for name, polarity in clause
+    )
+    return "(" + " | ".join(parts) + ")"

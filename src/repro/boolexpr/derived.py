@@ -1,0 +1,80 @@
+"""Derived boolean connectives and partial evaluation.
+
+Convenience constructors (implication, equivalence, exclusive-or,
+at-most-one/exactly-one) expressed in the core NOT/AND/OR language, and
+:func:`substitute` (Shannon cofactor), which partially evaluates an
+expression under a partial assignment — useful for interactive
+what-if analysis of the possible-allocation equation (e.g. "pin the
+processor choice and simplify").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .expr import And, Const, Expr, FALSE, Not, Or, TRUE, Var, all_of, any_of
+from .simplify import simplify
+
+
+def implies(antecedent: Expr, consequent: Expr) -> Expr:
+    """``a -> b``, i.e. ``~a | b``."""
+    return Or((Not(antecedent), consequent))
+
+
+def iff(left: Expr, right: Expr) -> Expr:
+    """``a <-> b``, i.e. ``(a & b) | (~a & ~b)``."""
+    return Or((And((left, right)), And((Not(left), Not(right)))))
+
+
+def xor(left: Expr, right: Expr) -> Expr:
+    """``a ^ b``, i.e. ``(a & ~b) | (~a & b)``."""
+    return Or((And((left, Not(right))), And((Not(left), right))))
+
+
+def at_most_one(operands: Iterable[Expr]) -> Expr:
+    """True when at most one operand is true (pairwise encoding)."""
+    ops = tuple(operands)
+    clauses = []
+    for i, first in enumerate(ops):
+        for second in ops[i + 1:]:
+            clauses.append(Or((Not(first), Not(second))))
+    return all_of(clauses)
+
+
+def exactly_one(operands: Iterable[Expr]) -> Expr:
+    """True when exactly one operand is true.
+
+    This is the boolean form of activation rule 1 ("the activation of
+    an interface implies the activation of exactly one associated
+    cluster").
+    """
+    ops = tuple(operands)
+    return all_of([any_of(ops), at_most_one(ops)])
+
+
+def substitute(expr: Expr, assignment: Mapping[str, bool]) -> Expr:
+    """Partial evaluation (Shannon cofactor) under ``assignment``.
+
+    Variables present in ``assignment`` are replaced by constants; the
+    result is simplified.  Unassigned variables remain symbolic, so::
+
+        substitute(possible, {"muP2": True}).variables()
+
+    yields the units that still matter once the processor is pinned.
+    """
+    def walk(node: Expr) -> Expr:
+        if isinstance(node, Const):
+            return node
+        if isinstance(node, Var):
+            if node.name in assignment:
+                return TRUE if assignment[node.name] else FALSE
+            return node
+        if isinstance(node, Not):
+            return Not(walk(node.operand))
+        if isinstance(node, And):
+            return And(tuple(walk(op) for op in node.operands))
+        if isinstance(node, Or):
+            return Or(tuple(walk(op) for op in node.operands))
+        raise TypeError(f"unknown expression node {node!r}")
+
+    return simplify(walk(expr))

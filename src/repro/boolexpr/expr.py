@@ -1,0 +1,236 @@
+"""Boolean expression trees.
+
+The paper reduces its search space "by traversing our specification
+graph and setting up one boolean equation".  This module provides the
+expression language used for that machinery: variables, constants and
+the connectives NOT/AND/OR, with evaluation over variable assignments.
+
+Expressions are immutable and hashable; operators are overloaded so
+formulas read naturally::
+
+    possible = (mu_p1 | mu_p2) & (d1 | d3)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from ..errors import ReproError
+
+
+class BoolExprError(ReproError):
+    """Raised for malformed boolean expressions or evaluations."""
+
+
+class Expr:
+    """Base class of all boolean expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under ``assignment`` (variable name -> truth value).
+
+        Raises :class:`BoolExprError` when a variable is unassigned.
+        """
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """The set of variable names occurring in this expression."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Operator sugar
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, _as_expr(other)))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, _as_expr(other)))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __rand__(self, other: "Expr") -> "Expr":
+        return And((_as_expr(other), self))
+
+    def __ror__(self, other: "Expr") -> "Expr":
+        return Or((_as_expr(other), self))
+
+
+def _as_expr(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(value)
+    raise BoolExprError(f"cannot coerce {value!r} to a boolean expression")
+
+
+class Const(Expr):
+    """The constants ``TRUE`` and ``FALSE``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+#: Singleton truth constants.
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Expr):
+    """A boolean variable identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise BoolExprError("variable name must be a non-empty string")
+        self.name = name
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        try:
+            return bool(assignment[self.name])
+        except KeyError:
+            raise BoolExprError(f"unassigned variable {self.name!r}") from None
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Not(Expr):
+    """Negation."""
+
+    __slots__ = ("operand", "_vars")
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = _as_expr(operand)
+        self._vars: FrozenSet[str] = self.operand.variables()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> FrozenSet[str]:
+        return self._vars
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("not", self.operand))
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+class _NaryOp(Expr):
+    """Shared implementation of AND/OR over an operand tuple."""
+
+    __slots__ = ("operands", "_vars")
+
+    #: Identity element when the operand tuple is empty.
+    EMPTY: bool = True
+    SYMBOL: str = "?"
+
+    def __init__(self, operands: Iterable[Expr]) -> None:
+        self.operands: Tuple[Expr, ...] = tuple(
+            _as_expr(op) for op in operands
+        )
+        names: set = set()
+        for op in self.operands:
+            names.update(op.variables())
+        self._vars: FrozenSet[str] = frozenset(names)
+
+    def variables(self) -> FrozenSet[str]:
+        return self._vars
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash((self.SYMBOL, self.operands))
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "TRUE" if self.EMPTY else "FALSE"
+        joined = f" {self.SYMBOL} ".join(repr(op) for op in self.operands)
+        return f"({joined})"
+
+
+class And(_NaryOp):
+    """Conjunction; an empty conjunction is TRUE."""
+
+    __slots__ = ()
+    EMPTY = True
+    SYMBOL = "&"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+
+class Or(_NaryOp):
+    """Disjunction; an empty disjunction is FALSE."""
+
+    __slots__ = ()
+    EMPTY = False
+    SYMBOL = "|"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+
+def all_of(operands: Iterable[Expr]) -> Expr:
+    """Conjunction helper collapsing trivial cases."""
+    ops = tuple(operands)
+    if not ops:
+        return TRUE
+    if len(ops) == 1:
+        return ops[0]
+    return And(ops)
+
+
+def any_of(operands: Iterable[Expr]) -> Expr:
+    """Disjunction helper collapsing trivial cases."""
+    ops = tuple(operands)
+    if not ops:
+        return FALSE
+    if len(ops) == 1:
+        return ops[0]
+    return Or(ops)
+
+
+def evaluate_over_set(expr: Expr, true_vars: Iterable[str]) -> bool:
+    """Evaluate ``expr`` with exactly the names in ``true_vars`` true.
+
+    This is the evaluation mode used by the explorer: a candidate
+    resource allocation is a *set* of allocated units; every other unit
+    variable is false.
+    """
+    chosen = set(true_vars)
+    assignment: Dict[str, bool] = {v: (v in chosen) for v in expr.variables()}
+    return expr.evaluate(assignment)

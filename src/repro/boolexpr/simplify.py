@@ -1,0 +1,83 @@
+"""Boolean expression simplification.
+
+Performs the standard constant-folding and flattening rewrites used to
+keep the explorer's generated formulas small:
+
+* constant folding (``x & FALSE -> FALSE``, ``x | TRUE -> TRUE``);
+* flattening of nested same-operator nodes;
+* duplicate-operand removal;
+* double-negation elimination;
+* absorption of complementary literals (``x & ~x -> FALSE``).
+
+Simplification is semantics-preserving; the property-based tests check
+equivalence against brute-force truth tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expr import And, Const, Expr, Not, Or, FALSE, TRUE, Var
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return an equivalent, usually smaller, expression."""
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Not):
+        inner = simplify(expr.operand)
+        if isinstance(inner, Const):
+            return FALSE if inner.value else TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(expr, And):
+        return _simplify_nary(expr, And, TRUE, FALSE)
+    if isinstance(expr, Or):
+        return _simplify_nary(expr, Or, FALSE, TRUE)
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _simplify_nary(expr, op_type, identity: Const, absorbing: Const) -> Expr:
+    """Shared AND/OR simplification.
+
+    ``identity`` is the neutral element (TRUE for AND, FALSE for OR) and
+    ``absorbing`` the dominating element (FALSE for AND, TRUE for OR).
+    """
+    flat: List[Expr] = []
+    seen = set()
+    for operand in expr.operands:
+        sub = simplify(operand)
+        if isinstance(sub, Const):
+            if sub.value == absorbing.value:
+                return absorbing
+            continue  # drop identity elements
+        if isinstance(sub, op_type):
+            candidates = sub.operands
+        else:
+            candidates = (sub,)
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            flat.append(candidate)
+    # complementary literal check: x and ~x present together
+    for candidate in flat:
+        if isinstance(candidate, Not) and candidate.operand in seen:
+            return absorbing
+    if not flat:
+        return identity
+    if len(flat) == 1:
+        return flat[0]
+    return op_type(tuple(flat))
+
+
+def expression_size(expr: Expr) -> int:
+    """Number of nodes in the expression tree (a complexity measure)."""
+    if isinstance(expr, (Const, Var)):
+        return 1
+    if isinstance(expr, Not):
+        return 1 + expression_size(expr.operand)
+    if isinstance(expr, (And, Or)):
+        return 1 + sum(expression_size(op) for op in expr.operands)
+    raise TypeError(f"unknown expression node {expr!r}")

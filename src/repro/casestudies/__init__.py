@@ -1,0 +1,65 @@
+"""Concrete specifications from the paper plus a synthetic generator."""
+
+from .settop import (
+    FIG5_COSTS,
+    FPGA_RECONFIG_DELAY,
+    GAME_PERIOD,
+    PAPER_PARETO,
+    TABLE1,
+    TABLE1_PROCESS_ORDER,
+    TABLE1_RESOURCE_ORDER,
+    TV_PERIOD,
+    UTILIZATION_BOUND,
+    build_settop_architecture,
+    build_settop_problem,
+    build_settop_spec,
+)
+from .automotive import (
+    ACC_PERIOD,
+    AUTOMOTIVE_MAPPINGS,
+    LKA_PERIOD,
+    build_automotive_architecture,
+    build_automotive_problem,
+    build_automotive_spec,
+)
+from .synthetic import (
+    synthetic_architecture,
+    synthetic_problem,
+    synthetic_spec,
+)
+from .tv_decoder import (
+    FIG2_COSTS,
+    FIG2_MAPPINGS,
+    build_tv_decoder_architecture,
+    build_tv_decoder_problem,
+    build_tv_decoder_spec,
+)
+
+__all__ = [
+    "ACC_PERIOD",
+    "AUTOMOTIVE_MAPPINGS",
+    "LKA_PERIOD",
+    "build_automotive_architecture",
+    "build_automotive_problem",
+    "build_automotive_spec",
+    "FIG2_COSTS",
+    "FIG2_MAPPINGS",
+    "FIG5_COSTS",
+    "GAME_PERIOD",
+    "PAPER_PARETO",
+    "TABLE1",
+    "TABLE1_PROCESS_ORDER",
+    "TABLE1_RESOURCE_ORDER",
+    "TV_PERIOD",
+    "UTILIZATION_BOUND",
+    "build_settop_architecture",
+    "build_settop_problem",
+    "build_settop_spec",
+    "build_tv_decoder_architecture",
+    "build_tv_decoder_problem",
+    "build_tv_decoder_spec",
+    "FPGA_RECONFIG_DELAY",
+    "synthetic_architecture",
+    "synthetic_problem",
+    "synthetic_spec",
+]

@@ -1,0 +1,140 @@
+"""Automotive ECU-consolidation case study (library extension).
+
+Not from the paper — a second, independently constructed specification
+demonstrating that the model generalises beyond the Set-Top box: an
+automotive platform that must host three vehicle functions, each with
+algorithm alternatives, on a mix of lockstep ECUs, a GPU and a DSP.
+
+* ``gamma_ACC`` — adaptive cruise control (200 us period): radar
+  processing, a control-law interface (classic PID vs. model-predictive
+  control), actuation.
+* ``gamma_LKA`` — lane keeping assist (150 us period): camera pipeline,
+  a lane-detection interface (Hough transform vs. neural network — the
+  NN only fits on the GPU), steering output.
+* ``gamma_INF`` — infotainment (best effort): UI plus a media-codec
+  interface (MP3, AAC, video; video needs the GPU, audio prefers the
+  DSP).
+
+Maximal flexibility: 2 + 2 + 3 = 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hgraph import new_cluster
+from ..spec import ArchitectureGraph, ProblemGraph, SpecificationGraph
+
+#: Activation periods (microseconds).
+ACC_PERIOD = 200.0
+LKA_PERIOD = 150.0
+
+#: Unit costs of the automotive platform.
+AUTomotive_COSTS: Dict[str, float] = {
+    "ECU1": 150.0,   # lockstep safety ECU
+    "ECU2": 120.0,
+    "GPU": 180.0,
+    "DSP": 90.0,
+    "CAN": 15.0,     # ECU1 - ECU2
+    "FLEXRAY": 40.0,  # ECU1 - GPU
+    "AVB": 35.0,     # ECU2 - GPU
+    "ALINK": 20.0,   # ECU2 - DSP
+    "BLINK": 25.0,   # ECU1 - DSP
+}
+
+#: Mapping table: process -> {resource: latency (us)}.
+AUTOMOTIVE_MAPPINGS: Dict[str, Dict[str, float]] = {
+    # cruise control
+    "P_Radar": {"ECU1": 45.0, "ECU2": 50.0},
+    "P_PID": {"ECU1": 30.0, "ECU2": 35.0},
+    "P_MPC": {"ECU1": 160.0, "ECU2": 180.0, "GPU": 40.0},
+    "P_Act": {"ECU1": 15.0, "ECU2": 15.0},
+    # lane keeping
+    "P_Cam": {"ECU1": 40.0, "ECU2": 45.0, "GPU": 15.0},
+    "P_Hough": {"ECU1": 55.0, "ECU2": 60.0},
+    "P_NN": {"GPU": 30.0},
+    "P_Steer": {"ECU1": 10.0, "ECU2": 10.0},
+    # infotainment
+    "P_UI": {"ECU1": 20.0, "ECU2": 18.0},
+    "P_MP3": {"ECU1": 70.0, "ECU2": 75.0, "DSP": 25.0},
+    "P_AAC": {"DSP": 35.0, "ECU2": 95.0},
+    "P_VID": {"GPU": 60.0},
+}
+
+
+def build_automotive_problem() -> ProblemGraph:
+    """The three vehicle functions behind one top-level interface."""
+    problem = ProblemGraph("Automotive")
+    top = problem.add_interface("I_Func")
+    top.add_port("io", "inout")
+
+    acc = new_cluster(top, "gamma_ACC", period=ACC_PERIOD)
+    acc.add_vertex("P_Radar")
+    acc.add_vertex("P_Act")
+    ctrl = acc.add_interface("I_CTRL")
+    ctrl.add_port("cin", "in")
+    ctrl.add_port("cout", "out")
+    for name, proc in (("gamma_PID", "P_PID"), ("gamma_MPC", "P_MPC")):
+        alt = new_cluster(ctrl, name)
+        alt.add_vertex(proc)
+        alt.map_port("cin", proc)
+        alt.map_port("cout", proc)
+    acc.add_edge("P_Radar", "I_CTRL", dst_port="cin")
+    acc.add_edge("I_CTRL", "P_Act", src_port="cout")
+    acc.map_port("io", "P_Radar")
+
+    lka = new_cluster(top, "gamma_LKA", period=LKA_PERIOD)
+    lka.add_vertex("P_Cam")
+    lka.add_vertex("P_Steer")
+    det = lka.add_interface("I_DET")
+    det.add_port("din", "in")
+    det.add_port("dout", "out")
+    for name, proc in (("gamma_Hough", "P_Hough"), ("gamma_NN", "P_NN")):
+        alt = new_cluster(det, name)
+        alt.add_vertex(proc)
+        alt.map_port("din", proc)
+        alt.map_port("dout", proc)
+    lka.add_edge("P_Cam", "I_DET", dst_port="din")
+    lka.add_edge("I_DET", "P_Steer", src_port="dout")
+    lka.map_port("io", "P_Cam")
+
+    inf = new_cluster(top, "gamma_INF")
+    inf.add_vertex("P_UI", negligible=True)
+    media = inf.add_interface("I_MEDIA")
+    media.add_port("min", "in")
+    for name, proc in (
+        ("gamma_MP3", "P_MP3"),
+        ("gamma_AAC", "P_AAC"),
+        ("gamma_VID", "P_VID"),
+    ):
+        alt = new_cluster(media, name)
+        alt.add_vertex(proc)
+        alt.map_port("min", proc)
+    inf.add_edge("P_UI", "I_MEDIA", dst_port="min")
+    inf.map_port("io", "P_UI")
+    return problem
+
+
+def build_automotive_architecture() -> ArchitectureGraph:
+    """Two ECUs, a GPU and a DSP with heterogeneous interconnects."""
+    arch = ArchitectureGraph("Automotive_arch")
+    for resource in ("ECU1", "ECU2", "GPU", "DSP"):
+        arch.add_resource(resource, cost=AUTomotive_COSTS[resource])
+    arch.add_bus("CAN", AUTomotive_COSTS["CAN"], "ECU1", "ECU2")
+    arch.add_bus("FLEXRAY", AUTomotive_COSTS["FLEXRAY"], "ECU1", "GPU")
+    arch.add_bus("AVB", AUTomotive_COSTS["AVB"], "ECU2", "GPU")
+    arch.add_bus("ALINK", AUTomotive_COSTS["ALINK"], "ECU2", "DSP")
+    arch.add_bus("BLINK", AUTomotive_COSTS["BLINK"], "ECU1", "DSP")
+    return arch
+
+
+def build_automotive_spec() -> SpecificationGraph:
+    """The complete automotive specification, frozen."""
+    spec = SpecificationGraph(
+        build_automotive_problem(),
+        build_automotive_architecture(),
+        name="Automotive_spec",
+    )
+    for process, row in AUTOMOTIVE_MAPPINGS.items():
+        spec.map_row(process, row)
+    return spec.freeze()

@@ -1,0 +1,141 @@
+"""Synthetic specification families for scalability studies.
+
+Section 4 of the paper claims that "a typical search space with
+10^5-10^12 design points can be reduced by the EXPLORE-algorithm to a
+few 10^3-10^4 possible resource allocations" and that "only a small
+fraction of these points has to be taken into account, typically less
+than 100".  The generator below produces Set-Top-like specifications of
+parameterised size — multiple applications behind one top-level
+interface, each with alternative-rich sub-interfaces, mapped onto a
+platform of processors, accelerators and buses — so those claims can be
+measured on inputs far larger than the paper's case study.
+
+Generation is fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from ..hgraph import new_cluster
+from ..spec import ArchitectureGraph, ProblemGraph, SpecificationGraph
+
+
+def synthetic_problem(
+    n_apps: int = 3,
+    interfaces_per_app: int = 2,
+    alternatives: int = 3,
+    seed: int = 0,
+    period_base: float = 300.0,
+) -> ProblemGraph:
+    """A Set-Top-like problem graph of parameterised size.
+
+    Each application cluster contains a negligible controller, a chain
+    of ``interfaces_per_app`` interfaces with ``alternatives`` single-
+    process clusters each, and a sink process; every second application
+    carries a period constraint.
+    """
+    rng = random.Random(seed)
+    problem = ProblemGraph(f"Synth_P_{seed}")
+    app = problem.add_interface("I_App")
+    app.add_port("io", "inout")
+    for a in range(n_apps):
+        period = period_base + 60.0 * rng.randint(0, 3)
+        cluster = new_cluster(app, f"app{a}", period=period)
+        cluster.add_vertex(f"ctl{a}", negligible=True)
+        cluster.add_vertex(f"sink{a}")
+        previous = f"ctl{a}"
+        for i in range(interfaces_per_app):
+            interface = cluster.add_interface(f"I_{a}_{i}")
+            interface.add_port("in", "in")
+            interface.add_port("out", "out")
+            for k in range(alternatives):
+                alt = new_cluster(interface, f"alt{a}_{i}_{k}")
+                alt.add_vertex(f"p{a}_{i}_{k}")
+                alt.map_port("in", f"p{a}_{i}_{k}")
+                alt.map_port("out", f"p{a}_{i}_{k}")
+            cluster.add_edge(previous, f"I_{a}_{i}", dst_port="in")
+            previous = f"I_{a}_{i}"
+        cluster.add_edge(previous, f"sink{a}", src_port="out")
+        cluster.map_port("io", f"ctl{a}")
+    return problem
+
+
+def synthetic_architecture(
+    n_procs: int = 2,
+    n_accels: int = 3,
+    seed: int = 0,
+) -> ArchitectureGraph:
+    """A platform of processors and accelerators, fully bus-connected.
+
+    Processors are general-purpose (every process can run on them);
+    accelerators host only a subset.  One bus per (processor,
+    accelerator) pair plus a processor backbone bus.
+    """
+    rng = random.Random(seed + 1)
+    arch = ArchitectureGraph(f"Synth_A_{seed}")
+    for p in range(n_procs):
+        arch.add_resource(f"proc{p}", cost=100.0 + 20.0 * p)
+    for a in range(n_accels):
+        arch.add_resource(f"acc{a}", cost=150.0 + 25.0 * rng.randint(0, 4))
+    bus_id = 0
+    if n_procs > 1:
+        arch.add_bus(
+            "busP", 20.0, *[f"proc{p}" for p in range(n_procs)]
+        )
+    for p in range(n_procs):
+        for a in range(n_accels):
+            arch.add_bus(
+                f"bus{bus_id}",
+                10.0 + 10.0 * ((p + a) % 3),
+                f"proc{p}",
+                f"acc{a}",
+            )
+            bus_id += 1
+    return arch
+
+
+def synthetic_spec(
+    n_apps: int = 3,
+    interfaces_per_app: int = 2,
+    alternatives: int = 3,
+    n_procs: int = 2,
+    n_accels: int = 3,
+    seed: int = 0,
+) -> SpecificationGraph:
+    """A complete synthetic specification, frozen.
+
+    Mapping edges: controllers and sinks run on processors only; every
+    alternative's process runs on every processor and on a deterministic
+    subset of accelerators.  Processor latencies grow steeply with the
+    alternative index — like the paper's game classes, the richer
+    variants blow the 69% utilisation bound on a bare processor and
+    only become implementable once an accelerator (plus its bus) is
+    allocated, which is what shapes the flexibility/cost curve.  Every
+    specification generated with the same arguments is identical.
+    """
+    rng = random.Random(seed + 2)
+    problem = synthetic_problem(
+        n_apps, interfaces_per_app, alternatives, seed
+    )
+    arch = synthetic_architecture(n_procs, n_accels, seed)
+    spec = SpecificationGraph(
+        problem, arch, name=f"Synth_{seed}"
+    )
+    for a in range(n_apps):
+        for proc in range(n_procs):
+            spec.map(f"ctl{a}", f"proc{proc}", 5.0 + proc)
+            spec.map(f"sink{a}", f"proc{proc}", 10.0 + 2.0 * proc)
+        for i in range(interfaces_per_app):
+            for k in range(alternatives):
+                process = f"p{a}_{i}_{k}"
+                slow = 80.0 + 80.0 * k + 10.0 * rng.randint(0, 2)
+                for proc in range(n_procs):
+                    spec.map(process, f"proc{proc}", slow + 5.0 * proc)
+                hosts = rng.sample(
+                    range(n_accels), k=min(n_accels, 1 + (k % 2))
+                )
+                for acc in hosts:
+                    spec.map(
+                        process, f"acc{acc}", 10.0 + 5.0 * rng.randint(0, 3)
+                    )
+    return spec.freeze()

@@ -1,0 +1,113 @@
+"""The digital TV decoder of Figures 1 and 2.
+
+Figure 1 gives the hierarchical problem graph: top-level processes
+``P_A`` (authentication) and ``P_C`` (controller), a decryption
+interface ``I_D`` refined by three clusters and an uncompression
+interface ``I_U`` refined by two clusters, with uncompression depending
+on decryption.
+
+Figure 2 extends it to a full specification graph with a
+micro-controller, an ASIC and an FPGA connected by two buses.  The
+figure's numeric annotations are only partially given in the paper text
+(``P_U^1``: 40 ns on the processor, 15 ns on the ASIC); the remaining
+latencies and costs used here are plausible reconstructions.  The two
+published qualitative facts are preserved and tested:
+
+* the possible-resource-allocation set contains every superset of
+  ``{muP}`` (the paper lists ``muP, muP C1, muP C2, ...``);
+* binding ``P_D^2`` onto the ASIC and ``P_U^1`` onto the FPGA is
+  infeasible because no bus connects ASIC and FPGA.
+"""
+
+from __future__ import annotations
+
+from ..hgraph import new_cluster
+from ..spec import ArchitectureGraph, ProblemGraph, SpecificationGraph
+
+#: Reconstructed unit costs of the Figure 2 architecture.
+FIG2_COSTS = {
+    "muP": 100.0,
+    "A": 50.0,
+    "C1": 10.0,
+    "C2": 10.0,
+    "D3": 30.0,
+    "U1": 20.0,
+    "U2": 25.0,
+}
+
+#: Mapping edges of Figure 2: process -> {resource leaf: latency}.
+#: ``P_U1 -> muP: 40 / A: 15`` is quoted in the paper text.
+FIG2_MAPPINGS = {
+    "P_A": {"muP": 20.0},
+    "P_C": {"muP": 5.0},
+    "P_D1": {"muP": 30.0, "A": 12.0},
+    "P_D2": {"A": 25.0},
+    "P_D3": {"D3_res": 63.0},
+    "P_U1": {"muP": 40.0, "A": 15.0, "U1_res": 30.0},
+    "P_U2": {"A": 20.0, "U2_res": 59.0},
+}
+
+
+def build_tv_decoder_problem() -> ProblemGraph:
+    """The Figure 1 problem graph of the digital TV decoder.
+
+    Leaves (Equation 1):
+    ``{P_A, P_C, P_D1, P_D2, P_D3, P_U1, P_U2}``.
+    """
+    problem = ProblemGraph("TV_decoder")
+    problem.add_vertex("P_A", negligible=True)
+    problem.add_vertex("P_C", negligible=True)
+    i_d = problem.add_interface("I_D")
+    i_d.add_port("din", "in")
+    i_d.add_port("dout", "out")
+    i_u = problem.add_interface("I_U")
+    i_u.add_port("uin", "in")
+    i_u.add_port("uout", "out")
+    for k in (1, 2, 3):
+        cluster = new_cluster(i_d, f"gamma_D{k}")
+        cluster.add_vertex(f"P_D{k}")
+        cluster.map_port("din", f"P_D{k}")
+        cluster.map_port("dout", f"P_D{k}")
+    for k in (1, 2):
+        cluster = new_cluster(i_u, f"gamma_U{k}")
+        cluster.add_vertex(f"P_U{k}")
+        cluster.map_port("uin", f"P_U{k}")
+        cluster.map_port("uout", f"P_U{k}")
+    # The uncompression process requires input data from decryption;
+    # the controller steers channel selection of the decryption stage.
+    problem.add_edge("P_C", "I_D", dst_port="din")
+    problem.add_edge("I_D", "I_U", src_port="dout", dst_port="uin")
+    return problem
+
+
+def build_tv_decoder_architecture() -> ArchitectureGraph:
+    """The Figure 2 architecture: muP, ASIC A, FPGA with three designs.
+
+    Bus ``C1`` connects the processor with the FPGA, bus ``C2`` the
+    processor with the ASIC; ASIC and FPGA are *not* connected (the
+    source of the paper's infeasible-binding example).
+    """
+    arch = ArchitectureGraph("TV_decoder_arch")
+    arch.add_resource("muP", cost=FIG2_COSTS["muP"])
+    arch.add_resource("A", cost=FIG2_COSTS["A"])
+    fpga = arch.add_interface("FPGA")
+    fpga.add_port("bus", "inout")
+    for design, leaf in (("D3", "D3_res"), ("U1", "U1_res"), ("U2", "U2_res")):
+        cluster = new_cluster(fpga, design, cost=FIG2_COSTS[design])
+        cluster.add_vertex(leaf)
+        cluster.map_port("bus", leaf)
+    arch.add_bus("C1", FIG2_COSTS["C1"], "muP", "FPGA")
+    arch.add_bus("C2", FIG2_COSTS["C2"], "muP", "A")
+    return arch
+
+
+def build_tv_decoder_spec() -> SpecificationGraph:
+    """The complete Figure 2 specification graph, frozen."""
+    spec = SpecificationGraph(
+        build_tv_decoder_problem(),
+        build_tv_decoder_architecture(),
+        name="TV_decoder_spec",
+    )
+    for process, row in FIG2_MAPPINGS.items():
+        spec.map_row(process, row)
+    return spec.freeze()

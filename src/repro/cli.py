@@ -1,0 +1,339 @@
+"""Command-line interface.
+
+Exposes the library's main workflows on specification-graph JSON files
+(see :mod:`repro.io.json_io` for the format)::
+
+    python -m repro demo settop --save settop.json   # export a case study
+    python -m repro lint settop.json                 # diagnostics
+    python -m repro table settop.json                # Table-1 style mappings
+    python -m repro explore settop.json --plot       # Pareto front
+    python -m repro upgrade settop.json --base muP2  # incremental design
+    python -m repro synth --apps 3 --save synth.json # synthetic generator
+    python -m repro dot settop.json > settop.dot     # Graphviz export
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .casestudies import (
+    TABLE1_PROCESS_ORDER,
+    TABLE1_RESOURCE_ORDER,
+    build_settop_spec,
+    build_tv_decoder_spec,
+    synthetic_spec,
+)
+from .core import explore, explore_upgrades, max_flexibility
+from .errors import ReproError
+from .io import (
+    dump_result,
+    dump_spec,
+    load_spec,
+    result_to_csv,
+    spec_to_dot,
+)
+from .report import mapping_table, pareto_table, stats_table, tradeoff_plot
+from .spec import ERROR, lint_specification
+
+#: Exit codes.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_LINT = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Flexibility/cost design-space exploration "
+            "(reproduction of 'System Design for Flexibility', DATE 2002)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser(
+        "demo", help="build a bundled case study, print a summary"
+    )
+    demo.add_argument(
+        "name", choices=("settop", "tv"), help="which case study"
+    )
+    demo.add_argument("--save", metavar="FILE", help="write the spec JSON")
+
+    synth = commands.add_parser(
+        "synth", help="generate a synthetic specification"
+    )
+    synth.add_argument("--apps", type=int, default=3)
+    synth.add_argument("--interfaces", type=int, default=2)
+    synth.add_argument("--alternatives", type=int, default=3)
+    synth.add_argument("--procs", type=int, default=2)
+    synth.add_argument("--accels", type=int, default=3)
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--save", metavar="FILE", help="write the spec JSON")
+
+    lint = commands.add_parser(
+        "lint", help="diagnose a specification (exit 2 on errors)"
+    )
+    lint.add_argument("spec", help="specification JSON file")
+
+    table = commands.add_parser(
+        "table", help="print the mapping table (Table-1 style)"
+    )
+    table.add_argument("spec", help="specification JSON file")
+
+    dot = commands.add_parser("dot", help="print Graphviz DOT")
+    dot.add_argument("spec", help="specification JSON file")
+
+    explore_cmd = commands.add_parser(
+        "explore", help="run the EXPLORE branch-and-bound"
+    )
+    explore_cmd.add_argument("spec", help="specification JSON file")
+    explore_cmd.add_argument(
+        "--util-bound", type=float, default=0.69,
+        help="utilisation acceptance bound (default 0.69)",
+    )
+    explore_cmd.add_argument(
+        "--max-cost", type=float, default=None,
+        help="stop at this allocation cost",
+    )
+    explore_cmd.add_argument(
+        "--keep-ties", action="store_true",
+        help="report equally-optimal allocations of the same cost",
+    )
+    explore_cmd.add_argument(
+        "--no-timing", action="store_true",
+        help="skip the utilisation test",
+    )
+    explore_cmd.add_argument(
+        "--timing-mode", choices=("utilization", "schedule", "none"),
+        default=None,
+        help=(
+            "performance test: the paper's 69%% estimate (default), "
+            "exact one-period scheduling, or none"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--plot", action="store_true", help="render the tradeoff curve"
+    )
+    explore_cmd.add_argument(
+        "--stats", action="store_true", help="print exploration statistics"
+    )
+    explore_cmd.add_argument(
+        "--json", metavar="FILE", help="write the result JSON"
+    )
+    explore_cmd.add_argument(
+        "--csv", metavar="FILE", help="write the front as CSV"
+    )
+    explore_cmd.add_argument(
+        "--svg", metavar="FILE", help="render the front as SVG"
+    )
+
+    upgrade = commands.add_parser(
+        "upgrade", help="incremental design: upgrades of a base allocation"
+    )
+    upgrade.add_argument("spec", help="specification JSON file")
+    upgrade.add_argument(
+        "--base", required=True,
+        help="comma-separated base units, e.g. muP2 or muP2,C1,D3",
+    )
+    upgrade.add_argument("--max-extra-cost", type=float, default=None)
+
+    failures = commands.add_parser(
+        "failures",
+        help="single-unit failure impact of an allocation",
+    )
+    failures.add_argument("spec", help="specification JSON file")
+    failures.add_argument(
+        "--allocation", required=True,
+        help="comma-separated allocated units, e.g. muP2,A1,C2",
+    )
+
+    return parser
+
+
+def _print(text: str, out) -> None:
+    out.write(text)
+    if not text.endswith("\n"):
+        out.write("\n")
+
+
+def _cmd_demo(args, out) -> int:
+    spec = build_settop_spec() if args.name == "settop" else build_tv_decoder_spec()
+    _print(
+        f"{spec.name}: |V_S|={spec.vs_size()}, |E_M|={len(spec.mappings)}, "
+        f"{len(spec.units)} units, max flexibility "
+        f"{max_flexibility(spec.problem):g}",
+        out,
+    )
+    if args.save:
+        dump_spec(spec, args.save)
+        _print(f"wrote {args.save}", out)
+    return EXIT_OK
+
+
+def _cmd_synth(args, out) -> int:
+    spec = synthetic_spec(
+        n_apps=args.apps,
+        interfaces_per_app=args.interfaces,
+        alternatives=args.alternatives,
+        n_procs=args.procs,
+        n_accels=args.accels,
+        seed=args.seed,
+    )
+    _print(
+        f"{spec.name}: |V_S|={spec.vs_size()}, {len(spec.units)} units, "
+        f"design space 2^{len(spec.units)}",
+        out,
+    )
+    if args.save:
+        dump_spec(spec, args.save)
+        _print(f"wrote {args.save}", out)
+    return EXIT_OK
+
+
+def _cmd_lint(args, out) -> int:
+    spec = load_spec(args.spec)
+    diagnostics = lint_specification(spec)
+    if not diagnostics:
+        _print("no findings", out)
+        return EXIT_OK
+    for diagnostic in diagnostics:
+        _print(repr(diagnostic), out)
+    has_errors = any(d.level == ERROR for d in diagnostics)
+    return EXIT_LINT if has_errors else EXIT_OK
+
+
+def _cmd_table(args, out) -> int:
+    spec = load_spec(args.spec)
+    if spec.name == "SetTop_spec":
+        text = mapping_table(
+            spec, TABLE1_PROCESS_ORDER, TABLE1_RESOURCE_ORDER
+        )
+    else:
+        text = mapping_table(spec)
+    _print(text, out)
+    return EXIT_OK
+
+
+def _cmd_dot(args, out) -> int:
+    _print(spec_to_dot(load_spec(args.spec)), out)
+    return EXIT_OK
+
+
+def _cmd_explore(args, out) -> int:
+    spec = load_spec(args.spec)
+    result = explore(
+        spec,
+        util_bound=args.util_bound,
+        max_cost=args.max_cost,
+        check_utilization=not args.no_timing,
+        keep_ties=args.keep_ties,
+        timing_mode=args.timing_mode,
+    )
+    _print(pareto_table(result), out)
+    if args.plot:
+        _print(tradeoff_plot(result.front()), out)
+    if args.stats:
+        _print(stats_table(result), out)
+    if args.json:
+        dump_result(result, args.json)
+        _print(f"wrote {args.json}", out)
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(result_to_csv(result))
+        _print(f"wrote {args.csv}", out)
+    if args.svg:
+        from .report import save_front_svg
+
+        save_front_svg(
+            result.front(), args.svg, title=f"{spec.name}: front"
+        )
+        _print(f"wrote {args.svg}", out)
+    return EXIT_OK
+
+
+def _cmd_upgrade(args, out) -> int:
+    spec = load_spec(args.spec)
+    base_units = [u.strip() for u in args.base.split(",") if u.strip()]
+    result = explore_upgrades(
+        spec, base_units, max_extra_cost=args.max_extra_cost
+    )
+    _print(
+        f"base: {sorted(result.base.units)} cost=${result.base.cost:g} "
+        f"flexibility={result.base.flexibility:g}",
+        out,
+    )
+    _print(pareto_table(result), out)
+    extras = ", ".join(f"+${e:g}" for e in result.upgrade_costs())
+    _print(f"upgrade costs: {extras}", out)
+    return EXIT_OK
+
+
+def _cmd_failures(args, out) -> int:
+    from .core import evaluate_allocation, single_failure_report
+    from .report import format_table
+
+    spec = load_spec(args.spec)
+    units = [u.strip() for u in args.allocation.split(",") if u.strip()]
+    implementation = evaluate_allocation(spec, units)
+    if implementation is None:
+        print(
+            f"error: allocation {units!r} has no feasible implementation",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    _print(
+        f"baseline: cost=${implementation.cost:g} "
+        f"flexibility={implementation.flexibility:g}",
+        out,
+    )
+    rows = []
+    for impact in single_failure_report(spec, implementation):
+        rows.append(
+            [
+                ", ".join(sorted(impact.failed_units)),
+                f"{impact.remaining_flexibility:g}",
+                "TOTAL OUTAGE"
+                if impact.total_outage
+                else ", ".join(sorted(impact.lost_clusters)) or "(none)",
+            ]
+        )
+    _print(
+        format_table(["failed unit", "remaining f", "lost clusters"], rows),
+        out,
+    )
+    return EXIT_OK
+
+
+_HANDLERS = {
+    "demo": _cmd_demo,
+    "synth": _cmd_synth,
+    "lint": _cmd_lint,
+    "table": _cmd_table,
+    "dot": _cmd_dot,
+    "explore": _cmd_explore,
+    "upgrade": _cmd_upgrade,
+    "failures": _cmd_failures,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    try:
+        return handler(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Set covering of activatable clusters by elementary cluster-activations.
+
+Section 4: "we have to determine a coverage [5] of ``Gamma_act`` by
+elementary cluster-activations."  The evaluation loop collects a
+*sufficient* coverage greedily; this module minimises it afterwards —
+an exact search for small instances, the classic greedy approximation
+beyond — which matters downstream: the adaptive runtime needs one
+stored mode per covering ECS, so a minimal coverage is the smallest
+mode table that still exercises every paid-for cluster.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Sequence, Tuple
+
+#: Exact search is attempted up to this many candidate sets.
+EXACT_LIMIT = 14
+
+
+def minimal_cover(
+    universe: FrozenSet[str],
+    candidates: Sequence[FrozenSet[str]],
+) -> Tuple[int, ...]:
+    """Indices of a minimal sub-collection of ``candidates`` covering
+    ``universe``.
+
+    Elements of the universe not present in any candidate are ignored
+    (they are uncoverable and the caller keeps them out of the
+    universe).  Exact (smallest cardinality, first in index order among
+    ties) for up to :data:`EXACT_LIMIT` candidates; greedy otherwise.
+    Returns ``()`` for an empty universe.
+    """
+    coverable = universe & frozenset().union(*candidates) if candidates else frozenset()
+    if not coverable:
+        return ()
+    if len(candidates) <= EXACT_LIMIT:
+        return _exact_cover(coverable, candidates)
+    return _greedy_cover(coverable, candidates)
+
+
+def _exact_cover(
+    universe: FrozenSet[str], candidates: Sequence[FrozenSet[str]]
+) -> Tuple[int, ...]:
+    indices = range(len(candidates))
+    for size in range(1, len(candidates) + 1):
+        for chosen in combinations(indices, size):
+            covered: FrozenSet[str] = frozenset().union(
+                *(candidates[i] for i in chosen)
+            )
+            if universe <= covered:
+                return chosen
+    return tuple(indices)  # unreachable when universe is coverable
+
+
+def _greedy_cover(
+    universe: FrozenSet[str], candidates: Sequence[FrozenSet[str]]
+) -> Tuple[int, ...]:
+    remaining = set(universe)
+    chosen: List[int] = []
+    available = set(range(len(candidates)))
+    while remaining and available:
+        best = max(
+            available,
+            key=lambda i: (len(candidates[i] & remaining), -i),
+        )
+        if not candidates[best] & remaining:
+            break
+        chosen.append(best)
+        remaining -= candidates[best]
+        available.discard(best)
+    return tuple(sorted(chosen))

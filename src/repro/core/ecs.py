@@ -1,0 +1,108 @@
+"""Elementary cluster-activations (ECS) and coverage.
+
+"An elementary cluster-activation ecs is a set ``{gamma_i}`` where
+exactly one cluster is selected per activated interface.  Since every
+activatable cluster has to be part of the implementation to obtain the
+expected flexibility, we have to determine a coverage of
+``Gamma_act`` by elementary cluster-activations." (Section 4.)
+
+For the paper's $290 Set-Top solution the coverage machinery is what
+pairs ``{gamma_D3, gamma_U1}`` with ``{gamma_D1, gamma_U2}`` so that the
+FPGA never has to hold two designs at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
+
+from ..hgraph import GraphScope, HierarchyIndex, Interface
+from ..spec import SpecificationGraph
+
+
+def iter_selections(
+    root: GraphScope,
+    index: HierarchyIndex,
+    allowed: FrozenSet[str],
+    forced: Optional[Dict[str, str]] = None,
+) -> Iterator[Dict[str, str]]:
+    """All complete cluster selections using only ``allowed`` clusters.
+
+    ``forced`` pins specific interfaces to specific clusters.  Each
+    yielded dict maps every *reached* interface to its selected cluster
+    — an elementary cluster-activation.  Interfaces with no allowed
+    cluster terminate that branch (no selection is yielded through it).
+    """
+    pinned = forced or {}
+
+    def candidates(interface: Interface) -> Tuple[str, ...]:
+        wanted = pinned.get(interface.name)
+        if wanted is not None:
+            if wanted in interface.cluster_names() and wanted in allowed:
+                return (wanted,)
+            return ()
+        return tuple(
+            c for c in interface.cluster_names() if c in allowed
+        )
+
+    def scope_selections(scope: GraphScope) -> Iterator[Dict[str, str]]:
+        interfaces = list(scope.interfaces.values())
+
+        def rec(position: int) -> Iterator[Dict[str, str]]:
+            if position == len(interfaces):
+                yield {}
+                return
+            interface = interfaces[position]
+            for cluster_name in candidates(interface):
+                cluster = index.cluster(cluster_name)
+                for inner in scope_selections(cluster):
+                    for rest in rec(position + 1):
+                        combined = {interface.name: cluster_name}
+                        combined.update(inner)
+                        combined.update(rest)
+                        yield combined
+
+        yield from rec(0)
+
+    yield from scope_selections(root)
+
+
+def force_chain(spec: SpecificationGraph, cluster_name: str) -> Dict[str, str]:
+    """Interface pins that force ``cluster_name`` to be selected.
+
+    Pins the cluster at its own interface and every enclosing cluster at
+    its interface, so that any selection honouring the pins activates
+    ``cluster_name``.
+    """
+    index = spec.p_index
+    pins: Dict[str, str] = {}
+    current = cluster_name
+    while True:
+        interface = index.interface_of_cluster[current]
+        pins[interface] = current
+        enclosing = index.enclosing_clusters(current)
+        if not enclosing:
+            return pins
+        current = enclosing[0]
+
+
+def ecs_of_selection(selection: Dict[str, str]) -> FrozenSet[str]:
+    """The elementary cluster-activation (cluster set) of a selection."""
+    return frozenset(selection.values())
+
+
+def minimal_coverage_size(
+    spec: SpecificationGraph, clusters: FrozenSet[str]
+) -> int:
+    """Lower bound on the number of ECSs needed to cover ``clusters``.
+
+    Per interface, every alternative needs its own ECS, so the bound is
+    the maximum number of covered alternatives over all interfaces
+    (1 when the set is non-empty).
+    """
+    index = spec.p_index
+    per_interface: Dict[str, Set[str]] = {}
+    for cluster in clusters:
+        interface = index.interface_of_cluster.get(cluster)
+        if interface is not None:
+            per_interface.setdefault(interface, set()).add(cluster)
+    return max((len(v) for v in per_interface.values()), default=0)

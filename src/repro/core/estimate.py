@@ -1,0 +1,44 @@
+"""Flexibility estimation on reduced specifications (Section 4).
+
+"With Def. 4, the maximal flexibility of this [reduced] specification
+can be calculated. ... we therefore may skip specifications with a
+lower implementable flexibility."  The estimate ignores communication
+routing and timing — both can only *remove* clusters from the feasible
+set — so it is a true upper bound on the implementable flexibility,
+which makes the branch-and-bound pruning of EXPLORE safe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..spec import SpecificationGraph, activatable_clusters, supports_problem
+from .flexibility import flexibility
+
+
+def estimate_flexibility(
+    spec: SpecificationGraph,
+    allocated_units: Iterable[str],
+    weighted: bool = False,
+) -> float:
+    """Upper bound on the implementable flexibility of an allocation.
+
+    Returns 0 when the allocation cannot support any feasible problem
+    activation (it is not a *possible resource allocation*).
+    """
+    units = set(allocated_units)
+    if not supports_problem(spec, units):
+        return 0.0
+    active = activatable_clusters(spec, units)
+    return flexibility(
+        spec.problem, active=active, weighted=weighted, strict=False
+    )
+
+
+def spec_max_flexibility(spec: SpecificationGraph, weighted: bool = False) -> float:
+    """``G_S.computeMaximumFlexibility()`` of the EXPLORE pseudocode.
+
+    The maximal flexibility implementable with *all* resource units
+    allocated (still an estimate: routing/timing may reduce it).
+    """
+    return estimate_flexibility(spec, spec.units.names(), weighted)

@@ -1,0 +1,154 @@
+"""Full evaluation of one resource allocation.
+
+Given an allocation, determine the clusters that can actually be
+implemented (``a+ = 1``): find a coverage of the activatable clusters
+by elementary cluster-activations, each with a feasible binding that
+respects communication routing, one-design-at-a-time reconfiguration
+and the utilisation bound.  The achieved flexibility is Definition 4
+over the covered clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set
+
+from ..activation import flatten
+from ..binding import Allocation, BindingSolver, solve_binding_sat
+from ..spec import (
+    SpecificationGraph,
+    activatable_clusters,
+    supports_problem,
+)
+from ..timing import PAPER_UTILIZATION_BOUND
+from .ecs import force_chain, iter_selections
+from .flexibility import flexibility
+from .result import EcsRecord, Implementation
+
+#: Signature of a pluggable binding backend.
+SolverBackend = Callable[..., object]
+
+
+#: How many structurally feasible bindings the exact-schedule mode
+#: inspects per elementary cluster-activation before giving up.
+SCHEDULE_SEARCH_LIMIT = 500
+
+
+def evaluate_allocation(
+    spec: SpecificationGraph,
+    units: Iterable[str],
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+    weighted: bool = False,
+    backend: str = "csp",
+    solver_counter: Optional[list] = None,
+    timing_mode: Optional[str] = None,
+) -> Optional[Implementation]:
+    """Construct the best implementation of an allocation, or ``None``.
+
+    Returns ``None`` when the allocation supports no feasible
+    implementation at all (not a possible resource allocation, or no
+    elementary cluster-activation has a feasible binding).
+
+    ``solver_counter`` — when given, a single-element list whose first
+    entry is incremented per binding-solver invocation (used by the
+    exploration statistics).
+
+    ``timing_mode`` selects the performance test:
+
+    * ``"utilization"`` — the paper's 69% estimate (default);
+    * ``"schedule"`` — the exact one-period list schedule the paper
+      defers to future work (less pessimistic: accepts e.g. the game
+      console on muP2);
+    * ``"none"`` — structural feasibility only.
+
+    When ``timing_mode`` is ``None`` it is derived from the legacy
+    ``check_utilization`` flag.
+    """
+    if timing_mode is None:
+        timing_mode = "utilization" if check_utilization else "none"
+    if timing_mode not in ("utilization", "schedule", "none"):
+        raise ValueError(f"unknown timing_mode {timing_mode!r}")
+    unit_set = frozenset(units)
+    if not supports_problem(spec, unit_set):
+        return None
+    allocation = Allocation(spec, unit_set)
+    allowed = frozenset(activatable_clusters(spec, unit_set))
+    index = spec.p_index
+    check_util = timing_mode == "utilization"
+    solver = BindingSolver(
+        spec, allocation, util_bound, check_util
+    )
+
+    def solve(flat):
+        if solver_counter is not None:
+            solver_counter[0] += 1
+        if timing_mode == "schedule":
+            from ..timing import schedule_meets_periods
+
+            for candidate in solver.iter_solutions(
+                flat, limit=SCHEDULE_SEARCH_LIMIT
+            ):
+                if schedule_meets_periods(spec, flat, candidate.as_dict()):
+                    return candidate
+            return None
+        if backend == "sat":
+            return solve_binding_sat(
+                spec, allocation, flat, util_bound, check_util
+            )
+        return solver.solve(flat)
+
+    covered: Set[str] = set()
+    coverage: list = []
+    uncoverable: Set[str] = set()
+    # Selections recur across cover targets; memoise their outcome so
+    # each distinct ECS is flattened and solved at most once.
+    outcome_cache: Dict[FrozenSet, Optional[object]] = {}
+
+    def solve_selection(selection) -> Optional[object]:
+        key = frozenset(selection.items())
+        if key in outcome_cache:
+            return outcome_cache[key]
+        flat = flatten(spec.problem, selection, index)
+        binding = solve(flat)
+        outcome_cache[key] = binding
+        return binding
+
+    def try_cover(target: Optional[str]) -> bool:
+        """Find a feasible ECS (containing ``target`` when given)."""
+        forced = force_chain(spec, target) if target is not None else None
+        for selection in iter_selections(
+            spec.problem, index, allowed, forced
+        ):
+            binding = solve_selection(selection)
+            if binding is not None:
+                covered.update(selection.values())
+                coverage.append(
+                    EcsRecord(selection, binding.as_dict())
+                )
+                return True
+        return False
+
+    # First, any feasible implementation at all (the top level must be
+    # activatable somehow, rule 4).
+    if not try_cover(None):
+        return None
+    # Then extend the coverage cluster by cluster.
+    for cluster_name in sorted(allowed):
+        if cluster_name in covered or cluster_name in uncoverable:
+            continue
+        if not try_cover(cluster_name):
+            uncoverable.add(cluster_name)
+
+    achieved = flexibility(
+        spec.problem,
+        active=frozenset(covered),
+        weighted=weighted,
+        strict=False,
+    )
+    return Implementation(
+        unit_set,
+        allocation.cost,
+        achieved,
+        frozenset(covered),
+        coverage,
+    )

@@ -1,0 +1,83 @@
+"""Exhaustive-search baseline.
+
+Evaluates *every* subset of resource units (the full ``2^|V_S|`` space
+the paper starts from) and computes the exact Pareto front, including
+cost/flexibility ties.  Exponential — usable only for small
+specifications; the tests cross-validate EXPLORE against it and the
+scalability bench measures the crossover.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional
+
+from ..errors import ExplorationError
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND
+from .evaluation import evaluate_allocation
+from .pareto import dominates
+from .result import Implementation
+
+
+def iter_all_implementations(
+    spec: SpecificationGraph,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+    max_units: int = 20,
+    max_cost: Optional[float] = None,
+):
+    """Yield the implementation of every feasible unit subset."""
+    names = list(spec.units.names())
+    if len(names) > max_units:
+        raise ExplorationError(
+            f"refusing exhaustive search over 2^{len(names)} subsets "
+            f"(limit 2^{max_units})"
+        )
+    for size in range(len(names) + 1):
+        for subset in combinations(names, size):
+            units = frozenset(subset)
+            if max_cost is not None and spec.units.total_cost(units) > max_cost:
+                continue
+            implementation = evaluate_allocation(
+                spec,
+                units,
+                util_bound=util_bound,
+                check_utilization=check_utilization,
+            )
+            if implementation is not None:
+                yield implementation
+
+
+def exhaustive_front(
+    spec: SpecificationGraph,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+    max_units: int = 20,
+    max_cost: Optional[float] = None,
+    keep_ties: bool = False,
+) -> List[Implementation]:
+    """The exact Pareto front by exhaustive enumeration.
+
+    With ``keep_ties=True`` all implementations sharing a non-dominated
+    (cost, flexibility) pair are returned; otherwise one representative
+    per pair (the first in deterministic subset order).
+    """
+    implementations = list(
+        iter_all_implementations(
+            spec, util_bound, check_utilization, max_units, max_cost
+        )
+    )
+    points = [impl.point for impl in implementations]
+    front: List[Implementation] = []
+    seen = set()
+    for implementation in implementations:
+        point = implementation.point
+        if any(dominates(other, point) for other in points):
+            continue
+        if not keep_ties and point in seen:
+            continue
+        seen.add(point)
+        front.append(implementation)
+    front.sort(key=lambda impl: (impl.cost, -impl.flexibility))
+    return front

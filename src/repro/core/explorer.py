@@ -1,0 +1,210 @@
+"""The EXPLORE branch-and-bound design-space exploration (Section 4).
+
+Candidates (resource allocations) are inspected in order of increasing
+allocation cost; the possible-resource-allocation boolean equation and
+the flexibility estimate prune the search; the NP-complete binding
+solver is invoked only for candidates whose estimated flexibility
+exceeds the best implemented flexibility so far.  Exploration stops as
+soon as the implemented flexibility reaches the global upper bound
+(nothing more flexible can exist at any cost).
+
+The published pseudocode contains a garbled guard (``WHILE f < f_cur``);
+per the surrounding prose — "we are only interested in design points
+with a greater flexibility than already implemented" — the intended
+semantics implemented here is: attempt an implementation when the
+*estimate* exceeds the best implemented flexibility, and record it when
+the *achieved* flexibility does.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from ..boolexpr import evaluate_over_set
+from ..errors import ExplorationError
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND
+from .candidates import (
+    AllocationEnumerator,
+    has_useless_comm,
+    possible_allocation_expr,
+)
+from .estimate import estimate_flexibility
+from .evaluation import evaluate_allocation
+from .pareto import dominates
+from .result import ExplorationResult, ExplorationStats
+
+
+def explore(
+    spec: SpecificationGraph,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    max_cost: Optional[float] = None,
+    max_candidates: Optional[int] = None,
+    use_possible_filter: bool = True,
+    use_estimation: bool = True,
+    prune_comm: bool = True,
+    check_utilization: bool = True,
+    weighted: bool = False,
+    backend: str = "csp",
+    keep_ties: bool = False,
+    timing_mode: Optional[str] = None,
+    require_units: Optional[Iterable[str]] = None,
+    forbid_units: Optional[Iterable[str]] = None,
+) -> ExplorationResult:
+    """Find all Pareto-optimal (cost, flexibility) implementations.
+
+    Parameters
+    ----------
+    spec:
+        A frozen specification graph.
+    util_bound:
+        Utilisation acceptance bound (the paper's 69%).
+    max_cost / max_candidates:
+        Optional exploration budgets; exceeding either ends the run.
+        ``max_cost`` is mandatory when the specification has zero-cost
+        units (cost order alone would then not bound the enumeration).
+    use_possible_filter / use_estimation / prune_comm:
+        Toggles for the three pruning techniques (used by the ablation
+        bench); all default to the paper's configuration.
+    check_utilization:
+        Disable to explore without the performance test.
+    weighted:
+        Use the footnote-2 weighted flexibility.
+    backend:
+        Binding-solver backend, ``"csp"`` (default) or ``"sat"``.
+    timing_mode:
+        Performance test: ``"utilization"`` (the paper's 69% estimate,
+        default), ``"schedule"`` (exact one-period list scheduling — the
+        paper's future work) or ``"none"``.  Overrides
+        ``check_utilization`` when given.
+    require_units / forbid_units:
+        What-if constraints: only allocations containing every required
+        unit and none of the forbidden ones are considered ("the
+        platform must keep the ASIC", "the FPGA vendor is out").
+    keep_ties:
+        The published EXPLORE keeps only the first implementation per
+        (cost, flexibility) point (strict ``f > f_cur``).  With
+        ``keep_ties=True`` every equally-optimal allocation of the same
+        cost and flexibility is reported as well — e.g. all $230/f=4
+        variants of the case study.
+
+    Returns an :class:`~repro.core.result.ExplorationResult` whose
+    ``points`` are the Pareto-optimal implementations in increasing cost
+    order.  Without ``keep_ties``, cost ties with equal flexibility are
+    resolved in favour of the first candidate in the deterministic
+    enumeration order.
+    """
+    if not spec.frozen:
+        raise ExplorationError("specification must be frozen before explore()")
+    required = frozenset(
+        spec.units.unit(u).name for u in (require_units or ())
+    )
+    forbidden = frozenset(
+        spec.units.unit(u).name for u in (forbid_units or ())
+    )
+    if required & forbidden:
+        raise ExplorationError(
+            f"units {sorted(required & forbidden)!r} are both required "
+            f"and forbidden"
+        )
+    extra_names = [
+        n
+        for n in spec.units.names()
+        if n not in required and n not in forbidden
+    ]
+    if max_cost is None and any(
+        spec.units.unit(n).cost <= 0 for n in extra_names
+    ):
+        raise ExplorationError(
+            "specification has zero-cost units; pass max_cost to bound "
+            "the enumeration"
+        )
+
+    started = time.perf_counter()
+    stats = ExplorationStats()
+    stats.design_space_size = 1 << len(extra_names)
+    possible = possible_allocation_expr(spec)
+    required_cost = spec.units.total_cost(required)
+    f_max = estimate_flexibility(
+        spec, set(spec.units.names()) - forbidden, weighted
+    )
+    f_cur = 0.0
+    points = []
+    solver_counter = [0]
+
+    for extra_cost, extras in AllocationEnumerator(
+        spec, extra_names, include_empty=bool(required)
+    ):
+        cost = required_cost + extra_cost
+        units = required | extras
+        if f_cur >= f_max:
+            # With ties kept, continue through candidates of the same
+            # cost as the maximal point before stopping.
+            if not keep_ties or not points or cost > points[-1].cost:
+                break
+        if max_cost is not None and cost > max_cost:
+            break
+        stats.candidates_enumerated += 1
+        if (
+            max_candidates is not None
+            and stats.candidates_enumerated > max_candidates
+        ):
+            break
+        if use_possible_filter:
+            if not evaluate_over_set(possible, units):
+                continue
+            stats.possible_allocations += 1
+        if prune_comm and has_useless_comm(spec, units):
+            stats.pruned_comm += 1
+            continue
+        if use_estimation:
+            stats.estimates_computed += 1
+            estimate = estimate_flexibility(spec, units, weighted)
+            if estimate < f_cur or (estimate == f_cur and not keep_ties):
+                continue
+            if (
+                keep_ties
+                and estimate == f_cur
+                and points
+                and cost > points[-1].cost
+            ):
+                continue  # same flexibility at higher cost is dominated
+        stats.estimate_exceeded += 1
+        implementation = evaluate_allocation(
+            spec,
+            units,
+            util_bound=util_bound,
+            check_utilization=check_utilization,
+            weighted=weighted,
+            backend=backend,
+            solver_counter=solver_counter,
+            timing_mode=timing_mode,
+        )
+        if implementation is None:
+            continue
+        stats.feasible_implementations += 1
+        if implementation.flexibility > f_cur:
+            points.append(implementation)
+            f_cur = implementation.flexibility
+        elif (
+            keep_ties
+            and points
+            and implementation.flexibility == f_cur
+            and implementation.cost == points[-1].cost
+            and implementation.units != points[-1].units
+        ):
+            points.append(implementation)
+
+    # Cost-ordered discovery with strictly increasing flexibility makes
+    # the points mutually non-dominated except for one corner case: a
+    # same-cost candidate later in the tie order may achieve strictly
+    # more flexibility.  A final dominance pass removes such points.
+    points = [
+        p
+        for p in points
+        if not any(dominates(q.point, p.point) for q in points)
+    ]
+    stats.solver_invocations = solver_counter[0]
+    stats.elapsed_seconds = time.perf_counter() - started
+    return ExplorationResult(points, stats, f_max)

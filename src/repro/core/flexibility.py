@@ -1,0 +1,102 @@
+"""The flexibility metric (Definition 4 of the paper).
+
+The flexibility of a cluster ``gamma``::
+
+    f(gamma) = a+(gamma) * ( sum_{psi in gamma.Psi} sum_{g in psi.Gamma}
+                             f(g)  -  (|gamma.Psi| - 1) )   if gamma.Psi != {}
+    f(gamma) = a+(gamma)                                    otherwise
+
+where ``a+(gamma)`` is 1 when the cluster will be activated at some
+future time and 0 otherwise.  The flexibility of an interface is the
+sum of the flexibilities of its clusters; the top-level graph is
+treated as an always-activated cluster.  Footnote 2 of the paper notes
+that weighted sums are possible; ``weighted=True`` multiplies every
+cluster's contribution by its ``weight`` attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Union
+
+from ..errors import ActivationError
+from ..hgraph import Cluster, GraphScope
+
+ActiveSpec = Union[None, Iterable[str], Callable[[str], bool]]
+
+
+def _as_predicate(active: ActiveSpec) -> Callable[[str], bool]:
+    if active is None:
+        return lambda _name: True
+    if callable(active):
+        return active
+    chosen = frozenset(active)
+    return lambda name: name in chosen
+
+
+def flexibility(
+    root: GraphScope,
+    active: ActiveSpec = None,
+    weighted: bool = False,
+    strict: bool = True,
+) -> float:
+    """Flexibility of the hierarchy rooted at ``root``.
+
+    Parameters
+    ----------
+    root:
+        The problem graph (or any cluster) whose flexibility to compute;
+        treated as activated (``a+ = 1``).
+    active:
+        The future-activation indicator ``a+`` over *cluster names*:
+        ``None`` (all clusters activatable — the maximal flexibility),
+        an iterable of names, or a predicate.
+    weighted:
+        Apply the footnote-2 weighted sum: each cluster's contribution
+        is scaled by its ``weight`` attribute (default 1).
+    strict:
+        When True, raise :class:`~repro.errors.ActivationError` if an
+        activated scope contains an interface with no activated cluster
+        — such a scope can never be activated under rules 1-2, so the
+        requested ``a+`` is inconsistent.  When False the inconsistent
+        interface simply contributes 0.
+
+    Returns an ``int``-valued float for the unweighted metric.
+    """
+    predicate = _as_predicate(active)
+
+    def scope_value(scope: GraphScope) -> float:
+        if not scope.interfaces:
+            return 1.0
+        total = 0.0
+        for interface in scope.interfaces.values():
+            interface_sum = 0.0
+            any_active = False
+            for cluster in interface.clusters:
+                value = cluster_value(cluster)
+                if value is not None:
+                    any_active = True
+                    interface_sum += value
+            if not any_active and strict:
+                raise ActivationError(
+                    f"inconsistent activation: scope {scope.name!r} is "
+                    f"activated but interface {interface.name!r} has no "
+                    f"activated cluster"
+                )
+            total += interface_sum
+        return total - (len(scope.interfaces) - 1)
+
+    def cluster_value(cluster: Cluster) -> Optional[float]:
+        """Weighted flexibility of an activated cluster, None if inactive."""
+        if not predicate(cluster.name):
+            return None
+        value = scope_value(cluster)
+        if weighted:
+            value *= cluster.weight
+        return value
+
+    return scope_value(root)
+
+
+def max_flexibility(root: GraphScope, weighted: bool = False) -> float:
+    """Flexibility when every cluster can be activated in the future."""
+    return flexibility(root, active=None, weighted=weighted)

@@ -1,0 +1,178 @@
+"""Incremental design: flexibility upgrades of an existing platform.
+
+The paper's introduction contrasts its guarantees with Pop et al.'s
+incremental mapping, which "can not guarantee that future applications
+do not interfere with the already running functionality".  This module
+provides the flexibility-centric version of incremental design with
+exactly that guarantee: starting from a *base allocation* (the shipped
+product), only *supersets* of the base are explored.  Because an
+allocation can only grow, every elementary cluster-activation that was
+feasible on the base remains feasible after the upgrade — routing only
+gains nodes, per-resource utilisation of an existing binding is
+unchanged, and the one-cluster-per-interface rule is a per-activation
+property (:func:`upgrade_preserves_base` checks this invariant
+explicitly).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import FrozenSet, Iterable, List, Optional
+
+from ..binding import Allocation, Binding, is_feasible_binding
+from ..errors import ExplorationError
+from ..activation import flatten
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND
+from .candidates import AllocationEnumerator, has_useless_comm
+from .estimate import estimate_flexibility, spec_max_flexibility
+from .evaluation import evaluate_allocation
+from .pareto import dominates
+from .result import ExplorationResult, ExplorationStats, Implementation
+
+
+class UpgradeResult(ExplorationResult):
+    """An exploration result rooted at a base implementation.
+
+    ``points`` holds the Pareto-optimal *upgrades* (the base itself is
+    included when nothing cheaper dominates it); ``base`` is the
+    evaluated base implementation.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(
+        self,
+        base: Implementation,
+        points: List[Implementation],
+        stats: ExplorationStats,
+        max_flexibility_bound: float,
+    ) -> None:
+        super().__init__(points, stats, max_flexibility_bound)
+        self.base = base
+
+    def upgrade_costs(self) -> List[float]:
+        """Additional cost of each point relative to the base."""
+        return [p.cost - self.base.cost for p in self.points]
+
+    def __repr__(self) -> str:
+        return (
+            f"UpgradeResult(base=${self.base.cost:g}/"
+            f"f{self.base.flexibility:g}, front={self.front()!r})"
+        )
+
+
+def explore_upgrades(
+    spec: SpecificationGraph,
+    base_units: Iterable[str],
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    max_extra_cost: Optional[float] = None,
+    check_utilization: bool = True,
+    weighted: bool = False,
+    prune_comm: bool = True,
+) -> UpgradeResult:
+    """Pareto-optimal flexibility upgrades of ``base_units``.
+
+    Enumerates supersets of the base allocation in increasing extra
+    cost and applies the EXPLORE pruning (flexibility estimation, and
+    optionally the useless-communication rule) relative to the base's
+    implemented flexibility.
+
+    Raises :class:`~repro.errors.ExplorationError` when the base
+    allocation itself supports no feasible implementation.
+    """
+    started = time.perf_counter()
+    base_set = frozenset(spec.units.unit(u).name for u in base_units)
+    base = evaluate_allocation(
+        spec,
+        base_set,
+        util_bound=util_bound,
+        check_utilization=check_utilization,
+        weighted=weighted,
+    )
+    if base is None:
+        raise ExplorationError(
+            f"base allocation {sorted(base_set)!r} has no feasible "
+            f"implementation; nothing to upgrade"
+        )
+    remaining = [n for n in spec.units.names() if n not in base_set]
+    if max_extra_cost is None and any(
+        spec.units.unit(n).cost <= 0 for n in remaining
+    ):
+        raise ExplorationError(
+            "specification has zero-cost units outside the base; pass "
+            "max_extra_cost to bound the enumeration"
+        )
+
+    stats = ExplorationStats()
+    stats.design_space_size = 1 << len(remaining)
+    f_max = spec_max_flexibility(spec, weighted)
+    f_cur = base.flexibility
+    points: List[Implementation] = [base]
+    solver_counter = [0]
+
+    for extra_cost, extras in AllocationEnumerator(spec, remaining):
+        if f_cur >= f_max:
+            break
+        if max_extra_cost is not None and extra_cost > max_extra_cost:
+            break
+        stats.candidates_enumerated += 1
+        units = base_set | extras
+        if prune_comm and has_useless_comm(spec, units):
+            stats.pruned_comm += 1
+            continue
+        stats.estimates_computed += 1
+        estimate = estimate_flexibility(spec, units, weighted)
+        if estimate <= f_cur:
+            continue
+        stats.estimate_exceeded += 1
+        implementation = evaluate_allocation(
+            spec,
+            units,
+            util_bound=util_bound,
+            check_utilization=check_utilization,
+            weighted=weighted,
+            solver_counter=solver_counter,
+        )
+        if implementation is None:
+            continue
+        stats.feasible_implementations += 1
+        if implementation.flexibility > f_cur:
+            points.append(implementation)
+            f_cur = implementation.flexibility
+
+    points = [
+        p
+        for p in points
+        if not any(dominates(q.point, p.point) for q in points)
+    ]
+    stats.solver_invocations = solver_counter[0]
+    stats.elapsed_seconds = time.perf_counter() - started
+    return UpgradeResult(base, points, stats, f_max)
+
+
+def upgrade_preserves_base(
+    spec: SpecificationGraph,
+    base: Implementation,
+    upgraded_units: FrozenSet[str],
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+) -> bool:
+    """Check the non-interference guarantee explicitly.
+
+    True when every covering elementary cluster-activation of the base
+    implementation — selection *and* binding — is still feasible under
+    the upgraded allocation.  This is the property Pop et al.'s
+    incremental approach cannot guarantee and superset upgrades provide
+    by construction.
+    """
+    if not base.units <= upgraded_units:
+        return False
+    allocation = Allocation(spec, upgraded_units)
+    for record in base.coverage:
+        flat = flatten(spec.problem, record.selection, spec.p_index)
+        binding = Binding(spec, record.binding)
+        if not is_feasible_binding(
+            spec, allocation, flat, binding, util_bound
+        ):
+            return False
+    return True

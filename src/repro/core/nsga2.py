@@ -1,0 +1,228 @@
+"""NSGA-II evolutionary baseline.
+
+The paper builds on Blickle/Teich/Thiele's evolutionary system-level
+synthesis [2] and cites Pareto-front exploration with evolutionary
+multi-criterion optimisation [12].  This module provides that family of
+baseline: a compact NSGA-II over allocation bitmasks with the
+objectives (minimise cost, maximise flexibility), used by the baseline
+bench to compare front quality and evaluation effort against EXPLORE.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND
+from .evaluation import evaluate_allocation
+from .pareto import dominates
+from .result import Implementation
+
+Genome = Tuple[int, ...]
+
+
+class Nsga2Result:
+    """Final population front and bookkeeping of one NSGA-II run."""
+
+    __slots__ = ("front", "evaluations", "generations")
+
+    def __init__(
+        self,
+        front: List[Implementation],
+        evaluations: int,
+        generations: int,
+    ) -> None:
+        #: Non-dominated feasible implementations of the final archive.
+        self.front = front
+        #: Number of (cached) objective evaluations performed.
+        self.evaluations = evaluations
+        self.generations = generations
+
+    def points(self) -> List[Tuple[float, float]]:
+        """(cost, flexibility) pairs of the final front, cost-sorted."""
+        return sorted(impl.point for impl in self.front)
+
+    def __repr__(self) -> str:
+        return (
+            f"Nsga2Result(|front|={len(self.front)}, "
+            f"evaluations={self.evaluations})"
+        )
+
+
+def _fast_non_dominated_sort(
+    objectives: Sequence[Tuple[float, float]]
+) -> List[List[int]]:
+    """Indices grouped into fronts (rank 0 first).
+
+    Objectives are (cost, flexibility): minimise the first, maximise
+    the second.
+    """
+    n = len(objectives)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+            elif dominates(objectives[j], objectives[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        nxt: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        fronts.append(nxt)
+        current += 1
+    return [f for f in fronts if f]
+
+
+def _crowding_distance(
+    objectives: Sequence[Tuple[float, float]], front: List[int]
+) -> Dict[int, float]:
+    distance = {i: 0.0 for i in front}
+    for axis in (0, 1):
+        ordered = sorted(front, key=lambda i: objectives[i][axis])
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        low = objectives[ordered[0]][axis]
+        high = objectives[ordered[-1]][axis]
+        span = high - low
+        if span <= 0:
+            continue
+        for prev, mid, nxt in zip(ordered, ordered[1:], ordered[2:]):
+            distance[mid] += (
+                objectives[nxt][axis] - objectives[prev][axis]
+            ) / span
+    return distance
+
+
+def nsga2_explore(
+    spec: SpecificationGraph,
+    population_size: int = 40,
+    generations: int = 30,
+    seed: int = 0,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+    crossover_rate: float = 0.9,
+    mutation_rate: Optional[float] = None,
+    weighted: bool = False,
+) -> Nsga2Result:
+    """Approximate the flexibility/cost front with NSGA-II.
+
+    Infeasible allocations are penalised with flexibility 0 (their cost
+    still counts), which steers the population toward cheap feasible
+    platforms.  Objective evaluations are memoised per genome, so
+    ``evaluations`` counts *distinct* allocations evaluated.
+    """
+    rng = random.Random(seed)
+    names = list(spec.units.names())
+    bits = len(names)
+    if mutation_rate is None:
+        mutation_rate = 1.0 / max(1, bits)
+
+    cache: Dict[Genome, Tuple[Tuple[float, float], Optional[Implementation]]] = {}
+
+    def evaluate(genome: Genome):
+        cached = cache.get(genome)
+        if cached is not None:
+            return cached
+        units = frozenset(n for n, bit in zip(names, genome) if bit)
+        implementation = evaluate_allocation(
+            spec,
+            units,
+            util_bound=util_bound,
+            check_utilization=check_utilization,
+            weighted=weighted,
+        )
+        cost = spec.units.total_cost(units)
+        if implementation is None:
+            result = ((cost, 0.0), None)
+        else:
+            result = (implementation.point, implementation)
+        cache[genome] = result
+        return result
+
+    def random_genome() -> Genome:
+        return tuple(rng.randint(0, 1) for _ in range(bits))
+
+    def tournament(indices: List[int], ranks: Dict[int, int], crowd: Dict[int, float]) -> int:
+        a, b = rng.choice(indices), rng.choice(indices)
+        if ranks[a] != ranks[b]:
+            return a if ranks[a] < ranks[b] else b
+        return a if crowd.get(a, 0.0) >= crowd.get(b, 0.0) else b
+
+    def crossover(p1: Genome, p2: Genome) -> Genome:
+        if rng.random() > crossover_rate:
+            return p1
+        return tuple(
+            g1 if rng.random() < 0.5 else g2 for g1, g2 in zip(p1, p2)
+        )
+
+    def mutate(genome: Genome) -> Genome:
+        return tuple(
+            bit ^ 1 if rng.random() < mutation_rate else bit
+            for bit in genome
+        )
+
+    population: List[Genome] = [random_genome() for _ in range(population_size)]
+    for _ in range(generations):
+        objectives = [evaluate(g)[0] for g in population]
+        fronts = _fast_non_dominated_sort(objectives)
+        ranks: Dict[int, int] = {}
+        crowd: Dict[int, float] = {}
+        for rank, front in enumerate(fronts):
+            for i in front:
+                ranks[i] = rank
+            crowd.update(_crowding_distance(objectives, front))
+        indices = list(range(len(population)))
+        offspring = [
+            mutate(
+                crossover(
+                    population[tournament(indices, ranks, crowd)],
+                    population[tournament(indices, ranks, crowd)],
+                )
+            )
+            for _ in range(population_size)
+        ]
+        merged = population + offspring
+        merged_obj = [evaluate(g)[0] for g in merged]
+        merged_fronts = _fast_non_dominated_sort(merged_obj)
+        survivors: List[Genome] = []
+        for front in merged_fronts:
+            if len(survivors) + len(front) <= population_size:
+                survivors.extend(merged[i] for i in front)
+            else:
+                crowding = _crowding_distance(merged_obj, front)
+                ordered = sorted(
+                    front, key=lambda i: crowding[i], reverse=True
+                )
+                needed = population_size - len(survivors)
+                survivors.extend(merged[i] for i in ordered[:needed])
+                break
+        population = survivors
+
+    # Final archive: non-dominated feasible implementations seen anywhere.
+    feasible = [
+        impl for (_, impl) in cache.values() if impl is not None
+    ]
+    points = [impl.point for impl in feasible]
+    front_impls: List[Implementation] = []
+    seen = set()
+    for impl in feasible:
+        if any(dominates(p, impl.point) for p in points):
+            continue
+        if impl.point in seen:
+            continue
+        seen.add(impl.point)
+        front_impls.append(impl)
+    front_impls.sort(key=lambda impl: impl.cost)
+    return Nsga2Result(front_impls, len(cache), generations)

@@ -1,0 +1,107 @@
+"""Pareto dominance over the (cost, flexibility) objective space.
+
+The paper minimises ``c_impl`` and ``1/f_impl`` simultaneously; we keep
+the equivalent (minimise cost, maximise flexibility) formulation to
+avoid the reciprocal's singularity at ``f = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Point = Tuple[float, float]  # (cost, flexibility)
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """True when ``a`` dominates ``b``: no worse in both, better in one."""
+    cost_a, flex_a = a
+    cost_b, flex_b = b
+    return (
+        cost_a <= cost_b
+        and flex_a >= flex_b
+        and (cost_a < cost_b or flex_a > flex_b)
+    )
+
+
+def is_non_dominated(point: Point, others: Iterable[Point]) -> bool:
+    """True when no point of ``others`` dominates ``point``."""
+    return not any(dominates(o, point) for o in others if o != point)
+
+
+def pareto_front(
+    points: Sequence[Point], keep_ties: bool = True
+) -> List[Point]:
+    """The non-dominated subset of ``points``, sorted by cost.
+
+    With ``keep_ties=False`` only one representative of each
+    (cost, flexibility) pair is kept.
+    """
+    front: List[Point] = []
+    for point in points:
+        if is_non_dominated(point, points):
+            front.append(point)
+    if not keep_ties:
+        front = list(dict.fromkeys(front))
+    else:
+        seen: List[Point] = []
+        unique: List[Point] = []
+        for point in front:
+            if point not in seen:
+                seen.append(point)
+                unique.append(point)
+        front = unique
+    front.sort()
+    return front
+
+
+class ParetoArchive:
+    """Incremental archive of non-dominated (cost, flexibility) items.
+
+    Arbitrary payloads can be attached to points; dominated payloads
+    are evicted as better points arrive.
+    """
+
+    def __init__(self, keep_ties: bool = False) -> None:
+        #: Keep equal-(cost, flexibility) duplicates when True.
+        self.keep_ties = keep_ties
+        self._entries: List[Tuple[Point, object]] = []
+
+    def try_add(self, cost: float, flexibility: float, payload: object = None) -> bool:
+        """Insert unless dominated; evict anything the new point dominates.
+
+        Returns True when the point entered the archive.
+        """
+        point = (cost, flexibility)
+        for existing, _ in self._entries:
+            if dominates(existing, point):
+                return False
+            if existing == point and not self.keep_ties:
+                return False
+        self._entries = [
+            (p, payload_)
+            for (p, payload_) in self._entries
+            if not dominates(point, p)
+        ]
+        self._entries.append((point, payload))
+        self._entries.sort(key=lambda item: item[0])
+        return True
+
+    @property
+    def points(self) -> List[Point]:
+        """Archived points sorted by cost."""
+        return [p for p, _ in self._entries]
+
+    @property
+    def payloads(self) -> List[object]:
+        """Payloads in cost order."""
+        return [payload for _, payload in self._entries]
+
+    def best_flexibility(self) -> float:
+        """Highest archived flexibility (0 when empty)."""
+        return max((f for (_, f) in self.points), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ParetoArchive({self.points!r})"

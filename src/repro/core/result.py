@@ -1,0 +1,168 @@
+"""Result containers of implementation evaluation and exploration."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+class EcsRecord:
+    """One feasible elementary cluster-activation with its binding."""
+
+    __slots__ = ("selection", "clusters", "binding")
+
+    def __init__(
+        self,
+        selection: Dict[str, str],
+        binding: Dict[str, str],
+    ) -> None:
+        #: interface -> selected cluster
+        self.selection = dict(selection)
+        #: the elementary cluster-activation (set of selected clusters)
+        self.clusters: FrozenSet[str] = frozenset(selection.values())
+        #: process -> resource leaf
+        self.binding = dict(binding)
+
+    def __repr__(self) -> str:
+        return f"EcsRecord(clusters={sorted(self.clusters)})"
+
+
+class Implementation:
+    """A feasible implementation: allocation + coverage + flexibility.
+
+    This is the payload attached to each Pareto point: the allocated
+    units (with total cost), the clusters that some feasible ECS
+    activates (``a+ = 1``), the achieved flexibility, and one feasible
+    binding per covering ECS.
+    """
+
+    __slots__ = ("units", "cost", "flexibility", "clusters", "coverage")
+
+    def __init__(
+        self,
+        units: FrozenSet[str],
+        cost: float,
+        flexibility: float,
+        clusters: FrozenSet[str],
+        coverage: List[EcsRecord],
+    ) -> None:
+        self.units = frozenset(units)
+        self.cost = cost
+        self.flexibility = flexibility
+        self.clusters = frozenset(clusters)
+        self.coverage = list(coverage)
+
+    @property
+    def point(self) -> Tuple[float, float]:
+        """The (cost, flexibility) objective vector."""
+        return (self.cost, self.flexibility)
+
+    def ecs_for(self, cluster: str) -> Optional[EcsRecord]:
+        """A covering ECS that activates ``cluster`` (or ``None``)."""
+        for record in self.coverage:
+            if cluster in record.clusters:
+                return record
+        return None
+
+    def minimal_coverage(self) -> List[EcsRecord]:
+        """A minimal sub-collection of :attr:`coverage` that still
+        activates every implemented cluster.
+
+        The evaluation loop collects coverage greedily and may keep
+        redundant elementary cluster-activations; this is the smallest
+        mode table (exact for small coverages) that exercises all of
+        :attr:`clusters` — see :mod:`repro.core.cover`.
+        """
+        from .cover import minimal_cover
+
+        chosen = minimal_cover(
+            frozenset(self.clusters),
+            [record.clusters for record in self.coverage],
+        )
+        return [self.coverage[i] for i in chosen]
+
+    def __repr__(self) -> str:
+        return (
+            f"Implementation(units={sorted(self.units)}, cost={self.cost}, "
+            f"f={self.flexibility})"
+        )
+
+
+class ExplorationStats:
+    """Effort counters of one EXPLORE run (the Section 5 statistics)."""
+
+    __slots__ = (
+        "design_space_size",
+        "candidates_enumerated",
+        "possible_allocations",
+        "pruned_comm",
+        "estimates_computed",
+        "estimate_exceeded",
+        "solver_invocations",
+        "feasible_implementations",
+        "elapsed_seconds",
+    )
+
+    def __init__(self) -> None:
+        #: ``2^|units|`` — the raw design-space size.
+        self.design_space_size = 0
+        #: Subsets popped from the cost-ordered enumerator.
+        self.candidates_enumerated = 0
+        #: Candidates passing the possible-resource-allocation equation.
+        self.possible_allocations = 0
+        #: Candidates dropped by the useless-communication pruning.
+        self.pruned_comm = 0
+        #: Flexibility estimates computed.
+        self.estimates_computed = 0
+        #: Estimates exceeding the implemented flexibility (binding tried).
+        self.estimate_exceeded = 0
+        #: Invocations of the NP-complete binding solver.
+        self.solver_invocations = 0
+        #: Feasible implementations constructed.
+        self.feasible_implementations = 0
+        #: Wall-clock duration of the exploration.
+        self.elapsed_seconds = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """All counters as a plain dictionary (for reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            "ExplorationStats("
+            + ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+            + ")"
+        )
+
+
+class ExplorationResult:
+    """The outcome of one EXPLORE run: the Pareto set plus statistics."""
+
+    __slots__ = ("points", "stats", "max_flexibility_bound")
+
+    def __init__(
+        self,
+        points: List[Implementation],
+        stats: ExplorationStats,
+        max_flexibility_bound: float,
+    ) -> None:
+        #: Pareto-optimal implementations, in discovery (= cost) order.
+        self.points = list(points)
+        self.stats = stats
+        #: The global flexibility upper bound used as stop condition.
+        self.max_flexibility_bound = max_flexibility_bound
+
+    def front(self) -> List[Tuple[float, float]]:
+        """The (cost, flexibility) pairs of the discovered front."""
+        return [p.point for p in self.points]
+
+    def best(self) -> Optional[Implementation]:
+        """The most flexible implementation found (``None`` when empty)."""
+        if not self.points:
+            return None
+        return max(self.points, key=lambda p: p.flexibility)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:
+        return f"ExplorationResult(front={self.front()!r})"

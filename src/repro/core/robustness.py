@@ -1,0 +1,132 @@
+"""Failure-impact analysis of implementations.
+
+The paper motivates flexibility with systems that must adapt to "new
+environmental conditions"; a harsher environmental condition is losing
+a resource.  This module measures how gracefully an implementation
+degrades: re-evaluate the allocation with units removed and compare the
+surviving flexibility.  Because flexibility is monotone in the
+allocation, degradation is monotone too — failing more units never
+helps (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional
+
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND
+from .evaluation import evaluate_allocation
+from .result import Implementation
+
+
+class FailureImpact:
+    """Consequences of losing one set of units."""
+
+    __slots__ = (
+        "failed_units",
+        "survivor",
+        "remaining_flexibility",
+        "lost_clusters",
+    )
+
+    def __init__(
+        self,
+        failed_units: FrozenSet[str],
+        survivor: Optional[Implementation],
+        baseline: Implementation,
+    ) -> None:
+        #: The units that failed.
+        self.failed_units = failed_units
+        #: The best implementation on the surviving units (``None`` when
+        #: nothing runs at all).
+        self.survivor = survivor
+        #: Flexibility after the failure (0 when nothing runs).
+        self.remaining_flexibility = (
+            survivor.flexibility if survivor is not None else 0.0
+        )
+        #: Clusters the system can no longer serve.
+        self.lost_clusters = frozenset(
+            baseline.clusters
+            - (survivor.clusters if survivor is not None else frozenset())
+        )
+
+    @property
+    def total_outage(self) -> bool:
+        """True when the failure leaves no feasible implementation."""
+        return self.survivor is None
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureImpact(failed={sorted(self.failed_units)}, "
+            f"remaining_flexibility={self.remaining_flexibility})"
+        )
+
+
+def degraded_implementation(
+    spec: SpecificationGraph,
+    implementation: Implementation,
+    failed_units: Iterable[str],
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    timing_mode: Optional[str] = None,
+) -> Optional[Implementation]:
+    """Best implementation on the allocation minus ``failed_units``."""
+    surviving = frozenset(implementation.units) - frozenset(failed_units)
+    return evaluate_allocation(
+        spec,
+        surviving,
+        util_bound=util_bound,
+        timing_mode=timing_mode,
+    )
+
+
+def failure_impact(
+    spec: SpecificationGraph,
+    implementation: Implementation,
+    failed_units: Iterable[str],
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    timing_mode: Optional[str] = None,
+) -> FailureImpact:
+    """Impact record for one failure scenario."""
+    failed = frozenset(failed_units)
+    survivor = degraded_implementation(
+        spec, implementation, failed, util_bound, timing_mode
+    )
+    return FailureImpact(failed, survivor, implementation)
+
+
+def single_failure_report(
+    spec: SpecificationGraph,
+    implementation: Implementation,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    timing_mode: Optional[str] = None,
+) -> List[FailureImpact]:
+    """Impact of each single-unit failure, worst first.
+
+    Sorted by remaining flexibility ascending, then by unit name, so the
+    most critical resource leads the report.
+    """
+    impacts = [
+        failure_impact(
+            spec, implementation, {unit}, util_bound, timing_mode
+        )
+        for unit in sorted(implementation.units)
+    ]
+    impacts.sort(
+        key=lambda i: (i.remaining_flexibility, sorted(i.failed_units))
+    )
+    return impacts
+
+
+def critical_units(
+    spec: SpecificationGraph,
+    implementation: Implementation,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+) -> FrozenSet[str]:
+    """Units whose single failure causes a total outage."""
+    return frozenset(
+        next(iter(impact.failed_units))
+        for impact in single_failure_report(
+            spec, implementation, util_bound
+        )
+        if impact.total_outage
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish model errors from solver errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """A hierarchical graph or specification graph is malformed.
+
+    Raised while *building* models, e.g. duplicate names, edges that
+    reference unknown nodes, or port mappings onto undeclared ports.
+    """
+
+
+class ValidationError(ModelError):
+    """A completed model failed structural validation."""
+
+
+class ActivationError(ReproError):
+    """A hierarchical activation violates the activation rules 1-4."""
+
+
+class BindingError(ReproError):
+    """A binding request is malformed or provably infeasible."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible implementation exists for the requested activation."""
+
+
+class TimingError(ReproError):
+    """A timing specification is malformed (e.g. non-positive period)."""
+
+
+class ExplorationError(ReproError):
+    """The design-space exploration was configured inconsistently."""
+
+
+class SerializationError(ReproError):
+    """A document could not be parsed into a model (or vice versa)."""

@@ -1,0 +1,52 @@
+"""Hierarchical graph substrate (Definition 1 of the paper).
+
+A hierarchical graph ``G = (V, E, Psi, Gamma)`` consists of
+non-hierarchical vertices ``V``, edges ``E``, interfaces ``Psi``
+(hierarchical vertices) and alternative clusters ``Gamma`` refining the
+interfaces.  This subpackage provides the data model, traversal
+(including the leaf set ``V_l`` of Equation 1), validation and a fluent
+builder.
+"""
+
+from .cluster import Cluster, new_cluster
+from .graph import GraphScope, HierarchicalGraph
+from .builder import (
+    ClusterBuilder,
+    HierarchyBuilder,
+    InterfaceBuilder,
+    ScopeBuilder,
+)
+from .node import Attributed, Edge, Interface, Port, Vertex
+from .traversal import (
+    HierarchyIndex,
+    iter_clusters,
+    iter_interfaces,
+    iter_scopes,
+    leaf_names,
+    leaves,
+)
+from .validate import count_elements, validate_hierarchy
+
+__all__ = [
+    "Attributed",
+    "Cluster",
+    "ClusterBuilder",
+    "Edge",
+    "GraphScope",
+    "HierarchicalGraph",
+    "HierarchyBuilder",
+    "HierarchyIndex",
+    "Interface",
+    "InterfaceBuilder",
+    "Port",
+    "ScopeBuilder",
+    "Vertex",
+    "count_elements",
+    "iter_clusters",
+    "iter_interfaces",
+    "iter_scopes",
+    "leaf_names",
+    "leaves",
+    "new_cluster",
+    "validate_hierarchy",
+]

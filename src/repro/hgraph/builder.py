@@ -1,0 +1,140 @@
+"""Fluent construction helpers for hierarchical graphs.
+
+The raw :class:`~repro.hgraph.graph.GraphScope` API is intentionally
+minimal; this builder keeps deeply nested specifications (like the
+paper's Set-Top box) readable::
+
+    build = HierarchyBuilder("G_P")
+    build.vertex("P_A")
+    dec = build.interface("I_D")
+    d1 = dec.cluster("gamma_D1")
+    d1.vertex("P_D_1")
+    graph = build.done()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .cluster import Cluster, new_cluster
+from .graph import GraphScope, HierarchicalGraph
+from .node import Interface
+from .validate import validate_hierarchy
+
+
+class ScopeBuilder:
+    """Builder for one scope (the top graph or a cluster)."""
+
+    def __init__(self, scope: GraphScope) -> None:
+        self._scope = scope
+
+    @property
+    def scope(self) -> GraphScope:
+        """The underlying scope being built."""
+        return self._scope
+
+    def vertex(self, name: str, **attrs: Any) -> "ScopeBuilder":
+        """Add a leaf vertex and return ``self`` for chaining."""
+        self._scope.add_vertex(name, **attrs)
+        return self
+
+    def edge(
+        self,
+        src: str,
+        dst: str,
+        src_port: Optional[str] = None,
+        dst_port: Optional[str] = None,
+        **attrs: Any,
+    ) -> "ScopeBuilder":
+        """Add a directed edge and return ``self`` for chaining."""
+        self._scope.add_edge(src, dst, src_port, dst_port, **attrs)
+        return self
+
+    def chain(self, *names: str, **attrs: Any) -> "ScopeBuilder":
+        """Add edges forming the path ``names[0] -> names[1] -> ...``."""
+        for src, dst in zip(names, names[1:]):
+            self._scope.add_edge(src, dst, **attrs)
+        return self
+
+    def interface(self, name: str, ports: tuple = (), **attrs: Any) -> "InterfaceBuilder":
+        """Declare an interface and return a builder for its clusters."""
+        interface = self._scope.add_interface(name, **attrs)
+        for port in ports:
+            interface.add_port(port)
+        return InterfaceBuilder(interface)
+
+
+class InterfaceBuilder:
+    """Builder attached to one interface, creating alternative clusters."""
+
+    def __init__(self, interface: Interface) -> None:
+        self._interface = interface
+
+    @property
+    def interface(self) -> Interface:
+        """The interface being refined."""
+        return self._interface
+
+    def port(self, name: str, direction: str = "inout") -> "InterfaceBuilder":
+        """Declare an additional port on the interface."""
+        self._interface.add_port(name, direction)
+        return self
+
+    def cluster(self, name: str, **attrs: Any) -> "ClusterBuilder":
+        """Create an alternative cluster of this interface."""
+        cluster = new_cluster(self._interface, name, **attrs)
+        return ClusterBuilder(cluster)
+
+    def simple_cluster(self, name: str, vertex: str, **attrs: Any) -> "ClusterBuilder":
+        """Create a cluster containing a single vertex ``vertex``.
+
+        This is the most common refinement shape in the paper (each
+        decryption/uncompression/game alternative is one process).  All
+        interface ports are mapped onto the single vertex.
+        """
+        builder = self.cluster(name, **attrs)
+        builder.vertex(vertex)
+        for port in self._interface.ports:
+            builder.cluster_scope.map_port(port, vertex)
+        return builder
+
+
+class ClusterBuilder(ScopeBuilder):
+    """Builder for a cluster scope; adds port-mapping support."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        super().__init__(cluster)
+        self._cluster = cluster
+
+    @property
+    def cluster_scope(self) -> Cluster:
+        """The underlying cluster."""
+        return self._cluster
+
+    def map_port(self, port: str, inner_node: str) -> "ClusterBuilder":
+        """Map an interface port onto a node of this cluster."""
+        self._cluster.map_port(port, inner_node)
+        return self
+
+    def interface(self, name: str, ports: tuple = (), **attrs: Any) -> InterfaceBuilder:
+        """Declare a nested interface inside this cluster."""
+        return super().interface(name, ports, **attrs)
+
+
+class HierarchyBuilder(ScopeBuilder):
+    """Top-level builder producing a validated :class:`HierarchicalGraph`."""
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        super().__init__(HierarchicalGraph(name, attrs))
+
+    @property
+    def graph(self) -> HierarchicalGraph:
+        """The graph under construction (not yet validated)."""
+        scope = self._scope
+        assert isinstance(scope, HierarchicalGraph)
+        return scope
+
+    def done(self, allow_empty_interfaces: bool = False) -> HierarchicalGraph:
+        """Validate and return the constructed graph."""
+        validate_hierarchy(self.graph, allow_empty_interfaces)
+        return self.graph

@@ -1,0 +1,128 @@
+"""Clusters: alternative refinements of interfaces.
+
+A cluster ``gamma in Gamma`` is a subgraph that can substitute an
+interface.  Clusters are defined in analogy to hierarchical graphs and
+additionally carry a *port mapping* that embeds the cluster into its
+interface: every port of the owning interface is mapped onto a node
+inside the cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import ModelError
+from .graph import GraphScope
+from .node import Interface
+
+
+class Cluster(GraphScope):
+    """An alternative refinement (subgraph) of an interface.
+
+    Well-known attributes consumed by the library:
+
+    ``weight``
+        Optional positive number used by the *weighted* flexibility
+        variant (footnote 2 of the paper).  Defaults to 1.
+    ``period``
+        Optional positive number: the minimal activation period (in the
+        paper's case study, nanoseconds) imposed on the load-carrying
+        processes of this cluster.  Used by the timing analyzer.
+    ``reconfig_delay``
+        Optional non-negative number modelling the time needed to switch
+        *to* this cluster at run time (e.g. an FPGA reconfiguration).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        interface: Optional[Interface] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(name, attrs)
+        #: The interface this cluster refines (set by :meth:`attach`).
+        self.interface: Optional[Interface] = interface
+        #: Port mapping: interface port name -> node name inside this cluster.
+        self.port_map: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+    def attach(self, interface: Interface) -> "Cluster":
+        """Register this cluster as an alternative refinement of ``interface``."""
+        if self.interface is not None and self.interface is not interface:
+            raise ModelError(
+                f"cluster {self.name!r} is already attached to interface "
+                f"{self.interface.name!r}"
+            )
+        if self.interface is None:
+            interface.add_cluster(self)
+            self.interface = interface
+        return self
+
+    def map_port(self, port: str, inner_node: str) -> "Cluster":
+        """Map interface port ``port`` onto ``inner_node`` of this cluster.
+
+        The port must be declared on the owning interface and the node
+        must be declared inside this cluster.
+        """
+        if self.interface is None:
+            raise ModelError(
+                f"cluster {self.name!r}: attach to an interface before "
+                f"mapping ports"
+            )
+        if port not in self.interface.ports:
+            raise ModelError(
+                f"cluster {self.name!r}: interface "
+                f"{self.interface.name!r} has no port {port!r}"
+            )
+        if not self.has_node(inner_node):
+            raise ModelError(
+                f"cluster {self.name!r}: port target {inner_node!r} is not "
+                f"declared inside the cluster"
+            )
+        self.port_map[port] = inner_node
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def weight(self) -> float:
+        """Weight used by the weighted flexibility variant (default 1)."""
+        value = self.attrs.get("weight", 1)
+        try:
+            weight = float(value)
+        except (TypeError, ValueError):
+            raise ModelError(
+                f"cluster {self.name!r}: weight must be numeric, got {value!r}"
+            ) from None
+        if weight < 0:
+            raise ModelError(
+                f"cluster {self.name!r}: weight must be non-negative"
+            )
+        return weight
+
+    def port_target(self, port: str) -> Optional[str]:
+        """The inner node implementing interface port ``port`` (or ``None``)."""
+        return self.port_map.get(port)
+
+    def __repr__(self) -> str:
+        owner = self.interface.name if self.interface is not None else None
+        return (
+            f"Cluster({self.name!r}, interface={owner!r}, "
+            f"|V|={len(self.vertices)}, |Psi|={len(self.interfaces)})"
+        )
+
+
+def new_cluster(interface: Interface, name: str, **attrs: Any) -> Cluster:
+    """Create a cluster named ``name`` attached to ``interface``.
+
+    Convenience constructor used throughout the case studies::
+
+        gamma_d1 = new_cluster(i_decrypt, "gamma_D1")
+        gamma_d1.add_vertex("P_D_1")
+    """
+    cluster = Cluster(name, attrs=attrs)
+    cluster.attach(interface)
+    return cluster

@@ -1,0 +1,153 @@
+"""Scope container shared by hierarchical graphs and clusters.
+
+Definition 1 of the paper defines a hierarchical graph as a tuple
+``G = (V, E, Psi, Gamma)``.  Clusters are "defined in analogy to
+hierarchical graphs", so both share the same scope implementation:
+:class:`GraphScope` holds vertices, interfaces and edges declared at one
+level of the hierarchy; :class:`HierarchicalGraph` is the top-level
+scope.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import ModelError
+from .node import Edge, Interface, Vertex
+
+Node = Union[Vertex, Interface]
+
+
+class GraphScope:
+    """One level of a hierarchical graph: ``(V, E, Psi)`` plus nesting.
+
+    The cluster set ``Gamma`` of the formal definition is reachable
+    through the interfaces: every :class:`~repro.hgraph.node.Interface`
+    owns the alternative clusters that refine it.
+    """
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        if not name:
+            raise ModelError("graph scope name must be a non-empty string")
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.vertices: Dict[str, Vertex] = {}
+        self.interfaces: Dict[str, Interface] = {}
+        self.edges: List[Edge] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, name: str, **attrs: Any) -> Vertex:
+        """Declare a non-hierarchical vertex in this scope."""
+        self._check_fresh(name)
+        vertex = Vertex(name, attrs)
+        self.vertices[name] = vertex
+        return vertex
+
+    def add_interface(self, name: str, **attrs: Any) -> Interface:
+        """Declare an interface (hierarchical vertex) in this scope."""
+        self._check_fresh(name)
+        interface = Interface(name, attrs=attrs)
+        self.interfaces[name] = interface
+        return interface
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        src_port: Optional[str] = None,
+        dst_port: Optional[str] = None,
+        **attrs: Any,
+    ) -> Edge:
+        """Declare a directed edge between two nodes of this scope.
+
+        Both endpoints must already be declared in this scope.  Port
+        qualifiers are only meaningful on interface endpoints and must
+        name declared ports.
+        """
+        for endpoint, port, label in (
+            (src, src_port, "source"),
+            (dst, dst_port, "destination"),
+        ):
+            node = self.node(endpoint)
+            if node is None:
+                raise ModelError(
+                    f"scope {self.name!r}: edge {label} {endpoint!r} is not "
+                    f"declared in this scope"
+                )
+            if port is not None:
+                if not isinstance(node, Interface):
+                    raise ModelError(
+                        f"scope {self.name!r}: port qualifier {port!r} on "
+                        f"non-interface endpoint {endpoint!r}"
+                    )
+                if port not in node.ports:
+                    raise ModelError(
+                        f"scope {self.name!r}: interface {endpoint!r} has no "
+                        f"port {port!r}"
+                    )
+        edge = Edge(src, dst, src_port, dst_port, attrs)
+        self.edges.append(edge)
+        return edge
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.vertices or name in self.interfaces:
+            raise ModelError(
+                f"scope {self.name!r}: duplicate node name {name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Optional[Node]:
+        """Return the vertex or interface named ``name``, else ``None``."""
+        found = self.vertices.get(name)
+        if found is None:
+            found = self.interfaces.get(name)
+        return found
+
+    def has_node(self, name: str) -> bool:
+        """True when ``name`` is a vertex or interface of this scope."""
+        return name in self.vertices or name in self.interfaces
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate vertices first, then interfaces, in insertion order."""
+        yield from self.vertices.values()
+        yield from self.interfaces.values()
+
+    def node_names(self) -> Tuple[str, ...]:
+        """Names of all nodes declared in this scope."""
+        return tuple(self.vertices) + tuple(self.interfaces)
+
+    def out_edges(self, name: str) -> List[Edge]:
+        """Edges of this scope leaving node ``name``."""
+        return [e for e in self.edges if e.src == name]
+
+    def in_edges(self, name: str) -> List[Edge]:
+        """Edges of this scope entering node ``name``."""
+        return [e for e in self.edges if e.dst == name]
+
+    def clusters(self) -> Iterator["Cluster"]:  # noqa: F821
+        """Iterate the clusters refining interfaces declared here (``Gamma``)."""
+        for interface in self.interfaces.values():
+            yield from interface.clusters
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_node(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"|V|={len(self.vertices)}, |Psi|={len(self.interfaces)}, "
+            f"|E|={len(self.edges)})"
+        )
+
+
+class HierarchicalGraph(GraphScope):
+    """The top-level scope of a hierarchical graph (Definition 1).
+
+    Rule 4 of hierarchical activation requires all top-level vertices
+    and interfaces of a problem graph to be activated; the explorer and
+    activation checker rely on this class to identify the top level.
+    """

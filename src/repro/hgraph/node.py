@@ -1,0 +1,187 @@
+"""Primitive elements of hierarchical graphs.
+
+The paper's Definition 1 describes a hierarchical graph
+``G = (V, E, Psi, Gamma)``: non-hierarchical *vertices* ``V``, *edges*
+``E``, *interfaces* ``Psi`` (hierarchical vertices refined by
+alternative clusters), and *clusters* ``Gamma`` (subgraphs).  This
+module provides the vertex, port, interface and edge primitives; the
+cluster and graph containers live in :mod:`repro.hgraph.cluster` and
+:mod:`repro.hgraph.graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..errors import ModelError
+
+
+class Attributed:
+    """Mixin storing free-form attributes on model elements.
+
+    The paper annotates "additional parameters, like priorities, power
+    consumption, latencies, etc." onto components of the specification
+    graph.  We keep these annotations in a plain dictionary so that the
+    core algorithms stay agnostic of the attribute vocabulary; the
+    well-known keys used by this library (``cost``, ``period``,
+    ``negligible``, ``kind``) are documented where they are consumed.
+    """
+
+    __slots__ = ("attrs",)
+
+    def __init__(self, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return attribute ``key`` or ``default`` when absent."""
+        return self.attrs.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        """Set attribute ``key`` to ``value``."""
+        self.attrs[key] = value
+
+
+class Vertex(Attributed):
+    """A non-hierarchical vertex ``v in V``.
+
+    In a problem graph a vertex models a process or communication
+    operation at system level; in an architecture graph it models a
+    functional or communication resource.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        if not name:
+            raise ModelError("vertex name must be a non-empty string")
+        super().__init__(attrs)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Vertex({self.name!r})"
+
+
+class Port:
+    """A named connection point of an interface.
+
+    Interfaces are connected to surrounding vertices (or other
+    interfaces) via ports; clusters are embedded into an interface by
+    *port mapping*, i.e. by assigning each port of the interface to a
+    node inside the cluster.
+    """
+
+    __slots__ = ("name", "direction")
+
+    #: Allowed values of :attr:`direction`.
+    DIRECTIONS = ("in", "out", "inout")
+
+    def __init__(self, name: str, direction: str = "inout") -> None:
+        if not name:
+            raise ModelError("port name must be a non-empty string")
+        if direction not in self.DIRECTIONS:
+            raise ModelError(
+                f"port {name!r}: direction must be one of {self.DIRECTIONS}, "
+                f"got {direction!r}"
+            )
+        self.name = name
+        self.direction = direction
+
+    def __repr__(self) -> str:
+        return f"Port({self.name!r}, {self.direction!r})"
+
+
+class Edge(Attributed):
+    """A directed edge between two nodes of the same hierarchy scope.
+
+    ``src``/``dst`` name a vertex or interface declared in the same
+    graph or cluster.  When an endpoint is an interface, ``src_port`` /
+    ``dst_port`` may name the interface port the edge attaches to; a
+    ``None`` port on an interface endpoint means the default (anonymous)
+    port.
+    """
+
+    __slots__ = ("src", "dst", "src_port", "dst_port")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        src_port: Optional[str] = None,
+        dst_port: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not src or not dst:
+            raise ModelError("edge endpoints must be non-empty strings")
+        super().__init__(attrs)
+        self.src = src
+        self.dst = dst
+        self.src_port = src_port
+        self.dst_port = dst_port
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The ``(src, dst)`` endpoint pair."""
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:
+        return f"Edge({self.src!r} -> {self.dst!r})"
+
+
+class Interface(Attributed):
+    """A hierarchical vertex ``psi in Psi`` refined by alternative clusters.
+
+    All clusters associated with an interface represent *alternative
+    refinements*: at any instant of time exactly one of them implements
+    the interface (*cluster selection*).  Cluster selection is not
+    restricted to system start-up, which is how reconfigurable and
+    adaptive systems are modelled.
+    """
+
+    __slots__ = ("name", "ports", "clusters")
+
+    def __init__(
+        self,
+        name: str,
+        ports: Iterable[Port] = (),
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not name:
+            raise ModelError("interface name must be a non-empty string")
+        super().__init__(attrs)
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+        for port in ports:
+            self._add_port(port)
+        # Populated via Interface.add_cluster(); list of Cluster objects.
+        self.clusters: list = []
+
+    def _add_port(self, port: Port) -> None:
+        if port.name in self.ports:
+            raise ModelError(
+                f"interface {self.name!r}: duplicate port {port.name!r}"
+            )
+        self.ports[port.name] = port
+
+    def add_port(self, name: str, direction: str = "inout") -> Port:
+        """Declare a new port on this interface and return it."""
+        port = Port(name, direction)
+        self._add_port(port)
+        return port
+
+    def add_cluster(self, cluster: "Cluster") -> "Cluster":  # noqa: F821
+        """Attach ``cluster`` as an alternative refinement of this interface."""
+        if any(c.name == cluster.name for c in self.clusters):
+            raise ModelError(
+                f"interface {self.name!r}: duplicate cluster {cluster.name!r}"
+            )
+        self.clusters.append(cluster)
+        return cluster
+
+    def cluster_names(self) -> Tuple[str, ...]:
+        """Names of the alternative clusters, in declaration order."""
+        return tuple(c.name for c in self.clusters)
+
+    def __repr__(self) -> str:
+        return (
+            f"Interface({self.name!r}, clusters={list(self.cluster_names())})"
+        )

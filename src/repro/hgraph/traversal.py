@@ -1,0 +1,222 @@
+"""Recursive traversal of hierarchical graphs.
+
+Implements Equation (1) of the paper — the recursive definition of the
+leaf set ``V_l(G)`` — together with the generic walks used by the rest
+of the library (all clusters, all interfaces, parent lookup, depth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ..errors import ModelError
+from .cluster import Cluster
+from .graph import GraphScope
+from .node import Interface, Vertex
+
+Scope = GraphScope
+
+
+def iter_scopes(root: Scope) -> Iterator[Scope]:
+    """Depth-first iteration over ``root`` and every nested cluster."""
+    stack = [root]
+    while stack:
+        scope = stack.pop()
+        yield scope
+        for interface in scope.interfaces.values():
+            # Reversed keeps overall order close to declaration order.
+            stack.extend(reversed(interface.clusters))
+
+
+def iter_clusters(root: Scope) -> Iterator[Cluster]:
+    """Iterate every cluster of the hierarchy rooted at ``root``."""
+    for scope in iter_scopes(root):
+        if isinstance(scope, Cluster):
+            yield scope
+
+
+def iter_interfaces(root: Scope) -> Iterator[Interface]:
+    """Iterate every interface of the hierarchy rooted at ``root``."""
+    for scope in iter_scopes(root):
+        yield from scope.interfaces.values()
+
+
+def leaves(root: Scope) -> Dict[str, Vertex]:
+    """The leaf set ``V_l`` of Equation (1), keyed by vertex name.
+
+    ``V_l(G) = G.V  ∪  ⋃_{psi in G.Psi} ⋃_{gamma in psi.Gamma} V_l(gamma)``
+    """
+    result: Dict[str, Vertex] = {}
+    for scope in iter_scopes(root):
+        for name, vertex in scope.vertices.items():
+            if name in result:
+                raise ModelError(
+                    f"hierarchy {root.name!r}: leaf name {name!r} occurs in "
+                    f"more than one scope"
+                )
+            result[name] = vertex
+    return result
+
+
+def leaf_names(root: Scope) -> Tuple[str, ...]:
+    """Names of all leaves of the hierarchy, in traversal order."""
+    return tuple(leaves(root))
+
+
+class HierarchyIndex:
+    """Pre-computed lookup structures for one hierarchical graph.
+
+    The index maps every cluster, interface and leaf vertex of the
+    hierarchy to its defining scope, exposes parent relations and
+    depths, and enforces the library-wide invariant that names are
+    globally unique within one hierarchy (the paper qualifies names as
+    ``gamma_D1.P_D^1``; we require unqualified global uniqueness, which
+    every model in the paper satisfies, and reject ambiguous models at
+    validation time).
+    """
+
+    def __init__(self, root: Scope) -> None:
+        self.root = root
+        #: cluster name -> Cluster
+        self.clusters: Dict[str, Cluster] = {}
+        #: interface name -> Interface
+        self.interfaces: Dict[str, Interface] = {}
+        #: leaf vertex name -> Vertex
+        self.vertices: Dict[str, Vertex] = {}
+        #: node (vertex/interface) name -> owning scope
+        self.scope_of_node: Dict[str, Scope] = {}
+        #: cluster name -> owning interface name
+        self.interface_of_cluster: Dict[str, str] = {}
+        #: interface name -> owning scope (graph or cluster)
+        self.scope_of_interface: Dict[str, Scope] = {}
+        #: scope name -> nesting depth (root is 0)
+        self.depth: Dict[str, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        queue = [(self.root, 0)]
+        seen_scope_names = set()
+        while queue:
+            scope, depth = queue.pop(0)
+            if scope.name in seen_scope_names:
+                raise ModelError(
+                    f"hierarchy {self.root.name!r}: duplicate scope name "
+                    f"{scope.name!r}"
+                )
+            seen_scope_names.add(scope.name)
+            self.depth[scope.name] = depth
+            for name, vertex in scope.vertices.items():
+                self._claim(name)
+                self.vertices[name] = vertex
+                self.scope_of_node[name] = scope
+            for name, interface in scope.interfaces.items():
+                self._claim(name)
+                self.interfaces[name] = interface
+                self.scope_of_node[name] = scope
+                self.scope_of_interface[name] = scope
+                for cluster in interface.clusters:
+                    self._claim(cluster.name)
+                    self.clusters[cluster.name] = cluster
+                    self.interface_of_cluster[cluster.name] = name
+                    queue.append((cluster, depth + 1))
+
+    def _claim(self, name: str) -> None:
+        if (
+            name in self.vertices
+            or name in self.interfaces
+            or name in self.clusters
+        ):
+            raise ModelError(
+                f"hierarchy {self.root.name!r}: name {name!r} is used more "
+                f"than once (leaf/interface/cluster names must be globally "
+                f"unique within one hierarchy)"
+            )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def cluster(self, name: str) -> Cluster:
+        """The cluster named ``name`` (raises :class:`ModelError` if absent)."""
+        try:
+            return self.clusters[name]
+        except KeyError:
+            raise ModelError(
+                f"hierarchy {self.root.name!r}: unknown cluster {name!r}"
+            ) from None
+
+    def interface(self, name: str) -> Interface:
+        """The interface named ``name`` (raises :class:`ModelError` if absent)."""
+        try:
+            return self.interfaces[name]
+        except KeyError:
+            raise ModelError(
+                f"hierarchy {self.root.name!r}: unknown interface {name!r}"
+            ) from None
+
+    def owner_chain(self, name: str) -> Tuple[str, ...]:
+        """Chain of scope names from the root down to the scope owning ``name``.
+
+        ``name`` may be a leaf vertex, interface or cluster name.  The
+        returned tuple starts with the root graph name.
+        """
+        if name in self.clusters:
+            scope: Optional[Scope] = self.clusters[name]
+            chain = []
+        elif name in self.scope_of_node:
+            scope = self.scope_of_node[name]
+            chain = []
+        else:
+            raise ModelError(
+                f"hierarchy {self.root.name!r}: unknown element {name!r}"
+            )
+        while scope is not None:
+            chain.append(scope.name)
+            if isinstance(scope, Cluster):
+                owner_interface = self.interface_of_cluster[scope.name]
+                scope = self.scope_of_interface[owner_interface]
+            else:
+                scope = None
+        return tuple(reversed(chain))
+
+    def enclosing_clusters(self, name: str) -> Tuple[str, ...]:
+        """Names of the clusters enclosing ``name``, innermost first."""
+        chain = self.owner_chain(name)
+        inner_first = [s for s in reversed(chain) if s in self.clusters]
+        if name in self.clusters and inner_first and inner_first[0] == name:
+            inner_first = inner_first[1:]
+        return tuple(inner_first)
+
+    def qualified_name(self, name: str) -> str:
+        """Dotted path of ``name`` (paper notation ``gamma_D1.P_D^1``)."""
+        chain = self.owner_chain(name)
+        parts = [s for s in chain if s in self.clusters]
+        if name in self.clusters:
+            return ".".join(parts) if parts else name
+        return ".".join(parts + [name]) if parts else name
+
+    def inherited_attr(self, name: str, key: str) -> object:
+        """Nearest enclosing value of attribute ``key`` for element ``name``.
+
+        Looks at the element itself, then its enclosing clusters from
+        innermost to outermost, and finally the root graph.  Returns
+        ``None`` when the attribute is nowhere defined.
+        """
+        element: Union[Vertex, Interface, Cluster, None]
+        if name in self.vertices:
+            element = self.vertices[name]
+        elif name in self.interfaces:
+            element = self.interfaces[name]
+        elif name in self.clusters:
+            element = self.clusters[name]
+        else:
+            raise ModelError(
+                f"hierarchy {self.root.name!r}: unknown element {name!r}"
+            )
+        value = element.attrs.get(key)
+        if value is not None:
+            return value
+        for cluster_name in self.enclosing_clusters(name):
+            value = self.clusters[cluster_name].attrs.get(key)
+            if value is not None:
+                return value
+        return self.root.attrs.get(key)

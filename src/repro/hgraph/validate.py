@@ -1,0 +1,97 @@
+"""Structural validation of hierarchical graphs.
+
+Validation is separate from construction so that models can be built
+incrementally; :func:`validate_hierarchy` performs the global checks
+that cannot be enforced edge-by-edge.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ValidationError
+from .cluster import Cluster
+from .graph import GraphScope
+from .traversal import HierarchyIndex, iter_scopes
+
+
+def validate_hierarchy(root: GraphScope, allow_empty_interfaces: bool = False) -> HierarchyIndex:
+    """Validate the hierarchy rooted at ``root`` and return its index.
+
+    Checks performed:
+
+    * global name uniqueness (delegated to :class:`HierarchyIndex`);
+    * every edge endpoint exists within its scope (enforced at
+      construction, re-checked here for models built by deserialisation);
+    * every port mapping of every cluster targets a declared port of the
+      owning interface and a declared node of the cluster;
+    * unless ``allow_empty_interfaces``, every interface has at least one
+      cluster — an interface without clusters can never be activated
+      (rule 1 requires exactly one active cluster per active interface);
+    * every scope's edge relation is between nodes of that scope.
+
+    Raises :class:`~repro.errors.ValidationError` listing all problems.
+    """
+    problems: List[str] = []
+    index = HierarchyIndex(root)  # raises ModelError on duplicate names
+
+    for scope in iter_scopes(root):
+        for edge in scope.edges:
+            for endpoint in (edge.src, edge.dst):
+                if not scope.has_node(endpoint):
+                    problems.append(
+                        f"scope {scope.name!r}: edge endpoint {endpoint!r} "
+                        f"is not declared in the scope"
+                    )
+        for interface in scope.interfaces.values():
+            if not interface.clusters and not allow_empty_interfaces:
+                problems.append(
+                    f"interface {interface.name!r} has no alternative "
+                    f"clusters and can never be activated"
+                )
+            for cluster in interface.clusters:
+                _validate_cluster_embedding(cluster, problems)
+
+    if problems:
+        raise ValidationError(
+            f"hierarchy {root.name!r} failed validation:\n  - "
+            + "\n  - ".join(problems)
+        )
+    return index
+
+
+def _validate_cluster_embedding(cluster: Cluster, problems: List[str]) -> None:
+    """Check one cluster's port mapping against its interface."""
+    interface = cluster.interface
+    if interface is None:
+        problems.append(f"cluster {cluster.name!r} is not attached to any interface")
+        return
+    for port, target in cluster.port_map.items():
+        if port not in interface.ports:
+            problems.append(
+                f"cluster {cluster.name!r}: port mapping references "
+                f"undeclared interface port {port!r}"
+            )
+        if not cluster.has_node(target):
+            problems.append(
+                f"cluster {cluster.name!r}: port {port!r} is mapped to "
+                f"undeclared node {target!r}"
+            )
+
+
+def count_elements(root: GraphScope) -> dict:
+    """Summary statistics of a hierarchy (used by reports and benches).
+
+    Returns a dictionary with keys ``vertices`` (leaf count),
+    ``interfaces``, ``clusters``, ``edges`` and ``max_depth``.
+    """
+    index = HierarchyIndex(root)
+    edges = sum(len(scope.edges) for scope in iter_scopes(root))
+    max_depth = max(index.depth.values()) if index.depth else 0
+    return {
+        "vertices": len(index.vertices),
+        "interfaces": len(index.interfaces),
+        "clusters": len(index.clusters),
+        "edges": edges,
+        "max_depth": max_depth,
+    }

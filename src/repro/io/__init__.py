@@ -1,0 +1,54 @@
+"""Serialisation: JSON round-trip and Graphviz DOT export."""
+
+from .dot import hierarchy_to_dot, spec_to_dot
+from .nx import flat_to_networkx, hierarchy_to_networkx, spec_to_networkx
+from .result_io import (
+    RESULT_FORMAT,
+    RESULT_VERSION,
+    dump_result,
+    dumps_result,
+    implementation_from_dict,
+    implementation_to_dict,
+    load_result,
+    loads_result,
+    result_from_dict,
+    result_to_csv,
+    result_to_dict,
+)
+from .json_io import (
+    FORMAT,
+    VERSION,
+    dump_spec,
+    dumps_spec,
+    load_spec,
+    loads_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "FORMAT",
+    "RESULT_FORMAT",
+    "RESULT_VERSION",
+    "VERSION",
+    "dump_result",
+    "dump_spec",
+    "dumps_result",
+    "dumps_spec",
+    "flat_to_networkx",
+    "hierarchy_to_dot",
+    "hierarchy_to_networkx",
+    "spec_to_networkx",
+    "implementation_from_dict",
+    "implementation_to_dict",
+    "load_result",
+    "load_spec",
+    "loads_result",
+    "loads_spec",
+    "result_from_dict",
+    "result_to_csv",
+    "result_to_dict",
+    "spec_from_dict",
+    "spec_to_dict",
+    "spec_to_dot",
+]

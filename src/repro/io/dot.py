@@ -1,0 +1,83 @@
+"""Graphviz DOT export of hierarchical graphs and specifications.
+
+Renders the hierarchy the way the paper draws it: clusters as nested
+``subgraph cluster_*`` boxes inside their interface's box, mapping
+edges dashed between the problem and architecture sides.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hgraph import GraphScope
+from ..spec import SpecificationGraph
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _emit_scope(scope: GraphScope, lines: List[str], prefix: str, indent: str) -> None:
+    for vertex in scope.vertices.values():
+        lines.append(f"{indent}{_quote(prefix + vertex.name)} "
+                     f"[label={_quote(vertex.name)}, shape=ellipse];")
+    for interface in scope.interfaces.values():
+        lines.append(
+            f"{indent}subgraph {_quote('cluster_' + prefix + interface.name)} {{"
+        )
+        lines.append(f"{indent}  label={_quote(interface.name)};")
+        lines.append(f"{indent}  style=dashed;")
+        # anchor node so edges can attach to the interface
+        lines.append(
+            f"{indent}  {_quote(prefix + interface.name)} "
+            f"[label={_quote(interface.name)}, shape=box];"
+        )
+        for cluster in interface.clusters:
+            lines.append(
+                f"{indent}  subgraph "
+                f"{_quote('cluster_' + prefix + cluster.name)} {{"
+            )
+            lines.append(f"{indent}    label={_quote(cluster.name)};")
+            lines.append(f"{indent}    style=solid;")
+            _emit_scope(cluster, lines, prefix, indent + "    ")
+            lines.append(f"{indent}  }}")
+        lines.append(f"{indent}}}")
+    for edge in scope.edges:
+        lines.append(
+            f"{indent}{_quote(prefix + edge.src)} -> "
+            f"{_quote(prefix + edge.dst)};"
+        )
+
+
+def hierarchy_to_dot(root: GraphScope, name: str = "G") -> str:
+    """DOT text of one hierarchical graph."""
+    lines = [f"digraph {_quote(name)} {{", "  compound=true;"]
+    _emit_scope(root, lines, "", "  ")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def spec_to_dot(spec: SpecificationGraph) -> str:
+    """DOT text of a complete specification graph.
+
+    Problem and architecture hierarchies are wrapped in two outer
+    clusters; mapping edges are drawn dashed with the latency as label.
+    """
+    lines = [f"digraph {_quote(spec.name)} {{", "  compound=true;", "  rankdir=LR;"]
+    lines.append('  subgraph "cluster_problem" {')
+    lines.append(f"    label={_quote(spec.problem.name)};")
+    _emit_scope(spec.problem, lines, "p::", "    ")
+    lines.append("  }")
+    lines.append('  subgraph "cluster_architecture" {')
+    lines.append(f"    label={_quote(spec.architecture.name)};")
+    _emit_scope(spec.architecture, lines, "a::", "    ")
+    lines.append("  }")
+    for edge in spec.mappings:
+        lines.append(
+            f"  {_quote('p::' + edge.process)} -> "
+            f"{_quote('a::' + edge.resource)} "
+            f"[style=dashed, label={_quote(str(edge.latency))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

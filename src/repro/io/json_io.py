@@ -1,0 +1,183 @@
+"""JSON serialisation of specification graphs.
+
+Round-trips the complete model — both hierarchies with attributes,
+ports and port mappings, plus the mapping table — so specifications can
+be versioned, shared and loaded without Python code.  The format is a
+single JSON document with a ``format`` tag for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import SerializationError
+from ..hgraph import GraphScope, Interface, new_cluster
+from ..spec import ArchitectureGraph, ProblemGraph, SpecificationGraph
+
+#: Document format identifier.
+FORMAT = "repro/specification-graph"
+#: Current document version.
+VERSION = 1
+
+
+def _scope_to_dict(scope: GraphScope) -> Dict[str, Any]:
+    return {
+        "name": scope.name,
+        "attrs": dict(scope.attrs),
+        "vertices": [
+            {"name": v.name, "attrs": dict(v.attrs)}
+            for v in scope.vertices.values()
+        ],
+        "interfaces": [
+            _interface_to_dict(i) for i in scope.interfaces.values()
+        ],
+        "edges": [
+            {
+                "src": e.src,
+                "dst": e.dst,
+                "src_port": e.src_port,
+                "dst_port": e.dst_port,
+                "attrs": dict(e.attrs),
+            }
+            for e in scope.edges
+        ],
+    }
+
+
+def _interface_to_dict(interface: Interface) -> Dict[str, Any]:
+    return {
+        "name": interface.name,
+        "attrs": dict(interface.attrs),
+        "ports": [
+            {"name": p.name, "direction": p.direction}
+            for p in interface.ports.values()
+        ],
+        "clusters": [
+            dict(_scope_to_dict(c), port_map=dict(c.port_map))
+            for c in interface.clusters
+        ],
+    }
+
+
+def _fill_scope(scope: GraphScope, document: Dict[str, Any]) -> None:
+    try:
+        for vertex in document.get("vertices", ()):
+            scope.add_vertex(vertex["name"], **vertex.get("attrs", {}))
+        for interface_doc in document.get("interfaces", ()):
+            interface = scope.add_interface(
+                interface_doc["name"], **interface_doc.get("attrs", {})
+            )
+            for port in interface_doc.get("ports", ()):
+                interface.add_port(port["name"], port.get("direction", "inout"))
+            for cluster_doc in interface_doc.get("clusters", ()):
+                cluster = new_cluster(
+                    interface,
+                    cluster_doc["name"],
+                    **cluster_doc.get("attrs", {}),
+                )
+                _fill_scope(cluster, cluster_doc)
+                for port, target in cluster_doc.get("port_map", {}).items():
+                    cluster.map_port(port, target)
+        for edge in document.get("edges", ()):
+            scope.add_edge(
+                edge["src"],
+                edge["dst"],
+                edge.get("src_port"),
+                edge.get("dst_port"),
+                **edge.get("attrs", {}),
+            )
+    except KeyError as missing:
+        raise SerializationError(
+            f"malformed scope document {document.get('name')!r}: missing "
+            f"key {missing}"
+        ) from None
+
+
+def spec_to_dict(spec: SpecificationGraph) -> Dict[str, Any]:
+    """The JSON-ready dictionary form of a specification graph."""
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": spec.name,
+        "attrs": dict(spec.attrs),
+        "problem": _scope_to_dict(spec.problem),
+        "architecture": _scope_to_dict(spec.architecture),
+        "mappings": [
+            {
+                "process": e.process,
+                "resource": e.resource,
+                "latency": e.latency,
+                "attrs": dict(e.attrs),
+            }
+            for e in spec.mappings
+        ],
+    }
+
+
+def spec_from_dict(document: Dict[str, Any]) -> SpecificationGraph:
+    """Rebuild (and freeze) a specification from its dictionary form."""
+    if document.get("format") != FORMAT:
+        raise SerializationError(
+            f"not a specification-graph document: format="
+            f"{document.get('format')!r}"
+        )
+    if document.get("version") != VERSION:
+        raise SerializationError(
+            f"unsupported document version {document.get('version')!r}"
+        )
+    try:
+        problem = ProblemGraph(document["problem"]["name"])
+        problem.attrs.update(document["problem"].get("attrs", {}))
+        _fill_scope(problem, document["problem"])
+        architecture = ArchitectureGraph(document["architecture"]["name"])
+        architecture.attrs.update(document["architecture"].get("attrs", {}))
+        _fill_scope(architecture, document["architecture"])
+        spec = SpecificationGraph(
+            problem,
+            architecture,
+            name=document.get("name", "G_S"),
+            attrs=document.get("attrs"),
+        )
+        for mapping in document.get("mappings", ()):
+            spec.map(
+                mapping["process"],
+                mapping["resource"],
+                mapping["latency"],
+                **mapping.get("attrs", {}),
+            )
+    except KeyError as missing:
+        raise SerializationError(
+            f"malformed specification document: missing key {missing}"
+        ) from None
+    return spec.freeze()
+
+
+def dump_spec(spec: SpecificationGraph, path: str, indent: int = 2) -> None:
+    """Write a specification graph to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(spec_to_dict(spec), handle, indent=indent, sort_keys=True)
+
+
+def load_spec(path: str) -> SpecificationGraph:
+    """Load (and freeze) a specification graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise SerializationError(f"invalid JSON in {path!r}: {error}") from None
+    return spec_from_dict(document)
+
+
+def dumps_spec(spec: SpecificationGraph) -> str:
+    """The JSON text of a specification graph."""
+    return json.dumps(spec_to_dict(spec), indent=2, sort_keys=True)
+
+
+def loads_spec(text: str) -> SpecificationGraph:
+    """Parse a specification graph from JSON text."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from None
+    return spec_from_dict(document)

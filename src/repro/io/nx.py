@@ -1,0 +1,103 @@
+"""NetworkX interoperability.
+
+Converts hierarchical graphs and specification graphs into
+``networkx`` structures so downstream users can apply the standard
+graph toolbox (centrality, cuts, drawing back-ends) to flexibility
+models.  networkx is an optional dependency: importing this module
+without it raises ``ImportError`` at call time, not import time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hgraph import GraphScope, HierarchyIndex
+from ..spec import SpecificationGraph
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as error:  # pragma: no cover - env without nx
+        raise ImportError(
+            "networkx is required for repro.io.nx conversions"
+        ) from error
+    return networkx
+
+
+def hierarchy_to_networkx(root: GraphScope):
+    """A ``networkx.DiGraph`` of one hierarchy.
+
+    Nodes are vertices, interfaces and clusters; node attribute ``element``
+    distinguishes them and ``scope`` names the containing scope.  Edges
+    carry ``relation``: ``"dependence"`` for scope edges, ``"refines"`` from
+    cluster to interface, ``"contains"`` from scope to member.
+    """
+    networkx = _require_networkx()
+    graph = networkx.DiGraph(name=root.name)
+    index = HierarchyIndex(root)
+
+    def add_scope(scope: GraphScope, scope_name: Optional[str]) -> None:
+        for name, vertex in scope.vertices.items():
+            graph.add_node(
+                name, element="vertex", scope=scope_name, **vertex.attrs
+            )
+            if scope_name is not None:
+                graph.add_edge(scope_name, name, relation="contains")
+        for name, interface in scope.interfaces.items():
+            graph.add_node(name, element="interface", scope=scope_name)
+            if scope_name is not None:
+                graph.add_edge(scope_name, name, relation="contains")
+            for cluster in interface.clusters:
+                graph.add_node(
+                    cluster.name,
+                    element="cluster",
+                    scope=scope_name,
+                    **cluster.attrs,
+                )
+                graph.add_edge(cluster.name, name, relation="refines")
+                add_scope(cluster, cluster.name)
+        for edge in scope.edges:
+            graph.add_edge(
+                edge.src, edge.dst, relation="dependence", **edge.attrs
+            )
+
+    add_scope(root, None)
+    return graph
+
+
+def spec_to_networkx(spec: SpecificationGraph):
+    """A ``networkx.DiGraph`` of a whole specification.
+
+    Problem and architecture nodes get a ``side`` attribute
+    (``"problem"`` / ``"architecture"``); mapping edges carry
+    ``relation="mapping"`` and their ``latency``.
+    """
+    networkx = _require_networkx()
+    combined = networkx.DiGraph(name=spec.name)
+    for side, root in (
+        ("problem", spec.problem),
+        ("architecture", spec.architecture),
+    ):
+        part = hierarchy_to_networkx(root)
+        for node, attrs in part.nodes(data=True):
+            combined.add_node(node, side=side, **attrs)
+        for src, dst, attrs in part.edges(data=True):
+            combined.add_edge(src, dst, **attrs)
+    for edge in spec.mappings:
+        combined.add_edge(
+            edge.process,
+            edge.resource,
+            relation="mapping",
+            latency=edge.latency,
+        )
+    return combined
+
+
+def flat_to_networkx(flat):
+    """A ``networkx.DiGraph`` of a flattened activation (task graph)."""
+    networkx = _require_networkx()
+    graph = networkx.DiGraph()
+    graph.add_nodes_from(flat.leaves)
+    graph.add_edges_from(flat.edges)
+    return graph

@@ -1,0 +1,147 @@
+"""Serialisation of exploration results.
+
+Exports an :class:`~repro.core.result.ExplorationResult` to JSON (full
+fidelity: points with coverage bindings, statistics, the flexibility
+bound) and to CSV (one row per Pareto point, for spreadsheets and
+plotting scripts), and loads the JSON form back into result objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from typing import Any, Dict
+
+from ..core.result import (
+    EcsRecord,
+    ExplorationResult,
+    ExplorationStats,
+    Implementation,
+)
+from ..errors import SerializationError
+
+#: Document format identifier.
+RESULT_FORMAT = "repro/exploration-result"
+#: Current document version.
+RESULT_VERSION = 1
+
+
+def implementation_to_dict(implementation: Implementation) -> Dict[str, Any]:
+    """JSON-ready form of one implementation."""
+    return {
+        "units": sorted(implementation.units),
+        "cost": implementation.cost,
+        "flexibility": implementation.flexibility,
+        "clusters": sorted(implementation.clusters),
+        "coverage": [
+            {
+                "selection": dict(record.selection),
+                "binding": dict(record.binding),
+            }
+            for record in implementation.coverage
+        ],
+    }
+
+
+def implementation_from_dict(document: Dict[str, Any]) -> Implementation:
+    """Rebuild an implementation from its dictionary form."""
+    try:
+        coverage = [
+            EcsRecord(entry["selection"], entry["binding"])
+            for entry in document.get("coverage", ())
+        ]
+        return Implementation(
+            frozenset(document["units"]),
+            float(document["cost"]),
+            float(document["flexibility"]),
+            frozenset(document["clusters"]),
+            coverage,
+        )
+    except KeyError as missing:
+        raise SerializationError(
+            f"malformed implementation document: missing key {missing}"
+        ) from None
+
+
+def result_to_dict(result: ExplorationResult) -> Dict[str, Any]:
+    """JSON-ready form of a complete exploration result."""
+    return {
+        "format": RESULT_FORMAT,
+        "version": RESULT_VERSION,
+        "max_flexibility_bound": result.max_flexibility_bound,
+        "stats": result.stats.as_dict(),
+        "points": [implementation_to_dict(p) for p in result.points],
+    }
+
+
+def result_from_dict(document: Dict[str, Any]) -> ExplorationResult:
+    """Rebuild an exploration result from its dictionary form."""
+    if document.get("format") != RESULT_FORMAT:
+        raise SerializationError(
+            f"not an exploration-result document: format="
+            f"{document.get('format')!r}"
+        )
+    if document.get("version") != RESULT_VERSION:
+        raise SerializationError(
+            f"unsupported result document version "
+            f"{document.get('version')!r}"
+        )
+    stats = ExplorationStats()
+    for key, value in document.get("stats", {}).items():
+        if key in ExplorationStats.__slots__:
+            setattr(stats, key, value)
+    points = [
+        implementation_from_dict(entry)
+        for entry in document.get("points", ())
+    ]
+    return ExplorationResult(
+        points, stats, float(document.get("max_flexibility_bound", 0.0))
+    )
+
+
+def dumps_result(result: ExplorationResult) -> str:
+    """The JSON text of an exploration result."""
+    return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+
+
+def loads_result(text: str) -> ExplorationResult:
+    """Parse an exploration result from JSON text."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from None
+    return result_from_dict(document)
+
+
+def dump_result(result: ExplorationResult, path: str) -> None:
+    """Write an exploration result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_result(result))
+
+
+def load_result(path: str) -> ExplorationResult:
+    """Load an exploration result from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_result(handle.read())
+
+
+def result_to_csv(result: ExplorationResult) -> str:
+    """CSV text with one row per Pareto point.
+
+    Columns: cost, flexibility, units (semicolon-joined), clusters
+    (semicolon-joined).
+    """
+    buffer = _io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["cost", "flexibility", "units", "clusters"])
+    for point in result.points:
+        writer.writerow(
+            [
+                f"{point.cost:g}",
+                f"{point.flexibility:g}",
+                ";".join(sorted(point.units)),
+                ";".join(sorted(point.clusters)),
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,22 @@
+"""Text reporting: tables (Table 1, Pareto results) and ASCII plots (Fig. 4)."""
+
+from .metrics import coverage, front_summary, hypervolume, knee_point
+from .plot import ascii_scatter, staircase, tradeoff_plot
+from .svg import front_svg, save_front_svg
+from .tables import format_table, mapping_table, pareto_table, stats_table
+
+__all__ = [
+    "ascii_scatter",
+    "coverage",
+    "format_table",
+    "front_summary",
+    "front_svg",
+    "hypervolume",
+    "knee_point",
+    "mapping_table",
+    "pareto_table",
+    "save_front_svg",
+    "staircase",
+    "stats_table",
+    "tradeoff_plot",
+]

@@ -1,0 +1,111 @@
+"""Quantitative quality metrics of flexibility/cost fronts.
+
+Used by the baseline bench to compare fronts beyond point-set equality:
+
+* :func:`hypervolume` — area dominated by a front relative to a
+  reference point (the standard multi-objective quality indicator);
+* :func:`coverage` — fraction of one front's points dominated by or
+  present in another (the C-metric);
+* :func:`knee_point` — the point of maximal marginal
+  flexibility-per-cost, a practical pick on the tradeoff curve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..core.pareto import dominates, pareto_front
+
+Point = Tuple[float, float]  # (cost, flexibility)
+
+
+def hypervolume(
+    front: Sequence[Point], reference: Optional[Point] = None
+) -> float:
+    """Dominated area of a (cost, flexibility) front.
+
+    ``reference`` is the worst corner (max cost, min flexibility); when
+    omitted it is derived from the front itself (max cost, 0).  Cost is
+    minimised and flexibility maximised, so the area accumulates between
+    each point's cost and the reference cost, over the flexibility gained
+    since the previous point.
+    """
+    if not front:
+        return 0.0
+    clean = pareto_front(list(front), keep_ties=False)
+    if reference is None:
+        reference = (max(c for c, _ in clean), 0.0)
+    ref_cost, ref_flex = reference
+    total = 0.0
+    previous_flex = ref_flex
+    for cost, flexibility in clean:  # increasing cost, increasing flex
+        if cost > ref_cost or flexibility <= previous_flex:
+            continue
+        total += (ref_cost - cost) * (flexibility - previous_flex)
+        previous_flex = flexibility
+    return total
+
+
+def coverage(front_a: Iterable[Point], front_b: Iterable[Point]) -> float:
+    """C-metric: fraction of ``front_b`` weakly dominated by ``front_a``.
+
+    1.0 means every point of B is matched or beaten by some point of A;
+    0.0 means none is.  An empty B yields 1.0 by convention.
+    """
+    a_points = list(front_a)
+    b_points = list(front_b)
+    if not b_points:
+        return 1.0
+    matched = sum(
+        1
+        for b in b_points
+        if any(a == b or dominates(a, b) for a in a_points)
+    )
+    return matched / len(b_points)
+
+
+def knee_point(front: Sequence[Point]) -> Optional[Point]:
+    """The point with the best marginal flexibility per extra cost.
+
+    Walks the cost-sorted front and returns the point maximising
+    ``(f_i - f_{i-1}) / (c_i - c_{i-1})``; the first point is returned
+    for single-point fronts.  ``None`` for empty fronts.
+    """
+    clean = pareto_front(list(front), keep_ties=False)
+    if not clean:
+        return None
+    if len(clean) == 1:
+        return clean[0]
+    best_point = clean[0]
+    best_slope = float("-inf")
+    for (prev_cost, prev_flex), (cost, flexibility) in zip(
+        clean, clean[1:]
+    ):
+        delta_cost = cost - prev_cost
+        if delta_cost <= 0:
+            continue
+        slope = (flexibility - prev_flex) / delta_cost
+        if slope > best_slope:
+            best_slope = slope
+            best_point = (cost, flexibility)
+    return best_point
+
+
+def front_summary(front: Sequence[Point]) -> dict:
+    """Compact metric bundle for reports: size, span, hypervolume, knee."""
+    clean = pareto_front(list(front), keep_ties=False)
+    if not clean:
+        return {
+            "points": 0,
+            "cost_span": (0.0, 0.0),
+            "flexibility_span": (0.0, 0.0),
+            "hypervolume": 0.0,
+            "knee": None,
+        }
+    return {
+        "points": len(clean),
+        "cost_span": (clean[0][0], clean[-1][0]),
+        "flexibility_span": (clean[0][1], clean[-1][1]),
+        "hypervolume": hypervolume(clean),
+        "knee": knee_point(clean),
+    }

@@ -1,0 +1,92 @@
+"""ASCII plotting of the flexibility/cost design space (Figure 4).
+
+The paper plots cost against the *reciprocal* flexibility and marks the
+Pareto points whose dominated regions are pruned.  These renderers
+reproduce that view in plain text so benches and examples can show the
+tradeoff curve without a graphics stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.pareto import pareto_front
+
+Point = Tuple[float, float]
+
+
+def ascii_scatter(
+    points: Sequence[Point],
+    width: int = 60,
+    height: int = 20,
+    x_label: str = "cost",
+    y_label: str = "1/flexibility",
+    marker: str = "o",
+    front_marker: str = "P",
+) -> str:
+    """Scatter plot of (x, y) points; Pareto points marked ``P``.
+
+    Pareto optimality is evaluated in the paper's objective space:
+    minimise both axes.
+    """
+    if not points:
+        return "(no points)\n"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    # minimise/minimise front: translate to (cost, flexibility) dominance
+    # by negating the second axis for pareto_front (which maximises it).
+    front = set(
+        (c, -f) for (c, f) in pareto_front([(x, -y) for (x, y) in points])
+    )
+    grid: List[List[str]] = [
+        [" "] * (width + 1) for _ in range(height + 1)
+    ]
+    for point in points:
+        x, y = point
+        column = round((x - x_low) / x_span * width)
+        row = height - round((y - y_low) / y_span * height)
+        symbol = front_marker if point in front else marker
+        grid[row][column] = symbol
+    lines = [f"  {y_label} (max {y_high:g})"]
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * (width + 1))
+    lines.append(
+        f"   {x_label}: {x_low:g} .. {x_high:g}   "
+        f"({front_marker} = Pareto-optimal)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def tradeoff_plot(
+    front: Iterable[Point],
+    all_points: Iterable[Point] = (),
+    width: int = 60,
+    height: int = 20,
+) -> str:
+    """Figure-4 style plot: cost vs 1/flexibility.
+
+    ``front`` and ``all_points`` are (cost, flexibility) pairs; points
+    with zero flexibility are skipped (no feasible implementation).
+    """
+    def reciprocal(points: Iterable[Point]) -> List[Point]:
+        return [(c, 1.0 / f) for (c, f) in points if f > 0]
+
+    combined = reciprocal(all_points) + reciprocal(front)
+    return ascii_scatter(combined, width=width, height=height)
+
+
+def staircase(front: Sequence[Point], width: int = 60) -> str:
+    """One-line-per-point rendering of a front with bar lengths by cost."""
+    if not front:
+        return "(empty front)\n"
+    max_cost = max(c for c, _ in front) or 1.0
+    lines = []
+    for cost, flexibility in sorted(front):
+        bar = "#" * max(1, round(cost / max_cost * width))
+        lines.append(f"f={flexibility:>5g} | {bar} ${cost:g}")
+    return "\n".join(lines) + "\n"

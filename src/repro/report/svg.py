@@ -1,0 +1,146 @@
+"""Standalone SVG rendering of flexibility/cost fronts.
+
+Produces a self-contained SVG document (no external assets, no plotting
+library) showing the Pareto staircase in the (cost, flexibility) plane
+— the publishable counterpart of the ASCII Figure-4 plot.  The output
+is valid XML; tests parse it back.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from ..core.pareto import pareto_front
+
+Point = Tuple[float, float]
+
+#: Default canvas geometry.
+WIDTH = 640
+HEIGHT = 400
+MARGIN = 56
+
+
+def _scale(value: float, low: float, high: float, out_low: float, out_high: float) -> float:
+    span = high - low
+    if span <= 0:
+        return (out_low + out_high) / 2.0
+    return out_low + (value - low) / span * (out_high - out_low)
+
+
+def front_svg(
+    front: Sequence[Point],
+    dominated: Sequence[Point] = (),
+    title: str = "Flexibility/cost design space",
+    width: int = WIDTH,
+    height: int = HEIGHT,
+) -> str:
+    """SVG document of a front (and optionally dominated points).
+
+    The front is drawn as a staircase with filled markers; dominated
+    points as hollow markers.  Axes are annotated with the value
+    ranges.  Returns the SVG as a string.
+    """
+    points = list(front) + list(dominated)
+    lines: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="15">{escape(title)}</text>',
+    ]
+    if points:
+        costs = [c for c, _ in points]
+        flexes = [f for _, f in points]
+        c_low, c_high = min(costs), max(costs)
+        f_low, f_high = min(min(flexes), 0.0), max(flexes)
+        plot = (MARGIN, width - MARGIN // 2, height - MARGIN, MARGIN // 2 + 16)
+        x_low, x_high, y_low, y_high = plot
+
+        def transform(point: Point) -> Tuple[float, float]:
+            cost, flexibility = point
+            return (
+                _scale(cost, c_low, c_high, x_low, x_high),
+                _scale(flexibility, f_low, f_high, y_low, y_high),
+            )
+
+        # axes
+        lines.append(
+            f'<line x1="{x_low}" y1="{y_low}" x2="{x_high}" y2="{y_low}" '
+            f'stroke="black"/>'
+        )
+        lines.append(
+            f'<line x1="{x_low}" y1="{y_low}" x2="{x_low}" y2="{y_high}" '
+            f'stroke="black"/>'
+        )
+        lines.append(
+            f'<text x="{(x_low + x_high) / 2:.0f}" y="{height - 16}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="12">cost ({c_low:g} .. {c_high:g})</text>'
+        )
+        lines.append(
+            f'<text x="16" y="{(y_low + y_high) / 2:.0f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="12" transform="rotate(-90 16 '
+            f'{(y_low + y_high) / 2:.0f})">flexibility '
+            f'({f_low:g} .. {f_high:g})</text>'
+        )
+        # dominated points (hollow)
+        for point in dominated:
+            x, y = transform(point)
+            lines.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="none" '
+                f'stroke="#888" stroke-width="1.2"/>'
+            )
+        # staircase through the front
+        ordered = pareto_front(list(front), keep_ties=False)
+        if len(ordered) >= 2:
+            path: List[str] = []
+            for i, point in enumerate(ordered):
+                x, y = transform(point)
+                if i == 0:
+                    path.append(f"M {x:.1f} {y:.1f}")
+                else:
+                    prev_x, _ = transform(ordered[i - 1])
+                    path.append(f"L {x:.1f} {transform(ordered[i - 1])[1]:.1f}")
+                    path.append(f"L {x:.1f} {y:.1f}")
+            lines.append(
+                f'<path d="{" ".join(path)}" fill="none" '
+                f'stroke="#2a6fdb" stroke-width="1.6"/>'
+            )
+        # front markers + labels
+        for point in ordered:
+            x, y = transform(point)
+            lines.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="5" '
+                f'fill="#2a6fdb"/>'
+            )
+            lines.append(
+                f'<text x="{x + 8:.1f}" y="{y - 8:.1f}" '
+                f'font-family="sans-serif" font-size="11">'
+                f"(${point[0]:g}, f={point[1]:g})</text>"
+            )
+    else:
+        lines.append(
+            f'<text x="{width / 2:.0f}" y="{height / 2:.0f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="13">(no points)</text>'
+        )
+    lines.append("</svg>")
+    return "\n".join(lines) + "\n"
+
+
+def save_front_svg(
+    front: Sequence[Point],
+    path: str,
+    dominated: Sequence[Point] = (),
+    title: Optional[str] = None,
+) -> None:
+    """Write :func:`front_svg` output to ``path``."""
+    text = front_svg(
+        front,
+        dominated,
+        title if title is not None else "Flexibility/cost design space",
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,92 @@
+"""Plain-text table rendering for benches and examples.
+
+Regenerates the paper's tabular artifacts: Table 1 (possible mappings
+with core execution times) and the Section-5 Pareto results table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.result import ExplorationResult
+from ..spec import SpecificationGraph
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    align_left_first: bool = True,
+) -> str:
+    """Render an aligned monospace table with a header rule."""
+    materialised: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0 and align_left_first:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [render_row(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines) + "\n"
+
+
+def mapping_table(
+    spec: SpecificationGraph,
+    process_order: Optional[Sequence[str]] = None,
+    resource_order: Optional[Sequence[str]] = None,
+    missing: str = "-",
+) -> str:
+    """Regenerate the paper's Table 1 from the model's mapping edges.
+
+    Rows are processes, columns resources; cells hold the core
+    execution time or ``-`` when the pair is unmapped.
+    """
+    processes = (
+        list(process_order)
+        if process_order is not None
+        else sorted(spec.mappings.processes())
+    )
+    resources = (
+        list(resource_order)
+        if resource_order is not None
+        else sorted(spec.mappings.resources())
+    )
+    rows = []
+    for process in processes:
+        row = [process]
+        for resource in resources:
+            edge = spec.mappings.edge(process, resource)
+            row.append(missing if edge is None else f"{edge.latency:g}")
+        rows.append(row)
+    return format_table(["Process"] + resources, rows)
+
+
+def pareto_table(result: ExplorationResult) -> str:
+    """Render an exploration result like the paper's results table."""
+    rows = []
+    for impl in result.points:
+        rows.append(
+            [
+                ", ".join(sorted(impl.units)),
+                ", ".join(sorted(impl.clusters)),
+                f"${impl.cost:g}",
+                f"{impl.flexibility:g}",
+            ]
+        )
+    return format_table(["Resources", "Clusters", "c", "f"], rows)
+
+
+def stats_table(result: ExplorationResult) -> str:
+    """Render exploration statistics (the Section-5 reduction numbers)."""
+    stats = result.stats.as_dict()
+    rows = [[key.replace("_", " "), f"{value:g}"] for key, value in stats.items()]
+    return format_table(["counter", "value"], rows)

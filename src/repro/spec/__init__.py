@@ -1,0 +1,80 @@
+"""Specification graphs ``G_S = (G_P, G_A, E_M)``.
+
+Problem graph (behaviour), architecture graph (structure), mapping
+edges (the "can be implemented by" relation with latencies), allocatable
+resource units, and the reduction of a specification under a partial
+allocation.
+"""
+
+from .architecture import ArchitectureGraph
+from .attributes import (
+    COST,
+    KIND,
+    KIND_COMM,
+    KIND_RESOURCE,
+    NEGLIGIBLE,
+    PERIOD,
+    RECONFIG_DELAY,
+    WEIGHT,
+    check_latency,
+    cost_of,
+    is_comm,
+    is_negligible,
+    period_of,
+    reconfig_delay_of,
+)
+from .lint import (
+    Diagnostic,
+    ERROR,
+    WARNING,
+    lint_errors,
+    lint_specification,
+)
+from .mapping import MappingEdge, MappingTable
+from .problem import ProblemGraph
+from .reduce import (
+    activatable_clusters,
+    bindable_leaves,
+    supports_problem,
+    surviving_mappings,
+    usable_units,
+)
+from .specification import SpecificationGraph, make_specification
+from .units import KIND_CLUSTER, KIND_LEAF, ResourceUnit, UnitCatalog
+
+__all__ = [
+    "ArchitectureGraph",
+    "COST",
+    "Diagnostic",
+    "ERROR",
+    "WARNING",
+    "lint_errors",
+    "lint_specification",
+    "KIND",
+    "KIND_CLUSTER",
+    "KIND_COMM",
+    "KIND_LEAF",
+    "KIND_RESOURCE",
+    "MappingEdge",
+    "MappingTable",
+    "NEGLIGIBLE",
+    "PERIOD",
+    "ProblemGraph",
+    "RECONFIG_DELAY",
+    "ResourceUnit",
+    "SpecificationGraph",
+    "UnitCatalog",
+    "WEIGHT",
+    "activatable_clusters",
+    "bindable_leaves",
+    "check_latency",
+    "cost_of",
+    "is_comm",
+    "is_negligible",
+    "make_specification",
+    "period_of",
+    "reconfig_delay_of",
+    "supports_problem",
+    "surviving_mappings",
+    "usable_units",
+]

@@ -1,0 +1,55 @@
+"""Architecture graphs: the structural side of a specification.
+
+The architecture graph ``G_A`` is a directed hierarchical graph whose
+vertices and interfaces represent functional or communication
+resources; edges specify interconnections and clusters represent
+potential implementations of the associated interfaces (e.g. FPGA
+designs).  All resources are viewed as potentially allocatable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from ..hgraph import HierarchicalGraph, Vertex, iter_scopes
+from .attributes import is_comm
+
+
+class ArchitectureGraph(HierarchicalGraph):
+    """The structural hierarchy ``G_A = (V_A, E_A, Psi_A, Gamma_A)``.
+
+    Well-known attributes on architecture elements: ``cost`` (allocation
+    cost of leaves and clusters), ``kind`` (``"resource"`` or ``"comm"``
+    on leaves) and ``reconfig_delay`` (on clusters modelling
+    reconfigurable designs).
+
+    Convenience constructors :meth:`add_resource` and :meth:`add_bus`
+    make the common cases explicit.
+    """
+
+    def __init__(self, name: str = "G_A", attrs: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(name, attrs)
+
+    def add_resource(self, name: str, cost: float = 0.0, **attrs: Any) -> Vertex:
+        """Declare a functional resource leaf with allocation ``cost``."""
+        return self.add_vertex(name, cost=cost, kind="resource", **attrs)
+
+    def add_bus(self, name: str, cost: float = 0.0, *connects: str, **attrs: Any) -> Vertex:
+        """Declare a communication resource and connect it bidirectionally.
+
+        Every name in ``connects`` must already be declared in the top
+        scope; edges are added in both directions because the paper's
+        buses are bidirectional interconnects.
+        """
+        bus = self.add_vertex(name, cost=cost, kind="comm", **attrs)
+        for other in connects:
+            self.add_edge(name, other)
+            self.add_edge(other, name)
+        return bus
+
+    def comm_vertices(self) -> Iterator[Vertex]:
+        """Iterate all communication resources anywhere in the hierarchy."""
+        for scope in iter_scopes(self):
+            for vertex in scope.vertices.values():
+                if is_comm(vertex):
+                    yield vertex

@@ -1,0 +1,238 @@
+"""Diagnostics for specification graphs.
+
+Hard structural errors are rejected by ``freeze()``; this linter finds
+the *soft* problems that make explorations silently disappointing —
+processes that can never be bound, resources nothing maps to, buses
+that route nothing, clusters that can never be activated, and timing
+annotations that are unsatisfiable on every resource.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hgraph import iter_scopes
+from .attributes import is_comm
+from .reduce import activatable_clusters, supports_problem
+from .specification import SpecificationGraph
+
+#: Diagnostic severities.
+ERROR = "error"
+WARNING = "warning"
+
+
+class Diagnostic:
+    """One linter finding."""
+
+    __slots__ = ("level", "code", "message")
+
+    def __init__(self, level: str, code: str, message: str) -> None:
+        self.level = level
+        #: Stable machine-readable identifier, e.g. ``unmapped-process``.
+        self.code = code
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"[{self.level}] {self.code}: {self.message}"
+
+
+def lint_specification(spec: SpecificationGraph) -> List[Diagnostic]:
+    """All diagnostics of ``spec``, errors first.
+
+    Errors describe specifications whose exploration cannot succeed
+    (e.g. the full allocation still supports no feasible activation);
+    warnings describe dead weight or likely mistakes.
+    """
+    diagnostics: List[Diagnostic] = []
+    _lint_mappings(spec, diagnostics)
+    _lint_architecture(spec, diagnostics)
+    _lint_activatability(spec, diagnostics)
+    _lint_timing(spec, diagnostics)
+    _lint_shape(spec, diagnostics)
+    _lint_cycles(spec, diagnostics)
+    diagnostics.sort(key=lambda d: (d.level != ERROR, d.code, d.message))
+    return diagnostics
+
+
+def lint_errors(spec: SpecificationGraph) -> List[Diagnostic]:
+    """Only the error-level diagnostics."""
+    return [d for d in lint_specification(spec) if d.level == ERROR]
+
+
+# ----------------------------------------------------------------------
+# Individual passes
+# ----------------------------------------------------------------------
+def _lint_mappings(spec: SpecificationGraph, out: List[Diagnostic]) -> None:
+    for process in spec.p_index.vertices:
+        if not spec.mappings.of_process(process):
+            out.append(
+                Diagnostic(
+                    WARNING,
+                    "unmapped-process",
+                    f"process {process!r} has no mapping edge and can "
+                    f"never be bound",
+                )
+            )
+    mapped_resources = set(spec.mappings.resources())
+    for leaf, vertex in spec.a_index.vertices.items():
+        if is_comm(vertex):
+            continue
+        if leaf not in mapped_resources:
+            out.append(
+                Diagnostic(
+                    WARNING,
+                    "dead-resource",
+                    f"resource {leaf!r} is the target of no mapping edge",
+                )
+            )
+
+
+def _lint_architecture(spec: SpecificationGraph, out: List[Diagnostic]) -> None:
+    adjacency = spec.architecture_adjacency()
+    functional_top = {
+        u.top_node for u in spec.units if not u.comm
+    }
+    for unit in spec.units.comm_units():
+        neighbors = adjacency.get(unit.top_node, frozenset())
+        functional_neighbors = {
+            n for n in neighbors if n in functional_top
+        }
+        comm_neighbors = {
+            n for n in neighbors if n not in functional_top
+        }
+        if len(functional_neighbors) + len(comm_neighbors) < 2:
+            out.append(
+                Diagnostic(
+                    WARNING,
+                    "dangling-bus",
+                    f"communication resource {unit.name!r} connects "
+                    f"fewer than two nodes and can never route traffic",
+                )
+            )
+
+
+def _lint_activatability(spec: SpecificationGraph, out: List[Diagnostic]) -> None:
+    all_units = set(spec.units.names())
+    if not supports_problem(spec, all_units):
+        out.append(
+            Diagnostic(
+                ERROR,
+                "unsupportable-problem",
+                "even the full allocation supports no feasible problem "
+                "activation; exploration will find nothing",
+            )
+        )
+        return
+    activatable = activatable_clusters(spec, all_units)
+    for cluster_name in spec.p_index.clusters:
+        if cluster_name not in activatable:
+            out.append(
+                Diagnostic(
+                    WARNING,
+                    "dead-cluster",
+                    f"cluster {cluster_name!r} can never be activated "
+                    f"(unbindable leaf or empty nested interface); it "
+                    f"contributes no flexibility",
+                )
+            )
+
+
+def _lint_timing(spec: SpecificationGraph, out: List[Diagnostic]) -> None:
+    timing = spec.process_timing()
+    for process, (period, negligible) in timing.items():
+        if period is None or negligible:
+            continue
+        edges = spec.mappings.of_process(process)
+        if not edges:
+            continue
+        feasible_anywhere = any(
+            edge.latency <= period for edge in edges
+        )
+        if not feasible_anywhere:
+            out.append(
+                Diagnostic(
+                    ERROR,
+                    "unsatisfiable-period",
+                    f"process {process!r} has period {period:g} but its "
+                    f"fastest mapping needs "
+                    f"{min(e.latency for e in edges):g}",
+                )
+            )
+
+
+def _lint_cycles(spec: SpecificationGraph, out: List[Diagnostic]) -> None:
+    """Cyclic dependence relations within one scope.
+
+    The problem graph's edges "define a partial ordering among the
+    operations"; a cycle inside a scope makes every activation of that
+    scope unschedulable.
+    """
+    for scope in iter_scopes(spec.problem):
+        adjacency = {}
+        for edge in scope.edges:
+            adjacency.setdefault(edge.src, set()).add(edge.dst)
+        state = {}
+
+        def has_cycle(node) -> bool:
+            mark = state.get(node)
+            if mark == "active":
+                return True
+            if mark == "done":
+                return False
+            state[node] = "active"
+            found = any(
+                has_cycle(successor)
+                for successor in adjacency.get(node, ())
+            )
+            state[node] = "done"
+            return found
+
+        if any(has_cycle(node) for node in list(adjacency)):
+            out.append(
+                Diagnostic(
+                    ERROR,
+                    "cyclic-dependences",
+                    f"scope {scope.name!r} has a dependence cycle; no "
+                    f"activation of it can be scheduled",
+                )
+            )
+
+
+def _lint_shape(spec: SpecificationGraph, out: List[Diagnostic]) -> None:
+    for scope in iter_scopes(spec.problem):
+        for interface in scope.interfaces.values():
+            if len(interface.clusters) == 1:
+                out.append(
+                    Diagnostic(
+                        WARNING,
+                        "single-alternative",
+                        f"interface {interface.name!r} has a single "
+                        f"cluster; it adds hierarchy but no flexibility",
+                    )
+                )
+            for cluster in interface.clusters:
+                if not cluster.vertices and not cluster.interfaces:
+                    out.append(
+                        Diagnostic(
+                            WARNING,
+                            "empty-cluster",
+                            f"cluster {cluster.name!r} contains no "
+                            f"vertices or interfaces",
+                        )
+                    )
+                missing = [
+                    p
+                    for p in interface.ports
+                    if p not in cluster.port_map
+                    and len(cluster.node_names()) != 1
+                ]
+                if missing:
+                    out.append(
+                        Diagnostic(
+                            WARNING,
+                            "unmapped-port",
+                            f"cluster {cluster.name!r} does not map "
+                            f"port(s) {missing!r} of interface "
+                            f"{interface.name!r}; flattening may fail",
+                        )
+                    )

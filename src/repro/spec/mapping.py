@@ -1,0 +1,120 @@
+"""Mapping edges ``E_M``: the "can be implemented by" relation.
+
+Mapping edges link leaves of the problem graph with leaves of the
+architecture graph and carry the core execution time (latency) of the
+process on that resource — exactly the content of Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ModelError
+from .attributes import check_latency
+
+
+class MappingEdge:
+    """One "process can be implemented by resource" edge with a latency."""
+
+    __slots__ = ("process", "resource", "latency", "attrs")
+
+    def __init__(
+        self,
+        process: str,
+        resource: str,
+        latency: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not process or not resource:
+            raise ModelError("mapping edge endpoints must be non-empty")
+        self.process = process
+        self.resource = resource
+        self.latency = check_latency(latency)
+        self.attrs = dict(attrs) if attrs else {}
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The ``(process, resource)`` endpoint pair."""
+        return (self.process, self.resource)
+
+    def __repr__(self) -> str:
+        return (
+            f"MappingEdge({self.process!r} -> {self.resource!r}, "
+            f"latency={self.latency})"
+        )
+
+
+class MappingTable:
+    """The set ``E_M`` with fast lookups in both directions.
+
+    At most one mapping edge per (process, resource) pair is allowed —
+    Table 1 of the paper has one latency cell per pair.
+    """
+
+    def __init__(self) -> None:
+        self._edges: Dict[Tuple[str, str], MappingEdge] = {}
+        self._by_process: Dict[str, List[MappingEdge]] = {}
+        self._by_resource: Dict[str, List[MappingEdge]] = {}
+
+    def add(
+        self,
+        process: str,
+        resource: str,
+        latency: float,
+        **attrs: Any,
+    ) -> MappingEdge:
+        """Add one mapping edge; duplicate pairs are rejected."""
+        edge = MappingEdge(process, resource, latency, attrs)
+        if edge.pair in self._edges:
+            raise ModelError(
+                f"duplicate mapping edge {process!r} -> {resource!r}"
+            )
+        self._edges[edge.pair] = edge
+        self._by_process.setdefault(process, []).append(edge)
+        self._by_resource.setdefault(resource, []).append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def edge(self, process: str, resource: str) -> Optional[MappingEdge]:
+        """The edge for ``(process, resource)`` or ``None``."""
+        return self._edges.get((process, resource))
+
+    def latency(self, process: str, resource: str) -> float:
+        """Latency of the pair; raises :class:`ModelError` when unmapped."""
+        edge = self.edge(process, resource)
+        if edge is None:
+            raise ModelError(
+                f"process {process!r} has no mapping onto {resource!r}"
+            )
+        return edge.latency
+
+    def of_process(self, process: str) -> List[MappingEdge]:
+        """All mapping edges leaving ``process`` (may be empty)."""
+        return list(self._by_process.get(process, ()))
+
+    def of_resource(self, resource: str) -> List[MappingEdge]:
+        """All mapping edges entering ``resource`` (may be empty)."""
+        return list(self._by_resource.get(resource, ()))
+
+    def resources_of(self, process: str) -> Tuple[str, ...]:
+        """Names of resources that can implement ``process``."""
+        return tuple(e.resource for e in self._by_process.get(process, ()))
+
+    def processes(self) -> Tuple[str, ...]:
+        """All processes that have at least one mapping edge."""
+        return tuple(self._by_process)
+
+    def resources(self) -> Tuple[str, ...]:
+        """All resources that appear as mapping targets."""
+        return tuple(self._by_resource)
+
+    def __iter__(self) -> Iterator[MappingEdge]:
+        return iter(self._edges.values())
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        return f"MappingTable(|E_M|={len(self)})"

@@ -1,0 +1,30 @@
+"""Problem graphs: the behavioural side of a specification.
+
+The problem graph ``G_P`` is a directed hierarchical graph whose
+vertices and interfaces represent processes or communication operations
+at system level; edges model dependence relations and clusters are the
+possible substitutions of interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..hgraph import HierarchicalGraph
+
+
+class ProblemGraph(HierarchicalGraph):
+    """The behavioural hierarchy ``G_P = (V_P, E_P, Psi_P, Gamma_P)``.
+
+    Semantically identical to :class:`~repro.hgraph.HierarchicalGraph`;
+    the subclass exists so that specification graphs are self-describing
+    and so the serialisers can round-trip the graph role.
+
+    Well-known attributes on problem elements: ``period`` (on clusters
+    carrying timing constraints), ``negligible`` (on control processes
+    excluded from utilisation estimation) and ``weight`` (for weighted
+    flexibility).
+    """
+
+    def __init__(self, name: str = "G_P", attrs: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(name, attrs)

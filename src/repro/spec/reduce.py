@@ -1,0 +1,134 @@
+"""Reduction of a specification under a partial resource allocation.
+
+"For every possible resource allocation, we remove all resources that
+are not activated from the architecture graph.  By removing these
+elements, also mapping edges are removed from the specification graph.
+Next, we delete all vertices in the problem graph with no incident
+mapping edge.  This results in a reduced specification graph."
+(Section 4.)
+
+Instead of mutating graphs, we compute the reduced views as sets:
+bindable problem leaves, surviving mapping edges and activatable
+problem clusters, plus the top-level supportability predicate that
+defines *possible resource allocations*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from ..hgraph import Cluster, GraphScope
+from .mapping import MappingEdge
+from .specification import SpecificationGraph
+
+
+def usable_units(spec: SpecificationGraph, allocated: Iterable[str]) -> Set[str]:
+    """Allocated units whose ancestor clusters are also allocated.
+
+    A nested architecture cluster is only usable when every enclosing
+    cluster is allocated as well.
+    """
+    allocated_set = set(allocated)
+    usable = set()
+    for name in allocated_set:
+        unit = spec.units.unit(name)
+        if all(anc in allocated_set for anc in unit.ancestors):
+            usable.add(name)
+    return usable
+
+
+def bindable_leaves(spec: SpecificationGraph, allocated: Iterable[str]) -> Set[str]:
+    """Problem leaves with at least one mapping into the allocation.
+
+    A leaf is bindable when some mapping edge targets a resource leaf
+    provided by a usable allocated unit (the *reachable resources*
+    ``R_ij`` of Section 4, intersected with the allocation).
+    """
+    allocated_set = (
+        allocated if isinstance(allocated, (set, frozenset)) else set(allocated)
+    )
+    result = set()
+    for process, pairs in spec.binding_options().items():
+        for unit, ancestors in pairs:
+            if unit in allocated_set and ancestors <= allocated_set:
+                result.add(process)
+                break
+    return result
+
+
+def surviving_mappings(
+    spec: SpecificationGraph, allocated: Iterable[str]
+) -> List[MappingEdge]:
+    """Mapping edges whose target resource survives the reduction."""
+    usable = usable_units(spec, allocated)
+    catalog = spec.units
+    return [
+        edge
+        for edge in spec.mappings
+        if catalog.unit_of_leaf.get(edge.resource) in usable
+    ]
+
+
+def _scope_supported(scope: GraphScope, bindable: FrozenSet[str], memo: Dict[str, bool]) -> bool:
+    """All direct leaves bindable and every interface refinable."""
+    for name in scope.vertices:
+        if name not in bindable:
+            return False
+    for interface in scope.interfaces.values():
+        if not any(
+            _cluster_activatable(cluster, bindable, memo)
+            for cluster in interface.clusters
+        ):
+            return False
+    return True
+
+
+def _cluster_activatable(cluster: Cluster, bindable: FrozenSet[str], memo: Dict[str, bool]) -> bool:
+    cached = memo.get(cluster.name)
+    if cached is None:
+        cached = _scope_supported(cluster, bindable, memo)
+        memo[cluster.name] = cached
+    return cached
+
+
+def activatable_clusters(
+    spec: SpecificationGraph, allocated: Iterable[str]
+) -> Set[str]:
+    """Problem clusters that could be activated under the allocation.
+
+    A cluster is activatable when all its direct leaves are bindable
+    and each of its interfaces has at least one activatable cluster —
+    communication routing and timing are deliberately ignored here
+    (they are checked later by the binding solver), matching the
+    paper's two-phase search-space reduction.
+
+    Only clusters reachable through activatable refinement chains are
+    reported: a deeply nested cluster whose parent can never be
+    activated is excluded.
+    """
+    bindable = frozenset(bindable_leaves(spec, allocated))
+    memo: Dict[str, bool] = {}
+    result: Set[str] = set()
+
+    def visit(scope: GraphScope) -> None:
+        for interface in scope.interfaces.values():
+            for cluster in interface.clusters:
+                if _cluster_activatable(cluster, bindable, memo):
+                    result.add(cluster.name)
+                    visit(cluster)
+
+    visit(spec.problem)
+    return result
+
+
+def supports_problem(spec: SpecificationGraph, allocated: Iterable[str]) -> bool:
+    """The *possible resource allocation* predicate.
+
+    True when the reduced specification still admits at least one
+    feasible problem-graph activation: every top-level problem vertex is
+    bindable and every top-level interface has at least one activatable
+    cluster (rule 4 requires all top-level elements active).
+    """
+    bindable = frozenset(bindable_leaves(spec, allocated))
+    memo: Dict[str, bool] = {}
+    return _scope_supported(spec.problem, bindable, memo)

@@ -1,0 +1,203 @@
+"""Allocatable resource units.
+
+The exploration algorithm allocates *units*: "only leaves ``v in
+G_A.V`` of the top-level architecture graph or whole clusters of the
+architecture graph are considered" (Section 4).  A unit is therefore
+either a top-level architecture leaf (processor, ASIC, bus) or an
+architecture cluster (e.g. an FPGA design).  This module derives the
+unit catalog of an architecture graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import ModelError
+from ..hgraph import Cluster, HierarchyIndex
+from .architecture import ArchitectureGraph
+from .attributes import cost_of, is_comm
+
+#: Unit kinds.
+KIND_LEAF = "leaf"
+KIND_CLUSTER = "cluster"
+
+
+class ResourceUnit:
+    """One allocatable unit of the architecture.
+
+    Attributes
+    ----------
+    name:
+        Unit name — the leaf name for top-level leaves, the cluster name
+        for architecture clusters.
+    kind:
+        ``"leaf"`` or ``"cluster"``.
+    cost:
+        Allocation cost contributed to ``c_impl`` when allocated.
+    comm:
+        True for pure communication units (buses); never binding targets.
+    top_node:
+        Name of the top-level architecture node this unit lives under —
+        the leaf itself, or the topmost interface enclosing the cluster.
+        Used by the router: a cluster communicates through the edges of
+        its top-level interface.
+    resource_leaves:
+        Architecture leaf names provided by this unit (targets of
+        mapping edges).
+    ancestors:
+        Cluster units that must also be allocated for this unit to be
+        usable (non-empty only for clusters nested inside clusters).
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "cost",
+        "comm",
+        "top_node",
+        "resource_leaves",
+        "ancestors",
+        "interface",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        cost: float,
+        comm: bool,
+        top_node: str,
+        resource_leaves: Tuple[str, ...],
+        ancestors: Tuple[str, ...] = (),
+        interface: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.cost = cost
+        self.comm = comm
+        self.top_node = top_node
+        self.resource_leaves = resource_leaves
+        self.ancestors = ancestors
+        #: Owning interface name for cluster units, else ``None``.
+        self.interface = interface
+
+    def __repr__(self) -> str:
+        return f"ResourceUnit({self.name!r}, {self.kind}, cost={self.cost})"
+
+
+class UnitCatalog:
+    """All allocatable units of one architecture graph."""
+
+    def __init__(self, architecture: ArchitectureGraph, index: Optional[HierarchyIndex] = None) -> None:
+        self.architecture = architecture
+        self.index = index if index is not None else HierarchyIndex(architecture)
+        #: unit name -> ResourceUnit
+        self.units: Dict[str, ResourceUnit] = {}
+        #: architecture leaf name -> owning unit name
+        self.unit_of_leaf: Dict[str, str] = {}
+        self._build()
+
+    def _build(self) -> None:
+        # Top-level leaves are units of their own.
+        for name, vertex in self.architecture.vertices.items():
+            self.units[name] = ResourceUnit(
+                name=name,
+                kind=KIND_LEAF,
+                cost=cost_of(vertex),
+                comm=is_comm(vertex),
+                top_node=name,
+                resource_leaves=(name,),
+            )
+            self.unit_of_leaf[name] = name
+        # Every architecture cluster is a unit.
+        for cluster_name, cluster in self.index.clusters.items():
+            self.units[cluster_name] = self._cluster_unit(cluster)
+            for leaf_name in cluster.vertices:
+                self.unit_of_leaf[leaf_name] = cluster_name
+
+    def _cluster_unit(self, cluster: Cluster) -> ResourceUnit:
+        if "cost" in cluster.attrs:
+            cost = cost_of(cluster)
+        else:
+            cost = sum(cost_of(v) for v in cluster.vertices.values())
+        interface_name = self.index.interface_of_cluster[cluster.name]
+        top_node = self._top_node_of_interface(interface_name)
+        ancestors = self.index.enclosing_clusters(cluster.name)
+        return ResourceUnit(
+            name=cluster.name,
+            kind=KIND_CLUSTER,
+            cost=cost,
+            comm=all(
+                is_comm(v) for v in cluster.vertices.values()
+            )
+            if cluster.vertices
+            else False,
+            top_node=top_node,
+            resource_leaves=tuple(cluster.vertices),
+            ancestors=ancestors,
+            interface=interface_name,
+        )
+
+    def _top_node_of_interface(self, interface_name: str) -> str:
+        """Topmost architecture node enclosing ``interface_name``."""
+        index = self.index
+        current = interface_name
+        while True:
+            scope = index.scope_of_interface[current]
+            if isinstance(scope, Cluster):
+                current = index.interface_of_cluster[scope.name]
+            else:
+                return current
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def unit(self, name: str) -> ResourceUnit:
+        """The unit named ``name`` (raises :class:`ModelError` if absent)."""
+        try:
+            return self.units[name]
+        except KeyError:
+            raise ModelError(f"unknown resource unit {name!r}") from None
+
+    def unit_of(self, resource_leaf: str) -> ResourceUnit:
+        """The unit providing architecture leaf ``resource_leaf``."""
+        try:
+            return self.units[self.unit_of_leaf[resource_leaf]]
+        except KeyError:
+            raise ModelError(
+                f"architecture leaf {resource_leaf!r} belongs to no unit"
+            ) from None
+
+    def functional_units(self) -> List[ResourceUnit]:
+        """Units that can host processes (non-communication units)."""
+        return [u for u in self.units.values() if not u.comm]
+
+    def comm_units(self) -> List[ResourceUnit]:
+        """Pure communication units (buses, links)."""
+        return [u for u in self.units.values() if u.comm]
+
+    def total_cost(self, unit_names: Iterable[str]) -> float:
+        """Allocation cost ``c_impl`` of a set of units."""
+        return sum(self.unit(name).cost for name in unit_names)
+
+    def closure(self, unit_names: Iterable[str]) -> Tuple[str, ...]:
+        """Unit set closed under the ancestor requirement."""
+        closed = set()
+        for name in unit_names:
+            unit = self.unit(name)
+            closed.add(name)
+            closed.update(unit.ancestors)
+        return tuple(sorted(closed))
+
+    def names(self) -> Tuple[str, ...]:
+        """All unit names, leaves first then clusters, insertion order."""
+        return tuple(self.units)
+
+    def __iter__(self) -> Iterator[ResourceUnit]:
+        return iter(self.units.values())
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    def __repr__(self) -> str:
+        return f"UnitCatalog(|units|={len(self.units)})"

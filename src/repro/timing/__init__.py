@@ -1,0 +1,39 @@
+"""Performance substrate: task extraction, utilisation, RM bounds, scheduling."""
+
+from .liu_layland import (
+    ASYMPTOTIC_BOUND,
+    PAPER_UTILIZATION_BOUND,
+    liu_layland_bound,
+    rm_schedulable,
+)
+from .list_scheduler import (
+    Schedule,
+    ScheduleEntry,
+    list_schedule,
+    makespan_of,
+    schedule_meets_periods,
+)
+from .tasks import Task, loaded_tasks, task_set
+from .utilization import (
+    meets_utilization_bound,
+    utilization_by_resource,
+    utilization_violations,
+)
+
+__all__ = [
+    "ASYMPTOTIC_BOUND",
+    "PAPER_UTILIZATION_BOUND",
+    "Schedule",
+    "ScheduleEntry",
+    "Task",
+    "list_schedule",
+    "liu_layland_bound",
+    "loaded_tasks",
+    "makespan_of",
+    "meets_utilization_bound",
+    "rm_schedulable",
+    "schedule_meets_periods",
+    "task_set",
+    "utilization_by_resource",
+    "utilization_violations",
+]

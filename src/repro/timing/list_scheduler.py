@@ -1,0 +1,238 @@
+"""Exact static list scheduling of a flattened activation.
+
+The paper leaves exact scheduling as future work and uses the 69%
+utilisation estimate instead; it cites Pop et al. (non-preemptive static
+scheduling of process graphs) as a candidate technique.  This module
+implements that extension: a deterministic non-preemptive list scheduler
+over the flattened dependence graph, used by the ablation bench to
+compare the quick estimate against an exact one-period schedulability
+check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..activation import FlatProblem
+from ..errors import BindingError, TimingError
+from ..spec import SpecificationGraph
+from .tasks import task_set
+
+
+class ScheduleEntry:
+    """One scheduled process execution."""
+
+    __slots__ = ("process", "resource", "start", "finish")
+
+    def __init__(self, process: str, resource: str, start: float, finish: float) -> None:
+        self.process = process
+        self.resource = resource
+        self.start = start
+        self.finish = finish
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduleEntry({self.process!r} on {self.resource!r}: "
+            f"[{self.start}, {self.finish}))"
+        )
+
+
+class Schedule:
+    """A complete static schedule of one activation period."""
+
+    def __init__(self, entries: List[ScheduleEntry]) -> None:
+        self.entries = entries
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last process (0 for empty schedules)."""
+        return max((e.finish for e in self.entries), default=0.0)
+
+    def by_resource(self) -> Dict[str, List[ScheduleEntry]]:
+        """Entries grouped by resource, each group sorted by start time."""
+        groups: Dict[str, List[ScheduleEntry]] = {}
+        for entry in self.entries:
+            groups.setdefault(entry.resource, []).append(entry)
+        for group in groups.values():
+            group.sort(key=lambda e: e.start)
+        return groups
+
+    def entry(self, process: str) -> ScheduleEntry:
+        """The entry of ``process`` (raises :class:`KeyError` if absent)."""
+        for candidate in self.entries:
+            if candidate.process == process:
+                return candidate
+        raise KeyError(process)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"Schedule(|entries|={len(self)}, makespan={self.makespan})"
+
+
+def list_schedule(
+    spec: SpecificationGraph,
+    flat: FlatProblem,
+    binding: Mapping[str, str],
+    comm_delay: float = 0.0,
+) -> Schedule:
+    """Non-preemptive list schedule of ``flat`` under ``binding``.
+
+    Processes become ready when all predecessors have finished (plus
+    ``comm_delay`` when predecessor and successor run on different
+    resources — the paper's case study assumes zero external
+    communication latency).  Among ready processes the one with the
+    longest critical path is scheduled first (HLFET order).
+
+    Raises :class:`~repro.errors.TimingError` on dependence cycles and
+    :class:`~repro.errors.BindingError` on unbound processes.
+    """
+    for leaf in flat.leaves:
+        if leaf not in binding:
+            raise BindingError(f"process {leaf!r} is unbound")
+    successors: Dict[str, List[str]] = {leaf: [] for leaf in flat.leaves}
+    in_degree: Dict[str, int] = {leaf: 0 for leaf in flat.leaves}
+    for src, dst in flat.edges:
+        successors[src].append(dst)
+        in_degree[dst] += 1
+
+    latency = {
+        leaf: spec.mappings.latency(leaf, binding[leaf])
+        for leaf in flat.leaves
+    }
+
+    # Critical-path priorities (longest path to a sink, inclusive).
+    priority: Dict[str, float] = {}
+
+    def compute_priority(node: str, on_stack: Tuple[str, ...]) -> float:
+        if node in on_stack:
+            raise TimingError(
+                f"dependence cycle through {node!r}; cannot schedule"
+            )
+        cached = priority.get(node)
+        if cached is not None:
+            return cached
+        downstream = max(
+            (
+                compute_priority(nxt, on_stack + (node,))
+                for nxt in successors[node]
+            ),
+            default=0.0,
+        )
+        priority[node] = latency[node] + downstream
+        return priority[node]
+
+    for leaf in flat.leaves:
+        compute_priority(leaf, ())
+
+    ready = [leaf for leaf in flat.leaves if in_degree[leaf] == 0]
+    resource_free: Dict[str, float] = {}
+    finish_time: Dict[str, float] = {}
+    entries: List[ScheduleEntry] = []
+    scheduled = 0
+    while ready:
+        ready.sort(key=lambda n: (-priority[n], n))
+        node = ready.pop(0)
+        resource = binding[node]
+        data_ready = 0.0
+        for src, dst in flat.edges:
+            if dst != node:
+                continue
+            arrival = finish_time[src]
+            if binding[src] != resource:
+                arrival += comm_delay
+            data_ready = max(data_ready, arrival)
+        start = max(data_ready, resource_free.get(resource, 0.0))
+        finish = start + latency[node]
+        resource_free[resource] = finish
+        finish_time[node] = finish
+        entries.append(ScheduleEntry(node, resource, start, finish))
+        scheduled += 1
+        for nxt in successors[node]:
+            in_degree[nxt] -= 1
+            if in_degree[nxt] == 0:
+                ready.append(nxt)
+    if scheduled != len(flat.leaves):
+        raise TimingError("dependence cycle detected; cannot schedule")
+    return Schedule(entries)
+
+
+def _drop_negligible(flat: FlatProblem, tasks) -> FlatProblem:
+    """Reduced view without negligible processes.
+
+    Negligible processes (authentication, controllers) execute at
+    start-up or sporadically — the paper excludes them from the
+    periodic load.  Dependencies through a dropped node are preserved
+    transitively so the ordering of the remaining processes survives.
+    """
+    keep = tuple(
+        leaf for leaf in flat.leaves if not tasks[leaf].negligible
+    )
+    dropped = {leaf for leaf in flat.leaves if tasks[leaf].negligible}
+    edges = list(flat.edges)
+    changed = True
+    while changed:
+        changed = False
+        for node in list(dropped):
+            incoming = [(s, d) for (s, d) in edges if d == node]
+            outgoing = [(s, d) for (s, d) in edges if s == node]
+            bridged = [
+                (s, d2)
+                for (s, _) in incoming
+                for (_, d2) in outgoing
+                if s != d2
+            ]
+            remaining = [
+                (s, d) for (s, d) in edges if s != node and d != node
+            ]
+            if len(remaining) + len(bridged) != len(edges):
+                changed = True
+            edges = remaining + [
+                e for e in bridged if e not in remaining
+            ]
+            dropped.discard(node)
+    unique_edges = tuple(dict.fromkeys(edges))
+    return FlatProblem(
+        keep, unique_edges, dict(flat.selection), flat.activation
+    )
+
+
+def schedule_meets_periods(
+    spec: SpecificationGraph,
+    flat: FlatProblem,
+    binding: Mapping[str, str],
+    comm_delay: float = 0.0,
+    include_negligible: bool = False,
+) -> bool:
+    """Exact one-period schedulability check.
+
+    The schedule is accepted when every load-carrying process finishes
+    within its activation period.  Negligible processes are excluded
+    from the periodic schedule by default (the paper amortises
+    authentication/controller work away); pass
+    ``include_negligible=True`` to count them.  This is the exact
+    counterpart of the utilisation estimate; the ablation bench
+    compares the two.
+    """
+    tasks = task_set(spec, flat)
+    if not include_negligible:
+        flat = _drop_negligible(flat, tasks)
+    schedule = list_schedule(spec, flat, binding, comm_delay)
+    for process in flat.leaves:
+        task = tasks[process]
+        if task.period is None or task.negligible:
+            continue
+        if schedule.entry(process).finish > task.period + 1e-9:
+            return False
+    return True
+
+
+def makespan_of(
+    spec: SpecificationGraph,
+    flat: FlatProblem,
+    binding: Mapping[str, str],
+    comm_delay: float = 0.0,
+) -> float:
+    """Convenience wrapper returning only the schedule makespan."""
+    return list_schedule(spec, flat, binding, comm_delay).makespan

@@ -1,0 +1,43 @@
+"""Liu/Layland rate-monotonic schedulability bounds.
+
+The paper "quickly estimate[s] the processor utilization and use[s] the
+69% limit as defined in [Liu & Layland 1973] to accept or reject
+implementations".  The 69% figure is the asymptotic limit
+``lim_{n->inf} n(2^{1/n}-1) = ln 2 ~ 0.6931``; this module provides the
+exact per-task-count bound as well.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: The asymptotic utilisation limit used by the paper (Section 5).
+PAPER_UTILIZATION_BOUND = 0.69
+
+#: The exact asymptotic limit ``ln 2``.
+ASYMPTOTIC_BOUND = math.log(2.0)
+
+
+def liu_layland_bound(n: int) -> float:
+    """The exact RM utilisation bound ``n (2^{1/n} - 1)`` for ``n`` tasks.
+
+    ``n == 0`` returns 1.0 (an empty task set is trivially schedulable);
+    negative ``n`` raises :class:`ValueError`.
+    """
+    if n < 0:
+        raise ValueError(f"task count must be non-negative, got {n}")
+    if n == 0:
+        return 1.0
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def rm_schedulable(utilization: float, n: int, exact: bool = False) -> bool:
+    """Sufficient RM schedulability test for total ``utilization``.
+
+    With ``exact=False`` (the paper's mode) the fixed 69% limit is used
+    regardless of the task count; with ``exact=True`` the per-count
+    bound :func:`liu_layland_bound` is used, which is less pessimistic
+    for small task sets.
+    """
+    bound = liu_layland_bound(n) if exact else PAPER_UTILIZATION_BOUND
+    return utilization <= bound + 1e-12

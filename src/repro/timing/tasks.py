@@ -1,0 +1,73 @@
+"""Task-model extraction from flattened activations.
+
+Every active leaf process becomes a :class:`Task`.  The activation
+period is inherited from the nearest enclosing problem cluster carrying
+a ``period`` attribute (the paper annotates the minimal output period on
+the application: 240 ns for the game console, 300 ns for the TV
+decoder); processes marked ``negligible`` are excluded from utilisation
+estimation, exactly as the paper neglects the authentication and
+controller processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..activation import FlatProblem
+from ..spec import SpecificationGraph
+from ..errors import TimingError
+
+
+class Task:
+    """One periodic task derived from an active leaf process."""
+
+    __slots__ = ("name", "period", "negligible")
+
+    def __init__(self, name: str, period: Optional[float], negligible: bool) -> None:
+        self.name = name
+        #: Activation period, or ``None`` when the process is unconstrained.
+        self.period = period
+        #: Excluded from utilisation estimation when True.
+        self.negligible = negligible
+
+    @property
+    def loaded(self) -> bool:
+        """True when the task contributes to utilisation estimates."""
+        return self.period is not None and not self.negligible
+
+    def utilization(self, latency: float) -> float:
+        """Utilisation contribution for a given core execution time."""
+        if not self.loaded:
+            return 0.0
+        assert self.period is not None
+        if self.period <= 0:
+            raise TimingError(
+                f"task {self.name!r}: period must be positive"
+            )
+        return latency / self.period
+
+    def __repr__(self) -> str:
+        return (
+            f"Task({self.name!r}, period={self.period}, "
+            f"negligible={self.negligible})"
+        )
+
+
+def task_set(spec: SpecificationGraph, flat: FlatProblem) -> Dict[str, Task]:
+    """Tasks of all active leaves of ``flat``, keyed by process name."""
+    timing = spec.process_timing()
+    tasks: Dict[str, Task] = {}
+    for leaf in flat.leaves:
+        period, negligible = timing[leaf]
+        if period is not None and period <= 0:
+            raise TimingError(
+                f"process {leaf!r}: inherited period must be positive, "
+                f"got {period}"
+            )
+        tasks[leaf] = Task(leaf, period, negligible)
+    return tasks
+
+
+def loaded_tasks(spec: SpecificationGraph, flat: FlatProblem) -> List[Task]:
+    """Only the tasks that carry load (periodic and not negligible)."""
+    return [t for t in task_set(spec, flat).values() if t.loaded]

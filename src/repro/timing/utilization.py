@@ -1,0 +1,72 @@
+"""Per-resource utilisation estimation.
+
+Section 5 of the paper: "we define a maximal processor utilization of
+69%.  If the estimated utilization exceeds this upper bound, we reject
+the implementation as infeasible."  Utilisation is accumulated per
+resource leaf from the core execution times of the load-carrying
+processes bound to it, divided by their activation periods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..activation import FlatProblem
+from ..errors import BindingError
+from ..spec import SpecificationGraph
+from .liu_layland import PAPER_UTILIZATION_BOUND
+from .tasks import task_set
+
+
+def utilization_by_resource(
+    spec: SpecificationGraph,
+    flat: FlatProblem,
+    binding: Mapping[str, str],
+) -> Dict[str, float]:
+    """Utilisation per resource leaf under ``binding``.
+
+    ``binding`` maps every active process to a resource leaf; processes
+    missing from the binding raise :class:`~repro.errors.BindingError`.
+    """
+    tasks = task_set(spec, flat)
+    result: Dict[str, float] = {}
+    for leaf, task in tasks.items():
+        resource = binding.get(leaf)
+        if resource is None:
+            raise BindingError(f"process {leaf!r} is unbound")
+        if not task.loaded:
+            continue
+        latency = spec.mappings.latency(leaf, resource)
+        result[resource] = result.get(resource, 0.0) + task.utilization(
+            latency
+        )
+    return result
+
+
+def utilization_violations(
+    spec: SpecificationGraph,
+    flat: FlatProblem,
+    binding: Mapping[str, str],
+    bound: float = PAPER_UTILIZATION_BOUND,
+) -> List[str]:
+    """Human-readable utilisation-bound violations (empty = accepted)."""
+    violations = []
+    for resource, value in sorted(
+        utilization_by_resource(spec, flat, binding).items()
+    ):
+        if value > bound + 1e-12:
+            violations.append(
+                f"resource {resource!r}: utilisation {value:.3f} exceeds "
+                f"bound {bound:.2f}"
+            )
+    return violations
+
+
+def meets_utilization_bound(
+    spec: SpecificationGraph,
+    flat: FlatProblem,
+    binding: Mapping[str, str],
+    bound: float = PAPER_UTILIZATION_BOUND,
+) -> bool:
+    """The paper's accept/reject performance test."""
+    return not utilization_violations(spec, flat, binding, bound)

@@ -1,0 +1,241 @@
+"""Unit tests for hierarchical activation, rules, flattening, timelines."""
+
+import pytest
+
+from repro.activation import (
+    Activation,
+    ActivationTimeline,
+    activation_from_selection,
+    assert_valid_activation,
+    check_activation,
+    flatten,
+    selection_from_clusters,
+)
+from repro.casestudies import build_settop_problem, build_tv_decoder_problem
+from repro.errors import ActivationError
+from repro.hgraph import HierarchyIndex
+
+
+TV_SELECTION = {"I_D": "gamma_D1", "I_U": "gamma_U1"}
+SETTOP_TV = {"I_App": "gamma_D", "I_D": "gamma_D2", "I_U": "gamma_U2"}
+SETTOP_GAME = {"I_App": "gamma_G", "I_G": "gamma_G1"}
+
+
+class TestActivationFromSelection:
+    def test_tv_decoder(self):
+        root = build_tv_decoder_problem()
+        act = activation_from_selection(root, TV_SELECTION)
+        assert act.vertices == {"P_A", "P_C", "P_D1", "P_U1"}
+        assert act.interfaces == {"I_D", "I_U"}
+        assert act.clusters == {"gamma_D1", "gamma_U1"}
+        assert act.is_active("P_D1") and not act.is_active("P_D2")
+
+    def test_nested_selection(self):
+        root = build_settop_problem()
+        act = activation_from_selection(root, SETTOP_GAME)
+        assert act.vertices == {"P_C_G", "P_D", "P_G1"}
+        assert act.clusters == {"gamma_G", "gamma_G1"}
+        # the TV-side interfaces are not reached
+        assert "I_D" not in act.interfaces
+
+    def test_ignores_unreached_selections(self):
+        root = build_settop_problem()
+        sel = dict(SETTOP_GAME, I_D="gamma_D1", I_U="gamma_U1")
+        act = activation_from_selection(root, sel)
+        assert "gamma_D1" not in act.clusters
+
+    def test_missing_selection_raises(self):
+        root = build_tv_decoder_problem()
+        with pytest.raises(ActivationError):
+            activation_from_selection(root, {"I_D": "gamma_D1"})
+
+    def test_wrong_cluster_raises(self):
+        root = build_tv_decoder_problem()
+        with pytest.raises(ActivationError):
+            activation_from_selection(
+                root, {"I_D": "gamma_U1", "I_U": "gamma_U1"}
+            )
+
+    def test_equality_and_hash(self):
+        root = build_tv_decoder_problem()
+        a1 = activation_from_selection(root, TV_SELECTION)
+        a2 = activation_from_selection(root, dict(TV_SELECTION))
+        assert a1 == a2 and hash(a1) == hash(a2)
+
+
+class TestSelectionFromClusters:
+    def test_roundtrip(self):
+        root = build_tv_decoder_problem()
+        sel = selection_from_clusters(root, {"gamma_D2", "gamma_U1"})
+        assert sel == {"I_D": "gamma_D2", "I_U": "gamma_U1"}
+
+    def test_ambiguous_raises(self):
+        root = build_tv_decoder_problem()
+        with pytest.raises(ActivationError):
+            selection_from_clusters(
+                root, {"gamma_D1", "gamma_D2", "gamma_U1"}
+            )
+
+    def test_unreachable_extra_raises(self):
+        root = build_settop_problem()
+        with pytest.raises(ActivationError):
+            selection_from_clusters(root, {"gamma_G", "gamma_G1", "gamma_D1"})
+
+
+class TestRules:
+    def test_valid_activation_passes(self):
+        root = build_tv_decoder_problem()
+        act = activation_from_selection(root, TV_SELECTION)
+        assert check_activation(root, act) == []
+        assert_valid_activation(root, act)
+
+    def test_rule4_missing_top_vertex(self):
+        root = build_tv_decoder_problem()
+        act = activation_from_selection(root, TV_SELECTION)
+        broken = Activation(
+            act.vertices - {"P_A"}, act.interfaces, act.clusters
+        )
+        violations = check_activation(root, broken)
+        assert any("rule 4" in v for v in violations)
+
+    def test_rule1_two_clusters(self):
+        root = build_tv_decoder_problem()
+        act = activation_from_selection(root, TV_SELECTION)
+        broken = Activation(
+            act.vertices | {"P_D2"},
+            act.interfaces,
+            act.clusters | {"gamma_D2"},
+        )
+        violations = check_activation(root, broken)
+        assert any("rule 1" in v for v in violations)
+
+    def test_rule2_missing_embedded_vertex(self):
+        root = build_tv_decoder_problem()
+        act = activation_from_selection(root, TV_SELECTION)
+        broken = Activation(
+            act.vertices - {"P_D1"}, act.interfaces, act.clusters
+        )
+        violations = check_activation(root, broken)
+        assert any("rule 2" in v for v in violations)
+
+    def test_dangling_vertex_outside_active_scope(self):
+        root = build_tv_decoder_problem()
+        act = activation_from_selection(root, TV_SELECTION)
+        broken = Activation(
+            act.vertices | {"P_D2"}, act.interfaces, act.clusters
+        )
+        violations = check_activation(root, broken)
+        assert any("rule 3" in v for v in violations)
+
+    def test_unknown_elements_reported(self):
+        root = build_tv_decoder_problem()
+        broken = Activation(
+            frozenset({"ghost"}), frozenset({"I_ghost"}), frozenset({"g_ghost"})
+        )
+        violations = check_activation(root, broken)
+        assert any("unknown" in v for v in violations)
+
+    def test_assert_raises(self):
+        root = build_tv_decoder_problem()
+        with pytest.raises(ActivationError):
+            assert_valid_activation(
+                root, Activation(frozenset(), frozenset(), frozenset())
+            )
+
+
+class TestFlatten:
+    def test_tv_decoder_flat(self):
+        root = build_tv_decoder_problem()
+        flat = flatten(root, TV_SELECTION)
+        assert sorted(flat.leaves) == ["P_A", "P_C", "P_D1", "P_U1"]
+        assert set(flat.edges) == {("P_C", "P_D1"), ("P_D1", "P_U1")}
+
+    def test_settop_game_flat(self):
+        root = build_settop_problem()
+        flat = flatten(root, SETTOP_GAME)
+        assert sorted(flat.leaves) == ["P_C_G", "P_D", "P_G1"]
+        assert set(flat.edges) == {("P_C_G", "P_G1"), ("P_G1", "P_D")}
+
+    def test_settop_tv_flat(self):
+        root = build_settop_problem()
+        flat = flatten(root, SETTOP_TV)
+        assert sorted(flat.leaves) == ["P_A", "P_C_D", "P_D2", "P_U2"]
+        assert set(flat.edges) == {("P_C_D", "P_D2"), ("P_D2", "P_U2")}
+
+    def test_flat_activation_is_valid(self):
+        root = build_settop_problem()
+        flat = flatten(root, SETTOP_TV)
+        assert_valid_activation(root, flat.activation)
+
+    def test_unresolvable_port_raises(self):
+        from repro.hgraph import HierarchicalGraph, new_cluster
+
+        g = HierarchicalGraph("G")
+        g.add_vertex("a")
+        i = g.add_interface("I")
+        c = new_cluster(i, "gam")
+        c.add_vertex("x")
+        c.add_vertex("y")  # two nodes, no port map -> ambiguous
+        g.add_edge("a", "I")
+        with pytest.raises(ActivationError):
+            flatten(g, {"I": "gam"})
+
+    def test_single_node_fallback(self):
+        from repro.hgraph import HierarchicalGraph, new_cluster
+
+        g = HierarchicalGraph("G")
+        g.add_vertex("a")
+        i = g.add_interface("I")
+        c = new_cluster(i, "gam")
+        c.add_vertex("x")
+        g.add_edge("a", "I")
+        flat = flatten(g, {"I": "gam"})
+        assert set(flat.edges) == {("a", "x")}
+
+
+class TestTimeline:
+    def test_segments_and_lookup(self):
+        root = build_settop_problem()
+        tl = ActivationTimeline(root)
+        tl.switch_to(0.0, SETTOP_TV)
+        tl.switch_to(10.0, SETTOP_GAME)
+        assert len(tl) == 2
+        assert tl.activation_at(5.0).clusters >= {"gamma_D"}
+        assert tl.activation_at(10.0).clusters >= {"gamma_G"}
+        assert tl.selection_at(12.0)["I_App"] == "gamma_G"
+
+    def test_before_start_raises(self):
+        root = build_settop_problem()
+        tl = ActivationTimeline(root)
+        tl.switch_to(0.0, SETTOP_TV)
+        with pytest.raises(ActivationError):
+            tl.activation_at(-1.0)
+
+    def test_non_increasing_time_raises(self):
+        root = build_settop_problem()
+        tl = ActivationTimeline(root)
+        tl.switch_to(0.0, SETTOP_TV)
+        with pytest.raises(ActivationError):
+            tl.switch_to(0.0, SETTOP_GAME)
+
+    def test_invalid_selection_rejected(self):
+        root = build_settop_problem()
+        tl = ActivationTimeline(root)
+        with pytest.raises(ActivationError):
+            tl.switch_to(0.0, {"I_App": "gamma_G"})  # missing I_G choice
+
+    def test_switch_events(self):
+        root = build_settop_problem()
+        tl = ActivationTimeline(root)
+        tl.switch_to(0.0, SETTOP_TV)
+        tl.switch_to(10.0, SETTOP_GAME)
+        tl.switch_to(
+            20.0, {"I_App": "gamma_D", "I_D": "gamma_D1", "I_U": "gamma_U2"}
+        )
+        events = tl.switch_events()
+        assert len(events) == 2
+        first = events[0]
+        assert first.time == 10.0
+        assert "I_App" in first.changed_interfaces
+        assert "gamma_G" in first.activated
+        assert "gamma_D" in first.deactivated

@@ -1,0 +1,113 @@
+"""Tests of the adaptive runtime simulator."""
+
+import pytest
+
+from repro.adaptive import AdaptiveSimulator, ModeRequest, simulate_requests
+from repro.casestudies import FPGA_RECONFIG_DELAY, build_settop_spec
+from repro.core import evaluate_allocation, explore
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+@pytest.fixture(scope="module")
+def full_impl(settop):
+    """The $430 maximal-flexibility implementation."""
+    result = explore(settop)
+    return result.points[-1]
+
+
+@pytest.fixture(scope="module")
+def cheap_impl(settop):
+    """The $100 muP2 implementation (flexibility 2)."""
+    return evaluate_allocation(settop, {"muP2"})
+
+
+class TestRequests:
+    def test_accept_all_apps_on_full_platform(self, settop, full_impl):
+        sim = AdaptiveSimulator(settop, full_impl)
+        assert sim.request(0.0, {"gamma_I"}).accepted
+        assert sim.request(10.0, {"gamma_G"}).accepted
+        assert sim.request(20.0, {"gamma_D"}).accepted
+        assert len(sim.accepted()) == 3
+
+    def test_specific_alternative_request(self, settop, full_impl):
+        sim = AdaptiveSimulator(settop, full_impl)
+        change = sim.request(0.0, {"gamma_D3"})
+        assert change.accepted
+        assert change.selection["I_D"] == "gamma_D3"
+        assert change.binding["P_D3"] == "D3_res"
+
+    def test_reject_unimplemented_cluster(self, settop, cheap_impl):
+        sim = AdaptiveSimulator(settop, cheap_impl)
+        change = sim.request(0.0, {"gamma_G"})
+        assert not change.accepted
+        assert "not implemented" in change.reason
+
+    def test_reject_uncombinable_clusters(self, settop, full_impl):
+        """gamma_D3 and gamma_U2 are both implemented but never share an
+        elementary cluster-activation (one FPGA design at a time)."""
+        result = explore(settop)
+        impl_290 = next(p for p in result.points if p.cost == 290.0)
+        sim = AdaptiveSimulator(settop, impl_290)
+        change = sim.request(0.0, {"gamma_D3", "gamma_U2"})
+        assert not change.accepted
+        assert "simultaneously" in change.reason
+
+    def test_non_increasing_time_raises(self, settop, full_impl):
+        sim = AdaptiveSimulator(settop, full_impl)
+        sim.request(0.0, {"gamma_I"})
+        with pytest.raises(ReproError):
+            sim.request(0.0, {"gamma_I"})
+
+    def test_rejected_requests_do_not_advance_time(self, settop, cheap_impl):
+        sim = AdaptiveSimulator(settop, cheap_impl)
+        assert not sim.request(5.0, {"gamma_G"}).accepted
+        assert sim.request(6.0, {"gamma_I"}).accepted
+
+
+class TestReconfiguration:
+    def test_fpga_load_tracked(self, settop, full_impl):
+        sim = AdaptiveSimulator(settop, full_impl)
+        change = sim.request(0.0, {"gamma_D3"})
+        assert change.accepted
+        assert change.reconfigured == ("D3",)
+        assert change.reconfig_delay == FPGA_RECONFIG_DELAY
+        assert change.effective_time == 0.0 + FPGA_RECONFIG_DELAY
+
+    def test_no_reload_when_design_kept(self, settop, full_impl):
+        sim = AdaptiveSimulator(settop, full_impl)
+        first = sim.request(0.0, {"gamma_D3"})
+        assert first.reconfigured == ("D3",)
+        second = sim.request(5000.0, {"gamma_D3"})
+        assert second.accepted
+        assert second.reconfigured == ()
+        assert second.reconfig_delay == 0.0
+
+    def test_totals(self, settop, full_impl):
+        sim = simulate_requests(
+            settop,
+            full_impl,
+            [
+                (0.0, {"gamma_I"}),
+                (10.0, {"gamma_D3"}),
+                (20.0, {"gamma_D3"}),
+            ],
+        )
+        assert sim.reconfiguration_count() == 1
+        assert sim.total_reconfig_delay() == FPGA_RECONFIG_DELAY
+
+    def test_timeline_validated(self, settop, full_impl):
+        sim = AdaptiveSimulator(settop, full_impl)
+        sim.request(0.0, {"gamma_I"})
+        sim.request(10.0, {"gamma_G"})
+        events = sim.timeline.switch_events()
+        assert len(events) == 1
+        assert "I_App" in events[0].changed_interfaces
+
+    def test_mode_request_repr(self):
+        request = ModeRequest(1.0, {"a"})
+        assert "a" in repr(request)

@@ -1,0 +1,79 @@
+"""Tests of adaptive trace reporting."""
+
+import pytest
+
+from repro.adaptive import AdaptiveSimulator, mode_label, trace_report
+from repro.casestudies import FPGA_RECONFIG_DELAY, build_settop_spec
+from repro.core import explore
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+@pytest.fixture(scope="module")
+def flagship(settop):
+    return explore(settop).points[-1]
+
+
+def make_trace(settop, flagship):
+    sim = AdaptiveSimulator(settop, flagship)
+    sim.request(0.0, {"gamma_I"})
+    sim.request(1000.0, {"gamma_D1", "gamma_U1"})
+    sim.request(3000.0, {"gamma_G"})
+    return sim
+
+
+class TestTraceReport:
+    def test_mode_residency_sums_to_useful_time(self, settop, flagship):
+        sim = make_trace(settop, flagship)
+        report = trace_report(sim, horizon=4000.0)
+        assert report.idle_time == 0.0
+        useful = sum(report.mode_residency.values())
+        assert useful + report.reconfig_time == pytest.approx(4000.0)
+
+    def test_residency_per_mode(self, settop, flagship):
+        sim = make_trace(settop, flagship)
+        report = trace_report(sim, horizon=4000.0)
+        browser = mode_label({"gamma_I"})
+        assert report.mode_residency[browser] == pytest.approx(1000.0)
+
+    def test_occupancy_weighted_by_residency(self, settop, flagship):
+        sim = AdaptiveSimulator(settop, flagship)
+        sim.request(0.0, {"gamma_D1", "gamma_U1"})
+        report = trace_report(sim, horizon=100.0)
+        # TV on muP2 the whole window: (95+45)/300
+        assert report.resource_occupancy["muP2"] == pytest.approx(
+            (95 + 45) / 300
+        )
+        assert report.busiest_resource()[0] == "muP2"
+
+    def test_reconfig_time_charged(self, settop):
+        impl = next(
+            p for p in explore(settop).points if p.cost == 290.0
+        )
+        sim = AdaptiveSimulator(settop, impl)
+        sim.request(0.0, {"gamma_I"})
+        sim.request(5000.0, {"gamma_D3"})
+        report = trace_report(sim, horizon=10000.0)
+        assert report.reconfig_time == pytest.approx(FPGA_RECONFIG_DELAY)
+
+    def test_idle_before_first_mode(self, settop, flagship):
+        sim = AdaptiveSimulator(settop, flagship)
+        sim.request(500.0, {"gamma_I"})
+        report = trace_report(sim, horizon=1000.0)
+        assert report.idle_time == 500.0
+
+    def test_empty_trace(self, settop, flagship):
+        sim = AdaptiveSimulator(settop, flagship)
+        report = trace_report(sim, horizon=100.0)
+        assert report.mode_residency == {}
+        assert report.idle_time == 100.0
+        assert report.busiest_resource() == ("", 0.0)
+
+    def test_horizon_truncates(self, settop, flagship):
+        sim = make_trace(settop, flagship)
+        report = trace_report(sim, horizon=500.0)
+        assert sum(report.mode_residency.values()) == pytest.approx(500.0)
+        assert len(report.mode_residency) == 1

@@ -1,0 +1,113 @@
+"""Tests of the analysis package (patching, sensitivity, scenarios)."""
+
+import pytest
+
+from repro.analysis import (
+    compare_scenarios,
+    cost_sensitivity,
+    ladder_stability,
+    most_sensitive_units,
+    scenario_table,
+    with_latency,
+    with_unit_costs,
+)
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.core import explore
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+@pytest.fixture(scope="module")
+def tv_spec():
+    return build_tv_decoder_spec()
+
+
+class TestPatch:
+    def test_with_unit_costs_leaf(self, tv_spec):
+        variant = with_unit_costs(tv_spec, {"muP": 80.0})
+        assert variant.units.unit("muP").cost == 80.0
+        assert tv_spec.units.unit("muP").cost == 100.0  # untouched
+
+    def test_with_unit_costs_cluster(self, tv_spec):
+        variant = with_unit_costs(tv_spec, {"D3": 99.0})
+        assert variant.units.unit("D3").cost == 99.0
+
+    def test_unknown_unit_rejected(self, tv_spec):
+        with pytest.raises(ModelError):
+            with_unit_costs(tv_spec, {"ghost": 1.0})
+
+    def test_with_latency(self, tv_spec):
+        variant = with_latency(tv_spec, {("P_U1", "muP"): 99.0})
+        assert variant.mappings.latency("P_U1", "muP") == 99.0
+        assert tv_spec.mappings.latency("P_U1", "muP") == 40.0
+
+    def test_unknown_latency_pair_rejected(self, tv_spec):
+        with pytest.raises(ModelError):
+            with_latency(tv_spec, {("P_U1", "D3_res"): 1.0})
+
+    def test_patched_spec_explores(self, tv_spec):
+        cheap_asic = with_unit_costs(tv_spec, {"A": 10.0})
+        front = explore(cheap_asic).front()
+        # the ASIC bundle gets much cheaper: f=3 at 10+10+100=120
+        assert (120.0, 3.0) in front
+
+
+class TestSensitivity:
+    def test_sweep_shapes(self, tv_spec):
+        sweep = cost_sensitivity(tv_spec, "A", factors=(0.5, 1.0, 2.0))
+        assert [p.factor for p in sweep] == [0.5, 1.0, 2.0]
+        assert sweep[0].unit_cost == 25.0
+        assert all(p.front for p in sweep)
+
+    def test_nominal_factor_reproduces_front(self, tv_spec):
+        sweep = cost_sensitivity(tv_spec, "A", factors=(1.0,))
+        assert sweep[0].front == explore(tv_spec).front()
+
+    def test_ladder_stability_bounds(self, tv_spec):
+        sweep = cost_sensitivity(tv_spec, "C1", factors=(0.5, 1.0, 1.5))
+        value = ladder_stability(sweep)
+        assert 0.0 <= value <= 1.0
+        # a cheap bus's price does not change which platforms exist
+        assert value == 1.0
+
+    def test_ladder_stability_empty(self):
+        assert ladder_stability([]) == 1.0
+
+    def test_most_sensitive_units_sorted(self, tv_spec):
+        ranking = most_sensitive_units(
+            tv_spec, factors=(0.25, 4.0), units=("A", "muP", "D3")
+        )
+        values = list(ranking.values())
+        assert values == sorted(values)
+        assert set(ranking) == {"A", "muP", "D3"}
+
+
+class TestScenarios:
+    def test_compare_scenarios(self, settop):
+        results = compare_scenarios(
+            settop,
+            {
+                "paper": {},
+                "no FPGA": {"forbid_units": {"D3", "U2", "G1"}},
+                "exact timing": {"timing_mode": "schedule"},
+            },
+        )
+        assert set(results) == {"paper", "no FPGA", "exact timing"}
+        assert results["paper"].front()[-1] == (430.0, 8.0)
+        assert results["no FPGA"].front()[-1] == (360.0, 7.0)
+        assert results["exact timing"].front()[0] == (100.0, 3.0)
+
+    def test_scenario_table(self, settop):
+        results = compare_scenarios(
+            settop,
+            {"paper": {}, "no FPGA": {"forbid_units": {"D3", "U2", "G1"}}},
+        )
+        text = scenario_table(results)
+        assert "f>=8" in text
+        lines = text.splitlines()
+        f8_row = next(l for l in lines if l.startswith("f>=8"))
+        assert "$430" in f8_row and "-" in f8_row

@@ -1,0 +1,92 @@
+"""Tests of the automotive ECU-consolidation case study (extension)."""
+
+import pytest
+
+from repro.casestudies import build_automotive_spec
+from repro.core import (
+    evaluate_allocation,
+    exhaustive_front,
+    explore,
+    max_flexibility,
+)
+from repro.spec import lint_errors
+
+
+@pytest.fixture(scope="module")
+def auto_spec():
+    return build_automotive_spec()
+
+
+@pytest.fixture(scope="module")
+def auto_result(auto_spec):
+    return explore(auto_spec)
+
+
+class TestModel:
+    def test_max_flexibility(self, auto_spec):
+        assert max_flexibility(auto_spec.problem) == 7.0
+
+    def test_lint_clean(self, auto_spec):
+        assert lint_errors(auto_spec) == []
+
+    def test_units(self, auto_spec):
+        assert set(auto_spec.units.names()) == {
+            "ECU1", "ECU2", "GPU", "DSP",
+            "CAN", "FLEXRAY", "AVB", "ALINK", "BLINK",
+        }
+
+
+class TestExploration:
+    def test_front(self, auto_result):
+        assert auto_result.front() == [
+            (120.0, 3.0), (285.0, 4.0), (335.0, 7.0),
+        ]
+
+    def test_front_matches_exhaustive(self, auto_spec, auto_result):
+        exact = exhaustive_front(auto_spec)
+        assert auto_result.front() == [impl.point for impl in exact]
+
+    def test_lane_keeping_needs_two_compute_units(self, auto_spec):
+        """LKA misses the 69% bound on either ECU alone (105/150 and
+        115/150) — consolidation pressure drives the front."""
+        single_ecu1 = evaluate_allocation(auto_spec, {"ECU1"})
+        single_ecu2 = evaluate_allocation(auto_spec, {"ECU2"})
+        assert single_ecu1 is not None and single_ecu2 is not None
+        assert "gamma_LKA" not in single_ecu1.clusters
+        assert "gamma_LKA" not in single_ecu2.clusters
+        dual = evaluate_allocation(auto_spec, {"ECU1", "ECU2", "CAN"})
+        assert dual is not None
+        assert "gamma_LKA" in dual.clusters
+
+    def test_nn_and_video_need_gpu(self, auto_result):
+        flagship = auto_result.points[-1]
+        assert "GPU" in flagship.units
+        assert {"gamma_NN", "gamma_VID", "gamma_MPC"} <= flagship.clusters
+        record = flagship.ecs_for("gamma_NN")
+        assert record is not None
+        assert record.binding["P_NN"] == "GPU"
+
+    def test_solver_offloads_camera_to_fit_hough(self, auto_result):
+        """On the {ECU2, AVB, GPU} point the Hough variant only fits
+        because the camera pipeline moves to the GPU."""
+        flagship = auto_result.points[-1]
+        record = flagship.ecs_for("gamma_Hough")
+        assert record is not None
+        assert record.binding["P_Cam"] == "GPU"
+        assert record.binding["P_Hough"] == "ECU2"
+
+    def test_exact_scheduling_relaxes_lka(self, auto_spec):
+        """The exact schedule fits LKA on one ECU (105 <= 150), so the
+        cheap end of the front gains the lane keeper."""
+        result = explore(auto_spec, timing_mode="schedule")
+        first = result.points[0]
+        assert first.cost <= 150.0
+        assert "gamma_LKA" in explore(
+            auto_spec, timing_mode="schedule"
+        ).points[1].clusters
+
+    def test_dsp_never_pareto_under_strict_timing(self, auto_result):
+        """The DSP only serves best-effort audio; it never pays for
+        itself on this front."""
+        for implementation in auto_result.points:
+            assert "DSP" not in implementation.units

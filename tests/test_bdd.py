@@ -1,0 +1,157 @@
+"""Tests of the ROBDD engine."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolexpr import (
+    And,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    count_models,
+    expr_to_bdd,
+    model_count,
+)
+from repro.boolexpr.bdd import Bdd, ONE, ZERO
+
+a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+NAMES = ("a", "b", "c", "d")
+
+
+def exprs():
+    base = st.one_of(
+        st.sampled_from([Var(n) for n in NAMES]),
+        st.sampled_from([TRUE, FALSE]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(Not),
+            st.lists(children, min_size=0, max_size=3).map(
+                lambda ops: And(tuple(ops))
+            ),
+            st.lists(children, min_size=0, max_size=3).map(
+                lambda ops: Or(tuple(ops))
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+class TestBddBasics:
+    def test_constants(self):
+        manager, root = expr_to_bdd(TRUE)
+        assert root == ONE
+        manager, root = expr_to_bdd(FALSE)
+        assert root == ZERO
+
+    def test_variable(self):
+        manager, root = expr_to_bdd(a)
+        assert manager.evaluate(root, {"a": True})
+        assert not manager.evaluate(root, {"a": False})
+
+    def test_reduction_hash_consing(self):
+        """x | x and x collapse to the same node."""
+        manager = Bdd(["x"])
+        x = manager.var("x")
+        assert manager.apply_or(x, x) == x
+        assert manager.apply_and(x, ONE) == x
+        assert manager.node_count() == 1
+
+    def test_tautology_collapses_to_one(self):
+        manager, root = expr_to_bdd(a | ~a)
+        assert root == ONE
+
+    def test_contradiction_collapses_to_zero(self):
+        manager, root = expr_to_bdd(a & ~a)
+        assert root == ZERO
+
+    def test_restrict(self):
+        manager, root = expr_to_bdd((a & b) | c)
+        pinned = manager.restrict(root, {"a": True})
+        # equivalent to b | c
+        assert manager.evaluate(pinned, {"a": False, "b": True, "c": False})
+        assert not manager.evaluate(
+            pinned, {"a": False, "b": False, "c": False}
+        )
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            Bdd(["x", "x"])
+
+    def test_unknown_variable_rejected(self):
+        manager = Bdd(["x"])
+        with pytest.raises(ValueError):
+            manager.var("y")
+
+
+class TestSemantics:
+    @settings(max_examples=150, deadline=None)
+    @given(exprs())
+    def test_bdd_agrees_with_expr_on_all_assignments(self, expr):
+        manager, root = expr_to_bdd(expr, NAMES)
+        for values in itertools.product([False, True], repeat=len(NAMES)):
+            assignment = dict(zip(NAMES, values))
+            assert manager.evaluate(root, assignment) == expr.evaluate(
+                assignment
+            )
+
+    @settings(max_examples=150, deadline=None)
+    @given(exprs())
+    def test_model_count_matches_enumeration(self, expr):
+        assert model_count(expr, over=NAMES) == count_models(
+            expr, over=NAMES
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(exprs())
+    def test_iter_models_complete_and_sound(self, expr):
+        manager, root = expr_to_bdd(expr, NAMES)
+        models = list(manager.iter_models(root))
+        assert len(models) == model_count(expr, over=NAMES)
+        for model in models:
+            assert expr.evaluate(model)
+
+    def test_model_count_dont_care_scaling(self):
+        assert model_count(a, over=("a", "b", "c")) == 4
+
+    def test_missing_variable_rejected(self):
+        with pytest.raises(ValueError):
+            model_count(a & b, over=("a",))
+
+
+class TestScaling:
+    def test_large_conjunction_linear(self):
+        """128 variables: 2^128-scale counting, impossible by
+        enumeration, instant on the BDD."""
+        from repro.boolexpr import all_of, any_of
+
+        groups = [
+            any_of([Var(f"x{i}_0"), Var(f"x{i}_1")]) for i in range(64)
+        ]
+        expr = all_of(groups)
+        count = model_count(expr)
+        assert count == 3 ** 64  # each group: 3 of 4 combinations
+
+    def test_settop_possible_count(self):
+        """The Section-5 style statistic on the real architecture."""
+        from repro.casestudies import build_settop_spec
+        from repro.core import count_possible_allocations
+
+        spec = build_settop_spec()
+        count = count_possible_allocations(spec)
+        # possible = subsets with at least one processor:
+        # 2^17 - 2^15 = 98304
+        assert count == 2 ** 17 - 2 ** 15
+
+    def test_tv_decoder_possible_count(self):
+        from repro.casestudies import build_tv_decoder_spec
+        from repro.core import count_possible_allocations
+
+        spec = build_tv_decoder_spec()
+        # all supersets of {muP}: 2^6
+        assert count_possible_allocations(spec) == 64

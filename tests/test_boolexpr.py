@@ -1,0 +1,185 @@
+"""Unit and property tests for the boolean expression engine."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolexpr import (
+    And,
+    BoolExprError,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    all_of,
+    any_of,
+    count_models,
+    evaluate_over_set,
+    expression_size,
+    simplify,
+    solve_expr,
+    tseitin,
+)
+
+a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+
+
+class TestEvaluation:
+    def test_var(self):
+        assert a.evaluate({"a": True}) is True
+        assert a.evaluate({"a": False}) is False
+
+    def test_unassigned_raises(self):
+        with pytest.raises(BoolExprError):
+            a.evaluate({})
+
+    def test_connectives(self):
+        expr = (a & b) | ~c
+        assert expr.evaluate({"a": True, "b": True, "c": True})
+        assert expr.evaluate({"a": False, "b": False, "c": False})
+        assert not expr.evaluate({"a": True, "b": False, "c": True})
+
+    def test_constants(self):
+        assert TRUE.evaluate({}) and not FALSE.evaluate({})
+
+    def test_empty_and_or(self):
+        assert And(()).evaluate({}) is True
+        assert Or(()).evaluate({}) is False
+
+    def test_variables(self):
+        assert ((a & b) | ~c).variables() == {"a", "b", "c"}
+
+    def test_evaluate_over_set(self):
+        expr = a & ~b
+        assert evaluate_over_set(expr, {"a"})
+        assert not evaluate_over_set(expr, {"a", "b"})
+        assert not evaluate_over_set(expr, set())
+
+    def test_coercion_of_bools(self):
+        assert (a & True).evaluate({"a": True})
+        assert (False | a).evaluate({"a": True})
+
+    def test_bad_coercion(self):
+        with pytest.raises(BoolExprError):
+            _ = a & 3  # type: ignore[operator]
+
+    def test_helpers(self):
+        assert all_of([]) == TRUE
+        assert any_of([]) == FALSE
+        assert all_of([a]) is a
+        assert any_of([a]) is a
+        assert isinstance(all_of([a, b]), And)
+        assert isinstance(any_of([a, b]), Or)
+
+    def test_equality_and_hash(self):
+        assert Var("x") == Var("x")
+        assert hash(Var("x")) == hash(Var("x"))
+        assert (a & b) == And((a, b))
+        assert (a & b) != (a | b)
+        assert Not(a) == ~a
+
+
+# --- hypothesis strategy for random expressions -------------------------
+
+NAMES = ("a", "b", "c", "d")
+
+
+def exprs(max_depth=4):
+    base = st.one_of(
+        st.sampled_from([Var(n) for n in NAMES]),
+        st.sampled_from([TRUE, FALSE]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(Not),
+            st.lists(children, min_size=0, max_size=3).map(
+                lambda ops: And(tuple(ops))
+            ),
+            st.lists(children, min_size=0, max_size=3).map(
+                lambda ops: Or(tuple(ops))
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+def truth_table(expr):
+    rows = []
+    for values in itertools.product([False, True], repeat=len(NAMES)):
+        rows.append(expr.evaluate(dict(zip(NAMES, values))))
+    return rows
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(a & FALSE) == FALSE
+        assert simplify(a | TRUE) == TRUE
+        assert simplify(a & TRUE) == a
+        assert simplify(a | FALSE) == a
+
+    def test_double_negation(self):
+        assert simplify(~~a) == a
+
+    def test_flattening_and_dedup(self):
+        expr = And((a, And((a, b))))
+        assert simplify(expr) == And((a, b))
+
+    def test_complementary_literals(self):
+        assert simplify(a & ~a) == FALSE
+        assert simplify(a | ~a) == TRUE
+
+    def test_expression_size(self):
+        assert expression_size(a) == 1
+        assert expression_size(a & b) == 3
+        assert expression_size(~(a | b)) == 4
+
+    @settings(max_examples=150, deadline=None)
+    @given(exprs())
+    def test_simplify_preserves_semantics(self, expr):
+        assert truth_table(expr) == truth_table(simplify(expr))
+
+    @settings(max_examples=150, deadline=None)
+    @given(exprs())
+    def test_simplify_never_grows(self, expr):
+        assert expression_size(simplify(expr)) <= expression_size(expr)
+
+
+class TestSat:
+    def test_sat_simple(self):
+        model = solve_expr(a & ~b)
+        assert model == {"a": True, "b": False}
+
+    def test_unsat(self):
+        assert solve_expr(a & ~a) is None
+
+    def test_sat_respects_formula(self):
+        expr = (a | b) & (~a | c) & (~b | c) & ~c
+        assert solve_expr(expr) is None
+
+    def test_tseitin_clause_count_linear(self):
+        expr = all_of([Var(f"x{i}") | Var(f"y{i}") for i in range(20)])
+        cnf = tseitin(expr)
+        assert len(cnf) < 200
+
+    @settings(max_examples=120, deadline=None)
+    @given(exprs())
+    def test_sat_agrees_with_truth_table(self, expr):
+        brute_sat = any(truth_table(expr))
+        model = solve_expr(expr)
+        assert (model is not None) == brute_sat
+        if model is not None:
+            full = {n: model.get(n, False) for n in NAMES}
+            assert expr.evaluate(full)
+
+    def test_count_models(self):
+        assert count_models(a | b) == 3
+        assert count_models(a & b) == 1
+        assert count_models(TRUE, over=["a", "b"]) == 4
+
+    def test_count_models_refuses_huge(self):
+        expr = all_of([Var(f"v{i}") for i in range(30)])
+        with pytest.raises(ValueError):
+            count_models(expr)

@@ -1,0 +1,106 @@
+"""Tests of the derived boolean connectives and partial evaluation."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolexpr import (
+    FALSE,
+    TRUE,
+    Var,
+    at_most_one,
+    evaluate_over_set,
+    exactly_one,
+    iff,
+    implies,
+    substitute,
+    xor,
+)
+
+a, b, c = Var("a"), Var("b"), Var("c")
+NAMES = ("a", "b", "c")
+
+
+def rows(expr):
+    out = []
+    for values in itertools.product([False, True], repeat=len(NAMES)):
+        out.append(expr.evaluate(dict(zip(NAMES, values))))
+    return out
+
+
+class TestConnectives:
+    def test_implies_truth_table(self):
+        expr = implies(a, b)
+        assert expr.evaluate({"a": False, "b": False})
+        assert expr.evaluate({"a": False, "b": True})
+        assert not expr.evaluate({"a": True, "b": False})
+        assert expr.evaluate({"a": True, "b": True})
+
+    def test_iff_truth_table(self):
+        expr = iff(a, b)
+        assert expr.evaluate({"a": True, "b": True})
+        assert expr.evaluate({"a": False, "b": False})
+        assert not expr.evaluate({"a": True, "b": False})
+
+    def test_xor_is_not_iff(self):
+        assert rows(xor(a, b)) == [not v for v in rows(iff(a, b))]
+
+    def test_at_most_one(self):
+        expr = at_most_one([a, b, c])
+        assert evaluate_over_set(expr, set())
+        assert evaluate_over_set(expr, {"a"})
+        assert not evaluate_over_set(expr, {"a", "b"})
+
+    def test_exactly_one_is_rule_1(self):
+        expr = exactly_one([a, b, c])
+        assert not evaluate_over_set(expr, set())
+        assert evaluate_over_set(expr, {"b"})
+        assert not evaluate_over_set(expr, {"a", "c"})
+
+    def test_exactly_one_empty(self):
+        assert exactly_one([]) == FALSE or not exactly_one([]).evaluate({})
+
+
+class TestSubstitute:
+    def test_full_substitution_yields_constant(self):
+        expr = (a & b) | ~c
+        result = substitute(expr, {"a": True, "b": True, "c": True})
+        assert result == TRUE
+
+    def test_partial_substitution_keeps_symbols(self):
+        expr = (a & b) | c
+        result = substitute(expr, {"a": True})
+        assert result.variables() == {"b", "c"}
+        # equivalent to b | c
+        assert result.evaluate({"b": False, "c": True})
+        assert not result.evaluate({"b": False, "c": False})
+
+    def test_substitution_prunes_branches(self):
+        expr = (a & b) | c
+        result = substitute(expr, {"a": False})
+        assert result == Var("c")
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.dictionaries(st.sampled_from(NAMES), st.booleans()),
+        st.tuples(st.booleans(), st.booleans(), st.booleans()),
+    )
+    def test_substitute_agrees_with_direct_evaluation(self, pinned, rest):
+        expr = exactly_one([a, b, c]) | (a & implies(b, c))
+        partial = substitute(expr, pinned)
+        full = dict(zip(NAMES, rest))
+        full.update(pinned)
+        assert partial.evaluate(full) == expr.evaluate(full)
+
+    def test_what_if_on_possible_equation(self):
+        """Pinning the processor simplifies the Fig. 2 equation to TRUE."""
+        from repro.casestudies import build_tv_decoder_spec
+        from repro.core import possible_allocation_expr
+
+        spec = build_tv_decoder_spec()
+        possible = possible_allocation_expr(spec)
+        pinned = substitute(possible, {"muP": True})
+        assert pinned == TRUE  # muP alone suffices, rest is optional
+        without = substitute(possible, {"muP": False})
+        # without the processor, P_A/P_C are unbindable
+        assert without == FALSE

@@ -1,0 +1,122 @@
+"""Tests for candidate enumeration and the possible-allocation equation."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolexpr import evaluate_over_set
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.core import (
+    AllocationEnumerator,
+    has_useless_comm,
+    iter_possible_allocations,
+    possible_allocation_expr,
+)
+from repro.spec import supports_problem
+
+
+@pytest.fixture(scope="module")
+def tv_spec():
+    return build_tv_decoder_spec()
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+class TestAllocationEnumerator:
+    def test_costs_non_decreasing(self, tv_spec):
+        costs = [c for c, _ in AllocationEnumerator(tv_spec)]
+        assert costs == sorted(costs)
+
+    def test_enumerates_all_subsets_once(self, tv_spec):
+        subsets = [u for _, u in AllocationEnumerator(tv_spec)]
+        n = len(tv_spec.units)
+        assert len(subsets) == 2 ** n - 1  # every non-empty subset
+        assert len(set(subsets)) == len(subsets)
+
+    def test_costs_match_catalog(self, tv_spec):
+        for cost, units in AllocationEnumerator(tv_spec):
+            assert cost == pytest.approx(tv_spec.units.total_cost(units))
+
+    def test_deterministic_tie_break(self, settop):
+        first = [u for _, u in zip(range(200), AllocationEnumerator(settop))]
+        second = [u for _, u in zip(range(200), AllocationEnumerator(settop))]
+        assert [u for _, u in first] == [u for _, u in second]
+
+
+class TestPossibleExpr:
+    def test_agrees_with_set_predicate_exhaustively(self, tv_spec):
+        """The boolean equation equals supports_problem on all subsets."""
+        expr = possible_allocation_expr(tv_spec)
+        names = list(tv_spec.units.names())
+        for size in range(len(names) + 1):
+            for subset in combinations(names, size):
+                assert evaluate_over_set(expr, subset) == supports_problem(
+                    tv_spec, set(subset)
+                ), subset
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_agrees_on_random_settop_subsets(self, settop, data):
+        names = sorted(settop.units.names())
+        subset = data.draw(st.sets(st.sampled_from(names)))
+        expr = possible_allocation_expr(settop)
+        assert evaluate_over_set(expr, subset) == supports_problem(
+            settop, subset
+        )
+
+    def test_fig2_allocation_set_shape(self, tv_spec):
+        """Section 4 lists A = {muP, muP C1, muP C2, ...}: every superset
+        of {muP} is possible, and nothing without a processor is."""
+        expr = possible_allocation_expr(tv_spec)
+        assert evaluate_over_set(expr, {"muP"})
+        assert evaluate_over_set(expr, {"muP", "C1"})
+        assert evaluate_over_set(expr, {"muP", "C2"})
+        assert evaluate_over_set(expr, {"muP", "C1", "C2"})
+        assert evaluate_over_set(expr, {"muP", "D3"})
+        assert evaluate_over_set(expr, {"muP", "U2"})
+        assert evaluate_over_set(expr, set(tv_spec.units.names()))
+        assert not evaluate_over_set(expr, {"A", "C1", "C2", "D3"})
+        assert not evaluate_over_set(expr, set())
+
+    def test_iter_possible_allocations_ordered_and_filtered(self, tv_spec):
+        allocations = list(iter_possible_allocations(tv_spec, max_cost=150))
+        costs = [c for c, _ in allocations]
+        assert costs == sorted(costs)
+        assert all(supports_problem(tv_spec, u) for _, u in allocations)
+        assert allocations[0][1] == frozenset({"muP"})
+
+    def test_settop_cheapest_possible_is_muP2(self, settop):
+        cost, units = next(iter(iter_possible_allocations(settop)))
+        assert units == frozenset({"muP2"})
+        assert cost == 100.0
+
+
+class TestCommPruning:
+    def test_single_functional_plus_comm_pruned(self, tv_spec):
+        """The paper's case study drops 'a single functional component
+        and an arbitrary number of communication resources'."""
+        assert has_useless_comm(tv_spec, {"muP", "C1"})
+        assert has_useless_comm(tv_spec, {"muP", "C1", "C2"})
+
+    def test_connected_pair_not_pruned(self, tv_spec):
+        assert not has_useless_comm(tv_spec, {"muP", "A", "C2"})
+        assert not has_useless_comm(tv_spec, {"muP", "D3", "C1"})
+
+    def test_partially_useless_pruned(self, tv_spec):
+        # C2 connects muP and the (unallocated) ASIC -> useless
+        assert has_useless_comm(tv_spec, {"muP", "D3", "C1", "C2"})
+
+    def test_no_comm_never_pruned(self, tv_spec):
+        assert not has_useless_comm(tv_spec, {"muP", "A", "D3"})
+
+    def test_pruning_never_drops_front_points(self, settop):
+        """Sanity: pruning must not change the explored front."""
+        from repro.core import explore
+
+        with_pruning = explore(settop, prune_comm=True)
+        without_pruning = explore(settop, prune_comm=False)
+        assert with_pruning.front() == without_pruning.front()

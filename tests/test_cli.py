@@ -1,0 +1,186 @@
+"""Tests of the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import EXIT_LINT, EXIT_OK, main
+from repro.io import load_result
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def settop_json(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "settop.json"
+    code, _ = run(["demo", "settop", "--save", str(path)])
+    assert code == EXIT_OK
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def tv_json(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "tv.json"
+    run(["demo", "tv", "--save", str(path)])
+    return str(path)
+
+
+class TestDemoSynth:
+    def test_demo_summary(self):
+        code, text = run(["demo", "settop"])
+        assert code == EXIT_OK
+        assert "max flexibility 8" in text
+
+    def test_demo_save_roundtrip(self, settop_json):
+        with open(settop_json) as handle:
+            document = json.load(handle)
+        assert document["format"] == "repro/specification-graph"
+
+    def test_synth(self, tmp_path):
+        path = tmp_path / "synth.json"
+        code, text = run(
+            ["synth", "--apps", "2", "--accels", "2", "--save", str(path)]
+        )
+        assert code == EXIT_OK
+        assert "design space 2^" in text
+        assert path.exists()
+
+
+class TestLint:
+    def test_clean_spec(self, settop_json):
+        code, text = run(["lint", settop_json])
+        assert code == EXIT_OK
+
+    def test_error_spec_exit_code(self, tmp_path):
+        from repro.io import dump_spec
+        from repro.spec import (
+            ArchitectureGraph, ProblemGraph, make_specification,
+        )
+
+        p = ProblemGraph()
+        p.add_vertex("a")
+        p.add_vertex("b")
+        arch = ArchitectureGraph()
+        arch.add_resource("r", cost=1)
+        spec = make_specification(p, arch, [("a", "r", 1.0)])
+        path = tmp_path / "bad.json"
+        dump_spec(spec, str(path))
+        code, text = run(["lint", str(path)])
+        assert code == EXIT_LINT
+        assert "unsupportable-problem" in text
+
+
+class TestTableDot:
+    def test_table_settop_order(self, settop_json):
+        code, text = run(["table", settop_json])
+        assert code == EXIT_OK
+        assert text.splitlines()[2].startswith("P_C_I")
+
+    def test_table_generic(self, tv_json):
+        code, text = run(["table", tv_json])
+        assert code == EXIT_OK
+        assert "P_U1" in text
+
+    def test_dot(self, tv_json):
+        code, text = run(["dot", tv_json])
+        assert code == EXIT_OK
+        assert text.startswith("digraph")
+
+
+class TestExplore:
+    def test_explore_prints_front(self, settop_json):
+        code, text = run(["explore", settop_json])
+        assert code == EXIT_OK
+        assert "$430" in text and "$100" in text
+
+    def test_explore_outputs(self, settop_json, tmp_path):
+        json_path = tmp_path / "result.json"
+        csv_path = tmp_path / "front.csv"
+        code, text = run(
+            [
+                "explore", settop_json,
+                "--plot", "--stats",
+                "--json", str(json_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == EXIT_OK
+        assert "1/flexibility" in text
+        assert "solver invocations" in text
+        result = load_result(str(json_path))
+        assert len(result.points) == 6
+        csv_text = csv_path.read_text()
+        assert csv_text.splitlines()[0] == "cost,flexibility,units,clusters"
+        assert len(csv_text.splitlines()) == 7
+
+    def test_explore_svg(self, settop_json, tmp_path):
+        svg_path = tmp_path / "front.svg"
+        code, _ = run(["explore", settop_json, "--svg", str(svg_path)])
+        assert code == EXIT_OK
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_explore_keep_ties(self, settop_json):
+        code, text = run(["explore", settop_json, "--keep-ties"])
+        assert code == EXIT_OK
+        assert text.count("$230") >= 3
+
+    def test_explore_max_cost(self, settop_json):
+        code, text = run(["explore", settop_json, "--max-cost", "150"])
+        assert code == EXIT_OK
+        assert "$430" not in text
+
+    def test_explore_no_timing(self, settop_json):
+        code, text = run(["explore", settop_json, "--no-timing"])
+        assert code == EXIT_OK
+
+    def test_explore_schedule_mode(self, settop_json):
+        code, text = run(
+            ["explore", settop_json, "--timing-mode", "schedule"]
+        )
+        assert code == EXIT_OK
+        assert "$170" in text  # the schedule-mode f=4 point
+
+    def test_missing_file_error(self):
+        code, _ = run(["explore", "/nonexistent/spec.json"])
+        assert code == 1
+
+
+class TestUpgrade:
+    def test_upgrade_from_muP2(self, settop_json):
+        code, text = run(["upgrade", settop_json, "--base", "muP2"])
+        assert code == EXIT_OK
+        assert "base: ['muP2']" in text
+        assert "upgrade costs:" in text
+        assert "+$0" in text
+
+    def test_upgrade_with_budget(self, settop_json):
+        code, text = run(
+            ["upgrade", settop_json, "--base", "muP2",
+             "--max-extra-cost", "130"]
+        )
+        assert code == EXIT_OK
+        assert "$430" not in text
+
+    def test_upgrade_bad_base(self, settop_json):
+        code, _ = run(["upgrade", settop_json, "--base", "A1"])
+        assert code == 1
+
+
+class TestFailures:
+    def test_failure_report(self, settop_json):
+        code, text = run(
+            ["failures", settop_json,
+             "--allocation", "muP2,A1,C1,C2,D3"]
+        )
+        assert code == EXIT_OK
+        assert "TOTAL OUTAGE" in text  # muP2 failure
+        assert "baseline: cost=$430 flexibility=8" in text
+
+    def test_failure_infeasible_allocation(self, settop_json):
+        code, _ = run(["failures", settop_json, "--allocation", "A1"])
+        assert code == 1

@@ -1,0 +1,133 @@
+"""Depth-3 hierarchies: alternatives inside alternatives inside apps.
+
+The paper's examples stop at depth 2 (application -> stage ->
+alternative); the model has no depth limit.  These tests build a
+three-level problem — a codec suite whose video path itself chooses
+between software and hardware pipelines, each with alternative
+entropy coders — and pins the recursive flexibility arithmetic,
+activatability, flattening and exploration at that depth.
+"""
+
+import pytest
+
+from repro.activation import flatten
+from repro.core import (
+    evaluate_allocation,
+    exhaustive_front,
+    explore,
+    flexibility,
+    max_flexibility,
+)
+from repro.hgraph import new_cluster
+from repro.spec import (
+    ArchitectureGraph,
+    ProblemGraph,
+    SpecificationGraph,
+    activatable_clusters,
+)
+
+
+def build_deep_spec():
+    problem = ProblemGraph("Deep")
+    top = problem.add_interface("I_App")
+    # branch 1: plain audio app (leaf cluster)
+    audio = new_cluster(top, "app_audio")
+    audio.add_vertex("P_audio")
+    # branch 2: video app with a nested pipeline choice
+    video = new_cluster(top, "app_video", period=100.0)
+    video.add_vertex("P_cap")
+    pipe = video.add_interface("I_pipe")
+    pipe.add_port("in", "in")
+    # depth-2 alternative A: software pipeline with entropy choice
+    soft = new_cluster(pipe, "pipe_soft")
+    soft.add_vertex("P_scale")
+    entropy = soft.add_interface("I_entropy")
+    for name, proc in (("ent_huff", "P_huff"), ("ent_arith", "P_arith")):
+        alt = new_cluster(entropy, name)
+        alt.add_vertex(proc)
+    soft.add_edge("P_scale", "I_entropy")
+    soft.map_port("in", "P_scale")
+    # depth-2 alternative B: hardware pipeline (leaf)
+    hard = new_cluster(pipe, "pipe_hard")
+    hard.add_vertex("P_hwpipe")
+    hard.map_port("in", "P_hwpipe")
+    video.add_edge("P_cap", "I_pipe", dst_port="in")
+
+    arch = ArchitectureGraph("Deep_arch")
+    arch.add_resource("cpu", cost=100.0)
+    arch.add_resource("hw", cost=80.0)
+    arch.add_bus("b", 10.0, "cpu", "hw")
+
+    spec = SpecificationGraph(problem, arch, name="Deep_spec")
+    spec.map_row("P_audio", {"cpu": 10.0})
+    spec.map_row("P_cap", {"cpu": 5.0})
+    spec.map_row("P_scale", {"cpu": 20.0})
+    spec.map_row("P_huff", {"cpu": 30.0})
+    spec.map_row("P_arith", {"cpu": 60.0})  # 5+20+60 = 85 > 0.69*100
+    spec.map_row("P_hwpipe", {"hw": 15.0})
+    return spec.freeze()
+
+
+@pytest.fixture(scope="module")
+def deep():
+    return build_deep_spec()
+
+
+class TestDepth3Flexibility:
+    def test_max_flexibility_arithmetic(self, deep):
+        """f(pipe_soft) = 2 (two entropy coders); f(I_pipe) = 2 + 1;
+        f(app_video) = 3; top = 1 + 3 = 4."""
+        assert max_flexibility(deep.problem) == 4.0
+
+    def test_partial_activation(self, deep):
+        active = {"app_audio", "app_video", "pipe_soft", "ent_huff"}
+        assert flexibility(deep.problem, active=active, strict=False) == 2.0
+
+    def test_activatability_depth3(self, deep):
+        clusters = activatable_clusters(deep, {"cpu"})
+        assert clusters == {
+            "app_audio", "app_video", "pipe_soft", "ent_huff", "ent_arith",
+        }
+        assert "pipe_hard" in activatable_clusters(deep, {"cpu", "hw"})
+
+    def test_flatten_depth3(self, deep):
+        flat = flatten(
+            deep.problem,
+            {
+                "I_App": "app_video",
+                "I_pipe": "pipe_soft",
+                "I_entropy": "ent_arith",
+            },
+        )
+        assert sorted(flat.leaves) == ["P_arith", "P_cap", "P_scale"]
+        assert ("P_scale", "P_arith") in flat.edges
+
+
+class TestDepth3Exploration:
+    def test_cpu_alone(self, deep):
+        impl = evaluate_allocation(deep, {"cpu"})
+        assert impl is not None
+        # arithmetic coder blows the bound on the cpu: 85/100 > 0.69
+        assert "ent_arith" not in impl.clusters
+        # f = app_audio(1) + app_video(soft: huff only -> 1) = 2
+        assert impl.flexibility == 2.0
+
+    def test_full_platform(self, deep):
+        impl = evaluate_allocation(deep, {"cpu", "hw", "b"})
+        assert impl is not None
+        # arith still infeasible on cpu; hw pipeline adds 1
+        assert impl.flexibility == 3.0
+        assert "pipe_hard" in impl.clusters
+
+    def test_front_matches_exhaustive(self, deep):
+        result = explore(deep)
+        assert result.front() == [
+            impl.point for impl in exhaustive_front(deep)
+        ]
+        assert result.front() == [(100.0, 2.0), (190.0, 3.0)]
+
+    def test_schedule_mode_unlocks_arith(self, deep):
+        """Exact scheduling accepts the 85 <= 100 chain."""
+        impl = evaluate_allocation(deep, {"cpu"}, timing_mode="schedule")
+        assert "ent_arith" in impl.clusters
+        assert impl.flexibility == 3.0

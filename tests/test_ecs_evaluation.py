@@ -1,0 +1,185 @@
+"""Tests for elementary cluster-activations and allocation evaluation."""
+
+import pytest
+
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.core import (
+    ecs_of_selection,
+    evaluate_allocation,
+    force_chain,
+    iter_selections,
+    minimal_coverage_size,
+)
+from repro.spec import activatable_clusters
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+@pytest.fixture(scope="module")
+def tv_spec():
+    return build_tv_decoder_spec()
+
+
+class TestIterSelections:
+    def test_all_selections_counted(self, settop):
+        allowed = frozenset(settop.p_index.clusters)
+        selections = list(
+            iter_selections(settop.problem, settop.p_index, allowed)
+        )
+        # browser (1) + game (3 classes) + tv (3 decrypt * 2 uncompress)
+        assert len(selections) == 1 + 3 + 6
+
+    def test_selection_shapes(self, settop):
+        allowed = frozenset(settop.p_index.clusters)
+        for selection in iter_selections(
+            settop.problem, settop.p_index, allowed
+        ):
+            assert "I_App" in selection
+            if selection["I_App"] == "gamma_G":
+                assert set(selection) == {"I_App", "I_G"}
+            elif selection["I_App"] == "gamma_D":
+                assert set(selection) == {"I_App", "I_D", "I_U"}
+            else:
+                assert set(selection) == {"I_App"}
+
+    def test_allowed_restricts(self, settop):
+        allowed = frozenset({"gamma_I", "gamma_D", "gamma_D1", "gamma_U1"})
+        selections = list(
+            iter_selections(settop.problem, settop.p_index, allowed)
+        )
+        assert len(selections) == 2  # browser + one tv variant
+
+    def test_forced_pins_cluster(self, settop):
+        allowed = frozenset(settop.p_index.clusters)
+        forced = force_chain(settop, "gamma_U2")
+        selections = list(
+            iter_selections(settop.problem, settop.p_index, allowed, forced)
+        )
+        assert selections  # 3 decryptions x forced U2
+        assert all(s["I_U"] == "gamma_U2" for s in selections)
+        assert all(s["I_App"] == "gamma_D" for s in selections)
+        assert len(selections) == 3
+
+    def test_force_unallowed_yields_nothing(self, settop):
+        allowed = frozenset({"gamma_I"})
+        forced = force_chain(settop, "gamma_U2")
+        assert (
+            list(
+                iter_selections(
+                    settop.problem, settop.p_index, allowed, forced
+                )
+            )
+            == []
+        )
+
+    def test_force_chain_nested(self, settop):
+        assert force_chain(settop, "gamma_G2") == {
+            "I_G": "gamma_G2",
+            "I_App": "gamma_G",
+        }
+        assert force_chain(settop, "gamma_I") == {"I_App": "gamma_I"}
+
+    def test_ecs_of_selection(self):
+        assert ecs_of_selection({"I": "a", "J": "b"}) == frozenset({"a", "b"})
+
+    def test_minimal_coverage_size(self, settop):
+        clusters = frozenset(
+            {"gamma_D", "gamma_D1", "gamma_D2", "gamma_D3", "gamma_U1"}
+        )
+        assert minimal_coverage_size(settop, clusters) == 3
+        assert minimal_coverage_size(settop, frozenset()) == 0
+
+
+class TestEvaluateAllocation:
+    def test_paper_muP2(self, settop):
+        """Section 5: estimate 3, implemented flexibility 2 on muP2."""
+        impl = evaluate_allocation(settop, {"muP2"})
+        assert impl is not None
+        assert impl.cost == 100.0
+        assert impl.flexibility == 2.0
+        assert impl.clusters == {
+            "gamma_I", "gamma_D", "gamma_D1", "gamma_U1",
+        }
+
+    def test_paper_muP1(self, settop):
+        impl = evaluate_allocation(settop, {"muP1"})
+        assert impl is not None
+        assert impl.flexibility == 3.0
+        assert "gamma_G1" in impl.clusters
+
+    def test_impossible_allocation_returns_none(self, settop):
+        assert evaluate_allocation(settop, {"A1"}) is None
+        assert evaluate_allocation(settop, set()) is None
+
+    def test_coverage_pairs_fpga_designs_apart(self, settop):
+        """$290 allocation: gamma_D3 and gamma_U2 must live in different
+        elementary cluster-activations (one FPGA design at a time)."""
+        impl = evaluate_allocation(
+            settop, {"muP2", "C1", "D3", "G1", "U2"}
+        )
+        assert impl is not None
+        assert impl.flexibility == 5.0
+        assert {"gamma_D3", "gamma_U2"} <= impl.clusters
+        for record in impl.coverage:
+            assert not (
+                "gamma_D3" in record.clusters
+                and "gamma_U2" in record.clusters
+            )
+
+    def test_coverage_records_have_bindings(self, settop):
+        impl = evaluate_allocation(settop, {"muP1"})
+        assert impl is not None
+        game = impl.ecs_for("gamma_G1")
+        assert game is not None
+        assert game.binding["P_G1"] == "muP1"
+        assert impl.ecs_for("gamma_G2") is None
+
+    def test_achieved_le_activatable_estimate(self, settop):
+        from repro.core import estimate_flexibility
+
+        for units in ({"muP2"}, {"muP2", "D3"}, {"muP2", "A1"},
+                      {"muP1", "D3", "U2"}):
+            impl = evaluate_allocation(settop, units)
+            if impl is not None:
+                assert impl.flexibility <= estimate_flexibility(settop, units)
+
+    def test_comm_failure_reduces_flexibility(self, settop):
+        """muP2+A1 without bus C2: the ASIC adds nothing implementable."""
+        with_bus = evaluate_allocation(settop, {"muP2", "A1", "C2"})
+        without_bus = evaluate_allocation(settop, {"muP2", "A1"})
+        assert with_bus is not None and without_bus is not None
+        assert with_bus.flexibility == 7.0
+        assert without_bus.flexibility < with_bus.flexibility
+
+    def test_sat_backend_agrees(self, settop):
+        for units in ({"muP2"}, {"muP1"}, {"muP2", "C1", "D3", "G1"}):
+            csp = evaluate_allocation(settop, units, backend="csp")
+            sat = evaluate_allocation(settop, units, backend="sat")
+            assert (csp is None) == (sat is None)
+            if csp is not None:
+                assert csp.flexibility == sat.flexibility
+                assert csp.clusters == sat.clusters
+
+    def test_solver_counter(self, settop):
+        counter = [0]
+        evaluate_allocation(settop, {"muP2"}, solver_counter=counter)
+        assert counter[0] >= 3  # browser + game try + tv
+
+    def test_activatable_superset_of_covered(self, settop):
+        units = {"muP2", "C1", "D3", "G1"}
+        impl = evaluate_allocation(settop, units)
+        assert impl is not None
+        assert impl.clusters <= activatable_clusters(settop, units) | {
+            "gamma_I", "gamma_G", "gamma_D"
+        }
+
+    def test_tv_decoder_small_allocations(self, tv_spec):
+        impl = evaluate_allocation(tv_spec, {"muP"})
+        assert impl is not None
+        assert impl.flexibility == 1.0
+        impl2 = evaluate_allocation(tv_spec, {"muP", "A", "C2"})
+        assert impl2 is not None
+        assert impl2.flexibility == 3.0

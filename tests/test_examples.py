@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; these tests execute
+them in-process (stdout captured) so a regression in the API surface
+they use fails the suite, not just the docs.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    assert buffer.getvalue().strip(), f"{script} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "settop_family.py",
+        "adaptive_runtime.py",
+        "platform_dimensioning.py",
+        "product_roadmap.py",
+    } <= set(EXAMPLES)
+
+
+def test_settop_example_reports_match():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "settop_family.py"), run_name="__main__"
+        )
+    assert "MATCH" in buffer.getvalue()
+
+
+def test_adaptive_example_serves_all_on_flagship():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "adaptive_runtime.py"), run_name="__main__"
+        )
+    assert "served 6/6 requests" in buffer.getvalue()

@@ -1,0 +1,174 @@
+"""Tests of the Definition-4 flexibility metric, incl. paper values."""
+
+import pytest
+
+from repro.casestudies import (
+    build_settop_problem,
+    build_settop_spec,
+    build_tv_decoder_problem,
+)
+from repro.core import (
+    estimate_flexibility,
+    flexibility,
+    max_flexibility,
+    spec_max_flexibility,
+)
+from repro.errors import ActivationError
+from repro.hgraph import HierarchicalGraph, new_cluster
+
+
+class TestPaperValues:
+    def test_settop_max_is_8(self):
+        """Fig. 3: 'If all clusters can be activated ... f(G_P) = 8.'"""
+        assert max_flexibility(build_settop_problem()) == 8.0
+
+    def test_settop_without_game_is_5(self):
+        """Fig. 3: 'If cluster gamma_G is not used ... f(G_P) = 5.'"""
+        problem = build_settop_problem()
+        active = {
+            "gamma_I", "gamma_D",
+            "gamma_D1", "gamma_D2", "gamma_D3", "gamma_U1", "gamma_U2",
+        }
+        assert flexibility(problem, active=active, strict=False) == 5.0
+
+    def test_tv_decoder_fig1(self):
+        """Fig. 1 decoder: 3 decryptions + 2 uncompressions -> 3+2-1 = 4."""
+        assert max_flexibility(build_tv_decoder_problem()) == 4.0
+
+    def test_settop_muP2_estimate_is_3(self):
+        """Section 5: estimated flexibility of allocation {muP2} is 3."""
+        spec = build_settop_spec()
+        assert estimate_flexibility(spec, {"muP2"}) == 3.0
+
+    def test_settop_spec_max_is_8(self):
+        assert spec_max_flexibility(build_settop_spec()) == 8.0
+
+    def test_settop_single_app_examples(self):
+        problem = build_settop_problem()
+        browser_only = {"gamma_I"}
+        assert flexibility(problem, active=browser_only, strict=False) == 1.0
+        tv_min = {"gamma_D", "gamma_D1", "gamma_U1"}
+        assert flexibility(problem, active=tv_min, strict=False) == 1.0
+        muP2_feasible = {"gamma_I", "gamma_D", "gamma_D1", "gamma_U1"}
+        assert flexibility(problem, active=muP2_feasible, strict=False) == 2.0
+
+
+class TestFormula:
+    def test_leaf_cluster_is_one(self):
+        g = HierarchicalGraph("G")
+        i = g.add_interface("I")
+        c = new_cluster(i, "g1")
+        c.add_vertex("v")
+        assert flexibility(g) == 1.0
+
+    def test_interface_sums_clusters(self):
+        g = HierarchicalGraph("G")
+        i = g.add_interface("I")
+        for k in range(4):
+            new_cluster(i, f"g{k}").add_vertex(f"v{k}")
+        assert flexibility(g) == 4.0
+
+    def test_multi_interface_correction_term(self):
+        """n interfaces with k_i alternatives: sum(k_i) - (n-1)."""
+        g = HierarchicalGraph("G")
+        for n, k in enumerate((3, 2, 4)):
+            i = g.add_interface(f"I{n}")
+            for j in range(k):
+                new_cluster(i, f"g{n}_{j}").add_vertex(f"v{n}_{j}")
+        assert flexibility(g) == 3 + 2 + 4 - 2
+
+    def test_no_interfaces_scope_is_one(self):
+        g = HierarchicalGraph("G")
+        g.add_vertex("a")
+        g.add_vertex("b")
+        assert flexibility(g) == 1.0
+
+    def test_nested_hierarchy(self):
+        """A cluster containing an interface multiplies richness by sum."""
+        g = HierarchicalGraph("G")
+        top = g.add_interface("I")
+        outer = new_cluster(top, "outer")
+        inner_if = outer.add_interface("J")
+        for k in range(3):
+            new_cluster(inner_if, f"in{k}").add_vertex(f"w{k}")
+        plain = new_cluster(top, "plain")
+        plain.add_vertex("p")
+        # f = f(outer) + f(plain) = (3 - 0) + 1
+        assert flexibility(g) == 4.0
+
+    def test_inactive_cluster_contributes_zero(self):
+        g = HierarchicalGraph("G")
+        i = g.add_interface("I")
+        for k in range(3):
+            new_cluster(i, f"g{k}").add_vertex(f"v{k}")
+        assert flexibility(g, active={"g0", "g1"}) == 2.0
+
+    def test_strict_rejects_inconsistent_activation(self):
+        g = HierarchicalGraph("G")
+        i = g.add_interface("I")
+        new_cluster(i, "g0").add_vertex("v0")
+        with pytest.raises(ActivationError):
+            flexibility(g, active=set())
+
+    def test_non_strict_inconsistent_returns_value(self):
+        g = HierarchicalGraph("G")
+        i = g.add_interface("I")
+        new_cluster(i, "g0").add_vertex("v0")
+        assert flexibility(g, active=set(), strict=False) == 0.0
+
+    def test_predicate_active(self):
+        problem = build_settop_problem()
+        value = flexibility(
+            problem,
+            active=lambda name: not name.endswith("3"),
+            strict=False,
+        )
+        # drops gamma_D3 and gamma_G3: 8 - 2
+        assert value == 6.0
+
+
+class TestWeighted:
+    def test_weighted_reduces_to_unweighted_for_unit_weights(self):
+        problem = build_settop_problem()
+        assert flexibility(problem, weighted=True) == flexibility(problem)
+
+    def test_weighted_scales_contributions(self):
+        g = HierarchicalGraph("G")
+        i = g.add_interface("I")
+        new_cluster(i, "g0", weight=2.5).add_vertex("v0")
+        new_cluster(i, "g1").add_vertex("v1")
+        assert flexibility(g, weighted=True) == 3.5
+        assert flexibility(g) == 2.0
+
+    def test_weighted_nested(self):
+        g = HierarchicalGraph("G")
+        top = g.add_interface("I")
+        outer = new_cluster(top, "outer", weight=2.0)
+        inner_if = outer.add_interface("J")
+        new_cluster(inner_if, "in0", weight=3.0).add_vertex("w0")
+        # f(outer) = 2 * (3 * 1) = 6
+        assert flexibility(g, weighted=True) == 6.0
+
+
+class TestEstimate:
+    def test_estimate_zero_for_impossible_allocation(self):
+        spec = build_settop_spec()
+        assert estimate_flexibility(spec, {"A1"}) == 0.0
+        assert estimate_flexibility(spec, set()) == 0.0
+
+    def test_estimate_is_upper_bound_of_implementable(self):
+        from repro.core import evaluate_allocation
+
+        spec = build_settop_spec()
+        for units in ({"muP2"}, {"muP1"}, {"muP2", "D3", "U2"},
+                      {"muP2", "A1", "C2"}):
+            estimate = estimate_flexibility(spec, units)
+            impl = evaluate_allocation(spec, units)
+            if impl is not None:
+                assert impl.flexibility <= estimate
+
+    def test_estimate_monotone_in_allocation(self):
+        spec = build_settop_spec()
+        smaller = estimate_flexibility(spec, {"muP2"})
+        larger = estimate_flexibility(spec, {"muP2", "A1", "C2"})
+        assert larger >= smaller

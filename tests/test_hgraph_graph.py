@@ -1,0 +1,239 @@
+"""Unit tests for scopes, traversal, validation and the builder."""
+
+import pytest
+
+from repro.errors import ModelError, ValidationError
+from repro.hgraph import (
+    HierarchicalGraph,
+    HierarchyBuilder,
+    HierarchyIndex,
+    count_elements,
+    iter_clusters,
+    iter_interfaces,
+    leaf_names,
+    leaves,
+    new_cluster,
+    validate_hierarchy,
+)
+
+
+def small_decoder():
+    """The Fig. 1 shape: two vertices and two interfaces with clusters."""
+    g = HierarchicalGraph("G")
+    g.add_vertex("P_A")
+    g.add_vertex("P_C")
+    i_d = g.add_interface("I_D")
+    i_u = g.add_interface("I_U")
+    for k in (1, 2, 3):
+        c = new_cluster(i_d, f"g_D{k}")
+        c.add_vertex(f"P_D{k}")
+    for k in (1, 2):
+        c = new_cluster(i_u, f"g_U{k}")
+        c.add_vertex(f"P_U{k}")
+    g.add_edge("I_D", "I_U")
+    return g
+
+
+class TestGraphScope:
+    def test_duplicate_names_rejected(self):
+        g = HierarchicalGraph("G")
+        g.add_vertex("a")
+        with pytest.raises(ModelError):
+            g.add_vertex("a")
+        with pytest.raises(ModelError):
+            g.add_interface("a")
+
+    def test_edge_endpoints_must_exist(self):
+        g = HierarchicalGraph("G")
+        g.add_vertex("a")
+        with pytest.raises(ModelError):
+            g.add_edge("a", "b")
+
+    def test_edge_port_qualifier_on_vertex_rejected(self):
+        g = HierarchicalGraph("G")
+        g.add_vertex("a")
+        g.add_vertex("b")
+        with pytest.raises(ModelError):
+            g.add_edge("a", "b", src_port="p")
+
+    def test_edge_port_must_be_declared(self):
+        g = HierarchicalGraph("G")
+        g.add_vertex("a")
+        i = g.add_interface("I")
+        i.add_port("p")
+        g.add_edge("a", "I", dst_port="p")
+        with pytest.raises(ModelError):
+            g.add_edge("a", "I", dst_port="q")
+
+    def test_node_lookup_and_contains(self):
+        g = small_decoder()
+        assert g.node("P_A").name == "P_A"
+        assert g.node("I_D").name == "I_D"
+        assert g.node("nope") is None
+        assert "P_C" in g
+        assert "P_D1" not in g  # nested, not in top scope
+
+    def test_in_out_edges(self):
+        g = small_decoder()
+        assert [e.dst for e in g.out_edges("I_D")] == ["I_U"]
+        assert [e.src for e in g.in_edges("I_U")] == ["I_D"]
+
+    def test_clusters_iteration(self):
+        g = small_decoder()
+        assert sorted(c.name for c in g.clusters()) == [
+            "g_D1", "g_D2", "g_D3", "g_U1", "g_U2",
+        ]
+
+
+class TestTraversal:
+    def test_leaves_equation_1(self):
+        g = small_decoder()
+        assert sorted(leaves(g)) == sorted(
+            ["P_A", "P_C", "P_D1", "P_D2", "P_D3", "P_U1", "P_U2"]
+        )
+
+    def test_leaf_names_len(self):
+        assert len(leaf_names(small_decoder())) == 7
+
+    def test_iter_interfaces(self):
+        g = small_decoder()
+        assert sorted(i.name for i in iter_interfaces(g)) == ["I_D", "I_U"]
+
+    def test_iter_clusters_nested(self):
+        g = small_decoder()
+        # add one nested level
+        idx = HierarchyIndex(g)
+        c = idx.cluster("g_D1")
+        inner = c.add_interface("I_X")
+        nested = new_cluster(inner, "g_X1")
+        nested.add_vertex("P_X1")
+        names = sorted(c.name for c in iter_clusters(g))
+        assert "g_X1" in names and len(names) == 6
+
+    def test_duplicate_leaf_across_scopes_rejected(self):
+        g = small_decoder()
+        idx = HierarchyIndex(g)
+        idx.cluster("g_U1").add_vertex("P_A")  # clashes with top-level P_A
+        with pytest.raises(ModelError):
+            leaves(g)
+
+
+class TestHierarchyIndex:
+    def test_maps(self):
+        g = small_decoder()
+        idx = HierarchyIndex(g)
+        assert idx.interface_of_cluster["g_D2"] == "I_D"
+        assert idx.scope_of_node["P_D2"].name == "g_D2"
+        assert idx.depth["G"] == 0
+        assert idx.depth["g_D1"] == 1
+
+    def test_owner_chain_and_qualified_name(self):
+        g = small_decoder()
+        idx = HierarchyIndex(g)
+        assert idx.owner_chain("P_D1") == ("G", "g_D1")
+        assert idx.qualified_name("P_D1") == "g_D1.P_D1"
+        assert idx.qualified_name("P_A") == "P_A"
+        assert idx.owner_chain("g_D1") == ("G", "g_D1")
+
+    def test_enclosing_clusters(self):
+        g = small_decoder()
+        idx = HierarchyIndex(g)
+        assert idx.enclosing_clusters("P_D1") == ("g_D1",)
+        assert idx.enclosing_clusters("g_D1") == ()
+
+    def test_inherited_attr(self):
+        g = small_decoder()
+        idx = HierarchyIndex(g)
+        idx.cluster("g_D1").attrs["period"] = 300
+        assert idx.inherited_attr("P_D1", "period") == 300
+        assert idx.inherited_attr("P_A", "period") is None
+        g.attrs["period"] = 100
+        assert idx.inherited_attr("P_A", "period") == 100
+        # element's own attribute wins
+        idx.vertices["P_D1"].attrs["period"] = 200
+        assert idx.inherited_attr("P_D1", "period") == 200
+
+    def test_unknown_element(self):
+        idx = HierarchyIndex(small_decoder())
+        with pytest.raises(ModelError):
+            idx.owner_chain("nope")
+        with pytest.raises(ModelError):
+            idx.cluster("nope")
+        with pytest.raises(ModelError):
+            idx.interface("nope")
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        idx = validate_hierarchy(small_decoder())
+        assert isinstance(idx, HierarchyIndex)
+
+    def test_empty_interface_rejected(self):
+        g = HierarchicalGraph("G")
+        g.add_interface("I")
+        with pytest.raises(ValidationError):
+            validate_hierarchy(g)
+        validate_hierarchy(g, allow_empty_interfaces=True)
+
+    def test_bad_port_map_rejected(self):
+        g = HierarchicalGraph("G")
+        i = g.add_interface("I")
+        i.add_port("p")
+        c = new_cluster(i, "g")
+        c.add_vertex("v")
+        c.map_port("p", "v")
+        # sabotage after the fact (simulates a bad deserialisation)
+        c.port_map["q"] = "v"
+        with pytest.raises(ValidationError):
+            validate_hierarchy(g)
+
+    def test_count_elements(self):
+        stats = count_elements(small_decoder())
+        assert stats == {
+            "vertices": 7,
+            "interfaces": 2,
+            "clusters": 5,
+            "edges": 1,
+            "max_depth": 1,
+        }
+
+
+class TestBuilder:
+    def test_builder_roundtrip(self):
+        b = HierarchyBuilder("G_P")
+        b.vertex("P_A").vertex("P_C")
+        dec = b.interface("I_D")
+        for k in (1, 2, 3):
+            dec.simple_cluster(f"g_D{k}", f"P_D{k}")
+        unc = b.interface("I_U")
+        for k in (1, 2):
+            unc.simple_cluster(f"g_U{k}", f"P_U{k}")
+        b.edge("I_D", "I_U")
+        g = b.done()
+        assert sorted(leaves(g)) == sorted(
+            ["P_A", "P_C", "P_D1", "P_D2", "P_D3", "P_U1", "P_U2"]
+        )
+
+    def test_simple_cluster_maps_all_ports(self):
+        b = HierarchyBuilder("G")
+        i = b.interface("I", ports=("in0", "out0"))
+        c = i.simple_cluster("g", "v")
+        assert c.cluster_scope.port_map == {"in0": "v", "out0": "v"}
+
+    def test_chain(self):
+        b = HierarchyBuilder("G")
+        b.vertex("a").vertex("b").vertex("c").chain("a", "b", "c")
+        g = b.done()
+        assert len(g.edges) == 2
+        assert g.edges[0].pair == ("a", "b")
+        assert g.edges[1].pair == ("b", "c")
+
+    def test_nested_interface_in_cluster(self):
+        b = HierarchyBuilder("G")
+        top = b.interface("I_top")
+        c = top.cluster("g_top")
+        c.vertex("v")
+        nested = c.interface("I_in")
+        nested.simple_cluster("g_in", "w")
+        g = b.done()
+        assert sorted(leaves(g)) == ["v", "w"]

@@ -1,0 +1,129 @@
+"""Unit tests for the hierarchical-graph primitives."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.hgraph import Cluster, Edge, Interface, Port, Vertex, new_cluster
+
+
+class TestVertex:
+    def test_name_and_attrs(self):
+        v = Vertex("P_A", {"negligible": True})
+        assert v.name == "P_A"
+        assert v.get("negligible") is True
+
+    def test_get_default(self):
+        assert Vertex("x").get("missing", 7) == 7
+
+    def test_set(self):
+        v = Vertex("x")
+        v.set("cost", 10)
+        assert v.attrs["cost"] == 10
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Vertex("")
+
+    def test_repr(self):
+        assert "P_A" in repr(Vertex("P_A"))
+
+
+class TestPort:
+    def test_defaults(self):
+        p = Port("in0")
+        assert p.direction == "inout"
+
+    def test_directions(self):
+        for d in ("in", "out", "inout"):
+            assert Port("p", d).direction == d
+
+    def test_bad_direction(self):
+        with pytest.raises(ModelError):
+            Port("p", "sideways")
+
+    def test_empty_name(self):
+        with pytest.raises(ModelError):
+            Port("")
+
+
+class TestEdge:
+    def test_pair(self):
+        e = Edge("a", "b")
+        assert e.pair == ("a", "b")
+
+    def test_ports_default_none(self):
+        e = Edge("a", "b")
+        assert e.src_port is None and e.dst_port is None
+
+    def test_attrs(self):
+        e = Edge("a", "b", attrs={"latency": 3})
+        assert e.get("latency") == 3
+
+    def test_empty_endpoint(self):
+        with pytest.raises(ModelError):
+            Edge("", "b")
+
+
+class TestInterface:
+    def test_ports_unique(self):
+        i = Interface("I_D")
+        i.add_port("p0")
+        with pytest.raises(ModelError):
+            i.add_port("p0")
+
+    def test_add_cluster_unique(self):
+        i = Interface("I_D")
+        new_cluster(i, "g1")
+        with pytest.raises(ModelError):
+            new_cluster(i, "g1")
+
+    def test_cluster_names_order(self):
+        i = Interface("I_D")
+        new_cluster(i, "g1")
+        new_cluster(i, "g2")
+        assert i.cluster_names() == ("g1", "g2")
+
+
+class TestCluster:
+    def test_attach_twice_same_interface_ok(self):
+        i = Interface("I")
+        c = new_cluster(i, "g")
+        assert c.attach(i) is c
+
+    def test_attach_other_interface_rejected(self):
+        i1, i2 = Interface("I1"), Interface("I2")
+        c = new_cluster(i1, "g")
+        with pytest.raises(ModelError):
+            c.attach(i2)
+
+    def test_map_port_requires_attachment(self):
+        c = Cluster("g")
+        c.add_vertex("v")
+        with pytest.raises(ModelError):
+            c.map_port("p", "v")
+
+    def test_map_port_checks_port_and_node(self):
+        i = Interface("I")
+        i.add_port("p")
+        c = new_cluster(i, "g")
+        c.add_vertex("v")
+        c.map_port("p", "v")
+        assert c.port_target("p") == "v"
+        with pytest.raises(ModelError):
+            c.map_port("q", "v")
+        with pytest.raises(ModelError):
+            c.map_port("p", "w")
+
+    def test_weight_default_and_custom(self):
+        i = Interface("I")
+        assert new_cluster(i, "g").weight == 1.0
+        assert new_cluster(i, "h", weight=2.5).weight == 2.5
+
+    def test_weight_invalid(self):
+        i = Interface("I")
+        c = new_cluster(i, "g", weight="heavy")
+        with pytest.raises(ModelError):
+            _ = c.weight
+        c2 = new_cluster(i, "h", weight=-1)
+        with pytest.raises(ModelError):
+            _ = c2.weight

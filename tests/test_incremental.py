@@ -1,0 +1,106 @@
+"""Tests of incremental (upgrade) exploration."""
+
+import pytest
+
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.core import (
+    dominates,
+    explore,
+    explore_upgrades,
+    upgrade_preserves_base,
+)
+from repro.errors import ExplorationError
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+class TestExploreUpgrades:
+    def test_upgrades_from_muP2(self, settop):
+        """Upgrading the $100 box: richer points, all containing muP2."""
+        result = explore_upgrades(settop, {"muP2"})
+        assert result.base.point == (100.0, 2.0)
+        assert result.points[0] is result.base
+        assert result.best().flexibility == 8.0
+        for point in result.points:
+            assert "muP2" in point.units
+
+    def test_upgrade_front_shape(self, settop):
+        result = explore_upgrades(settop, {"muP2"})
+        front = result.front()
+        costs = [c for c, _ in front]
+        flexes = [f for _, f in front]
+        assert costs == sorted(costs)
+        assert flexes == sorted(flexes)
+        for a in front:
+            for b in front:
+                assert not dominates(a, b)
+
+    def test_upgrade_costs_relative_to_base(self, settop):
+        result = explore_upgrades(settop, {"muP2"})
+        extras = result.upgrade_costs()
+        assert extras[0] == 0.0
+        assert all(e >= 0 for e in extras)
+
+    def test_muP2_upgrades_match_global_points(self, settop):
+        """Every muP2-containing point of the global front reappears."""
+        global_front = explore(settop)
+        result = explore_upgrades(settop, {"muP2"})
+        upgrade_points = set(result.front())
+        for impl in global_front.points:
+            if "muP2" in impl.units and impl.cost >= 100.0:
+                assert impl.point in upgrade_points
+
+    def test_muP1_base_excludes_cheaper_rival(self, settop):
+        """From a muP1 base the $230 muP2 variants are unreachable; the
+        upgrade front is built over muP1 supersets only."""
+        result = explore_upgrades(settop, {"muP1"})
+        assert result.base.point == (120.0, 3.0)
+        for point in result.points:
+            assert "muP1" in point.units
+        assert result.best().flexibility >= 7.0
+
+    def test_infeasible_base_rejected(self, settop):
+        with pytest.raises(ExplorationError):
+            explore_upgrades(settop, {"A1"})
+
+    def test_max_extra_cost(self, settop):
+        result = explore_upgrades(settop, {"muP2"}, max_extra_cost=130.0)
+        assert all(c <= 130.0 for c in result.upgrade_costs())
+        assert result.best().flexibility == 4.0  # muP2+D3+G1+C1
+
+    def test_stats_counters(self, settop):
+        result = explore_upgrades(settop, {"muP2"})
+        stats = result.stats
+        assert stats.design_space_size == 2 ** (len(settop.units) - 1)
+        assert stats.estimate_exceeded >= 1
+        assert stats.feasible_implementations >= len(result.points) - 1
+
+
+class TestNonInterference:
+    def test_superset_preserves_base(self, settop):
+        """The guarantee the paper contrasts against Pop et al."""
+        result = explore_upgrades(settop, {"muP2"})
+        base = result.base
+        for upgrade in result.points[1:]:
+            assert upgrade_preserves_base(
+                settop, base, frozenset(upgrade.units)
+            )
+
+    def test_non_superset_rejected(self, settop):
+        from repro.core import evaluate_allocation
+
+        base = evaluate_allocation(settop, {"muP2"})
+        assert not upgrade_preserves_base(
+            settop, base, frozenset({"muP1"})
+        )
+
+    def test_every_base_ecs_still_bindable(self):
+        spec = build_tv_decoder_spec()
+        from repro.core import evaluate_allocation
+
+        base = evaluate_allocation(spec, {"muP"})
+        full = frozenset(spec.units.names())
+        assert upgrade_preserves_base(spec, base, full)

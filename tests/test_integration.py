@@ -1,0 +1,114 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test exercises a realistic multi-step workflow: file round-trips
+feeding exploration, exploration feeding the adaptive runtime, upgrades
+feeding failure analysis, and the CLI gluing it together.
+"""
+
+import io
+
+import pytest
+
+from repro import (
+    AdaptiveSimulator,
+    build_settop_spec,
+    dump_result,
+    dump_spec,
+    explore,
+    explore_upgrades,
+    load_result,
+    load_spec,
+    single_failure_report,
+    upgrade_preserves_base,
+)
+from repro.cli import main as cli_main
+from repro.core import evaluate_allocation
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+class TestFileDrivenWorkflow:
+    def test_save_explore_reload_simulate(self, settop, tmp_path):
+        """spec JSON -> explore -> result JSON -> adaptive simulation."""
+        spec_path = tmp_path / "spec.json"
+        result_path = tmp_path / "result.json"
+        dump_spec(settop, str(spec_path))
+        reloaded_spec = load_spec(str(spec_path))
+        result = explore(reloaded_spec)
+        dump_result(result, str(result_path))
+        reloaded_result = load_result(str(result_path))
+        # drive the runtime purely from reloaded artifacts
+        flagship = reloaded_result.points[-1]
+        simulator = AdaptiveSimulator(reloaded_spec, flagship)
+        assert simulator.request(0.0, {"gamma_D3"}).accepted
+        assert simulator.request(10.0, {"gamma_G"}).accepted
+
+    def test_cli_pipeline(self, settop, tmp_path):
+        """demo -> explore --json -> load_result in-process."""
+        spec_path = tmp_path / "s.json"
+        result_path = tmp_path / "r.json"
+        out = io.StringIO()
+        assert cli_main(
+            ["demo", "settop", "--save", str(spec_path)], out=out
+        ) == 0
+        assert cli_main(
+            [
+                "explore", str(spec_path), "--json", str(result_path),
+            ],
+            out=out,
+        ) == 0
+        result = load_result(str(result_path))
+        assert result.front()[-1] == (430.0, 8.0)
+
+
+class TestDesignLifecycle:
+    def test_ship_upgrade_fail_over(self, settop):
+        """Ship the cheap box, upgrade it, then lose a unit."""
+        upgrades = explore_upgrades(settop, {"muP2"})
+        base = upgrades.base
+        flagship = upgrades.points[-1]
+        assert upgrade_preserves_base(
+            settop, base, frozenset(flagship.units)
+        )
+        report = single_failure_report(settop, flagship)
+        survivable = [i for i in report if not i.total_outage]
+        # after any survivable failure the shipped clusters still run
+        for impact in survivable:
+            assert impact.survivor is not None
+            if base.clusters <= impact.survivor.clusters:
+                # the shipped modes survived this failure entirely
+                simulator = AdaptiveSimulator(settop, impact.survivor)
+                assert simulator.request(0.0, {"gamma_I"}).accepted
+
+    def test_minimal_mode_table_drives_runtime(self, settop):
+        """Minimal coverage is enough for every implemented request."""
+        implementation = evaluate_allocation(
+            settop, {"muP2", "C1", "D3", "G1", "U2"}
+        )
+        minimal = implementation.minimal_coverage()
+        from repro.core.result import Implementation
+
+        slim = Implementation(
+            implementation.units,
+            implementation.cost,
+            implementation.flexibility,
+            implementation.clusters,
+            minimal,
+        )
+        simulator = AdaptiveSimulator(settop, slim)
+        when = 0.0
+        for cluster in sorted(implementation.clusters):
+            change = simulator.request(when, {cluster})
+            assert change.accepted, cluster
+            when += 10.0
+
+    def test_weighted_and_plain_agree_on_allocations(self, settop):
+        """Unit weights: identical fronts, identical allocations."""
+        plain = explore(settop)
+        weighted = explore(settop, weighted=True)
+        assert [frozenset(p.units) for p in plain.points] == [
+            frozenset(p.units) for p in weighted.points
+        ]

@@ -1,0 +1,124 @@
+"""Tests of JSON round-trip and DOT export."""
+
+import json
+
+import pytest
+
+from repro.casestudies import (
+    build_settop_spec,
+    build_tv_decoder_spec,
+    synthetic_spec,
+)
+from repro.core import explore
+from repro.errors import SerializationError
+from repro.io import (
+    dump_spec,
+    dumps_spec,
+    hierarchy_to_dot,
+    load_spec,
+    loads_spec,
+    spec_from_dict,
+    spec_to_dict,
+    spec_to_dot,
+)
+from repro.spec import bindable_leaves
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [build_tv_decoder_spec, build_settop_spec, synthetic_spec],
+        ids=["tv", "settop", "synthetic"],
+    )
+    def test_roundtrip_preserves_structure(self, builder):
+        original = builder()
+        restored = loads_spec(dumps_spec(original))
+        assert restored.name == original.name
+        assert set(restored.units.names()) == set(original.units.names())
+        assert len(restored.mappings) == len(original.mappings)
+        assert sorted(restored.p_index.clusters) == sorted(
+            original.p_index.clusters
+        )
+        for unit in original.units:
+            assert restored.units.unit(unit.name).cost == unit.cost
+
+    def test_roundtrip_preserves_semantics(self):
+        """The restored spec explores to the identical Pareto front."""
+        original = build_settop_spec()
+        restored = loads_spec(dumps_spec(original))
+        assert explore(restored).front() == explore(original).front()
+
+    def test_roundtrip_preserves_reduction(self):
+        original = build_tv_decoder_spec()
+        restored = loads_spec(dumps_spec(original))
+        assert bindable_leaves(restored, {"muP"}) == bindable_leaves(
+            original, {"muP"}
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        dump_spec(build_tv_decoder_spec(), str(path))
+        restored = load_spec(str(path))
+        assert restored.frozen
+        assert set(restored.units.names()) == {
+            "muP", "A", "C1", "C2", "D3", "U1", "U2",
+        }
+
+    def test_document_is_stable_json(self):
+        doc1 = dumps_spec(build_tv_decoder_spec())
+        doc2 = dumps_spec(build_tv_decoder_spec())
+        assert doc1 == doc2
+        json.loads(doc1)  # valid JSON
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SerializationError):
+            spec_from_dict({"format": "something-else", "version": 1})
+
+    def test_bad_version_rejected(self):
+        doc = spec_to_dict(build_tv_decoder_spec())
+        doc["version"] = 99
+        with pytest.raises(SerializationError):
+            spec_from_dict(doc)
+
+    def test_missing_key_reported(self):
+        doc = spec_to_dict(build_tv_decoder_spec())
+        del doc["problem"]["name"]
+        with pytest.raises(SerializationError):
+            spec_from_dict(doc)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SerializationError):
+            loads_spec("{not json")
+
+    def test_port_maps_roundtrip(self):
+        original = build_settop_spec()
+        restored = loads_spec(dumps_spec(original))
+        cluster = restored.p_index.cluster("gamma_D1")
+        assert cluster.port_map == {"din": "P_D1", "dout": "P_D1"}
+
+
+class TestDot:
+    def test_hierarchy_dot_contains_clusters(self):
+        spec = build_tv_decoder_spec()
+        dot = hierarchy_to_dot(spec.problem)
+        assert dot.startswith("digraph")
+        assert '"cluster_I_D"' in dot
+        assert '"gamma_D1"' not in dot or "cluster_gamma_D1" in dot
+        assert '"P_D1"' in dot
+
+    def test_spec_dot_contains_both_sides_and_mappings(self):
+        spec = build_tv_decoder_spec()
+        dot = spec_to_dot(spec)
+        assert '"cluster_problem"' in dot
+        assert '"cluster_architecture"' in dot
+        assert '"p::P_U1" -> "a::muP"' in dot
+        assert "style=dashed" in dot
+        assert dot.count("->") >= len(spec.mappings)
+
+    def test_dot_quotes_special_names(self):
+        from repro.hgraph import HierarchicalGraph
+
+        g = HierarchicalGraph('Weird"Name')
+        g.add_vertex("a b")
+        dot = hierarchy_to_dot(g, name='Weird"Name')
+        assert '\\"' in dot

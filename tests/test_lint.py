@@ -1,0 +1,219 @@
+"""Tests of the specification linter."""
+
+import pytest
+
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.hgraph import new_cluster
+from repro.spec import (
+    ArchitectureGraph,
+    ERROR,
+    ProblemGraph,
+    SpecificationGraph,
+    WARNING,
+    lint_errors,
+    lint_specification,
+)
+
+
+def make_spec(problem, arch, mappings):
+    spec = SpecificationGraph(problem, arch)
+    for process, resource, latency in mappings:
+        spec.map(process, resource, latency)
+    return spec.freeze()
+
+
+def simple_problem(extra=None):
+    p = ProblemGraph()
+    p.add_vertex("proc")
+    i = p.add_interface("I")
+    for k in (1, 2):
+        c = new_cluster(i, f"g{k}")
+        c.add_vertex(f"alt{k}")
+    if extra:
+        extra(p, i)
+    return p
+
+
+def simple_arch():
+    a = ArchitectureGraph()
+    a.add_resource("cpu", cost=10)
+    a.add_resource("dsp", cost=5)
+    a.add_bus("bus", 1, "cpu", "dsp")
+    return a
+
+
+FULL_MAPPINGS = [
+    ("proc", "cpu", 1.0),
+    ("alt1", "cpu", 1.0),
+    ("alt2", "dsp", 1.0),
+]
+
+
+class TestCleanSpecs:
+    def test_clean_spec_has_no_errors(self):
+        spec = make_spec(simple_problem(), simple_arch(), FULL_MAPPINGS)
+        assert lint_errors(spec) == []
+
+    def test_paper_case_studies_have_no_errors(self):
+        for builder in (build_tv_decoder_spec, build_settop_spec):
+            assert lint_errors(builder()) == []
+
+    def test_settop_warnings_are_benign(self):
+        """The Set-Top model has a deliberate single-alternative top
+        warning-free shape: only no warnings of the dead kinds."""
+        codes = {d.code for d in lint_specification(build_settop_spec())}
+        assert "unmapped-process" not in codes
+        assert "dead-cluster" not in codes
+        assert "unsupportable-problem" not in codes
+
+
+class TestFindings:
+    def test_unmapped_process(self):
+        spec = make_spec(
+            simple_problem(), simple_arch(),
+            [("proc", "cpu", 1.0), ("alt1", "cpu", 1.0)],
+        )
+        diagnostics = lint_specification(spec)
+        assert any(d.code == "unmapped-process" for d in diagnostics)
+        assert any(d.code == "dead-cluster" for d in diagnostics)
+
+    def test_dead_resource(self):
+        arch = simple_arch()
+        arch.add_resource("npu", cost=3)
+        spec = make_spec(simple_problem(), arch, FULL_MAPPINGS)
+        assert any(
+            d.code == "dead-resource" and "npu" in d.message
+            for d in lint_specification(spec)
+        )
+
+    def test_dangling_bus(self):
+        arch = simple_arch()
+        arch.add_bus("stub", 1, "cpu")  # connects a single node
+        spec = make_spec(simple_problem(), arch, FULL_MAPPINGS)
+        assert any(
+            d.code == "dangling-bus" and "stub" in d.message
+            for d in lint_specification(spec)
+        )
+
+    def test_unsupportable_problem_is_error(self):
+        spec = make_spec(
+            simple_problem(), simple_arch(),
+            [("alt1", "cpu", 1.0), ("alt2", "dsp", 1.0)],  # proc unmapped
+        )
+        errors = lint_errors(spec)
+        assert any(d.code == "unsupportable-problem" for d in errors)
+
+    def test_unsatisfiable_period_is_error(self):
+        p = ProblemGraph()
+        p.add_vertex("proc", period=10.0)
+        a = ArchitectureGraph()
+        a.add_resource("cpu", cost=1)
+        spec = make_spec(p, a, [("proc", "cpu", 50.0)])
+        assert any(
+            d.code == "unsatisfiable-period" for d in lint_errors(spec)
+        )
+
+    def test_satisfiable_period_not_flagged(self):
+        p = ProblemGraph()
+        p.add_vertex("proc", period=100.0)
+        a = ArchitectureGraph()
+        a.add_resource("cpu", cost=1)
+        spec = make_spec(p, a, [("proc", "cpu", 50.0)])
+        assert not any(
+            d.code == "unsatisfiable-period"
+            for d in lint_specification(spec)
+        )
+
+    def test_single_alternative_warning(self):
+        p = ProblemGraph()
+        p.add_vertex("proc")
+        i = p.add_interface("I")
+        c = new_cluster(i, "only")
+        c.add_vertex("alt")
+        a = simple_arch()
+        spec = make_spec(p, a, [("proc", "cpu", 1.0), ("alt", "cpu", 1.0)])
+        assert any(
+            d.code == "single-alternative"
+            for d in lint_specification(spec)
+        )
+
+    def test_empty_cluster_warning(self):
+        def extend(p, i):
+            new_cluster(i, "hollow")
+
+        spec = make_spec(
+            simple_problem(extend), simple_arch(), FULL_MAPPINGS
+        )
+        assert any(
+            d.code == "empty-cluster" for d in lint_specification(spec)
+        )
+
+    def test_unmapped_port_warning(self):
+        p = ProblemGraph()
+        p.add_vertex("proc")
+        i = p.add_interface("I")
+        i.add_port("x")
+        c = new_cluster(i, "g")
+        c.add_vertex("a")
+        c.add_vertex("b")  # two nodes, port unmapped
+        a = simple_arch()
+        spec = make_spec(
+            p, a,
+            [("proc", "cpu", 1), ("a", "cpu", 1), ("b", "cpu", 1)],
+        )
+        assert any(
+            d.code == "unmapped-port" for d in lint_specification(spec)
+        )
+
+    def test_errors_sort_first(self):
+        spec = make_spec(
+            simple_problem(), simple_arch(),
+            [("alt1", "cpu", 1.0)],
+        )
+        diagnostics = lint_specification(spec)
+        levels = [d.level for d in diagnostics]
+        assert levels == sorted(levels, key=lambda l: l != ERROR)
+        assert ERROR in levels and WARNING in levels
+
+    def test_cyclic_dependences_error(self):
+        p = ProblemGraph()
+        p.add_vertex("a")
+        p.add_vertex("b")
+        p.add_edge("a", "b")
+        p.add_edge("b", "a")
+        a = simple_arch()
+        spec = make_spec(p, a, [("a", "cpu", 1.0), ("b", "cpu", 1.0)])
+        assert any(
+            d.code == "cyclic-dependences" for d in lint_errors(spec)
+        )
+
+    def test_acyclic_chain_not_flagged(self):
+        spec = make_spec(simple_problem(), simple_arch(), FULL_MAPPINGS)
+        assert not any(
+            d.code == "cyclic-dependences"
+            for d in lint_specification(spec)
+        )
+
+    def test_cycle_inside_cluster_detected(self):
+        def extend(p, i):
+            c = new_cluster(i, "loopy")
+            c.add_vertex("x")
+            c.add_vertex("y")
+            c.add_edge("x", "y")
+            c.add_edge("y", "x")
+
+        spec = make_spec(
+            simple_problem(extend), simple_arch(),
+            FULL_MAPPINGS + [("x", "cpu", 1.0), ("y", "cpu", 1.0)],
+        )
+        assert any(
+            d.code == "cyclic-dependences" for d in lint_errors(spec)
+        )
+
+    def test_repr(self):
+        spec = make_spec(
+            simple_problem(), simple_arch(),
+            [("proc", "cpu", 1.0), ("alt1", "cpu", 1.0)],
+        )
+        text = repr(lint_specification(spec)[0])
+        assert "]" in text and ":" in text

@@ -1,0 +1,110 @@
+"""Tests of the front-quality metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.report import coverage, front_summary, hypervolume, knee_point
+
+points_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=50).map(float),
+        st.integers(min_value=0, max_value=10).map(float),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume([(2.0, 3.0)], reference=(10.0, 0.0)) == 24.0
+
+    def test_two_points(self):
+        # (2, 1) adds (10-2)*1; (5, 3) adds (10-5)*2
+        value = hypervolume([(2.0, 1.0), (5.0, 3.0)], reference=(10.0, 0.0))
+        assert value == 8.0 + 10.0
+
+    def test_empty(self):
+        assert hypervolume([]) == 0.0
+
+    def test_dominated_points_ignored(self):
+        base = hypervolume([(2.0, 1.0), (5.0, 3.0)], reference=(10.0, 0.0))
+        noisy = hypervolume(
+            [(2.0, 1.0), (5.0, 3.0), (6.0, 2.0)], reference=(10.0, 0.0)
+        )
+        assert base == noisy
+
+    @settings(max_examples=150, deadline=None)
+    @given(points_strategy, points_strategy)
+    def test_superset_never_shrinks_hypervolume(self, pts, extra):
+        reference = (60.0, 0.0)
+        assert hypervolume(pts + extra, reference) >= hypervolume(
+            pts, reference
+        ) - 1e-9
+
+    def test_settop_front_value(self):
+        front = [
+            (100.0, 2.0), (120.0, 3.0), (230.0, 4.0),
+            (290.0, 5.0), (360.0, 7.0), (430.0, 8.0),
+        ]
+        value = hypervolume(front, reference=(430.0, 0.0))
+        expected = (
+            (430 - 100) * 2 + (430 - 120) * 1 + (430 - 230) * 1
+            + (430 - 290) * 1 + (430 - 360) * 2 + 0
+        )
+        assert value == expected
+
+
+class TestCoverage:
+    def test_identical_fronts(self):
+        front = [(1.0, 1.0), (2.0, 2.0)]
+        assert coverage(front, front) == 1.0
+
+    def test_dominating_front(self):
+        strong = [(1.0, 3.0)]
+        weak = [(2.0, 2.0), (3.0, 1.0)]
+        assert coverage(strong, weak) == 1.0
+        assert coverage(weak, strong) == 0.0
+
+    def test_partial(self):
+        a = [(1.0, 1.0)]
+        b = [(1.0, 1.0), (0.5, 3.0)]
+        assert coverage(a, b) == 0.5
+
+    def test_empty_b(self):
+        assert coverage([(1.0, 1.0)], []) == 1.0
+
+
+class TestKnee:
+    def test_empty(self):
+        assert knee_point([]) is None
+
+    def test_single(self):
+        assert knee_point([(3.0, 1.0)]) == (3.0, 1.0)
+
+    def test_steepest_segment_wins(self):
+        front = [(100.0, 2.0), (120.0, 3.0), (230.0, 4.0)]
+        # slopes: 1/20 then 1/110 -> knee at (120, 3)
+        assert knee_point(front) == (120.0, 3.0)
+
+    def test_settop_knee(self):
+        from repro.casestudies import build_settop_spec
+        from repro.core import explore
+
+        front = explore(build_settop_spec()).front()
+        assert knee_point(front) == (120.0, 3.0)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = front_summary([(1.0, 1.0), (4.0, 5.0)])
+        assert summary["points"] == 2
+        assert summary["cost_span"] == (1.0, 4.0)
+        assert summary["flexibility_span"] == (1.0, 5.0)
+        assert summary["knee"] == (4.0, 5.0)
+        assert summary["hypervolume"] > 0
+
+    def test_summary_empty(self):
+        summary = front_summary([])
+        assert summary["points"] == 0
+        assert summary["knee"] is None

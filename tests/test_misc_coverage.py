@@ -1,0 +1,142 @@
+"""Coverage tests for less-travelled paths across the library."""
+
+import pytest
+
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.report import format_table
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+class TestFormatTableVariants:
+    def test_all_right_aligned(self):
+        text = format_table(
+            ["a", "b"], [["1", "2"]], align_left_first=False
+        )
+        assert text.splitlines()[2].endswith("2")
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(["h"], [["a-very-wide-cell"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-wide-cell")
+
+
+class TestSpecAttrsRoundtrip:
+    def test_spec_level_attrs_preserved(self, settop):
+        from repro.io import dumps_spec, loads_spec
+        from repro.spec import SpecificationGraph
+
+        spec = SpecificationGraph(
+            build_tv_decoder_spec().problem,
+            build_tv_decoder_spec().architecture,
+            name="Attrd",
+            attrs={"owner": "team-x"},
+        )
+        spec.map("P_A", "muP", 1.0)
+        spec.freeze()
+        restored = loads_spec(dumps_spec(spec))
+        assert restored.attrs["owner"] == "team-x"
+        assert restored.name == "Attrd"
+
+
+class TestSolverLimits:
+    def test_iter_solutions_limit(self, settop):
+        from repro.activation import flatten
+        from repro.binding import Allocation, BindingSolver
+
+        flat = flatten(
+            settop.problem,
+            {"I_App": "gamma_D", "I_D": "gamma_D1", "I_U": "gamma_U1"},
+        )
+        solver = BindingSolver(
+            settop, Allocation(settop, set(settop.units.names()))
+        )
+        two = list(solver.iter_solutions(flat, limit=2))
+        assert len(two) == 2
+        everything = list(
+            BindingSolver(
+                settop, Allocation(settop, set(settop.units.names()))
+            ).iter_solutions(flat)
+        )
+        assert len(everything) > 2
+        assert two == everything[:2]
+
+
+class TestBuilderSurface:
+    def test_interface_ports_argument(self):
+        from repro.hgraph import HierarchyBuilder
+
+        build = HierarchyBuilder("G")
+        iface = build.interface("I", ports=("x", "y"))
+        iface.port("z", "out")
+        iface.simple_cluster("g", "v")
+        graph = build.done()
+        assert set(graph.interfaces["I"].ports) == {"x", "y", "z"}
+
+    def test_builder_edge_with_attrs(self):
+        from repro.hgraph import HierarchyBuilder
+
+        build = HierarchyBuilder("G")
+        build.vertex("a").vertex("b").edge("a", "b", bandwidth=8)
+        assert build.graph.edges[0].get("bandwidth") == 8
+
+
+class TestModeChangeSurface:
+    def test_effective_time(self, settop):
+        from repro.adaptive import AdaptiveSimulator
+        from repro.core import explore
+
+        impl = next(
+            p for p in explore(settop).points if p.cost == 290.0
+        )
+        simulator = AdaptiveSimulator(settop, impl)
+        change = simulator.request(100.0, {"gamma_D3"})
+        assert change.effective_time == 100.0 + change.reconfig_delay
+        assert "accepted" in repr(change)
+
+    def test_rejected_repr(self, settop):
+        from repro.adaptive import AdaptiveSimulator
+        from repro.core import evaluate_allocation
+
+        cheap = evaluate_allocation(settop, {"muP2"})
+        simulator = AdaptiveSimulator(settop, cheap)
+        change = simulator.request(0.0, {"gamma_G"})
+        assert "rejected" in repr(change)
+
+
+class TestLatencyPatchEffect:
+    def test_faster_game_changes_front(self, settop):
+        """Making P_G1 fast on muP2 lets the $100 box keep the game."""
+        from repro.analysis import with_latency
+        from repro.core import explore
+
+        variant = with_latency(
+            settop, {("P_G1", "muP2"): 20.0, ("P_D", "muP2"): 40.0}
+        )
+        front = explore(variant).front()
+        assert front[0] == (100.0, 3.0)
+
+
+class TestWeightedNsga2:
+    def test_weighted_objective(self, settop):
+        from repro.core import nsga2_explore
+
+        result = nsga2_explore(
+            settop,
+            population_size=24,
+            generations=10,
+            seed=2,
+            weighted=True,
+        )
+        assert result.front  # runs and reports feasible points
+
+
+class TestCatalogRepr:
+    def test_reprs(self, settop):
+        assert "units" in repr(settop.units)
+        assert "ResourceUnit" in repr(settop.units.unit("muP2"))
+        assert "SetTop_spec" in repr(settop)
+        assert "MappingTable" in repr(settop.mappings)

@@ -1,0 +1,92 @@
+"""Tests of the networkx interoperability layer."""
+
+import networkx
+import pytest
+
+from repro.activation import flatten
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.io import (
+    flat_to_networkx,
+    hierarchy_to_networkx,
+    spec_to_networkx,
+)
+
+
+@pytest.fixture(scope="module")
+def tv_spec():
+    return build_tv_decoder_spec()
+
+
+class TestHierarchyConversion:
+    def test_node_kinds(self, tv_spec):
+        graph = hierarchy_to_networkx(tv_spec.problem)
+        kinds = networkx.get_node_attributes(graph, "element")
+        assert kinds["P_A"] == "vertex"
+        assert kinds["I_D"] == "interface"
+        assert kinds["gamma_D1"] == "cluster"
+
+    def test_refinement_edges(self, tv_spec):
+        graph = hierarchy_to_networkx(tv_spec.problem)
+        assert graph.edges["gamma_D1", "I_D"]["relation"] == "refines"
+        assert graph.edges["gamma_D1", "P_D1"]["relation"] == "contains"
+
+    def test_dependence_edges(self, tv_spec):
+        graph = hierarchy_to_networkx(tv_spec.problem)
+        assert graph.edges["I_D", "I_U"]["relation"] == "dependence"
+
+    def test_attrs_forwarded(self, tv_spec):
+        graph = hierarchy_to_networkx(tv_spec.problem)
+        assert graph.nodes["P_A"]["negligible"] is True
+
+    def test_counts(self, tv_spec):
+        graph = hierarchy_to_networkx(tv_spec.problem)
+        index = tv_spec.p_index
+        expected = (
+            len(index.vertices)
+            + len(index.interfaces)
+            + len(index.clusters)
+        )
+        assert graph.number_of_nodes() == expected
+
+
+class TestSpecConversion:
+    def test_sides_and_mappings(self, tv_spec):
+        graph = spec_to_networkx(tv_spec)
+        assert graph.nodes["P_U1"]["side"] == "problem"
+        assert graph.nodes["muP"]["side"] == "architecture"
+        assert graph.edges["P_U1", "muP"]["relation"] == "mapping"
+        assert graph.edges["P_U1", "muP"]["latency"] == 40.0
+
+    def test_mapping_edge_count(self, tv_spec):
+        graph = spec_to_networkx(tv_spec)
+        mapping_edges = [
+            e
+            for e in graph.edges(data=True)
+            if e[2].get("relation") == "mapping"
+        ]
+        assert len(mapping_edges) == len(tv_spec.mappings)
+
+    def test_standard_algorithms_apply(self):
+        """The point of the interop: run stock networkx analyses."""
+        spec = build_settop_spec()
+        graph = spec_to_networkx(spec)
+        degrees = dict(graph.in_degree())
+        # the processors are the most mapped-onto resources
+        top = max(
+            (n for n, d in graph.nodes(data=True)
+             if d.get("side") == "architecture" and d.get("element") == "vertex"),
+            key=lambda n: degrees.get(n, 0),
+        )
+        assert top in ("muP1", "muP2")
+
+
+class TestFlatConversion:
+    def test_flat_task_graph(self, tv_spec):
+        flat = flatten(
+            tv_spec.problem, {"I_D": "gamma_D1", "I_U": "gamma_U1"}
+        )
+        graph = flat_to_networkx(flat)
+        assert set(graph.nodes) == set(flat.leaves)
+        assert networkx.is_directed_acyclic_graph(graph)
+        order = list(networkx.topological_sort(graph))
+        assert order.index("P_D1") < order.index("P_U1")

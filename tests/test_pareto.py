@@ -1,0 +1,112 @@
+"""Unit and property tests for Pareto dominance and the archive."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ParetoArchive, dominates, is_non_dominated, pareto_front
+
+
+points_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50).map(float),
+        st.integers(min_value=0, max_value=10).map(float),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestDominance:
+    def test_strictly_better_both(self):
+        assert dominates((1, 5), (2, 4))
+
+    def test_better_one_equal_other(self):
+        assert dominates((1, 5), (2, 5))
+        assert dominates((1, 5), (1, 4))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1, 5), (1, 5))
+
+    def test_incomparable(self):
+        assert not dominates((1, 2), (2, 5))
+        assert not dominates((2, 5), (1, 2))
+
+    def test_is_non_dominated(self):
+        pts = [(1.0, 1.0), (2.0, 3.0), (3.0, 2.0)]
+        assert is_non_dominated((1.0, 1.0), pts)
+        assert is_non_dominated((2.0, 3.0), pts)
+        assert not is_non_dominated((3.0, 2.0), pts)
+
+
+class TestFront:
+    def test_simple_front(self):
+        pts = [(1.0, 1.0), (2.0, 3.0), (3.0, 2.0), (4.0, 4.0)]
+        assert pareto_front(pts) == [(1.0, 1.0), (2.0, 3.0), (4.0, 4.0)]
+
+    def test_duplicates_collapse(self):
+        pts = [(1.0, 1.0), (1.0, 1.0)]
+        assert pareto_front(pts) == [(1.0, 1.0)]
+
+    @settings(max_examples=200, deadline=None)
+    @given(points_strategy)
+    def test_front_members_mutually_non_dominated(self, pts):
+        front = pareto_front(pts)
+        for a in front:
+            for b in front:
+                assert not dominates(a, b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(points_strategy)
+    def test_every_point_dominated_or_on_front(self, pts):
+        front = pareto_front(pts)
+        for p in pts:
+            assert p in front or any(dominates(f, p) for f in front)
+
+    @settings(max_examples=100, deadline=None)
+    @given(points_strategy)
+    def test_front_is_idempotent(self, pts):
+        front = pareto_front(pts)
+        assert pareto_front(front) == front
+
+
+class TestArchive:
+    def test_add_and_evict(self):
+        archive = ParetoArchive()
+        assert archive.try_add(10, 1, "a")
+        assert archive.try_add(20, 3, "b")
+        assert archive.try_add(15, 2, "c")
+        assert archive.points == [(10, 1), (15, 2), (20, 3)]
+        # dominates (20, 3) and (15, 2)
+        assert archive.try_add(12, 3, "d")
+        assert archive.points == [(10, 1), (12, 3)]
+        assert archive.payloads == ["a", "d"]
+
+    def test_dominated_insert_rejected(self):
+        archive = ParetoArchive()
+        archive.try_add(10, 5)
+        assert not archive.try_add(11, 5)
+        assert not archive.try_add(10, 4)
+        assert len(archive) == 1
+
+    def test_tie_handling(self):
+        strict = ParetoArchive(keep_ties=False)
+        strict.try_add(10, 5)
+        assert not strict.try_add(10, 5)
+        lenient = ParetoArchive(keep_ties=True)
+        lenient.try_add(10, 5, "x")
+        assert lenient.try_add(10, 5, "y")
+        assert len(lenient) == 2
+
+    def test_best_flexibility(self):
+        archive = ParetoArchive()
+        assert archive.best_flexibility() == 0.0
+        archive.try_add(10, 2)
+        archive.try_add(30, 7)
+        assert archive.best_flexibility() == 7
+
+    @settings(max_examples=150, deadline=None)
+    @given(points_strategy)
+    def test_archive_equals_batch_front(self, pts):
+        archive = ParetoArchive(keep_ties=False)
+        for cost, flex in pts:
+            archive.try_add(cost, flex)
+        assert archive.points == pareto_front(pts, keep_ties=False)

@@ -1,0 +1,60 @@
+"""Performance-regression guards (loose budgets).
+
+The paper's headline engineering claim is speed ("industrial size
+applications can be efficiently explored within minutes").  These tests
+keep the reproduction honest about it without being flaky: budgets are
+an order of magnitude above observed times.
+"""
+
+import time
+
+import pytest
+
+from repro.casestudies import build_settop_spec, synthetic_spec
+from repro.core import explore, flexibility, max_flexibility
+from repro.spec import supports_problem
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+class TestBudgets:
+    def test_settop_explore_under_five_seconds(self):
+        spec = build_settop_spec()
+        result, seconds = timed(explore, spec)
+        assert len(result.points) == 6
+        assert seconds < 5.0
+
+    def test_flexibility_evaluation_fast(self):
+        spec = build_settop_spec()
+        start = time.perf_counter()
+        for _ in range(1000):
+            max_flexibility(spec.problem)
+        assert time.perf_counter() - start < 2.0
+
+    def test_possible_predicate_fast(self):
+        spec = build_settop_spec()
+        names = list(spec.units.names())
+        start = time.perf_counter()
+        for mask in range(4096):
+            subset = {n for i, n in enumerate(names) if mask >> i & 1}
+            supports_problem(spec, subset)
+        assert time.perf_counter() - start < 5.0
+
+    def test_medium_synthetic_under_budget(self):
+        spec = synthetic_spec(
+            n_apps=4, interfaces_per_app=2, alternatives=3,
+            n_procs=2, n_accels=4,
+        )
+        result, seconds = timed(explore, spec)
+        assert result.points
+        assert seconds < 30.0
+
+    def test_solver_invocation_budget(self):
+        """The paper's 'typically less than 100' binding attempts."""
+        spec = build_settop_spec()
+        result = explore(spec)
+        assert result.stats.estimate_exceeded < 100

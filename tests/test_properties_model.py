@@ -1,0 +1,181 @@
+"""Property-based tests of the model layers on random hierarchies."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.activation import (
+    activation_from_selection,
+    check_activation,
+    flatten,
+    selection_from_clusters,
+)
+from repro.core import flexibility, iter_selections, max_flexibility
+from repro.hgraph import HierarchyIndex, leaves, new_cluster
+from repro.io import dumps_spec, loads_spec
+from repro.spec import (
+    activatable_clusters,
+    bindable_leaves,
+    supports_problem,
+)
+
+from .randspec import random_problem, random_spec
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def any_selection(problem, index, rng):
+    """A random complete selection over all clusters of the hierarchy."""
+    allowed = frozenset(index.clusters)
+    selections = list(iter_selections(problem, index, allowed))
+    return rng.choice(selections) if selections else None
+
+
+class TestHierarchyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds)
+    def test_leaves_partition_scopes(self, seed):
+        problem = random_problem(random.Random(seed))
+        leaf_map = leaves(problem)
+        index = HierarchyIndex(problem)
+        # every leaf's owning scope is the root or a known cluster
+        for name in leaf_map:
+            scope = index.scope_of_node[name]
+            assert scope is problem or scope.name in index.clusters
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds)
+    def test_selection_induces_valid_activation(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng)
+        index = HierarchyIndex(problem)
+        selection = any_selection(problem, index, rng)
+        if selection is None:
+            return
+        activation = activation_from_selection(problem, selection, index)
+        assert check_activation(problem, activation, index) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds)
+    def test_selection_cluster_roundtrip(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng)
+        index = HierarchyIndex(problem)
+        selection = any_selection(problem, index, rng)
+        if selection is None:
+            return
+        activation = activation_from_selection(problem, selection, index)
+        recovered = selection_from_clusters(
+            problem, activation.clusters, index
+        )
+        assert recovered == selection
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds)
+    def test_flatten_invariants(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng)
+        index = HierarchyIndex(problem)
+        selection = any_selection(problem, index, rng)
+        if selection is None:
+            return
+        flat = flatten(problem, selection, index)
+        all_leaves = set(leaves(problem))
+        assert set(flat.leaves) <= all_leaves
+        assert len(set(flat.leaves)) == len(flat.leaves)
+        for src, dst in flat.edges:
+            assert src in flat.leaves
+            assert dst in flat.leaves
+
+
+class TestFlexibilityProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds)
+    def test_max_is_upper_bound_of_any_consistent_subset(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng)
+        index = HierarchyIndex(problem)
+        maximum = max_flexibility(problem)
+        # any union of full selections is a consistent activation set
+        selections = list(
+            iter_selections(problem, index, frozenset(index.clusters))
+        )
+        if not selections:
+            return
+        chosen = rng.sample(
+            selections, k=rng.randint(1, min(3, len(selections)))
+        )
+        active = set()
+        for selection in chosen:
+            active.update(selection.values())
+        assert flexibility(problem, active=active, strict=False) <= maximum
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds)
+    def test_adding_leaf_cluster_increments_max_by_one(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng)
+        index = HierarchyIndex(problem)
+        before = max_flexibility(problem)
+        interface = rng.choice(list(index.interfaces.values()))
+        fresh = new_cluster(interface, "fresh_alternative")
+        fresh.add_vertex("fresh_vertex")
+        assert max_flexibility(problem) == before + 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(seeds)
+    def test_flexibility_monotone_in_active_set(self, seed):
+        """Dropping one selection's worth of clusters never increases f."""
+        rng = random.Random(seed)
+        problem = random_problem(rng)
+        index = HierarchyIndex(problem)
+        selections = list(
+            iter_selections(problem, index, frozenset(index.clusters))
+        )
+        if len(selections) < 2:
+            return
+        keep = rng.sample(selections, k=2)
+        small = set(keep[0].values())
+        large = small | set(keep[1].values())
+        f_small = flexibility(problem, active=small, strict=False)
+        f_large = flexibility(problem, active=large, strict=False)
+        assert f_small <= f_large
+
+
+class TestSpecProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_json_roundtrip_fixpoint(self, seed):
+        spec = random_spec(seed)
+        text = dumps_spec(spec)
+        assert dumps_spec(loads_spec(text)) == text
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=255))
+    def test_bindable_monotone_in_allocation(self, seed, mask):
+        spec = random_spec(seed)
+        names = sorted(spec.units.names())
+        subset = {n for i, n in enumerate(names) if mask >> i & 1}
+        small = bindable_leaves(spec, subset)
+        full = bindable_leaves(spec, set(names))
+        assert small <= full
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=255))
+    def test_supports_problem_monotone(self, seed, mask):
+        spec = random_spec(seed)
+        names = sorted(spec.units.names())
+        subset = {n for i, n in enumerate(names) if mask >> i & 1}
+        if supports_problem(spec, subset):
+            assert supports_problem(spec, set(names))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=255))
+    def test_activatable_subset_of_clusters(self, seed, mask):
+        spec = random_spec(seed)
+        names = sorted(spec.units.names())
+        subset = {n for i, n in enumerate(names) if mask >> i & 1}
+        active = activatable_clusters(spec, subset)
+        assert active <= set(spec.p_index.clusters)
+        # monotone too
+        assert active <= activatable_clusters(spec, set(names))

@@ -1,0 +1,139 @@
+"""Property-based tests of the timing substrate on random models."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.activation import flatten
+from repro.binding import Allocation, solve_binding
+from repro.core import iter_selections
+from repro.spec import activatable_clusters, supports_problem
+from repro.timing import (
+    list_schedule,
+    task_set,
+    utilization_by_resource,
+)
+
+from .randspec import random_spec
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def feasible_case(seed, pick):
+    """A (spec, flat, binding) triple from the random family, or None."""
+    spec = random_spec(seed)
+    units = frozenset(spec.units.names())
+    if not supports_problem(spec, units):
+        return None
+    allowed = frozenset(activatable_clusters(spec, units))
+    selections = list(iter_selections(spec.problem, spec.p_index, allowed))
+    if not selections:
+        return None
+    selection = selections[pick % len(selections)]
+    flat = flatten(spec.problem, selection, spec.p_index)
+    binding = solve_binding(
+        spec, Allocation(spec, units), flat, check_utilization=False
+    )
+    if binding is None:
+        return None
+    return spec, flat, binding.as_dict()
+
+
+class TestUtilizationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=10**6))
+    def test_utilization_is_additive(self, seed, pick):
+        case = feasible_case(seed, pick)
+        if case is None:
+            return
+        spec, flat, binding = case
+        util = utilization_by_resource(spec, flat, binding)
+        tasks = task_set(spec, flat)
+        recomputed = {}
+        for process, resource in binding.items():
+            task = tasks[process]
+            if not task.loaded:
+                continue
+            latency = spec.mappings.latency(process, resource)
+            recomputed[resource] = (
+                recomputed.get(resource, 0.0) + latency / task.period
+            )
+        assert set(util) == set(recomputed)
+        for resource in util:
+            assert abs(util[resource] - recomputed[resource]) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=10**6))
+    def test_negligible_and_unconstrained_never_contribute(self, seed, pick):
+        case = feasible_case(seed, pick)
+        if case is None:
+            return
+        spec, flat, binding = case
+        tasks = task_set(spec, flat)
+        loaded_resources = {
+            binding[p] for p, t in tasks.items() if t.loaded
+        }
+        util = utilization_by_resource(spec, flat, binding)
+        assert set(util) <= loaded_resources
+
+
+class TestScheduleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=10**6))
+    def test_makespan_bounds(self, seed, pick):
+        """critical-path length <= makespan <= total work."""
+        case = feasible_case(seed, pick)
+        if case is None:
+            return
+        spec, flat, binding = case
+        schedule = list_schedule(spec, flat, binding)
+        latency = {
+            leaf: spec.mappings.latency(leaf, binding[leaf])
+            for leaf in flat.leaves
+        }
+        total = sum(latency.values())
+        longest = max(latency.values(), default=0.0)
+        assert longest - 1e-9 <= schedule.makespan <= total + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=10**6))
+    def test_schedule_respects_dependences(self, seed, pick):
+        case = feasible_case(seed, pick)
+        if case is None:
+            return
+        spec, flat, binding = case
+        schedule = list_schedule(spec, flat, binding)
+        for src, dst in flat.edges:
+            assert (
+                schedule.entry(src).finish
+                <= schedule.entry(dst).start + 1e-9
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=10**6))
+    def test_schedule_no_resource_overlap(self, seed, pick):
+        case = feasible_case(seed, pick)
+        if case is None:
+            return
+        spec, flat, binding = case
+        schedule = list_schedule(spec, flat, binding)
+        for entries in schedule.by_resource().values():
+            for first, second in zip(entries, entries[1:]):
+                assert first.finish <= second.start + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=10**6))
+    def test_single_resource_makespan_is_total_work(self, seed, pick):
+        case = feasible_case(seed, pick)
+        if case is None:
+            return
+        spec, flat, binding = case
+        resources = set(binding[leaf] for leaf in flat.leaves)
+        if len(resources) != 1:
+            return
+        schedule = list_schedule(spec, flat, binding)
+        total = sum(
+            spec.mappings.latency(leaf, binding[leaf])
+            for leaf in flat.leaves
+        )
+        assert abs(schedule.makespan - total) < 1e-9

@@ -1,0 +1,112 @@
+"""Tests of table rendering and ASCII plotting."""
+
+import pytest
+
+from repro.casestudies import (
+    TABLE1,
+    TABLE1_PROCESS_ORDER,
+    TABLE1_RESOURCE_ORDER,
+    build_settop_spec,
+)
+from repro.core import explore
+from repro.report import (
+    ascii_scatter,
+    format_table,
+    mapping_table,
+    pareto_table,
+    staircase,
+    stats_table,
+    tradeoff_plot,
+)
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+@pytest.fixture(scope="module")
+def result(settop):
+    return explore(settop)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["x", "1"], ["yyyy", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["name", "v"], [["a", "5"], ["b", "55"]])
+        lines = text.splitlines()
+        assert lines[2].endswith(" 5")
+        assert lines[3].endswith("55")
+
+
+class TestMappingTable:
+    def test_regenerates_table1(self, settop):
+        text = mapping_table(
+            settop, TABLE1_PROCESS_ORDER, TABLE1_RESOURCE_ORDER
+        )
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(TABLE1_PROCESS_ORDER)
+        # spot-check cells quoted in the paper
+        row_pu1 = next(l for l in lines if l.startswith("P_U1"))
+        cells = row_pu1.split()
+        assert cells[1:] == ["40", "45", "15", "12", "10", "-", "-", "-"]
+        row_pd3 = next(l for l in lines if l.startswith("P_D3"))
+        assert row_pd3.split()[1:] == ["-", "-", "-", "-", "-", "63", "-", "-"]
+
+    def test_every_cell_matches_model(self, settop):
+        text = mapping_table(
+            settop, TABLE1_PROCESS_ORDER, TABLE1_RESOURCE_ORDER
+        )
+        lines = text.splitlines()[2:]
+        for process, line in zip(TABLE1_PROCESS_ORDER, lines):
+            cells = line.split()[1:]
+            for resource, cell in zip(TABLE1_RESOURCE_ORDER, cells):
+                expected = TABLE1[process].get(resource)
+                if expected is None:
+                    assert cell == "-"
+                else:
+                    assert float(cell) == expected
+
+
+class TestParetoTable:
+    def test_contains_all_points(self, result):
+        text = pareto_table(result)
+        for cost, flexibility in result.front():
+            assert f"${cost:g}" in text
+        assert text.count("\n") == 2 + len(result.points)
+
+    def test_stats_table(self, result):
+        text = stats_table(result)
+        assert "solver invocations" in text
+        assert "design space size" in text
+
+
+class TestPlots:
+    def test_scatter_marks_front(self):
+        text = ascii_scatter([(1.0, 1.0), (2.0, 2.0), (3.0, 0.5)])
+        assert "P" in text  # Pareto markers present
+        assert text.count("\n") >= 20
+
+    def test_scatter_empty(self):
+        assert "no points" in ascii_scatter([])
+
+    def test_scatter_single_point(self):
+        text = ascii_scatter([(1.0, 1.0)])
+        assert "P" in text
+
+    def test_tradeoff_plot_skips_zero_flexibility(self, result):
+        text = tradeoff_plot(result.front(), [(100.0, 0.0)])
+        assert "1/flexibility" in text
+
+    def test_staircase(self, result):
+        text = staircase(result.front())
+        lines = text.splitlines()
+        assert len(lines) == len(result.points)
+        assert all("#" in line for line in lines)
+        assert staircase([]) == "(empty front)\n"

@@ -1,0 +1,88 @@
+"""Tests of exploration-result serialisation."""
+
+import pytest
+
+from repro.casestudies import build_settop_spec
+from repro.core import explore
+from repro.errors import SerializationError
+from repro.io import (
+    dump_result,
+    dumps_result,
+    implementation_from_dict,
+    implementation_to_dict,
+    load_result,
+    loads_result,
+    result_from_dict,
+    result_to_csv,
+    result_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return explore(build_settop_spec())
+
+
+class TestResultRoundTrip:
+    def test_points_roundtrip(self, result):
+        restored = loads_result(dumps_result(result))
+        assert restored.front() == result.front()
+        assert restored.max_flexibility_bound == result.max_flexibility_bound
+        for original, copy in zip(result.points, restored.points):
+            assert copy.units == original.units
+            assert copy.clusters == original.clusters
+            assert len(copy.coverage) == len(original.coverage)
+
+    def test_coverage_bindings_roundtrip(self, result):
+        restored = loads_result(dumps_result(result))
+        original = result.points[-1].ecs_for("gamma_D3")
+        copy = restored.points[-1].ecs_for("gamma_D3")
+        assert copy is not None
+        assert copy.binding == original.binding
+        assert copy.selection == original.selection
+
+    def test_stats_roundtrip(self, result):
+        restored = loads_result(dumps_result(result))
+        assert restored.stats.as_dict() == result.stats.as_dict()
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        dump_result(result, str(path))
+        assert load_result(str(path)).front() == result.front()
+
+    def test_implementation_roundtrip(self, result):
+        impl = result.points[0]
+        copy = implementation_from_dict(implementation_to_dict(impl))
+        assert copy.point == impl.point
+        assert copy.units == impl.units
+
+    def test_bad_format(self):
+        with pytest.raises(SerializationError):
+            result_from_dict({"format": "nope", "version": 1})
+
+    def test_bad_version(self, result):
+        document = result_to_dict(result)
+        document["version"] = 42
+        with pytest.raises(SerializationError):
+            result_from_dict(document)
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads_result("nope{")
+
+    def test_missing_key(self):
+        with pytest.raises(SerializationError):
+            implementation_from_dict({"units": []})
+
+
+class TestCsv:
+    def test_csv_shape(self, result):
+        lines = result_to_csv(result).splitlines()
+        assert lines[0] == "cost,flexibility,units,clusters"
+        assert len(lines) == 1 + len(result.points)
+        first = lines[1].split(",")
+        assert first[0] == "100" and first[1] == "2"
+
+    def test_csv_units_joined(self, result):
+        text = result_to_csv(result)
+        assert "A1;C1;C2;D3;muP2" in text

@@ -1,0 +1,123 @@
+"""Coverage tests for result containers and reporting edge cases."""
+
+import pytest
+
+from repro.casestudies import build_settop_spec
+from repro.core import (
+    EcsRecord,
+    ExplorationResult,
+    ExplorationStats,
+    Implementation,
+    evaluate_allocation,
+    explore,
+)
+from repro.report import ascii_scatter, staircase
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+class TestEcsRecord:
+    def test_clusters_derived_from_selection(self):
+        record = EcsRecord({"I": "a", "J": "b"}, {"p": "r"})
+        assert record.clusters == frozenset({"a", "b"})
+        assert "a" in repr(record)
+
+    def test_binding_copied(self):
+        binding = {"p": "r"}
+        record = EcsRecord({"I": "a"}, binding)
+        binding["p"] = "other"
+        assert record.binding["p"] == "r"
+
+
+class TestImplementation:
+    def test_point_and_repr(self, settop):
+        impl = evaluate_allocation(settop, {"muP2"})
+        assert impl.point == (100.0, 2.0)
+        assert "muP2" in repr(impl)
+
+    def test_ecs_for_missing(self, settop):
+        impl = evaluate_allocation(settop, {"muP2"})
+        assert impl.ecs_for("gamma_G1") is None
+        assert impl.ecs_for("gamma_I") is not None
+
+
+class TestExplorationResult:
+    def test_best_and_len(self, settop):
+        result = explore(settop)
+        assert len(result) == 6
+        assert result.best().flexibility == 8.0
+
+    def test_empty_result(self):
+        stats = ExplorationStats()
+        result = ExplorationResult([], stats, 0.0)
+        assert result.best() is None
+        assert result.front() == []
+        assert len(result) == 0
+
+    def test_stats_as_dict_complete(self):
+        stats = ExplorationStats()
+        data = stats.as_dict()
+        assert set(data) == set(ExplorationStats.__slots__)
+        assert "solver_invocations" in repr(stats)
+
+
+class TestPlotsEdgeCases:
+    def test_scatter_identical_x(self):
+        text = ascii_scatter([(5.0, 1.0), (5.0, 2.0)])
+        assert "P" in text
+
+    def test_scatter_identical_points(self):
+        text = ascii_scatter([(1.0, 1.0), (1.0, 1.0)])
+        assert "P" in text
+
+    def test_staircase_single(self):
+        text = staircase([(100.0, 2.0)])
+        assert "$100" in text
+
+
+class TestSolverStatsRepr:
+    def test_repr(self, settop):
+        from repro.binding import Allocation, BindingSolver
+
+        solver = BindingSolver(settop, Allocation(settop, {"muP2"}))
+        assert "invocations=0" in repr(solver.stats)
+        assert "Router" in repr(solver.router)
+
+
+class TestCatalogHelpers:
+    def test_closure(self, settop):
+        assert settop.units.closure(["D3"]) == ("D3",)
+
+    def test_allocation_require_closed_error(self):
+        from repro.binding import allocation_of
+        from repro.errors import BindingError
+        from repro.hgraph import new_cluster
+        from repro.spec import (
+            ArchitectureGraph, ProblemGraph, make_specification,
+        )
+
+        arch = ArchitectureGraph()
+        top = arch.add_interface("Outer")
+        outer = new_cluster(top, "outer_c", cost=1)
+        outer.add_vertex("outer_leaf")
+        inner_if = outer.add_interface("Inner")
+        inner = new_cluster(inner_if, "inner_c", cost=1)
+        inner.add_vertex("inner_leaf")
+        problem = ProblemGraph()
+        problem.add_vertex("p")
+        spec = make_specification(
+            problem, arch, [("p", "inner_leaf", 1.0)]
+        )
+        with pytest.raises(BindingError):
+            allocation_of(spec, {"inner_c"})
+        allocation_of(spec, {"inner_c"}, closed=False)  # tolerated
+
+    def test_unit_order_property(self, settop):
+        from repro.core import AllocationEnumerator
+
+        order = AllocationEnumerator(settop).unit_order
+        costs = [settop.units.unit(n).cost for n in order]
+        assert costs == sorted(costs)

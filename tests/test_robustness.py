@@ -1,0 +1,115 @@
+"""Tests of failure-impact analysis."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.casestudies import build_settop_spec
+from repro.core import (
+    critical_units,
+    degraded_implementation,
+    evaluate_allocation,
+    explore,
+    failure_impact,
+    single_failure_report,
+)
+
+from .randspec import random_spec
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+@pytest.fixture(scope="module")
+def flagship(settop):
+    """The $430 maximal-flexibility box."""
+    return explore(settop).points[-1]
+
+
+class TestFailureImpact:
+    def test_processor_failure_is_total_outage(self, settop, flagship):
+        impact = failure_impact(settop, flagship, {"muP2"})
+        assert impact.total_outage
+        assert impact.remaining_flexibility == 0.0
+        assert impact.lost_clusters == flagship.clusters
+
+    def test_asic_failure_degrades_gracefully(self, settop, flagship):
+        impact = failure_impact(settop, flagship, {"A1"})
+        assert not impact.total_outage
+        assert impact.remaining_flexibility == 3.0
+        assert "gamma_G2" in impact.lost_clusters
+        assert "gamma_D1" not in impact.lost_clusters
+
+    def test_fpga_design_failure_minor(self, settop, flagship):
+        impact = failure_impact(settop, flagship, {"D3"})
+        assert impact.remaining_flexibility == 7.0
+        assert impact.lost_clusters == {"gamma_D3"}
+
+    def test_bus_failure(self, settop, flagship):
+        impact = failure_impact(settop, flagship, {"C2"})
+        # without the ASIC bus, A1 is stranded: only muP2 + D3 remain
+        # usable (gamma_I, gamma_D1, gamma_D3, gamma_U1 -> f = 3)
+        assert impact.remaining_flexibility == 3.0
+        assert {"gamma_G1", "gamma_D2", "gamma_U2"} <= impact.lost_clusters
+
+    def test_multi_unit_failure(self, settop, flagship):
+        impact = failure_impact(settop, flagship, {"A1", "D3"})
+        assert impact.remaining_flexibility <= 3.0
+
+    def test_degraded_implementation_matches_direct_eval(self, settop, flagship):
+        degraded = degraded_implementation(settop, flagship, {"A1"})
+        direct = evaluate_allocation(
+            settop, set(flagship.units) - {"A1"}
+        )
+        assert degraded is not None and direct is not None
+        assert degraded.flexibility == direct.flexibility
+
+
+class TestReports:
+    def test_single_failure_report_sorted_worst_first(self, settop, flagship):
+        report = single_failure_report(settop, flagship)
+        assert len(report) == len(flagship.units)
+        values = [impact.remaining_flexibility for impact in report]
+        assert values == sorted(values)
+        assert report[0].failed_units == frozenset({"muP2"})
+
+    def test_critical_units(self, settop, flagship):
+        assert critical_units(settop, flagship) == frozenset({"muP2"})
+
+    def test_cheap_box_everything_critical(self, settop):
+        cheap = evaluate_allocation(settop, {"muP2"})
+        assert critical_units(settop, cheap) == frozenset({"muP2"})
+
+    def test_timing_mode_passthrough(self, settop, flagship):
+        impact = failure_impact(
+            settop, flagship, {"A1"}, timing_mode="schedule"
+        )
+        # exact scheduling keeps the game on muP2 alive
+        assert impact.remaining_flexibility >= 4.0
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_failing_more_never_helps(self, seed, mask):
+        spec = random_spec(seed)
+        full = evaluate_allocation(spec, set(spec.units.names()))
+        if full is None:
+            return
+        units = sorted(full.units)
+        failed_small = {
+            u for i, u in enumerate(units) if mask >> i & 1
+        }
+        rng = random.Random(seed)
+        extra = set(rng.sample(units, k=min(1, len(units))))
+        small = failure_impact(spec, full, failed_small)
+        large = failure_impact(spec, full, failed_small | extra)
+        assert (
+            large.remaining_flexibility <= small.remaining_flexibility
+        )

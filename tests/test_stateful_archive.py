@@ -1,0 +1,83 @@
+"""Stateful property test of the Pareto archive.
+
+A hypothesis rule-based machine feeds arbitrary point sequences into a
+:class:`~repro.core.ParetoArchive` and checks after every step that the
+archive equals the batch-computed front of everything seen so far, that
+it stays sorted, and that its members are mutually non-dominated.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import ParetoArchive, dominates, pareto_front
+
+point_strategy = st.tuples(
+    st.integers(min_value=0, max_value=30).map(float),
+    st.integers(min_value=0, max_value=12).map(float),
+)
+
+
+class ArchiveMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.archive = ParetoArchive(keep_ties=False)
+        self.seen = []
+
+    @rule(point=point_strategy)
+    def add_point(self, point):
+        cost, flexibility = point
+        accepted = self.archive.try_add(cost, flexibility, payload=point)
+        self.seen.append(point)
+        if accepted:
+            assert point in self.archive.points
+        else:
+            # rejected points are dominated by (or equal to) a member
+            assert any(
+                member == point or dominates(member, point)
+                for member in self.archive.points
+            )
+
+    @invariant()
+    def archive_equals_batch_front(self):
+        if not hasattr(self, "archive"):
+            return
+        assert self.archive.points == pareto_front(
+            self.seen, keep_ties=False
+        )
+
+    @invariant()
+    def members_mutually_non_dominated(self):
+        if not hasattr(self, "archive"):
+            return
+        for a in self.archive.points:
+            for b in self.archive.points:
+                assert not dominates(a, b)
+
+    @invariant()
+    def sorted_by_cost(self):
+        if not hasattr(self, "archive"):
+            return
+        costs = [c for c, _ in self.archive.points]
+        assert costs == sorted(costs)
+
+    @invariant()
+    def payloads_track_points(self):
+        if not hasattr(self, "archive"):
+            return
+        assert len(self.archive.payloads) == len(self.archive.points)
+        for point, payload in zip(
+            self.archive.points, self.archive.payloads
+        ):
+            assert payload == point
+
+
+ArchiveMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestParetoArchiveStateful = ArchiveMachine.TestCase

@@ -1,0 +1,73 @@
+"""Tests of the SVG front renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.casestudies import build_settop_spec
+from repro.core import explore
+from repro.report import front_svg, save_front_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def front():
+    return explore(build_settop_spec()).front()
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestFrontSvg:
+    def test_valid_xml(self, front):
+        root = parse(front_svg(front))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_marker_per_front_point(self, front):
+        root = parse(front_svg(front))
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == len(front)
+
+    def test_dominated_points_hollow(self, front):
+        dominated = [(500.0, 2.0), (400.0, 1.0)]
+        root = parse(front_svg(front, dominated))
+        hollow = [
+            c
+            for c in root.findall(f"{SVG_NS}circle")
+            if c.get("fill") == "none"
+        ]
+        assert len(hollow) == 2
+
+    def test_staircase_path_present(self, front):
+        root = parse(front_svg(front))
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == 1
+        assert paths[0].get("d", "").startswith("M ")
+
+    def test_labels_show_values(self, front):
+        text = front_svg(front)
+        assert "($430, f=8)" in text
+        assert "($100, f=2)" in text
+
+    def test_empty_front(self):
+        text = front_svg([])
+        assert "(no points)" in text
+        parse(text)
+
+    def test_single_point(self):
+        root = parse(front_svg([(10.0, 1.0)]))
+        assert len(root.findall(f"{SVG_NS}circle")) == 1
+
+    def test_title_escaped(self):
+        text = front_svg([(1.0, 1.0)], title="a <b> & c")
+        assert "&lt;b&gt;" in text and "&amp;" in text
+        parse(text)
+
+    def test_save(self, front, tmp_path):
+        path = tmp_path / "front.svg"
+        save_front_svg(front, str(path), title="Set-Top")
+        content = path.read_text()
+        assert "Set-Top" in content
+        parse(content)

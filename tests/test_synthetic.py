@@ -1,0 +1,81 @@
+"""Tests of the synthetic specification generator."""
+
+import pytest
+
+from repro.casestudies import (
+    synthetic_architecture,
+    synthetic_problem,
+    synthetic_spec,
+)
+from repro.core import estimate_flexibility, explore, max_flexibility
+from repro.io import dumps_spec
+from repro.spec import supports_problem
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        assert dumps_spec(synthetic_spec(seed=5)) == dumps_spec(
+            synthetic_spec(seed=5)
+        )
+
+    def test_different_seeds_differ(self):
+        assert dumps_spec(synthetic_spec(seed=1)) != dumps_spec(
+            synthetic_spec(seed=2)
+        )
+
+    def test_sizes_scale(self):
+        small = synthetic_spec(n_apps=2, interfaces_per_app=1,
+                               alternatives=2, n_accels=1)
+        large = synthetic_spec(n_apps=4, interfaces_per_app=3,
+                               alternatives=4, n_accels=4)
+        assert large.vs_size() > small.vs_size()
+        assert len(large.units) > len(small.units)
+
+    def test_max_flexibility_formula(self):
+        """Each app: (interfaces * alternatives) - (interfaces - 1);
+        top level sums the apps."""
+        problem = synthetic_problem(
+            n_apps=3, interfaces_per_app=2, alternatives=3
+        )
+        per_app = 2 * 3 - 1
+        assert max_flexibility(problem) == 3 * per_app
+
+    def test_processor_alone_is_possible(self):
+        spec = synthetic_spec()
+        assert supports_problem(spec, {"proc0"})
+        assert not supports_problem(spec, {"acc0"})
+
+    def test_validated_and_frozen(self):
+        spec = synthetic_spec(n_apps=2)
+        assert spec.frozen
+
+    def test_accelerators_increase_implemented_flexibility(self):
+        """The estimate is already maximal on one processor (it ignores
+        timing), but the *implemented* flexibility needs accelerators."""
+        from repro.core import evaluate_allocation
+
+        spec = synthetic_spec()
+        assert estimate_flexibility(spec, {"proc0"}) == estimate_flexibility(
+            spec, set(spec.units.names())
+        )
+        base = evaluate_allocation(spec, {"proc0"})
+        full = evaluate_allocation(spec, set(spec.units.names()))
+        assert base is not None and full is not None
+        assert full.flexibility > base.flexibility
+
+    def test_front_is_non_trivial(self):
+        """Timing pressure makes the front multi-point (paper-shaped)."""
+        spec = synthetic_spec()
+        result = explore(spec)
+        assert len(result.points) >= 3
+        costs = [c for c, _ in result.front()]
+        flexes = [f for _, f in result.front()]
+        assert costs == sorted(costs)
+        assert flexes == sorted(flexes)
+
+    def test_architecture_connectivity(self):
+        arch = synthetic_architecture(n_procs=2, n_accels=2)
+        pairs = {e.pair for e in arch.edges}
+        assert ("busP", "proc0") in pairs
+        assert any(src.startswith("bus") and dst == "acc1"
+                   for src, dst in pairs)

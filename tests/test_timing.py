@@ -1,0 +1,235 @@
+"""Unit tests for the timing substrate."""
+
+import math
+
+import pytest
+
+from repro.activation import flatten
+from repro.casestudies import build_settop_spec
+from repro.errors import BindingError, TimingError
+from repro.timing import (
+    PAPER_UTILIZATION_BOUND,
+    Task,
+    list_schedule,
+    liu_layland_bound,
+    loaded_tasks,
+    makespan_of,
+    meets_utilization_bound,
+    rm_schedulable,
+    schedule_meets_periods,
+    task_set,
+    utilization_by_resource,
+    utilization_violations,
+)
+
+GAME = {"I_App": "gamma_G", "I_G": "gamma_G1"}
+TV = {"I_App": "gamma_D", "I_D": "gamma_D1", "I_U": "gamma_U1"}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return build_settop_spec()
+
+
+class TestLiuLayland:
+    def test_bound_n1(self):
+        assert liu_layland_bound(1) == 1.0
+
+    def test_bound_n2(self):
+        assert liu_layland_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+
+    def test_bound_monotone_to_ln2(self):
+        values = [liu_layland_bound(n) for n in range(1, 50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(math.log(2), abs=5e-3)
+        assert liu_layland_bound(10_000) == pytest.approx(math.log(2), abs=1e-4)
+
+    def test_bound_zero_and_negative(self):
+        assert liu_layland_bound(0) == 1.0
+        with pytest.raises(ValueError):
+            liu_layland_bound(-1)
+
+    def test_rm_schedulable_paper_mode(self):
+        assert rm_schedulable(0.69, 10)
+        assert not rm_schedulable(0.70, 10)
+
+    def test_rm_schedulable_exact_mode(self):
+        # two tasks: bound ~0.828
+        assert rm_schedulable(0.8, 2, exact=True)
+        assert not rm_schedulable(0.9, 2, exact=True)
+
+
+class TestTasks:
+    def test_game_tasks(self, spec):
+        flat = flatten(spec.problem, GAME)
+        tasks = task_set(spec, flat)
+        assert tasks["P_G1"].period == 240.0
+        assert tasks["P_D"].period == 240.0
+        assert tasks["P_C_G"].negligible
+        assert not tasks["P_C_G"].loaded
+        assert tasks["P_G1"].loaded
+
+    def test_browser_unconstrained(self, spec):
+        flat = flatten(spec.problem, {"I_App": "gamma_I"})
+        assert loaded_tasks(spec, flat) == []
+
+    def test_utilization_contribution(self):
+        t = Task("p", 100.0, False)
+        assert t.utilization(50.0) == 0.5
+        assert Task("p", None, False).utilization(50.0) == 0.0
+        assert Task("p", 100.0, True).utilization(50.0) == 0.0
+
+
+class TestUtilization:
+    def test_paper_rejects_game_on_muP2(self, spec):
+        """(95 + 90) / 240 > 0.69 — Section 5's rejected implementation."""
+        flat = flatten(spec.problem, GAME)
+        binding = {"P_C_G": "muP2", "P_G1": "muP2", "P_D": "muP2"}
+        util = utilization_by_resource(spec, flat, binding)
+        assert util["muP2"] == pytest.approx((95 + 90) / 240)
+        assert not meets_utilization_bound(spec, flat, binding)
+        assert utilization_violations(spec, flat, binding)
+
+    def test_paper_accepts_game_on_muP1(self, spec):
+        """(75 + 70) / 240 <= 0.69 — the muP1 implementation is kept."""
+        flat = flatten(spec.problem, GAME)
+        binding = {"P_C_G": "muP1", "P_G1": "muP1", "P_D": "muP1"}
+        assert meets_utilization_bound(spec, flat, binding)
+
+    def test_paper_accepts_tv_on_muP2(self, spec):
+        """95 + 45 < 0.69 * 300 — Section 5's accepted TV implementation."""
+        flat = flatten(spec.problem, TV)
+        binding = {
+            "P_A": "muP2", "P_C_D": "muP2", "P_D1": "muP2", "P_U1": "muP2",
+        }
+        util = utilization_by_resource(spec, flat, binding)
+        assert util["muP2"] == pytest.approx((95 + 45) / 300)
+        assert meets_utilization_bound(spec, flat, binding)
+
+    def test_negligible_processes_excluded(self, spec):
+        """P_A and P_C_D add 70 ns; they must not count."""
+        flat = flatten(spec.problem, TV)
+        binding = {
+            "P_A": "muP2", "P_C_D": "muP2", "P_D1": "muP2", "P_U1": "muP2",
+        }
+        util = utilization_by_resource(spec, flat, binding)
+        assert util["muP2"] < (95 + 45 + 60 + 10) / 300
+
+    def test_unbound_process_raises(self, spec):
+        flat = flatten(spec.problem, TV)
+        with pytest.raises(BindingError):
+            utilization_by_resource(spec, flat, {"P_A": "muP2"})
+
+    def test_custom_bound(self, spec):
+        flat = flatten(spec.problem, GAME)
+        binding = {"P_C_G": "muP2", "P_G1": "muP2", "P_D": "muP2"}
+        assert meets_utilization_bound(spec, flat, binding, bound=0.95)
+
+
+class TestListScheduler:
+    def test_chain_schedule(self, spec):
+        flat = flatten(spec.problem, TV)
+        binding = {
+            "P_A": "muP2", "P_C_D": "muP2", "P_D1": "muP2", "P_U1": "muP2",
+        }
+        schedule = list_schedule(spec, flat, binding)
+        assert len(schedule) == 4
+        # dependencies respected
+        assert schedule.entry("P_C_D").finish <= schedule.entry("P_D1").start
+        assert schedule.entry("P_D1").finish <= schedule.entry("P_U1").start
+        # single resource: makespan = sum of latencies
+        assert schedule.makespan == pytest.approx(60 + 10 + 95 + 45)
+
+    def test_parallel_resources_overlap(self, spec):
+        flat = flatten(spec.problem, TV)
+        binding = {
+            "P_A": "muP1", "P_C_D": "muP2", "P_D1": "muP2", "P_U1": "muP2",
+        }
+        schedule = list_schedule(spec, flat, binding)
+        # P_A (55 on muP1) runs concurrently with the muP2 chain
+        assert schedule.makespan < 55 + 10 + 95 + 45
+
+    def test_no_resource_conflicts(self, spec):
+        flat = flatten(spec.problem, TV)
+        binding = {
+            "P_A": "muP2", "P_C_D": "muP2", "P_D1": "muP2", "P_U1": "muP2",
+        }
+        for entries in list_schedule(spec, flat, binding).by_resource().values():
+            for first, second in zip(entries, entries[1:]):
+                assert first.finish <= second.start + 1e-9
+
+    def test_comm_delay_applied(self, spec):
+        flat = flatten(spec.problem, GAME)
+        binding = {"P_C_G": "muP1", "P_G1": "muP1", "P_D": "muP1"}
+        base = makespan_of(spec, flat, binding)
+        split = {"P_C_G": "muP1", "P_G1": "muP1", "P_D": "muP2"}
+        delayed = makespan_of(spec, flat, split, comm_delay=100.0)
+        assert delayed >= base  # delay pushes the cross-resource hop
+
+    def test_schedule_meets_periods(self, spec):
+        flat = flatten(spec.problem, GAME)
+        ok = {"P_C_G": "muP1", "P_G1": "muP1", "P_D": "muP1"}
+        assert schedule_meets_periods(spec, flat, ok)
+
+    def test_unbound_raises(self, spec):
+        flat = flatten(spec.problem, GAME)
+        with pytest.raises(BindingError):
+            list_schedule(spec, flat, {"P_C_G": "muP1"})
+
+    def test_drop_negligible_preserves_order(self, spec):
+        """Dependencies through negligible nodes are bridged, so the
+        loaded chain keeps its ordering."""
+        flat = flatten(spec.problem, TV)
+        binding = {
+            "P_A": "muP2", "P_C_D": "muP2", "P_D1": "muP2", "P_U1": "muP2",
+        }
+        assert schedule_meets_periods(spec, flat, binding)
+        # the negligible processes (P_A 60 + P_C_D 10) are excluded, so
+        # the loaded makespan is 95 + 45 <= 300 even though the full
+        # schedule (210) plus them would still fit; with them included
+        # the check also passes here:
+        assert schedule_meets_periods(
+            spec, flat, binding, include_negligible=True
+        )
+
+    def test_negligible_exclusion_changes_acceptance(self, spec):
+        """A case where counting start-up work wrongly rejects: inflate
+        the controller so the full schedule misses the period."""
+        from repro.spec import ProblemGraph, ArchitectureGraph, make_specification
+
+        p = ProblemGraph()
+        p.attrs["period"] = 100.0
+        p.add_vertex("boot", negligible=True)
+        p.add_vertex("work")
+        p.add_edge("boot", "work")
+        a = ArchitectureGraph()
+        a.add_resource("cpu", cost=1)
+        s = make_specification(
+            p, a, [("boot", "cpu", 90.0), ("work", "cpu", 40.0)]
+        )
+        flat = flatten(s.problem, {})
+        binding = {"boot": "cpu", "work": "cpu"}
+        assert schedule_meets_periods(s, flat, binding)
+        assert not schedule_meets_periods(
+            s, flat, binding, include_negligible=True
+        )
+
+    def test_cycle_detected(self):
+        from repro.activation.flatten import FlatProblem
+        from repro.activation import Activation
+        from repro.spec import (
+            ArchitectureGraph, ProblemGraph, make_specification,
+        )
+
+        p = ProblemGraph()
+        p.add_vertex("a")
+        p.add_vertex("b")
+        p.add_edge("a", "b")
+        p.add_edge("b", "a")
+        a = ArchitectureGraph()
+        a.add_resource("r")
+        spec = make_specification(p, a, [("a", "r", 1.0), ("b", "r", 1.0)])
+        act = Activation(frozenset({"a", "b"}), frozenset(), frozenset())
+        flat = FlatProblem(("a", "b"), (("a", "b"), ("b", "a")), {}, act)
+        with pytest.raises(TimingError):
+            list_schedule(spec, flat, {"a": "r", "b": "r"})
