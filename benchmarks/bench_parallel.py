@@ -1,0 +1,185 @@
+"""PARALLEL — serial vs batched thread/process EXPLORE speedup.
+
+Runs the scalability-suite synthetic specifications through the serial
+loop and the batched thread/process backends, verifies that every
+backend returns the *identical* Pareto front and statistics (the
+differential guarantee of :mod:`repro.parallel`), and records wall
+clock, speedup and memo-cache effectiveness to ``BENCH_parallel.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py            # full
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick    # smoke
+    PYTHONPATH=src python benchmarks/bench_parallel.py --workers 4
+
+Note on interpreting speedups: the parallel backends speculatively
+evaluate candidates ahead of the incumbent bound, so their *total* work
+slightly exceeds the serial loop's; the win comes from overlapping the
+NP-complete binding solves across workers.  On a single-core container
+(or under a contended GIL for the thread backend) the measured speedup
+is therefore at most ~1x — the JSON records ``cpu_count`` so results
+are read in context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.casestudies import synthetic_spec
+from repro.core import explore
+from repro.report import format_table
+
+#: (label, generator kwargs) — the scalability-suite sizes.
+SIZES = [
+    ("tiny", dict(n_apps=2, interfaces_per_app=1, alternatives=2,
+                  n_procs=2, n_accels=2)),
+    ("small", dict(n_apps=3, interfaces_per_app=2, alternatives=3,
+                   n_procs=2, n_accels=3)),
+    ("medium", dict(n_apps=4, interfaces_per_app=2, alternatives=3,
+                    n_procs=2, n_accels=4)),
+    ("large", dict(n_apps=4, interfaces_per_app=3, alternatives=4,
+                   n_procs=2, n_accels=5)),
+]
+
+#: Backends measured against the serial baseline.
+BACKENDS = ("thread", "process")
+
+
+def fingerprint(result):
+    """Comparable exploration outcome (everything but wall-clock)."""
+    stats = {
+        k: v
+        for k, v in result.stats.as_dict().items()
+        if k != "elapsed_seconds"
+    }
+    return (
+        [(sorted(p.units), p.cost, p.flexibility) for p in result.points],
+        stats,
+        result.max_flexibility_bound,
+    )
+
+
+def timed_explore(spec, repeat, **kw):
+    """Best-of-``repeat`` wall clock plus the (identical) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = explore(spec, **kw)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(sizes, workers, batch_size, repeat, out_path, verbose=True):
+    records = []
+    identical = True
+    for label, kwargs in sizes:
+        spec = synthetic_spec(**kwargs)
+        serial_time, serial_result = timed_explore(spec, repeat)
+        record = {
+            "spec": label,
+            "units": len(spec.units),
+            "design_space": spec.design_space_size(),
+            "front": [list(point) for point in serial_result.front()],
+            "serial_seconds": serial_time,
+            "backends": {},
+        }
+        for backend in BACKENDS:
+            elapsed, result = timed_explore(
+                spec,
+                repeat,
+                parallel=backend,
+                batch_size=batch_size,
+                workers=workers,
+            )
+            exact = fingerprint(result) == fingerprint(serial_result)
+            identical = identical and exact
+            record["backends"][backend] = {
+                "seconds": elapsed,
+                "speedup": serial_time / elapsed if elapsed > 0 else None,
+                "identical": exact,
+            }
+        records.append(record)
+        if verbose:
+            parts = ", ".join(
+                f"{b}: {v['seconds']:.3f}s ({v['speedup']:.2f}x)"
+                for b, v in record["backends"].items()
+            )
+            print(
+                f"{label:8s} serial {serial_time:.3f}s | {parts} | "
+                f"identical={identical}"
+            )
+
+    document = {
+        "bench": "parallel",
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "batch_size": batch_size,
+        "repeat": repeat,
+        "all_backends_identical": identical,
+        "results": records,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    if verbose:
+        rows = [
+            [
+                r["spec"],
+                str(r["units"]),
+                f"{r['serial_seconds']:.3f}s",
+            ]
+            + [
+                f"{r['backends'][b]['speedup']:.2f}x" for b in BACKENDS
+            ]
+            for r in records
+        ]
+        print()
+        print(
+            format_table(
+                ["spec", "units", "serial"] + list(BACKENDS), rows
+            )
+        )
+        print(f"\nwrote {out_path}")
+    return document
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="serial vs parallel EXPLORE speedup benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke run: the two smallest specs, one repetition",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker-pool size (default 4)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="candidates per batch (default: library default)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="timed repetitions per configuration (best-of)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_parallel.json",
+        help="output JSON path (default BENCH_parallel.json)",
+    )
+    args = parser.parse_args(argv)
+    sizes = SIZES[:2] if args.quick else SIZES
+    repeat = args.repeat if args.repeat is not None else (1 if args.quick else 3)
+    document = run(
+        sizes, args.workers, args.batch_size, repeat, args.out
+    )
+    # Exactness is a hard requirement; timing is informational.
+    return 0 if document["all_backends_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     explore_cmd.add_argument(
+        "--parallel", choices=("serial", "thread", "process"),
+        default="serial",
+        help=(
+            "candidate-evaluation backend: the classic serial loop "
+            "(default) or a batched thread/process pool with identical "
+            "results"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="candidates per dispatched batch in parallel modes",
+    )
+    explore_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-pool size in parallel modes (default: CPU count)",
+    )
+    explore_cmd.add_argument(
         "--plot", action="store_true", help="render the tradeoff curve"
     )
     explore_cmd.add_argument(
@@ -231,6 +248,9 @@ def _cmd_explore(args, out) -> int:
         check_utilization=not args.no_timing,
         keep_ties=args.keep_ties,
         timing_mode=args.timing_mode,
+        parallel=args.parallel,
+        batch_size=args.batch_size,
+        workers=args.workers,
     )
     _print(pareto_table(result), out)
     if args.plot:

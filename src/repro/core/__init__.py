@@ -22,9 +22,9 @@ from .ecs import (
     minimal_coverage_size,
 )
 from .estimate import estimate_flexibility, spec_max_flexibility
-from .evaluation import evaluate_allocation
+from .evaluation import BINDING_BACKENDS, TIMING_MODES, evaluate_allocation
 from .exhaustive import exhaustive_front, iter_all_implementations
-from .explorer import explore
+from .explorer import PARALLEL_MODES, explore, validate_explore_options
 from .flexibility import flexibility, max_flexibility
 from .incremental import (
     UpgradeResult,
@@ -54,13 +54,16 @@ from .result import (
 
 __all__ = [
     "AllocationEnumerator",
+    "BINDING_BACKENDS",
     "EcsRecord",
     "ExplorationResult",
     "ExplorationStats",
     "FailureImpact",
     "Implementation",
     "Nsga2Result",
+    "PARALLEL_MODES",
     "ParetoArchive",
+    "TIMING_MODES",
     "UpgradeResult",
     "count_possible_allocations",
     "critical_units",
@@ -89,4 +92,5 @@ __all__ = [
     "single_failure_report",
     "spec_max_flexibility",
     "upgrade_preserves_base",
+    "validate_explore_options",
 ]

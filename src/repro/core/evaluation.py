@@ -27,6 +27,12 @@ from .result import EcsRecord, Implementation
 #: Signature of a pluggable binding backend.
 SolverBackend = Callable[..., object]
 
+#: The recognised performance-test modes.
+TIMING_MODES = ("utilization", "schedule", "none")
+
+#: The recognised binding-solver backends.
+BINDING_BACKENDS = ("csp", "sat")
+
 
 #: How many structurally feasible bindings the exact-schedule mode
 #: inspects per elementary cluster-activation before giving up.
@@ -66,8 +72,12 @@ def evaluate_allocation(
     """
     if timing_mode is None:
         timing_mode = "utilization" if check_utilization else "none"
-    if timing_mode not in ("utilization", "schedule", "none"):
+    if timing_mode not in TIMING_MODES:
         raise ValueError(f"unknown timing_mode {timing_mode!r}")
+    if backend not in BINDING_BACKENDS:
+        # Historically unknown backends silently fell through to the
+        # CSP solver; fail fast instead.
+        raise ValueError(f"unknown binding backend {backend!r}")
     unit_set = frozenset(units)
     if not supports_problem(spec, unit_set):
         return None

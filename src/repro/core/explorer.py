@@ -14,14 +14,20 @@ with a greater flexibility than already implemented" — the intended
 semantics implemented here is: attempt an implementation when the
 *estimate* exceeds the best implemented flexibility, and record it when
 the *achieved* flexibility does.
+
+The loop body is shared with the parallel batched explorer
+(:mod:`repro.parallel`), selected through ``explore(parallel=...)``:
+the batched path fans candidate evaluation out to a worker pool and
+replays the results in the serial candidate order, reproducing this
+module's pruning decisions, statistics and tie-breaking exactly.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional
+from typing import FrozenSet, Iterable, List, NamedTuple, Optional
 
-from ..boolexpr import evaluate_over_set
+from ..boolexpr import Expr, evaluate_over_set
 from ..errors import ExplorationError
 from ..spec import SpecificationGraph
 from ..timing import PAPER_UTILIZATION_BOUND
@@ -31,70 +37,73 @@ from .candidates import (
     possible_allocation_expr,
 )
 from .estimate import estimate_flexibility
-from .evaluation import evaluate_allocation
+from .evaluation import BINDING_BACKENDS, TIMING_MODES, evaluate_allocation
 from .pareto import dominates
 from .result import ExplorationResult, ExplorationStats
 
+#: Accepted values of ``explore(parallel=...)``.
+PARALLEL_MODES = ("serial", "thread", "process")
 
-def explore(
-    spec: SpecificationGraph,
-    util_bound: float = PAPER_UTILIZATION_BOUND,
-    max_cost: Optional[float] = None,
-    max_candidates: Optional[int] = None,
-    use_possible_filter: bool = True,
-    use_estimation: bool = True,
-    prune_comm: bool = True,
-    check_utilization: bool = True,
-    weighted: bool = False,
-    backend: str = "csp",
-    keep_ties: bool = False,
-    timing_mode: Optional[str] = None,
-    require_units: Optional[Iterable[str]] = None,
-    forbid_units: Optional[Iterable[str]] = None,
-) -> ExplorationResult:
-    """Find all Pareto-optimal (cost, flexibility) implementations.
 
-    Parameters
-    ----------
-    spec:
-        A frozen specification graph.
-    util_bound:
-        Utilisation acceptance bound (the paper's 69%).
-    max_cost / max_candidates:
-        Optional exploration budgets; exceeding either ends the run.
-        ``max_cost`` is mandatory when the specification has zero-cost
-        units (cost order alone would then not bound the enumeration).
-    use_possible_filter / use_estimation / prune_comm:
-        Toggles for the three pruning techniques (used by the ablation
-        bench); all default to the paper's configuration.
-    check_utilization:
-        Disable to explore without the performance test.
-    weighted:
-        Use the footnote-2 weighted flexibility.
-    backend:
-        Binding-solver backend, ``"csp"`` (default) or ``"sat"``.
-    timing_mode:
-        Performance test: ``"utilization"`` (the paper's 69% estimate,
-        default), ``"schedule"`` (exact one-period list scheduling — the
-        paper's future work) or ``"none"``.  Overrides
-        ``check_utilization`` when given.
-    require_units / forbid_units:
-        What-if constraints: only allocations containing every required
-        unit and none of the forbidden ones are considered ("the
-        platform must keep the ASIC", "the FPGA vendor is out").
-    keep_ties:
-        The published EXPLORE keeps only the first implementation per
-        (cost, flexibility) point (strict ``f > f_cur``).  With
-        ``keep_ties=True`` every equally-optimal allocation of the same
-        cost and flexibility is reported as well — e.g. all $230/f=4
-        variants of the case study.
+class ExplorationSetup(NamedTuple):
+    """Validated, precomputed inputs shared by the serial and batched
+    exploration loops."""
 
-    Returns an :class:`~repro.core.result.ExplorationResult` whose
-    ``points`` are the Pareto-optimal implementations in increasing cost
-    order.  Without ``keep_ties``, cost ties with equal flexibility are
-    resolved in favour of the first candidate in the deterministic
-    enumeration order.
+    #: Units every candidate must contain (resolved names).
+    required: FrozenSet[str]
+    #: Units no candidate may contain (resolved names).
+    forbidden: FrozenSet[str]
+    #: The freely allocatable units, i.e. neither required nor forbidden.
+    extra_names: List[str]
+    #: Total cost of the required units.
+    required_cost: float
+    #: The possible-resource-allocation boolean equation.
+    possible: Expr
+    #: Global flexibility upper bound (the stop condition).
+    f_max: float
+
+
+def validate_explore_options(
+    backend: str,
+    timing_mode: Optional[str],
+    parallel: str = "serial",
+    batch_size: Optional[int] = None,
+) -> None:
+    """Reject unknown modes/backends with a clear :class:`ExplorationError`.
+
+    Historically an unknown ``backend`` silently fell through to the CSP
+    solver and an unknown ``timing_mode`` surfaced as a ``ValueError``
+    from deep inside the evaluation; exploration now fails fast instead.
     """
+    if backend not in BINDING_BACKENDS:
+        raise ExplorationError(
+            f"unknown binding backend {backend!r}; "
+            f"expected one of {BINDING_BACKENDS}"
+        )
+    if timing_mode is not None and timing_mode not in TIMING_MODES:
+        raise ExplorationError(
+            f"unknown timing_mode {timing_mode!r}; "
+            f"expected one of {TIMING_MODES}"
+        )
+    if parallel not in PARALLEL_MODES:
+        raise ExplorationError(
+            f"unknown parallel mode {parallel!r}; "
+            f"expected one of {PARALLEL_MODES}"
+        )
+    if batch_size is not None and batch_size < 1:
+        raise ExplorationError(
+            f"batch_size must be a positive integer, got {batch_size!r}"
+        )
+
+
+def prepare_exploration(
+    spec: SpecificationGraph,
+    require_units: Optional[Iterable[str]],
+    forbid_units: Optional[Iterable[str]],
+    max_cost: Optional[float],
+    weighted: bool,
+) -> ExplorationSetup:
+    """Validate the specification/constraints and precompute run inputs."""
     if not spec.frozen:
         raise ExplorationError("specification must be frozen before explore()")
     required = frozenset(
@@ -120,23 +129,134 @@ def explore(
             "specification has zero-cost units; pass max_cost to bound "
             "the enumeration"
         )
-
-    started = time.perf_counter()
-    stats = ExplorationStats()
-    stats.design_space_size = 1 << len(extra_names)
     possible = possible_allocation_expr(spec)
     required_cost = spec.units.total_cost(required)
     f_max = estimate_flexibility(
         spec, set(spec.units.names()) - forbidden, weighted
     )
+    return ExplorationSetup(
+        required, forbidden, extra_names, required_cost, possible, f_max
+    )
+
+
+def explore(
+    spec: SpecificationGraph,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    max_cost: Optional[float] = None,
+    max_candidates: Optional[int] = None,
+    use_possible_filter: bool = True,
+    use_estimation: bool = True,
+    prune_comm: bool = True,
+    check_utilization: bool = True,
+    weighted: bool = False,
+    backend: str = "csp",
+    keep_ties: bool = False,
+    timing_mode: Optional[str] = None,
+    require_units: Optional[Iterable[str]] = None,
+    forbid_units: Optional[Iterable[str]] = None,
+    parallel: str = "serial",
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> ExplorationResult:
+    """Find all Pareto-optimal (cost, flexibility) implementations.
+
+    Parameters
+    ----------
+    spec:
+        A frozen specification graph.
+    util_bound:
+        Utilisation acceptance bound (the paper's 69%).
+    max_cost / max_candidates:
+        Optional exploration budgets; exceeding either ends the run.
+        ``max_cost`` is mandatory when the specification has zero-cost
+        units (cost order alone would then not bound the enumeration).
+    use_possible_filter / use_estimation / prune_comm:
+        Toggles for the three pruning techniques (used by the ablation
+        bench); all default to the paper's configuration.
+    check_utilization:
+        Disable to explore without the performance test.
+    weighted:
+        Use the footnote-2 weighted flexibility.
+    backend:
+        Binding-solver backend, ``"csp"`` (default) or ``"sat"``.
+        Unknown backends raise :class:`ExplorationError`.
+    timing_mode:
+        Performance test: ``"utilization"`` (the paper's 69% estimate,
+        default), ``"schedule"`` (exact one-period list scheduling — the
+        paper's future work) or ``"none"``.  Overrides
+        ``check_utilization`` when given; unknown modes raise
+        :class:`ExplorationError`.
+    require_units / forbid_units:
+        What-if constraints: only allocations containing every required
+        unit and none of the forbidden ones are considered ("the
+        platform must keep the ASIC", "the FPGA vendor is out").
+    keep_ties:
+        The published EXPLORE keeps only the first implementation per
+        (cost, flexibility) point (strict ``f > f_cur``).  With
+        ``keep_ties=True`` every equally-optimal allocation of the same
+        cost and flexibility is reported as well — e.g. all $230/f=4
+        variants of the case study.
+    parallel:
+        ``"serial"`` (default) runs the classic in-process loop;
+        ``"thread"`` / ``"process"`` evaluate candidates in cost-ordered
+        batches on a worker pool and reduce them deterministically — the
+        returned Pareto set, statistics and tie-breaking are identical
+        to the serial loop (see :mod:`repro.parallel` and
+        ``docs/parallel.md``).
+    batch_size:
+        Candidates per dispatched batch in parallel modes (default
+        :data:`repro.parallel.BATCH_SIZE_DEFAULT`); ignored when
+        ``parallel="serial"``.
+    workers:
+        Worker-pool size in parallel modes (default: the CPU count);
+        ignored when ``parallel="serial"``.
+
+    Returns an :class:`~repro.core.result.ExplorationResult` whose
+    ``points`` are the Pareto-optimal implementations in increasing cost
+    order.  Without ``keep_ties``, cost ties with equal flexibility are
+    resolved in favour of the first candidate in the deterministic
+    enumeration order.
+    """
+    validate_explore_options(backend, timing_mode, parallel, batch_size)
+    if parallel != "serial":
+        from ..parallel import explore_batched
+
+        return explore_batched(
+            spec,
+            util_bound=util_bound,
+            max_cost=max_cost,
+            max_candidates=max_candidates,
+            use_possible_filter=use_possible_filter,
+            use_estimation=use_estimation,
+            prune_comm=prune_comm,
+            check_utilization=check_utilization,
+            weighted=weighted,
+            backend=backend,
+            keep_ties=keep_ties,
+            timing_mode=timing_mode,
+            require_units=require_units,
+            forbid_units=forbid_units,
+            parallel=parallel,
+            batch_size=batch_size,
+            workers=workers,
+        )
+
+    setup = prepare_exploration(
+        spec, require_units, forbid_units, max_cost, weighted
+    )
+    required = setup.required
+    started = time.perf_counter()
+    stats = ExplorationStats()
+    stats.design_space_size = 1 << len(setup.extra_names)
+    f_max = setup.f_max
     f_cur = 0.0
     points = []
     solver_counter = [0]
 
     for extra_cost, extras in AllocationEnumerator(
-        spec, extra_names, include_empty=bool(required)
+        spec, setup.extra_names, include_empty=bool(required)
     ):
-        cost = required_cost + extra_cost
+        cost = setup.required_cost + extra_cost
         units = required | extras
         if f_cur >= f_max:
             # With ties kept, continue through candidates of the same
@@ -152,7 +272,7 @@ def explore(
         ):
             break
         if use_possible_filter:
-            if not evaluate_over_set(possible, units):
+            if not evaluate_over_set(setup.possible, units):
                 continue
             stats.possible_allocations += 1
         if prune_comm and has_useless_comm(spec, units):

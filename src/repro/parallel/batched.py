@@ -1,0 +1,375 @@
+"""Batched parallel EXPLORE with a deterministic replay reduction.
+
+The exploration pulls candidates from the cost-ordered enumerator in
+batches, fans the incumbent-independent pipeline of each batch out to a
+worker pool (threads, processes, or inline when no pool is available),
+and *replays* the outcomes in the exact serial candidate order against
+the shared incumbent flexibility bound.  The replay makes every
+incumbent-dependent decision — estimate pruning, tie handling, budget
+stops, Pareto recording — with the same code shape and in the same
+order as :func:`repro.core.explorer.explore`, so the returned Pareto
+set, statistics and tie-breaking are identical to the serial loop.
+
+Why the replay always has what it needs
+---------------------------------------
+Workers speculatively evaluate a candidate when its estimate exceeds
+``f_entry``, the incumbent bound at dispatch time.  The incumbent is
+monotone non-decreasing, so for any candidate the serial loop would
+evaluate (``estimate > f_cur``, or ``>=`` under ``keep_ties``) we have
+``estimate > f_cur >= f_entry`` — the speculative evaluation happened.
+Candidates whose speculation was skipped satisfy ``estimate <=
+f_entry <= f_cur`` at replay time and are pruned exactly as the serial
+loop would prune them.  The same monotonicity argument covers cached
+outcomes reused from earlier batches (their ``f_entry`` was at most the
+current incumbent).
+
+Statistics are charged by the replay, not by the work actually
+performed: a speculatively evaluated candidate that the replay prunes
+contributes nothing, and a cache hit contributes the recorded solver
+invocations of its first evaluation — both exactly what the serial
+loop would have counted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.candidates import AllocationEnumerator, iter_cost_batches
+from ..core.explorer import (
+    prepare_exploration,
+    validate_explore_options,
+)
+from ..core.pareto import dominates
+from ..core.result import ExplorationResult, ExplorationStats
+from ..errors import ExplorationError
+from ..spec import SpecificationGraph
+from ..timing import PAPER_UTILIZATION_BOUND
+from .cache import EvaluationCache
+from .signature import canonical_signature
+from .worker import (
+    CandidateOutcome,
+    EvalParams,
+    evaluate_candidate,
+    init_worker,
+    pool_evaluate,
+)
+
+#: Default number of candidates dispatched per batch.  Small enough to
+#: keep speculative over-evaluation near the incumbent's rise points
+#: rare, large enough to amortise dispatch overhead.
+BATCH_SIZE_DEFAULT = 32
+
+#: Accepted pool kinds (mirrors ``explore(parallel=...)`` minus "serial").
+PARALLEL_MODES = ("serial", "thread", "process")
+
+#: Exceptions on pool creation/use that trigger the inline fallback.
+_POOL_FAILURES = (OSError, ValueError, ImportError, NotImplementedError)
+try:  # BrokenProcessPool only exists where process pools do
+    from concurrent.futures.process import BrokenProcessPool
+
+    _POOL_FAILURES = _POOL_FAILURES + (BrokenProcessPool,)
+except ImportError:  # pragma: no cover - exotic platforms
+    pass
+
+
+class _BatchRunner:
+    """Dispatches unit-set jobs to a pool, falling back to inline runs.
+
+    The fallback covers both pool *creation* failures (sandboxes without
+    semaphores, missing ``fork``/``spawn`` support) and pool *death* at
+    run time (``BrokenProcessPool``): exploration degrades to serial
+    execution with unchanged results.
+    """
+
+    def __init__(
+        self,
+        parallel: str,
+        workers: Optional[int],
+        spec: SpecificationGraph,
+        possible,
+        params: EvalParams,
+    ) -> None:
+        self.spec = spec
+        self.possible = possible
+        self.params = params
+        self.workers = workers or os.cpu_count() or 1
+        self.executor: Optional[Executor] = None
+        self.kind = "inline"
+        if parallel == "thread":
+            self.executor = ThreadPoolExecutor(max_workers=self.workers)
+            self.kind = "thread"
+        elif parallel == "process":
+            try:
+                self.executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=init_worker,
+                    initargs=(spec, params),
+                )
+                self.kind = "process"
+            except _POOL_FAILURES:
+                self.executor = None
+
+    def run(
+        self, unit_sets: List[FrozenSet[str]], f_entry: float
+    ) -> List[CandidateOutcome]:
+        """Evaluate ``unit_sets`` (in order) at incumbent ``f_entry``."""
+        if self.executor is not None:
+            try:
+                if self.kind == "process":
+                    chunk = max(1, len(unit_sets) // (2 * self.workers))
+                    return list(
+                        self.executor.map(
+                            pool_evaluate,
+                            [(units, f_entry) for units in unit_sets],
+                            chunksize=chunk,
+                        )
+                    )
+                return list(
+                    self.executor.map(
+                        lambda units: evaluate_candidate(
+                            self.spec,
+                            self.possible,
+                            self.params,
+                            units,
+                            f_entry,
+                        ),
+                        unit_sets,
+                    )
+                )
+            except _POOL_FAILURES:
+                self.shutdown()
+        return [
+            evaluate_candidate(
+                self.spec, self.possible, self.params, units, f_entry
+            )
+            for units in unit_sets
+        ]
+
+    def shutdown(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=True, cancel_futures=True)
+            self.executor = None
+            self.kind = "inline"
+
+
+def _evaluate_batch(
+    spec: SpecificationGraph,
+    batch: List[Tuple[float, FrozenSet[str]]],
+    required: FrozenSet[str],
+    f_entry: float,
+    cache: EvaluationCache,
+    runner: _BatchRunner,
+) -> List[Tuple[FrozenSet[str], CandidateOutcome]]:
+    """Resolve one batch to ``(units, outcome)`` pairs in batch order.
+
+    Checks the memo cache first; dispatches exactly one job per distinct
+    uncached signature (same-batch duplicates share the first job's
+    outcome) and stores the new outcomes for later batches.
+    """
+    unit_sets = [required | extras for _, extras in batch]
+    signatures = [canonical_signature(spec, units) for units in unit_sets]
+    outcomes: List[Optional[CandidateOutcome]] = [None] * len(batch)
+    owners: Dict[FrozenSet[str], int] = {}
+    job_positions: List[int] = []
+    for pos, signature in enumerate(signatures):
+        entry = cache.get(signature)
+        if entry is not None:
+            outcomes[pos] = entry
+            cache.hits += 1
+        elif signature in owners:
+            cache.hits += 1  # same-batch duplicate, outcome in flight
+        else:
+            owners[signature] = pos
+            cache.misses += 1
+            job_positions.append(pos)
+    if job_positions:
+        results = runner.run(
+            [unit_sets[pos] for pos in job_positions], f_entry
+        )
+        for pos, outcome in zip(job_positions, results):
+            cache.put(signatures[pos], outcome)
+            outcomes[pos] = outcome
+    for pos, signature in enumerate(signatures):
+        if outcomes[pos] is None:  # same-batch duplicate
+            outcomes[pos] = outcomes[owners[signature]]
+    return list(zip(unit_sets, outcomes))
+
+
+def explore_batched(
+    spec: SpecificationGraph,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    max_cost: Optional[float] = None,
+    max_candidates: Optional[int] = None,
+    use_possible_filter: bool = True,
+    use_estimation: bool = True,
+    prune_comm: bool = True,
+    check_utilization: bool = True,
+    weighted: bool = False,
+    backend: str = "csp",
+    keep_ties: bool = False,
+    timing_mode: Optional[str] = None,
+    require_units: Optional[Iterable[str]] = None,
+    forbid_units: Optional[Iterable[str]] = None,
+    parallel: str = "thread",
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache: Optional[EvaluationCache] = None,
+    trace: Optional[list] = None,
+) -> ExplorationResult:
+    """EXPLORE with batched, pooled candidate evaluation.
+
+    Accepts the full :func:`repro.core.explorer.explore` parameter set
+    plus the parallel knobs; results (Pareto set, statistics except
+    ``elapsed_seconds``, tie-breaking) are identical to the serial loop
+    by construction — see the module docstring.
+
+    ``cache`` — pass an :class:`EvaluationCache` to reuse memoised
+    evaluation outcomes across runs on the *same* specification and
+    parameters (e.g. what-if sweeps over ``require_units``); by default
+    each run gets a fresh cache.
+
+    ``trace`` — optional list collecting replay pruning events (dicts),
+    used by the property-based tests to check that batching never
+    changes a pruning outcome.
+    """
+    validate_explore_options(backend, timing_mode, parallel, batch_size)
+    # "serial" means: batched replay semantics, inline execution (no pool).
+    parallel_kind = "inline" if parallel == "serial" else parallel
+    setup = prepare_exploration(
+        spec, require_units, forbid_units, max_cost, weighted
+    )
+    required = setup.required
+    started = time.perf_counter()
+    stats = ExplorationStats()
+    stats.design_space_size = 1 << len(setup.extra_names)
+    f_max = setup.f_max
+    f_cur = 0.0
+    points: List = []
+    solver_invocations = 0
+    params = EvalParams(
+        util_bound=util_bound,
+        check_utilization=check_utilization,
+        weighted=weighted,
+        backend=backend,
+        timing_mode=timing_mode,
+        use_possible_filter=use_possible_filter,
+        use_estimation=use_estimation,
+        prune_comm=prune_comm,
+        keep_ties=keep_ties,
+    )
+    cache = cache if cache is not None else EvaluationCache()
+    size = BATCH_SIZE_DEFAULT if batch_size is None else batch_size
+    runner = _BatchRunner(
+        parallel_kind, workers, spec, setup.possible, params
+    )
+
+    def note(kind: str, **fields) -> None:
+        if trace is not None:
+            fields["kind"] = kind
+            trace.append(fields)
+
+    stop = False
+    try:
+        for batch in iter_cost_batches(
+            AllocationEnumerator(
+                spec, setup.extra_names, include_empty=bool(required)
+            ),
+            size,
+        ):
+            resolved = _evaluate_batch(
+                spec, batch, required, f_cur, cache, runner
+            )
+            # --- deterministic replay: the serial loop body, with the
+            # incumbent-independent results looked up instead of computed.
+            for (extra_cost, _), (units, outcome) in zip(batch, resolved):
+                cost = setup.required_cost + extra_cost
+                if f_cur >= f_max:
+                    if not keep_ties or not points or cost > points[-1].cost:
+                        stop = True
+                        break
+                if max_cost is not None and cost > max_cost:
+                    stop = True
+                    break
+                stats.candidates_enumerated += 1
+                if (
+                    max_candidates is not None
+                    and stats.candidates_enumerated > max_candidates
+                ):
+                    stop = True
+                    break
+                if use_possible_filter:
+                    if not outcome.possible:
+                        continue
+                    stats.possible_allocations += 1
+                if prune_comm and outcome.comm_pruned:
+                    stats.pruned_comm += 1
+                    continue
+                if use_estimation:
+                    stats.estimates_computed += 1
+                    estimate = outcome.estimate
+                    if estimate < f_cur or (
+                        estimate == f_cur and not keep_ties
+                    ):
+                        note(
+                            "estimate_pruned",
+                            cost=cost,
+                            units=units,
+                            estimate=estimate,
+                            incumbent=f_cur,
+                        )
+                        continue
+                    if (
+                        keep_ties
+                        and estimate == f_cur
+                        and points
+                        and cost > points[-1].cost
+                    ):
+                        note(
+                            "tie_cost_pruned",
+                            cost=cost,
+                            units=units,
+                            estimate=estimate,
+                            incumbent=f_cur,
+                        )
+                        continue
+                stats.estimate_exceeded += 1
+                if not outcome.evaluated:
+                    raise ExplorationError(
+                        "internal: speculative evaluation missing for a "
+                        "candidate passing the incumbent bound (violated "
+                        "monotonicity invariant)"
+                    )
+                solver_invocations += outcome.solver_calls
+                implementation = outcome.implementation_for(
+                    units, spec.units.total_cost(units)
+                )
+                if implementation is None:
+                    continue
+                stats.feasible_implementations += 1
+                if implementation.flexibility > f_cur:
+                    points.append(implementation)
+                    f_cur = implementation.flexibility
+                elif (
+                    keep_ties
+                    and points
+                    and implementation.flexibility == f_cur
+                    and implementation.cost == points[-1].cost
+                    and implementation.units != points[-1].units
+                ):
+                    points.append(implementation)
+            if stop:
+                break
+    finally:
+        runner.shutdown()
+
+    points = [
+        p
+        for p in points
+        if not any(dominates(q.point, p.point) for q in points)
+    ]
+    stats.solver_invocations = solver_invocations
+    stats.elapsed_seconds = time.perf_counter() - started
+    return ExplorationResult(points, stats, f_max)

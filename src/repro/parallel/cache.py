@@ -1,0 +1,68 @@
+"""Cross-batch memoisation of candidate-evaluation outcomes.
+
+Outcomes are keyed on the canonical allocation signature
+(:func:`repro.parallel.signature.canonical_signature`); allocations
+differing only in unusable units hit the same entry, so the NP-complete
+binding solve for a recurring effective sub-allocation runs once per
+exploration instead of once per cost band.
+
+Reusing a cached outcome cannot change the replayed statistics: the
+serial loop's solver-invocation count for a candidate is deterministic,
+and the replay charges the *recorded* ``solver_calls`` of the outcome —
+the work the serial loop would have performed — rather than the work
+actually done.
+
+Thread safety: the cache is written from the reducing (main) thread
+only — thread- and process-pool workers return outcomes to the reducer,
+which inserts them — so plain dict operations suffice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from .worker import CandidateOutcome
+
+
+class EvaluationCache:
+    """Signature-keyed memo of :class:`CandidateOutcome` values."""
+
+    __slots__ = ("_entries", "max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: Dict[FrozenSet[str], CandidateOutcome] = {}
+        #: Optional bound; when exceeded the cache stops accepting new
+        #: entries (exploration batches are cost-ordered, so the oldest
+        #: entries are also the most likely to recur — keep them).
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, signature: FrozenSet[str]) -> Optional[CandidateOutcome]:
+        """Plain lookup; the dispatcher maintains :attr:`hits`/:attr:`misses`
+        (a same-batch duplicate is a hit even though its outcome is still
+        in flight, which a counting ``get`` could not see)."""
+        return self._entries.get(signature)
+
+    def put(
+        self, signature: FrozenSet[str], outcome: CandidateOutcome
+    ) -> None:
+        if (
+            self.max_entries is not None
+            and len(self._entries) >= self.max_entries
+            and signature not in self._entries
+        ):
+            return
+        self._entries[signature] = outcome
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: FrozenSet[str]) -> bool:
+        return signature in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EvaluationCache(size={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,34 @@
+"""Canonical allocation signatures for evaluation memoisation.
+
+Every predicate the candidate pipeline applies to an allocation —
+the possible-allocation equation (:func:`possible_allocation_expr`
+terms are ``unit AND its ancestors``), the useless-communication
+pruning, :func:`~repro.spec.reduce.bindable_leaves`, the flexibility
+estimate and the binding solver's resource filter — tests units with
+the same pattern ``u in allocation and ancestors(u) <= allocation``,
+i.e. membership in the *usable* subset of the allocation
+(:func:`repro.spec.reduce.usable_units`).  Two allocations with equal
+usable subsets therefore produce identical filter outcomes, estimates,
+coverages and flexibilities; only their identity (unit set) and total
+cost differ.  The usable subset is the canonical signature under which
+evaluation outcomes are cached.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..spec import SpecificationGraph
+from ..spec.reduce import usable_units
+
+
+def canonical_signature(
+    spec: SpecificationGraph, units: Iterable[str]
+) -> FrozenSet[str]:
+    """The usable subset of ``units`` — the evaluation-relevant core.
+
+    Allocations mapping to the same signature are indistinguishable to
+    every stage of candidate evaluation (possible filter, comm pruning,
+    estimation, binding, timing); see the module docstring for why.
+    """
+    return frozenset(usable_units(spec, units))

@@ -1,0 +1,210 @@
+"""The incumbent-independent candidate pipeline run by pool workers.
+
+A worker receives ``(units, f_entry)`` where ``f_entry`` is the
+incumbent flexibility bound at batch-dispatch time, and runs exactly
+the per-candidate work of the serial EXPLORE loop that does not depend
+on the *current* incumbent: the possible-resource-allocation filter,
+the useless-communication pruning, the flexibility estimate, and —
+speculatively — the full allocation evaluation (binding + timing).
+
+Speculation invariant
+---------------------
+The incumbent bound is monotone non-decreasing, so ``f_entry`` is a
+lower bound on the incumbent at the moment the serial loop would reach
+this candidate.  The serial loop implements a candidate only when its
+estimate *exceeds* the incumbent (or equals it under ``keep_ties``);
+hence evaluating whenever ``estimate > f_entry`` (or ``>=`` under
+``keep_ties``) evaluates a superset of the candidates the serial loop
+evaluates, and the deterministic replay in
+:mod:`repro.parallel.batched` always finds the evaluation it needs.
+
+For process pools the specification and parameters are shipped once
+per worker through the pool initializer (:func:`init_worker`), so work
+items stay small and picklable.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..boolexpr import Expr, evaluate_over_set
+from ..core.candidates import has_useless_comm, possible_allocation_expr
+from ..core.estimate import estimate_flexibility
+from ..core.evaluation import evaluate_allocation
+from ..core.result import EcsRecord, Implementation
+from ..spec import SpecificationGraph
+
+
+class EvalParams:
+    """The incumbent-independent knobs of one EXPLORE run (picklable)."""
+
+    __slots__ = (
+        "util_bound",
+        "check_utilization",
+        "weighted",
+        "backend",
+        "timing_mode",
+        "use_possible_filter",
+        "use_estimation",
+        "prune_comm",
+        "keep_ties",
+    )
+
+    def __init__(
+        self,
+        util_bound: float,
+        check_utilization: bool,
+        weighted: bool,
+        backend: str,
+        timing_mode: Optional[str],
+        use_possible_filter: bool,
+        use_estimation: bool,
+        prune_comm: bool,
+        keep_ties: bool,
+    ) -> None:
+        self.util_bound = util_bound
+        self.check_utilization = check_utilization
+        self.weighted = weighted
+        self.backend = backend
+        self.timing_mode = timing_mode
+        self.use_possible_filter = use_possible_filter
+        self.use_estimation = use_estimation
+        self.prune_comm = prune_comm
+        self.keep_ties = keep_ties
+
+
+class CandidateOutcome:
+    """Everything about a candidate that does not depend on the incumbent.
+
+    All fields are functions of the allocation's canonical signature
+    alone (plus the run parameters), which is what makes outcomes
+    cacheable across cost bands and reusable for every allocation with
+    the same signature: the replay attaches the raw unit set and cost
+    when it materialises an :class:`~repro.core.result.Implementation`.
+    """
+
+    __slots__ = (
+        "possible",
+        "comm_pruned",
+        "estimate",
+        "evaluated",
+        "solver_calls",
+        "feasible",
+        "flexibility",
+        "clusters",
+        "coverage",
+    )
+
+    def __init__(self) -> None:
+        #: Result of the possible-resource-allocation equation (only
+        #: meaningful when the filter is enabled).
+        self.possible = True
+        #: True when the useless-communication pruning drops the candidate.
+        self.comm_pruned = False
+        #: The flexibility estimate (``None`` when estimation is off or
+        #: an earlier stage already rejected the candidate).
+        self.estimate: Optional[float] = None
+        #: True when the full evaluation was (speculatively) performed.
+        self.evaluated = False
+        #: Binding-solver invocations the evaluation performed — charged
+        #: to the run statistics only when the replay uses the outcome.
+        self.solver_calls = 0
+        #: Whether the evaluation produced a feasible implementation.
+        self.feasible = False
+        self.flexibility = 0.0
+        self.clusters: FrozenSet[str] = frozenset()
+        self.coverage: List[EcsRecord] = []
+
+    def implementation_for(
+        self, units: FrozenSet[str], cost: float
+    ) -> Optional[Implementation]:
+        """Materialise the implementation for a concrete allocation."""
+        if not self.feasible:
+            return None
+        return Implementation(
+            units, cost, self.flexibility, self.clusters, self.coverage
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CandidateOutcome(possible={self.possible}, "
+            f"comm_pruned={self.comm_pruned}, estimate={self.estimate}, "
+            f"evaluated={self.evaluated}, feasible={self.feasible})"
+        )
+
+
+def evaluate_candidate(
+    spec: SpecificationGraph,
+    possible: Optional[Expr],
+    params: EvalParams,
+    units: FrozenSet[str],
+    f_entry: float,
+) -> CandidateOutcome:
+    """Run the incumbent-independent pipeline for one candidate."""
+    out = CandidateOutcome()
+    if params.use_possible_filter:
+        out.possible = evaluate_over_set(possible, units)
+        if not out.possible:
+            return out
+    if params.prune_comm:
+        out.comm_pruned = has_useless_comm(spec, units)
+        if out.comm_pruned:
+            return out
+    if params.use_estimation:
+        out.estimate = estimate_flexibility(spec, units, params.weighted)
+        speculate = out.estimate > f_entry or (
+            params.keep_ties and out.estimate == f_entry
+        )
+        if not speculate:
+            return out
+    counter = [0]
+    implementation = evaluate_allocation(
+        spec,
+        units,
+        util_bound=params.util_bound,
+        check_utilization=params.check_utilization,
+        weighted=params.weighted,
+        backend=params.backend,
+        solver_counter=counter,
+        timing_mode=params.timing_mode,
+    )
+    out.evaluated = True
+    out.solver_calls = counter[0]
+    if implementation is not None:
+        out.feasible = True
+        out.flexibility = implementation.flexibility
+        out.clusters = implementation.clusters
+        out.coverage = implementation.coverage
+    return out
+
+
+# --- process-pool plumbing -------------------------------------------------
+#
+# Each worker process holds the specification, the compiled
+# possible-allocation expression and the run parameters in module
+# globals, installed once by the pool initializer; work items are then
+# just (units, f_entry) pairs.
+
+_WORKER_SPEC: Optional[SpecificationGraph] = None
+_WORKER_POSSIBLE: Optional[Expr] = None
+_WORKER_PARAMS: Optional[EvalParams] = None
+
+
+def init_worker(spec: SpecificationGraph, params: EvalParams) -> None:
+    """Pool initializer: install per-worker evaluation state."""
+    global _WORKER_SPEC, _WORKER_POSSIBLE, _WORKER_PARAMS
+    _WORKER_SPEC = spec
+    _WORKER_PARAMS = params
+    _WORKER_POSSIBLE = (
+        possible_allocation_expr(spec) if params.use_possible_filter else None
+    )
+
+
+def pool_evaluate(
+    task: Tuple[FrozenSet[str], float]
+) -> CandidateOutcome:
+    """Top-level (picklable) work function for process pools."""
+    units, f_entry = task
+    return evaluate_candidate(
+        _WORKER_SPEC, _WORKER_POSSIBLE, _WORKER_PARAMS, units, f_entry
+    )

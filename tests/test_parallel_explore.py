@@ -1,0 +1,176 @@
+"""Differential tests: parallel EXPLORE is exactly the serial EXPLORE.
+
+The headline deliverable of the parallel subsystem is not speed but
+*exactness*: ``explore(parallel="thread")`` and ``explore(parallel=
+"process")`` must return the same Pareto front, the same allocations,
+the same achieved flexibilities, the same statistics (minus wall-clock)
+and the same tie-breaking as the serial loop — on every input.  These
+tests prove it differentially over a corpus of seeded random
+specifications plus the paper's case studies, across batch sizes and
+option combinations.
+"""
+
+import pytest
+
+from .randspec import random_spec
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.core import explore
+from repro.errors import ExplorationError
+from repro.parallel import (
+    BATCH_SIZE_DEFAULT,
+    EvaluationCache,
+    explore_batched,
+)
+
+#: The differential corpus: deterministic random specifications.
+SEEDS = list(range(30))
+
+
+def fingerprint(result):
+    """Everything observable about an exploration, minus wall-clock."""
+    stats = {
+        k: v
+        for k, v in result.stats.as_dict().items()
+        if k != "elapsed_seconds"
+    }
+    points = [
+        (sorted(p.units), p.cost, p.flexibility, sorted(p.clusters))
+        for p in result.points
+    ]
+    return points, stats, result.max_flexibility_bound
+
+
+@pytest.fixture(scope="module")
+def serial_runs():
+    """Serial reference runs, one per corpus seed (computed once)."""
+    return {seed: explore(random_spec(seed)) for seed in SEEDS}
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_differential_random_corpus(serial_runs, mode):
+    """Fronts, flexibility values and stats equal on ~30 random specs."""
+    for seed in SEEDS:
+        spec = random_spec(seed)
+        reference = fingerprint(serial_runs[seed])
+        observed = fingerprint(explore(spec, parallel=mode, batch_size=4))
+        assert observed == reference, f"seed {seed} diverged under {mode}"
+
+
+@pytest.mark.parametrize("batch_size", [1, 2, 7, 64])
+def test_differential_batch_sizes(serial_runs, batch_size):
+    """Batch geometry never leaks into the result."""
+    for seed in SEEDS[::5]:
+        spec = random_spec(seed)
+        observed = fingerprint(
+            explore(spec, parallel="thread", batch_size=batch_size)
+        )
+        assert observed == fingerprint(serial_runs[seed]), (
+            f"seed {seed} diverged at batch_size={batch_size}"
+        )
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+@pytest.mark.parametrize(
+    "options",
+    [
+        dict(keep_ties=True),
+        dict(timing_mode="none"),
+        dict(timing_mode="schedule"),
+        dict(weighted=True),
+        dict(use_estimation=False, max_candidates=300),
+        dict(use_possible_filter=False, max_candidates=400),
+        dict(prune_comm=False, max_candidates=400),
+        dict(max_cost=300.0),
+        dict(require_units=["muP2"], forbid_units=["A1"]),
+        dict(backend="sat", max_candidates=150),
+    ],
+    ids=lambda d: "-".join(f"{k}" for k in d),
+)
+def test_differential_settop_options(mode, options):
+    """Every explore() option combination survives parallelisation."""
+    spec = build_settop_spec()
+    reference = fingerprint(explore(spec, **options))
+    observed = fingerprint(
+        explore(spec, parallel=mode, batch_size=5, **options)
+    )
+    assert observed == reference
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_differential_tv_decoder(mode):
+    spec = build_tv_decoder_spec()
+    assert fingerprint(explore(spec, parallel=mode)) == fingerprint(
+        explore(spec)
+    )
+
+
+def test_settop_front_is_the_paper_front():
+    """Both pools reproduce the published six-point front."""
+    expected = [
+        (100.0, 2.0),
+        (120.0, 3.0),
+        (230.0, 4.0),
+        (290.0, 5.0),
+        (360.0, 7.0),
+        (430.0, 8.0),
+    ]
+    spec = build_settop_spec()
+    for mode in ("serial", "thread", "process"):
+        assert explore(spec, parallel=mode).front() == expected
+
+
+def test_explore_batched_serial_mode_runs_inline():
+    """explore_batched(parallel="serial") uses no pool, same results."""
+    spec = build_tv_decoder_spec()
+    assert fingerprint(explore_batched(spec, parallel="serial")) == (
+        fingerprint(explore(spec))
+    )
+
+
+def test_memo_cache_reuse_across_runs():
+    """A shared cache accelerates repeat runs without changing results."""
+    spec = build_settop_spec()
+    cache = EvaluationCache()
+    first = explore_batched(spec, parallel="serial", cache=cache)
+    assert cache.misses > 0
+    hits_before, misses_before = cache.hits, cache.misses
+    second = explore_batched(spec, parallel="serial", cache=cache)
+    assert fingerprint(first) == fingerprint(second)
+    # the second run answered every candidate from the memo: hits grew,
+    # no new signature was ever computed
+    assert cache.hits > hits_before
+    assert cache.misses == misses_before
+
+
+def test_memo_cache_bounded():
+    spec = build_tv_decoder_spec()
+    cache = EvaluationCache(max_entries=5)
+    explore_batched(spec, parallel="serial", cache=cache)
+    assert len(cache) <= 5
+
+
+def test_default_batch_size_is_sane():
+    assert isinstance(BATCH_SIZE_DEFAULT, int) and BATCH_SIZE_DEFAULT >= 1
+
+
+def test_unknown_parallel_mode_raises():
+    spec = build_tv_decoder_spec()
+    with pytest.raises(ExplorationError, match="parallel"):
+        explore(spec, parallel="gpu")
+
+
+def test_bad_batch_size_raises():
+    spec = build_tv_decoder_spec()
+    with pytest.raises(ExplorationError, match="batch_size"):
+        explore(spec, parallel="thread", batch_size=0)
+
+
+def test_workers_argument_respected():
+    """Any worker count produces the same result (determinism)."""
+    spec = build_tv_decoder_spec()
+    reference = fingerprint(explore(spec))
+    for workers in (1, 2, 5):
+        observed = fingerprint(
+            explore(spec, parallel="thread", workers=workers, batch_size=3)
+        )
+        assert observed == reference
