@@ -41,6 +41,9 @@ from .spec import ERROR, lint_specification
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_LINT = 2
+#: ``explore`` ended on an anytime budget (--deadline/--max-evaluations):
+#: the printed front is valid but possibly incomplete (see the gap line).
+EXIT_TRUNCATED = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,9 +90,22 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("spec", help="specification JSON file")
 
     explore_cmd = commands.add_parser(
-        "explore", help="run the EXPLORE branch-and-bound"
+        "explore",
+        help="run the EXPLORE branch-and-bound",
+        description=(
+            "Run the EXPLORE branch-and-bound.  Exits 0 on a complete "
+            "run and 3 when --deadline/--max-evaluations truncated it "
+            "(the front is then best-so-far with an explicit optimality "
+            "gap).  A run started with --checkpoint can be continued "
+            "after a crash with --resume."
+        ),
     )
-    explore_cmd.add_argument("spec", help="specification JSON file")
+    explore_cmd.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="specification JSON file (omit with --resume)",
+    )
     explore_cmd.add_argument(
         "--util-bound", type=float, default=0.69,
         help="utilisation acceptance bound (default 0.69)",
@@ -130,6 +146,39 @@ def build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker-pool size in parallel modes (default: CPU count)",
+    )
+    explore_cmd.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "anytime wall-clock budget: stop gracefully after this many "
+            "seconds with the best-so-far front and an optimality gap "
+            "(exit code 3 when truncated)"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--max-evaluations", type=int, default=None, metavar="N",
+        help=(
+            "anytime budget on full candidate evaluations (binding "
+            "solver runs); exit code 3 when truncated"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help=(
+            "journal outcomes and replay snapshots to FILE so a killed "
+            "run can be continued with --resume FILE"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="candidates between fsync'd snapshots (default 64)",
+    )
+    explore_cmd.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help=(
+            "continue a checkpointed run from FILE (the spec argument "
+            "must be omitted; the journal is self-contained)"
+        ),
     )
     explore_cmd.add_argument(
         "--plot", action="store_true", help="render the tradeoff curve"
@@ -240,19 +289,67 @@ def _cmd_dot(args, out) -> int:
 
 
 def _cmd_explore(args, out) -> int:
-    spec = load_spec(args.spec)
-    result = explore(
-        spec,
-        util_bound=args.util_bound,
-        max_cost=args.max_cost,
-        check_utilization=not args.no_timing,
-        keep_ties=args.keep_ties,
-        timing_mode=args.timing_mode,
-        parallel=args.parallel,
-        batch_size=args.batch_size,
-        workers=args.workers,
-    )
+    if args.resume is not None:
+        if args.spec is not None:
+            print(
+                "error: --resume continues a self-contained checkpoint; "
+                "do not pass a spec file as well",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        from .resilience import resume_explore
+
+        overrides = {}
+        if args.deadline is not None:
+            overrides["deadline_seconds"] = args.deadline
+        if args.max_evaluations is not None:
+            overrides["max_evaluations"] = args.max_evaluations
+        if args.parallel != "serial":
+            overrides["parallel"] = args.parallel
+        if args.batch_size is not None:
+            overrides["batch_size"] = args.batch_size
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        if args.checkpoint_every is not None:
+            overrides["checkpoint_every"] = args.checkpoint_every
+        result = resume_explore(args.resume, **overrides)
+        spec_name = "resumed run"
+    else:
+        if args.spec is None:
+            print(
+                "error: a specification file is required "
+                "(or --resume FILE)",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        spec = load_spec(args.spec)
+        spec_name = spec.name
+        result = explore(
+            spec,
+            util_bound=args.util_bound,
+            max_cost=args.max_cost,
+            check_utilization=not args.no_timing,
+            keep_ties=args.keep_ties,
+            timing_mode=args.timing_mode,
+            parallel=args.parallel,
+            batch_size=args.batch_size,
+            workers=args.workers,
+            deadline_seconds=args.deadline,
+            max_evaluations=args.max_evaluations,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
     _print(pareto_table(result), out)
+    if not result.completed and result.gap is not None:
+        gap = result.gap
+        _print(
+            f"TRUNCATED ({gap.reason}): best-so-far front; any missed "
+            f"implementation costs >= ${gap.next_cost_bound:g} and no "
+            f"implementation exceeds flexibility "
+            f"{gap.flexibility_bound:g} (achieved "
+            f"{gap.achieved_flexibility:g})",
+            out,
+        )
     if args.plot:
         _print(tradeoff_plot(result.front()), out)
     if args.stats:
@@ -268,10 +365,10 @@ def _cmd_explore(args, out) -> int:
         from .report import save_front_svg
 
         save_front_svg(
-            result.front(), args.svg, title=f"{spec.name}: front"
+            result.front(), args.svg, title=f"{spec_name}: front"
         )
         _print(f"wrote {args.svg}", out)
-    return EXIT_OK
+    return EXIT_OK if result.completed else EXIT_TRUNCATED
 
 
 def _cmd_upgrade(args, out) -> int:

@@ -50,6 +50,7 @@ from .result import (
     ExplorationResult,
     ExplorationStats,
     Implementation,
+    OptimalityGap,
 )
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "FailureImpact",
     "Implementation",
     "Nsga2Result",
+    "OptimalityGap",
     "PARALLEL_MODES",
     "ParetoArchive",
     "TIMING_MODES",

@@ -68,6 +68,11 @@ def validate_explore_options(
     timing_mode: Optional[str],
     parallel: str = "serial",
     batch_size: Optional[int] = None,
+    *,
+    deadline_seconds: Optional[float] = None,
+    max_evaluations: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    batch_timeout: Optional[float] = None,
 ) -> None:
     """Reject unknown modes/backends with a clear :class:`ExplorationError`.
 
@@ -93,6 +98,23 @@ def validate_explore_options(
     if batch_size is not None and batch_size < 1:
         raise ExplorationError(
             f"batch_size must be a positive integer, got {batch_size!r}"
+        )
+    if deadline_seconds is not None and deadline_seconds < 0:
+        raise ExplorationError(
+            f"deadline_seconds must be >= 0, got {deadline_seconds!r}"
+        )
+    if max_evaluations is not None and max_evaluations < 0:
+        raise ExplorationError(
+            f"max_evaluations must be >= 0, got {max_evaluations!r}"
+        )
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ExplorationError(
+            f"checkpoint_every must be a positive integer, "
+            f"got {checkpoint_every!r}"
+        )
+    if batch_timeout is not None and batch_timeout <= 0:
+        raise ExplorationError(
+            f"batch_timeout must be > 0 seconds, got {batch_timeout!r}"
         )
 
 
@@ -157,6 +179,12 @@ def explore(
     parallel: str = "serial",
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    max_evaluations: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    batch_timeout: Optional[float] = None,
+    retry=None,
 ) -> ExplorationResult:
     """Find all Pareto-optimal (cost, flexibility) implementations.
 
@@ -210,6 +238,27 @@ def explore(
     workers:
         Worker-pool size in parallel modes (default: the CPU count);
         ignored when ``parallel="serial"``.
+    deadline_seconds / max_evaluations:
+        Anytime budgets (see ``docs/resilience.md``): stop gracefully at
+        a candidate boundary when the wall-clock deadline passes or the
+        budget of full candidate evaluations is spent, returning the
+        best-so-far front with ``completed=False`` and an explicit
+        :class:`~repro.core.result.OptimalityGap`.  Unlike
+        ``max_cost``/``max_candidates`` (which silently bound the search
+        *space*), a budget-truncated result always says it is truncated
+        and bounds what was left on the table.
+    checkpoint / checkpoint_every:
+        Journal evaluated outcomes and fsync'd replay snapshots (every
+        ``checkpoint_every`` candidates) to ``checkpoint``;
+        :func:`repro.resilience.resume_explore` continues a killed run
+        to an identical result.
+    batch_timeout:
+        Seconds a dispatched parallel batch may take before the pool
+        results are abandoned and the batch is finished inline.
+    retry:
+        A :class:`repro.resilience.RetryPolicy` governing transient
+        worker-pool failures (default: 3 attempts with exponential
+        backoff and jitter).
 
     Returns an :class:`~repro.core.result.ExplorationResult` whose
     ``points`` are the Pareto-optimal implementations in increasing cost
@@ -217,8 +266,27 @@ def explore(
     resolved in favour of the first candidate in the deterministic
     enumeration order.
     """
-    validate_explore_options(backend, timing_mode, parallel, batch_size)
-    if parallel != "serial":
+    validate_explore_options(
+        backend,
+        timing_mode,
+        parallel,
+        batch_size,
+        deadline_seconds=deadline_seconds,
+        max_evaluations=max_evaluations,
+        checkpoint_every=checkpoint_every,
+        batch_timeout=batch_timeout,
+    )
+    resilient = (
+        deadline_seconds is not None
+        or max_evaluations is not None
+        or checkpoint is not None
+        or batch_timeout is not None
+        or retry is not None
+    )
+    if parallel != "serial" or resilient:
+        # The resilience features live in the batched replay loop, which
+        # reproduces this serial loop exactly (differentially tested) —
+        # parallel="serial" there means inline execution, no pool.
         from ..parallel import explore_batched
 
         return explore_batched(
@@ -239,6 +307,12 @@ def explore(
             parallel=parallel,
             batch_size=batch_size,
             workers=workers,
+            deadline_seconds=deadline_seconds,
+            max_evaluations=max_evaluations,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            batch_timeout=batch_timeout,
+            retry=retry,
         )
 
     setup = prepare_exploration(

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, NamedTuple, Optional, Tuple
 
 
 class EcsRecord:
@@ -88,7 +88,9 @@ class Implementation:
 
 
 class ExplorationStats:
-    """Effort counters of one EXPLORE run (the Section 5 statistics)."""
+    """Effort counters of one EXPLORE run (the Section 5 statistics),
+    plus the resilience counters and degradation-event log introduced by
+    the fault-tolerant runtime (:mod:`repro.resilience`)."""
 
     __slots__ = (
         "design_space_size",
@@ -100,6 +102,13 @@ class ExplorationStats:
         "solver_invocations",
         "feasible_implementations",
         "elapsed_seconds",
+        "pool_retries",
+        "pool_fallbacks",
+        "batch_timeouts",
+        "quarantined",
+        "cache_corruptions",
+        "checkpoints_written",
+        "events",
     )
 
     def __init__(self) -> None:
@@ -121,10 +130,42 @@ class ExplorationStats:
         self.feasible_implementations = 0
         #: Wall-clock duration of the exploration.
         self.elapsed_seconds = 0.0
+        #: Worker jobs retried after a transient pool failure.
+        self.pool_retries = 0
+        #: Times the worker pool was abandoned for inline evaluation.
+        self.pool_fallbacks = 0
+        #: Batches whose pool results were abandoned on timeout.
+        self.batch_timeouts = 0
+        #: Candidates quarantined after repeated worker failures
+        #: (still evaluated inline — recorded, never dropped).
+        self.quarantined = 0
+        #: Cache entries rejected by their integrity checksum.
+        self.cache_corruptions = 0
+        #: Checkpoint records journaled during the run.
+        self.checkpoints_written = 0
+        #: Degradation events, newest last: dictionaries with at least a
+        #: ``"kind"`` key (``pool_fallback``, ``pool_retry``,
+        #: ``batch_timeout``, ``quarantine``, ``cache_corruption``).
+        #: Surfaced here so a degraded run is never silent.
+        self.events: List[Dict[str, Any]] = []
 
     def as_dict(self) -> Dict[str, float]:
-        """All counters as a plain dictionary (for reports)."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        """All counters as a plain dictionary (for reports).
+
+        The :attr:`events` log is not a counter and is excluded; read
+        it directly (or via the serialised result document).
+        """
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "events"
+        }
+
+    def record_event(self, kind: str, **fields: Any) -> None:
+        """Append a degradation event (``kind`` plus free-form fields)."""
+        event = {"kind": kind}
+        event.update(fields)
+        self.events.append(event)
 
     def __repr__(self) -> str:
         return (
@@ -134,22 +175,58 @@ class ExplorationStats:
         )
 
 
-class ExplorationResult:
-    """The outcome of one EXPLORE run: the Pareto set plus statistics."""
+class OptimalityGap(NamedTuple):
+    """Explicit bounds on what a truncated exploration may have missed.
 
-    __slots__ = ("points", "stats", "max_flexibility_bound")
+    Candidates are enumerated in non-decreasing cost order, so when a
+    run stops early every *unexplored* implementation costs at least
+    :attr:`next_cost_bound`; and no implementation of any cost exceeds
+    the global estimator bound :attr:`flexibility_bound`.  Concretely,
+    the full run's Pareto points costing strictly less than
+    ``next_cost_bound`` are exactly the truncated run's points below
+    that cost (see ``docs/resilience.md`` for the proof sketch and the
+    differential test that enforces it).
+    """
+
+    #: Cost of the first candidate the run did not process: a lower
+    #: bound on the cost of any undiscovered implementation.
+    next_cost_bound: float
+    #: The global flexibility upper bound (estimator on the full
+    #: allocation): an upper bound on any undiscovered flexibility.
+    flexibility_bound: float
+    #: Best flexibility actually achieved before stopping.
+    achieved_flexibility: float
+    #: Why the run stopped early: ``"deadline"`` or ``"max_evaluations"``.
+    reason: str
+
+
+class ExplorationResult:
+    """The outcome of one EXPLORE run: the Pareto set plus statistics.
+
+    ``completed`` is ``False`` when the run stopped on an anytime
+    budget (``deadline_seconds`` / ``max_evaluations``); ``gap`` then
+    carries the :class:`OptimalityGap` bounding what may be missing.
+    """
+
+    __slots__ = ("points", "stats", "max_flexibility_bound", "completed", "gap")
 
     def __init__(
         self,
         points: List[Implementation],
         stats: ExplorationStats,
         max_flexibility_bound: float,
+        completed: bool = True,
+        gap: Optional[OptimalityGap] = None,
     ) -> None:
         #: Pareto-optimal implementations, in discovery (= cost) order.
         self.points = list(points)
         self.stats = stats
         #: The global flexibility upper bound used as stop condition.
         self.max_flexibility_bound = max_flexibility_bound
+        #: ``True`` unless an anytime budget truncated the run.
+        self.completed = completed
+        #: Bounds on the truncation (``None`` for complete runs).
+        self.gap = gap
 
     def front(self) -> List[Tuple[float, float]]:
         """The (cost, flexibility) pairs of the discovered front."""

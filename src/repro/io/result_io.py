@@ -18,13 +18,16 @@ from ..core.result import (
     ExplorationResult,
     ExplorationStats,
     Implementation,
+    OptimalityGap,
 )
 from ..errors import SerializationError
 
 #: Document format identifier.
 RESULT_FORMAT = "repro/exploration-result"
-#: Current document version.
-RESULT_VERSION = 1
+#: Current document version.  Version 2 added the anytime/resilience
+#: fields (``completed``, ``gap``, ``events``); version-1 documents —
+#: always complete runs without events — still load.
+RESULT_VERSION = 2
 
 
 def implementation_to_dict(implementation: Implementation) -> Dict[str, Any]:
@@ -71,6 +74,9 @@ def result_to_dict(result: ExplorationResult) -> Dict[str, Any]:
         "version": RESULT_VERSION,
         "max_flexibility_bound": result.max_flexibility_bound,
         "stats": result.stats.as_dict(),
+        "events": list(result.stats.events),
+        "completed": result.completed,
+        "gap": result.gap._asdict() if result.gap is not None else None,
         "points": [implementation_to_dict(p) for p in result.points],
     }
 
@@ -82,21 +88,35 @@ def result_from_dict(document: Dict[str, Any]) -> ExplorationResult:
             f"not an exploration-result document: format="
             f"{document.get('format')!r}"
         )
-    if document.get("version") != RESULT_VERSION:
+    if document.get("version") not in (1, RESULT_VERSION):
         raise SerializationError(
             f"unsupported result document version "
             f"{document.get('version')!r}"
         )
     stats = ExplorationStats()
     for key, value in document.get("stats", {}).items():
-        if key in ExplorationStats.__slots__:
+        if key in ExplorationStats.__slots__ and key != "events":
             setattr(stats, key, value)
+    stats.events = [dict(event) for event in document.get("events", ())]
     points = [
         implementation_from_dict(entry)
         for entry in document.get("points", ())
     ]
+    gap_document = document.get("gap")
+    gap = None
+    if gap_document is not None:
+        try:
+            gap = OptimalityGap(**gap_document)
+        except TypeError as error:
+            raise SerializationError(
+                f"malformed optimality-gap document: {error}"
+            ) from None
     return ExplorationResult(
-        points, stats, float(document.get("max_flexibility_bound", 0.0))
+        points,
+        stats,
+        float(document.get("max_flexibility_bound", 0.0)),
+        completed=bool(document.get("completed", True)),
+        gap=gap,
     )
 
 

@@ -30,7 +30,7 @@ bands are solved once.
 """
 
 from .batched import BATCH_SIZE_DEFAULT, PARALLEL_MODES, explore_batched
-from .cache import EvaluationCache
+from .cache import EvaluationCache, outcome_checksum, outcome_token
 from .signature import canonical_signature
 from .worker import CandidateOutcome, EvalParams, evaluate_candidate
 
@@ -43,4 +43,6 @@ __all__ = [
     "canonical_signature",
     "evaluate_candidate",
     "explore_batched",
+    "outcome_checksum",
+    "outcome_token",
 ]

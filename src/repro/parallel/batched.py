@@ -21,21 +21,51 @@ Candidates whose speculation was skipped satisfy ``estimate <=
 f_entry <= f_cur`` at replay time and are pruned exactly as the serial
 loop would prune them.  The same monotonicity argument covers cached
 outcomes reused from earlier batches (their ``f_entry`` was at most the
-current incumbent).
+current incumbent) and outcomes journaled by a killed run and restored
+on resume (an outcome is journaled at its *first* dispatch, whose
+``f_entry`` is bounded by the incumbent at every later replay
+position).
 
 Statistics are charged by the replay, not by the work actually
 performed: a speculatively evaluated candidate that the replay prunes
 contributes nothing, and a cache hit contributes the recorded solver
 invocations of its first evaluation — both exactly what the serial
 loop would have counted.
+
+Fault tolerance (see :mod:`repro.resilience` and ``docs/resilience.md``)
+------------------------------------------------------------------------
+Because candidate outcomes are deterministic, *where* they are computed
+is irrelevant to the result; the dispatcher therefore degrades freely —
+transient worker failures retry with exponential backoff and jitter,
+hung batches are abandoned on ``batch_timeout`` and finished inline,
+repeatedly failing candidates are quarantined (recorded in the
+statistics, then rescued by a fault-free inline evaluation), and a dead
+pool falls back to inline execution — with unchanged results.  None of
+this is silent: every degradation increments a counter and appends an
+event to ``ExplorationResult.stats.events``, and permanent pool loss
+additionally emits a :class:`RuntimeWarning`.
+
+Checkpointing journals evaluated outcomes and fsync'd replay snapshots
+(cursor, incumbent front, statistics) so a killed run resumes —
+:func:`repro.resilience.resume_explore` — to an identical result;
+``deadline_seconds``/``max_evaluations`` truncate gracefully with an
+explicit :class:`~repro.core.result.OptimalityGap`.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+import warnings
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.candidates import AllocationEnumerator, iter_cost_batches
 from ..core.explorer import (
@@ -43,8 +73,18 @@ from ..core.explorer import (
     validate_explore_options,
 )
 from ..core.pareto import dominates
-from ..core.result import ExplorationResult, ExplorationStats
-from ..errors import ExplorationError
+from ..core.result import (
+    ExplorationResult,
+    ExplorationStats,
+    OptimalityGap,
+)
+from ..errors import (
+    CheckpointError,
+    ExplorationError,
+    PermanentWorkerError,
+    TransientWorkerError,
+    WorkerError,
+)
 from ..spec import SpecificationGraph
 from ..timing import PAPER_UTILIZATION_BOUND
 from .cache import EvaluationCache
@@ -75,13 +115,40 @@ except ImportError:  # pragma: no cover - exotic platforms
     pass
 
 
-class _BatchRunner:
-    """Dispatches unit-set jobs to a pool, falling back to inline runs.
+def _faults():
+    """The fault-injection seams (lazy import: avoids a package cycle)."""
+    from ..resilience import faults
 
-    The fallback covers both pool *creation* failures (sandboxes without
-    semaphores, missing ``fork``/``spawn`` support) and pool *death* at
-    run time (``BrokenProcessPool``): exploration degrades to serial
-    execution with unchanged results.
+    return faults
+
+
+def _default_retry():
+    from ..resilience.retry import RetryPolicy
+
+    return RetryPolicy()
+
+
+class _BatchRunner:
+    """Dispatches unit-set jobs to a pool, degrading — loudly — to
+    inline evaluation.
+
+    Failure handling, in escalation order:
+
+    * transient dispatch/worker failures → exponential backoff + jitter
+      retries (``retry`` policy, counted in ``stats.pool_retries``);
+    * per-candidate failures that survive the retries, and permanent
+      worker errors → the candidate is *quarantined* (counted and
+      logged, never dropped) and rescued by a fault-free inline
+      evaluation;
+    * a batch exceeding ``batch_timeout`` seconds → the pool results
+      are abandoned and the stragglers are finished inline
+      (``stats.batch_timeouts``);
+    * pool creation failure or pool death (``BrokenProcessPool``) →
+      permanent fallback to inline execution, with a
+      :class:`RuntimeWarning` and a ``pool_fallback`` event.
+
+    Candidate outcomes are deterministic, so every degradation path
+    returns exactly the outcome the healthy pool would have returned.
     """
 
     def __init__(
@@ -91,10 +158,16 @@ class _BatchRunner:
         spec: SpecificationGraph,
         possible,
         params: EvalParams,
+        stats: ExplorationStats,
+        retry=None,
+        batch_timeout: Optional[float] = None,
     ) -> None:
         self.spec = spec
         self.possible = possible
         self.params = params
+        self.stats = stats
+        self.retry = retry if retry is not None else _default_retry()
+        self.batch_timeout = batch_timeout
         self.workers = workers or os.cpu_count() or 1
         self.executor: Optional[Executor] = None
         self.kind = "inline"
@@ -106,51 +179,209 @@ class _BatchRunner:
                 self.executor = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=init_worker,
-                    initargs=(spec, params),
+                    initargs=(spec, params, _faults().active_plan()),
                 )
                 self.kind = "process"
-            except _POOL_FAILURES:
-                self.executor = None
+            except _POOL_FAILURES as error:
+                self._lose_pool("create", error)
+
+    # --- degradation bookkeeping (never silent) ------------------------
+
+    def _lose_pool(self, stage: str, error: BaseException) -> None:
+        """Abandon the pool permanently; warn and record the event."""
+        self.stats.pool_fallbacks += 1
+        self.stats.record_event(
+            "pool_fallback", stage=stage, error=repr(error)
+        )
+        warnings.warn(
+            f"exploration worker pool lost during {stage} ({error!r}); "
+            f"continuing with inline evaluation — results are unchanged "
+            f"but wall-clock parallelism is gone",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self.shutdown()
+
+    def _quarantine(
+        self, units: FrozenSet[str], error: BaseException
+    ) -> None:
+        self.stats.quarantined += 1
+        self.stats.record_event(
+            "quarantine", units=sorted(units), error=repr(error)
+        )
+
+    # --- evaluation paths ----------------------------------------------
+
+    def _submit(self, units: FrozenSet[str], f_entry: float) -> Future:
+        if self.kind == "process":
+            return self.executor.submit(pool_evaluate, (units, f_entry))
+        return self.executor.submit(
+            evaluate_candidate,
+            self.spec,
+            self.possible,
+            self.params,
+            units,
+            f_entry,
+        )
+
+    def _rescue(
+        self, units: FrozenSet[str], f_entry: float
+    ) -> CandidateOutcome:
+        """Fault-free inline evaluation (injection suppressed)."""
+        with _faults().suppressed():
+            return evaluate_candidate(
+                self.spec, self.possible, self.params, units, f_entry
+            )
+
+    def _evaluate_inline(
+        self, units: FrozenSet[str], f_entry: float
+    ) -> CandidateOutcome:
+        """Inline evaluation; worker-level faults quarantine + rescue."""
+        try:
+            return evaluate_candidate(
+                self.spec, self.possible, self.params, units, f_entry
+            )
+        except WorkerError as error:
+            self._quarantine(units, error)
+            return self._rescue(units, f_entry)
+
+    def _dispatch(
+        self, unit_sets: List[FrozenSet[str]], f_entry: float
+    ) -> Optional[List[Future]]:
+        """Submit a batch, retrying transient dispatch failures.
+
+        Returns ``None`` when the pool is lost (caller goes inline).
+        """
+        last: Optional[BaseException] = None
+        for attempt, delay in enumerate(
+            itertools.chain([0.0], self.retry.delays())
+        ):
+            if attempt:
+                self.stats.pool_retries += 1
+                self.stats.record_event(
+                    "pool_retry",
+                    stage="dispatch",
+                    attempt=attempt,
+                    delay=round(delay, 6),
+                    error=repr(last),
+                )
+                time.sleep(delay)
+            try:
+                _faults().maybe_inject("pool", batch=len(unit_sets))
+                return [self._submit(u, f_entry) for u in unit_sets]
+            except TransientWorkerError as error:
+                last = error
+                continue
+            except PermanentWorkerError as error:
+                self._lose_pool("dispatch", error)
+                return None
+            except _POOL_FAILURES as error:
+                self._lose_pool("dispatch", error)
+                return None
+        self._lose_pool("dispatch", last)
+        return None
+
+    def _retry_candidate(
+        self,
+        units: FrozenSet[str],
+        f_entry: float,
+        error: BaseException,
+    ) -> CandidateOutcome:
+        """Backoff-retry one failed candidate in the pool, then rescue."""
+        last = error
+        for attempt, delay in enumerate(self.retry.delays(), start=1):
+            if self.executor is None:
+                break
+            self.stats.pool_retries += 1
+            self.stats.record_event(
+                "pool_retry",
+                stage="candidate",
+                units=sorted(units),
+                attempt=attempt,
+                delay=round(delay, 6),
+                error=repr(last),
+            )
+            time.sleep(delay)
+            try:
+                return self._submit(units, f_entry).result(
+                    timeout=self.batch_timeout
+                )
+            except (TransientWorkerError, FuturesTimeoutError) as retry_error:
+                last = retry_error
+                continue
+            except PermanentWorkerError as retry_error:
+                last = retry_error
+                break
+            except _POOL_FAILURES as pool_error:
+                self._lose_pool("retry", pool_error)
+                break
+        self._quarantine(units, last)
+        return self._rescue(units, f_entry)
+
+    def _collect(
+        self,
+        unit_sets: List[FrozenSet[str]],
+        futures: List[Future],
+        f_entry: float,
+    ) -> List[CandidateOutcome]:
+        """Harvest a dispatched batch under the shared batch timeout."""
+        outcomes: List[Optional[CandidateOutcome]] = [None] * len(futures)
+        deadline = (
+            time.monotonic() + self.batch_timeout
+            if self.batch_timeout is not None
+            else None
+        )
+        timed_out = False
+        for pos, future in enumerate(futures):
+            if self.executor is None:
+                # pool died earlier in this batch; finish inline
+                future.cancel()
+                outcomes[pos] = self._evaluate_inline(unit_sets[pos], f_entry)
+                continue
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                outcomes[pos] = future.result(timeout=remaining)
+            except FuturesTimeoutError:
+                if not timed_out:
+                    timed_out = True
+                    self.stats.batch_timeouts += 1
+                    self.stats.record_event(
+                        "batch_timeout",
+                        timeout=self.batch_timeout,
+                        abandoned_at=pos,
+                        batch=len(futures),
+                    )
+                future.cancel()
+                outcomes[pos] = self._rescue(unit_sets[pos], f_entry)
+            except TransientWorkerError as error:
+                outcomes[pos] = self._retry_candidate(
+                    unit_sets[pos], f_entry, error
+                )
+            except PermanentWorkerError as error:
+                self._quarantine(unit_sets[pos], error)
+                outcomes[pos] = self._rescue(unit_sets[pos], f_entry)
+            except _POOL_FAILURES as error:
+                self._lose_pool("batch", error)
+                outcomes[pos] = self._rescue(unit_sets[pos], f_entry)
+        return outcomes
 
     def run(
         self, unit_sets: List[FrozenSet[str]], f_entry: float
     ) -> List[CandidateOutcome]:
         """Evaluate ``unit_sets`` (in order) at incumbent ``f_entry``."""
         if self.executor is not None:
-            try:
-                if self.kind == "process":
-                    chunk = max(1, len(unit_sets) // (2 * self.workers))
-                    return list(
-                        self.executor.map(
-                            pool_evaluate,
-                            [(units, f_entry) for units in unit_sets],
-                            chunksize=chunk,
-                        )
-                    )
-                return list(
-                    self.executor.map(
-                        lambda units: evaluate_candidate(
-                            self.spec,
-                            self.possible,
-                            self.params,
-                            units,
-                            f_entry,
-                        ),
-                        unit_sets,
-                    )
-                )
-            except _POOL_FAILURES:
-                self.shutdown()
+            futures = self._dispatch(unit_sets, f_entry)
+            if futures is not None:
+                return self._collect(unit_sets, futures, f_entry)
         return [
-            evaluate_candidate(
-                self.spec, self.possible, self.params, units, f_entry
-            )
-            for units in unit_sets
+            self._evaluate_inline(units, f_entry) for units in unit_sets
         ]
 
     def shutdown(self) -> None:
         if self.executor is not None:
-            self.executor.shutdown(wait=True, cancel_futures=True)
+            self.executor.shutdown(wait=False, cancel_futures=True)
             self.executor = None
             self.kind = "inline"
 
@@ -162,12 +393,15 @@ def _evaluate_batch(
     f_entry: float,
     cache: EvaluationCache,
     runner: _BatchRunner,
+    writer=None,
 ) -> List[Tuple[FrozenSet[str], CandidateOutcome]]:
     """Resolve one batch to ``(units, outcome)`` pairs in batch order.
 
     Checks the memo cache first; dispatches exactly one job per distinct
     uncached signature (same-batch duplicates share the first job's
-    outcome) and stores the new outcomes for later batches.
+    outcome) and stores the new outcomes for later batches.  Freshly
+    computed outcomes are journaled through ``writer`` (when
+    checkpointing) the moment they are cached.
     """
     unit_sets = [required | extras for _, extras in batch]
     signatures = [canonical_signature(spec, units) for units in unit_sets]
@@ -191,6 +425,8 @@ def _evaluate_batch(
         )
         for pos, outcome in zip(job_positions, results):
             cache.put(signatures[pos], outcome)
+            if writer is not None:
+                writer.outcome(signatures[pos], outcome)
             outcomes[pos] = outcome
     for pos, signature in enumerate(signatures):
         if outcomes[pos] is None:  # same-batch duplicate
@@ -218,8 +454,15 @@ def explore_batched(
     workers: Optional[int] = None,
     cache: Optional[EvaluationCache] = None,
     trace: Optional[list] = None,
+    deadline_seconds: Optional[float] = None,
+    max_evaluations: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    batch_timeout: Optional[float] = None,
+    retry=None,
+    _resume=None,
 ) -> ExplorationResult:
-    """EXPLORE with batched, pooled candidate evaluation.
+    """EXPLORE with batched, pooled, fault-tolerant candidate evaluation.
 
     Accepts the full :func:`repro.core.explorer.explore` parameter set
     plus the parallel knobs; results (Pareto set, statistics except
@@ -234,8 +477,43 @@ def explore_batched(
     ``trace`` — optional list collecting replay pruning events (dicts),
     used by the property-based tests to check that batching never
     changes a pruning outcome.
+
+    Resilience parameters (see ``docs/resilience.md``):
+
+    ``deadline_seconds`` / ``max_evaluations`` — anytime budgets; when
+    either trips, the run stops at a candidate boundary and returns the
+    best-so-far front with ``completed=False`` and an
+    :class:`~repro.core.result.OptimalityGap`.
+
+    ``checkpoint`` — path of an append-only CRC-checked journal; the
+    run snapshots its replay state every ``checkpoint_every`` consumed
+    candidates (default
+    :data:`repro.resilience.checkpoint.CHECKPOINT_EVERY_DEFAULT`) so
+    :func:`repro.resilience.resume_explore` can continue a killed run
+    to an identical result.
+
+    ``batch_timeout`` — seconds a dispatched batch may take before its
+    pool results are abandoned and completed inline.
+
+    ``retry`` — a :class:`repro.resilience.RetryPolicy` for transient
+    pool failures (default: 3 attempts, exponential backoff + jitter).
+
+    ``_resume`` — internal: a
+    :class:`repro.resilience.checkpoint.LoadedCheckpoint` to continue
+    from (use :func:`repro.resilience.resume_explore`).
     """
-    validate_explore_options(backend, timing_mode, parallel, batch_size)
+    validate_explore_options(
+        backend,
+        timing_mode,
+        parallel,
+        batch_size,
+        deadline_seconds=deadline_seconds,
+        max_evaluations=max_evaluations,
+        checkpoint_every=checkpoint_every,
+        batch_timeout=batch_timeout,
+    )
+    from ..resilience.anytime import AnytimeBudget
+
     # "serial" means: batched replay semantics, inline execution (no pool).
     parallel_kind = "inline" if parallel == "serial" else parallel
     setup = prepare_exploration(
@@ -248,7 +526,16 @@ def explore_batched(
     f_max = setup.f_max
     f_cur = 0.0
     points: List = []
-    solver_invocations = 0
+    cursor = 0
+    if _resume is not None:
+        for name, value in _resume.counters.items():
+            if name in ExplorationStats.__slots__ and name != "events":
+                setattr(stats, name, value)
+        stats.events = list(_resume.events)
+        stats.design_space_size = 1 << len(setup.extra_names)
+        f_cur = _resume.f_cur
+        points = list(_resume.points)
+        cursor = _resume.cursor
     params = EvalParams(
         util_bound=util_bound,
         check_utilization=check_utilization,
@@ -261,9 +548,57 @@ def explore_batched(
         keep_ties=keep_ties,
     )
     cache = cache if cache is not None else EvaluationCache()
+    corruptions_at_start = cache.corruptions
     size = BATCH_SIZE_DEFAULT if batch_size is None else batch_size
+    every = checkpoint_every
+    writer = None
+    if checkpoint is not None:
+        from ..resilience.checkpoint import (
+            CHECKPOINT_EVERY_DEFAULT,
+            CheckpointWriter,
+        )
+
+        every = CHECKPOINT_EVERY_DEFAULT if every is None else every
+        writer = CheckpointWriter(
+            checkpoint,
+            spec,
+            _header_params(
+                util_bound=util_bound,
+                max_cost=max_cost,
+                max_candidates=max_candidates,
+                use_possible_filter=use_possible_filter,
+                use_estimation=use_estimation,
+                prune_comm=prune_comm,
+                check_utilization=check_utilization,
+                weighted=weighted,
+                backend=backend,
+                keep_ties=keep_ties,
+                timing_mode=timing_mode,
+                require_units=require_units,
+                forbid_units=forbid_units,
+                parallel=parallel,
+                batch_size=batch_size,
+                workers=workers,
+                checkpoint_every=every,
+                deadline_seconds=deadline_seconds,
+                max_evaluations=max_evaluations,
+                batch_timeout=batch_timeout,
+                retry=retry,
+            ),
+            resume_length=(
+                _resume.valid_length if _resume is not None else None
+            ),
+        )
+    budget = AnytimeBudget(deadline_seconds, max_evaluations)
     runner = _BatchRunner(
-        parallel_kind, workers, spec, setup.possible, params
+        parallel_kind,
+        workers,
+        spec,
+        setup.possible,
+        params,
+        stats,
+        retry=retry,
+        batch_timeout=batch_timeout,
     )
 
     def note(kind: str, **fields) -> None:
@@ -271,21 +606,54 @@ def explore_batched(
             fields["kind"] = kind
             trace.append(fields)
 
+    candidate_stream = iter(
+        AllocationEnumerator(
+            spec, setup.extra_names, include_empty=bool(required)
+        )
+    )
+    if cursor:
+        skipped = sum(
+            1 for _ in itertools.islice(candidate_stream, cursor)
+        )
+        if skipped < cursor:
+            raise CheckpointError(
+                f"checkpoint cursor {cursor} exceeds the enumeration "
+                f"({skipped} candidates); the journal does not belong "
+                f"to this specification"
+            )
+
     stop = False
+    truncation: Optional[OptimalityGap] = None
     try:
-        for batch in iter_cost_batches(
-            AllocationEnumerator(
-                spec, setup.extra_names, include_empty=bool(required)
-            ),
-            size,
-        ):
+        for batch in iter_cost_batches(candidate_stream, size):
+            reason = budget.exhausted(stats.estimate_exceeded)
+            if reason is not None:
+                # Budget hit between batches: the first undispatched
+                # candidate bounds everything unexplored.
+                truncation = OptimalityGap(
+                    next_cost_bound=setup.required_cost + batch[0][0],
+                    flexibility_bound=f_max,
+                    achieved_flexibility=f_cur,
+                    reason=reason,
+                )
+                break
             resolved = _evaluate_batch(
-                spec, batch, required, f_cur, cache, runner
+                spec, batch, required, f_cur, cache, runner, writer
             )
             # --- deterministic replay: the serial loop body, with the
             # incumbent-independent results looked up instead of computed.
             for (extra_cost, _), (units, outcome) in zip(batch, resolved):
                 cost = setup.required_cost + extra_cost
+                reason = budget.exhausted(stats.estimate_exceeded)
+                if reason is not None:
+                    truncation = OptimalityGap(
+                        next_cost_bound=cost,
+                        flexibility_bound=f_max,
+                        achieved_flexibility=f_cur,
+                        reason=reason,
+                    )
+                    stop = True
+                    break
                 if f_cur >= f_max:
                     if not keep_ties or not points or cost > points[-1].cost:
                         stop = True
@@ -302,10 +670,14 @@ def explore_batched(
                     break
                 if use_possible_filter:
                     if not outcome.possible:
+                        cursor = _advance(cursor, writer, every, f_cur,
+                                          points, stats, cache)
                         continue
                     stats.possible_allocations += 1
                 if prune_comm and outcome.comm_pruned:
                     stats.pruned_comm += 1
+                    cursor = _advance(cursor, writer, every, f_cur,
+                                      points, stats, cache)
                     continue
                 if use_estimation:
                     stats.estimates_computed += 1
@@ -320,6 +692,8 @@ def explore_batched(
                             estimate=estimate,
                             incumbent=f_cur,
                         )
+                        cursor = _advance(cursor, writer, every, f_cur,
+                                          points, stats, cache)
                         continue
                     if (
                         keep_ties
@@ -334,6 +708,8 @@ def explore_batched(
                             estimate=estimate,
                             incumbent=f_cur,
                         )
+                        cursor = _advance(cursor, writer, every, f_cur,
+                                          points, stats, cache)
                         continue
                 stats.estimate_exceeded += 1
                 if not outcome.evaluated:
@@ -342,11 +718,15 @@ def explore_batched(
                         "candidate passing the incumbent bound (violated "
                         "monotonicity invariant)"
                     )
-                solver_invocations += outcome.solver_calls
+                # charged on stats directly (not a local) so that mid-run
+                # checkpoints journal the exact replay-time counter.
+                stats.solver_invocations += outcome.solver_calls
                 implementation = outcome.implementation_for(
                     units, spec.units.total_cost(units)
                 )
                 if implementation is None:
+                    cursor = _advance(cursor, writer, every, f_cur,
+                                      points, stats, cache)
                     continue
                 stats.feasible_implementations += 1
                 if implementation.flexibility > f_cur:
@@ -360,16 +740,80 @@ def explore_batched(
                     and implementation.units != points[-1].units
                 ):
                     points.append(implementation)
-            if stop:
+                cursor = _advance(cursor, writer, every, f_cur,
+                                  points, stats, cache)
+            if stop or truncation is not None:
                 break
+        if cache.corruptions > corruptions_at_start:
+            fresh = cache.corruptions - corruptions_at_start
+            stats.cache_corruptions += fresh
+            stats.record_event(
+                "cache_corruption",
+                count=fresh,
+                signatures=[
+                    sorted(s) for s in cache.corrupted_signatures[-fresh:]
+                ],
+            )
+        # Final snapshot — skipped when resuming reproduced the journaled
+        # end state exactly (no candidate consumed, same completion), so
+        # that resuming a finished run is idempotent: the result
+        # fingerprint, including ``checkpoints_written``, is unchanged.
+        idempotent = (
+            _resume is not None
+            and cursor == _resume.cursor
+            and _resume.completed == (truncation is None)
+        )
+        if writer is not None and not idempotent:
+            writer.checkpoint(
+                cursor,
+                f_cur,
+                points,
+                stats,
+                cache,
+                completed=truncation is None,
+            )
     finally:
         runner.shutdown()
+        if writer is not None:
+            writer.close()
 
-    points = [
+    front = [
         p
         for p in points
         if not any(dominates(q.point, p.point) for q in points)
     ]
-    stats.solver_invocations = solver_invocations
     stats.elapsed_seconds = time.perf_counter() - started
-    return ExplorationResult(points, stats, f_max)
+    return ExplorationResult(
+        front,
+        stats,
+        f_max,
+        completed=truncation is None,
+        gap=truncation,
+    )
+
+
+def _advance(
+    cursor: int,
+    writer,
+    every: Optional[int],
+    f_cur: float,
+    points: List,
+    stats: ExplorationStats,
+    cache: EvaluationCache,
+) -> int:
+    """Count one fully replayed candidate; checkpoint on cadence."""
+    cursor += 1
+    if writer is not None and every and cursor % every == 0:
+        writer.checkpoint(cursor, f_cur, points, stats, cache)
+    return cursor
+
+
+def _header_params(**kwargs: Any) -> Dict[str, Any]:
+    """The JSON-ready checkpoint-header form of the run parameters."""
+    document = dict(kwargs)
+    for key in ("require_units", "forbid_units"):
+        value = document.get(key)
+        document[key] = sorted(value) if value is not None else None
+    retry = document.get("retry")
+    document["retry"] = retry.as_dict() if retry is not None else None
+    return document

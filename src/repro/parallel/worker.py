@@ -133,6 +133,14 @@ class CandidateOutcome:
         )
 
 
+#: Test seam of the fault-injection harness: when not ``None``, called
+#: as ``_FAULT_HOOK("worker", units=units)`` at the top of
+#: :func:`evaluate_candidate` — in pool workers and inline alike.
+#: Installed/cleared by :func:`repro.resilience.faults.install`; never
+#: set in production use, so the fault-free path costs one global read.
+_FAULT_HOOK = None
+
+
 def evaluate_candidate(
     spec: SpecificationGraph,
     possible: Optional[Expr],
@@ -141,6 +149,8 @@ def evaluate_candidate(
     f_entry: float,
 ) -> CandidateOutcome:
     """Run the incumbent-independent pipeline for one candidate."""
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK("worker", units=units)
     out = CandidateOutcome()
     if params.use_possible_filter:
         out.possible = evaluate_over_set(possible, units)
@@ -190,14 +200,27 @@ _WORKER_POSSIBLE: Optional[Expr] = None
 _WORKER_PARAMS: Optional[EvalParams] = None
 
 
-def init_worker(spec: SpecificationGraph, params: EvalParams) -> None:
-    """Pool initializer: install per-worker evaluation state."""
+def init_worker(
+    spec: SpecificationGraph,
+    params: EvalParams,
+    fault_plan=None,
+) -> None:
+    """Pool initializer: install per-worker evaluation state.
+
+    ``fault_plan`` — an optional
+    :class:`repro.resilience.faults.FaultPlan` shipped from the parent
+    so the fault-injection harness also reaches process-pool children.
+    """
     global _WORKER_SPEC, _WORKER_POSSIBLE, _WORKER_PARAMS
     _WORKER_SPEC = spec
     _WORKER_PARAMS = params
     _WORKER_POSSIBLE = (
         possible_allocation_expr(spec) if params.use_possible_filter else None
     )
+    if fault_plan is not None:
+        from ..resilience import faults
+
+        faults.install(fault_plan)
 
 
 def pool_evaluate(

@@ -1,0 +1,86 @@
+"""Fault-tolerant, anytime exploration runtime.
+
+The EXPLORE branch-and-bound is NP-complete; production runs are long,
+get preempted, and hit flaky workers.  This package makes the explorer
+return a *valid, bounded* answer under all of that:
+
+* **checkpoint/resume** (:mod:`.checkpoint`, :mod:`.journal`) —
+  ``explore(..., checkpoint=path)`` journals outcomes and replay
+  snapshots to an append-only CRC-checked file; :func:`resume_explore`
+  continues a killed run to a result fingerprint identical to the
+  uninterrupted run;
+* **anytime deadlines** (:mod:`.anytime`) — ``deadline_seconds=`` /
+  ``max_evaluations=`` stop gracefully with the best-so-far front, an
+  explicit :class:`~repro.core.result.OptimalityGap`, and
+  ``completed=False``;
+* **worker fault tolerance** (:mod:`.retry` plus
+  :mod:`repro.parallel.batched`) — transient pool failures retry with
+  exponential backoff and jitter, hung batches time out, repeatedly
+  crashing candidates are quarantined (recorded, then evaluated
+  inline), and every degradation is surfaced as an event in
+  ``ExplorationResult.stats`` — fallback is never silent;
+* a **fault-injection harness** (:mod:`.faults`) — deterministic
+  worker kills, transient/permanent errors, delays, cache corruption
+  and process aborts, used by the differential robustness tests.
+
+Submodules are imported lazily (PEP 562) so that low-level users —
+``repro.parallel.worker`` ships fault plans into pool children — never
+create an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "AnytimeBudget",
+    "CHECKPOINT_EVERY_DEFAULT",
+    "CheckpointWriter",
+    "FaultPlan",
+    "JournalWriter",
+    "LoadedCheckpoint",
+    "OptimalityGap",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "corrupt_cache_entry",
+    "inject",
+    "load_checkpoint",
+    "read_journal",
+    "resume_explore",
+    "verify_gap",
+]
+
+_LAZY = {
+    "AnytimeBudget": ("anytime", "AnytimeBudget"),
+    "verify_gap": ("anytime", "verify_gap"),
+    "OptimalityGap": ("anytime", "OptimalityGap"),
+    "CHECKPOINT_EVERY_DEFAULT": ("checkpoint", "CHECKPOINT_EVERY_DEFAULT"),
+    "CheckpointWriter": ("checkpoint", "CheckpointWriter"),
+    "LoadedCheckpoint": ("checkpoint", "LoadedCheckpoint"),
+    "load_checkpoint": ("checkpoint", "load_checkpoint"),
+    "resume_explore": ("checkpoint", "resume_explore"),
+    "FaultPlan": ("faults", "FaultPlan"),
+    "SimulatedCrash": ("faults", "SimulatedCrash"),
+    "corrupt_cache_entry": ("faults", "corrupt_cache_entry"),
+    "inject": ("faults", "inject"),
+    "JournalWriter": ("journal", "JournalWriter"),
+    "read_journal": ("journal", "read_journal"),
+    "RetryPolicy": ("retry", "RetryPolicy"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, attribute)
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,354 @@
+"""Checkpoint/resume for the batched EXPLORE (crash-consistent).
+
+A checkpointed exploration journals three things into one append-only,
+CRC-checked file (see :mod:`repro.resilience.journal` for the record
+encoding):
+
+* a ``header`` — the full specification document plus every parameter
+  of the run, making the journal self-contained (``resume_explore``
+  needs nothing else);
+* ``outcome`` records — one per evaluated canonical signature, written
+  as soon as the outcome enters the memo cache.  These are pure cache:
+  losing the tail costs recomputation, never correctness;
+* ``checkpoint`` records — the replay cursor (candidates consumed in
+  the deterministic enumeration order), the incumbent front, and the
+  statistics counters, ``fsync``'d every ``checkpoint_every``
+  candidates.
+
+Resume rebuilds the memo cache from the outcome records, restores the
+newest checkpoint, fast-forwards the (deterministic) enumerator past
+the cursor, and continues the replay.  Because the replay is exactly
+the serial loop (see :mod:`repro.parallel.batched`), the resumed run
+returns a result fingerprint identical to the uninterrupted run —
+``kill -9`` at any point loses at most the work since the last
+checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, NamedTuple, Optional
+
+from ..core.result import ExplorationResult, ExplorationStats, Implementation
+from ..errors import CheckpointError
+from ..io.json_io import spec_from_dict, spec_to_dict
+from ..io.result_io import implementation_from_dict, implementation_to_dict
+from ..parallel.cache import EvaluationCache
+from ..parallel.worker import CandidateOutcome
+from ..spec import SpecificationGraph
+from . import faults
+from .journal import JournalWriter, read_journal
+
+#: Checkpoint-document format identifier (stored in the header record).
+CHECKPOINT_FORMAT = "repro/explore-checkpoint"
+#: Current checkpoint-document version.
+CHECKPOINT_VERSION = 1
+#: Default replay-candidate cadence between fsync'd checkpoints.
+CHECKPOINT_EVERY_DEFAULT = 64
+
+
+def outcome_to_dict(outcome: CandidateOutcome) -> Dict[str, Any]:
+    """JSON-ready form of one candidate outcome."""
+    return {
+        "possible": outcome.possible,
+        "comm_pruned": outcome.comm_pruned,
+        "estimate": outcome.estimate,
+        "evaluated": outcome.evaluated,
+        "solver_calls": outcome.solver_calls,
+        "feasible": outcome.feasible,
+        "flexibility": outcome.flexibility,
+        "clusters": sorted(outcome.clusters),
+        "coverage": [
+            {
+                "selection": dict(record.selection),
+                "binding": dict(record.binding),
+            }
+            for record in outcome.coverage
+        ],
+    }
+
+
+def outcome_from_dict(document: Dict[str, Any]) -> CandidateOutcome:
+    """Rebuild a candidate outcome from its dictionary form."""
+    from ..core.result import EcsRecord
+
+    outcome = CandidateOutcome()
+    try:
+        outcome.possible = bool(document["possible"])
+        outcome.comm_pruned = bool(document["comm_pruned"])
+        estimate = document["estimate"]
+        outcome.estimate = None if estimate is None else float(estimate)
+        outcome.evaluated = bool(document["evaluated"])
+        outcome.solver_calls = int(document["solver_calls"])
+        outcome.feasible = bool(document["feasible"])
+        outcome.flexibility = float(document["flexibility"])
+        outcome.clusters = frozenset(document["clusters"])
+        outcome.coverage = [
+            EcsRecord(entry["selection"], entry["binding"])
+            for entry in document["coverage"]
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"malformed outcome record: {error}"
+        ) from None
+    return outcome
+
+
+class CheckpointWriter:
+    """Journals outcomes and replay snapshots for one exploration run."""
+
+    def __init__(
+        self,
+        path: str,
+        spec: SpecificationGraph,
+        params: Dict[str, Any],
+        resume_length: Optional[int] = None,
+    ) -> None:
+        self.path = path
+        if resume_length is None:
+            self._journal = JournalWriter(path, fresh=True)
+            self._journal.append(
+                "header",
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "version": CHECKPOINT_VERSION,
+                    "spec": spec_to_dict(spec),
+                    "params": params,
+                },
+                sync=True,
+            )
+        else:
+            # Continue an existing journal: chop any torn final line so
+            # appended records start on a clean line boundary.
+            self._journal = JournalWriter(path, truncate_to=resume_length)
+
+    def outcome(
+        self, signature: FrozenSet[str], outcome: CandidateOutcome
+    ) -> None:
+        """Journal one freshly evaluated outcome (flushed, not fsync'd)."""
+        self._journal.append(
+            "outcome",
+            {"sig": sorted(signature), "outcome": outcome_to_dict(outcome)},
+        )
+
+    def checkpoint(
+        self,
+        cursor: int,
+        f_cur: float,
+        points: List[Implementation],
+        stats: ExplorationStats,
+        cache: EvaluationCache,
+        completed: bool = False,
+    ) -> None:
+        """Journal a replay snapshot (fsync'd: survives a hard kill).
+
+        Fires the ``"checkpoint"`` fault seam *after* the record is on
+        stable storage, so an injected abort models a process killed at
+        the worst honest moment.
+        """
+        # Count this checkpoint *before* snapshotting the counters: the
+        # M-th record must store ``checkpoints_written == M`` so that a
+        # run killed after record M and resumed writes the same total as
+        # the uninterrupted run.
+        stats.checkpoints_written += 1
+        counters = {
+            k: v
+            for k, v in stats.as_dict().items()
+            if k != "elapsed_seconds"
+        }
+        self._journal.append(
+            "checkpoint",
+            {
+                "cursor": cursor,
+                "f_cur": f_cur,
+                "points": [implementation_to_dict(p) for p in points],
+                "stats": counters,
+                "events": list(stats.events),
+                "cache_hits": cache.hits,
+                "cache_misses": cache.misses,
+                "completed": completed,
+            },
+            sync=True,
+        )
+        faults.maybe_inject("checkpoint", cursor=cursor)
+
+    def close(self) -> None:
+        self._journal.close()
+
+
+class LoadedCheckpoint(NamedTuple):
+    """Everything :func:`resume_explore` restores from a journal."""
+
+    #: The specification the run was exploring.
+    spec: SpecificationGraph
+    #: The original ``explore_batched`` parameters (header document).
+    params: Dict[str, Any]
+    #: Replay candidates consumed at the newest checkpoint.
+    cursor: int
+    #: Incumbent flexibility at the newest checkpoint.
+    f_cur: float
+    #: Incumbent front (discovery order, pre-dominance-filter).
+    points: List[Implementation]
+    #: Statistics counters at the newest checkpoint.
+    counters: Dict[str, Any]
+    #: Degradation events recorded up to the newest checkpoint.
+    events: List[Dict[str, Any]]
+    #: Memo cache rebuilt from every journaled outcome record.
+    cache: EvaluationCache
+    #: Byte length of the journal's valid prefix (truncate-to offset).
+    valid_length: int
+    #: Whether the journaled run had already completed.
+    completed: bool
+
+
+def load_checkpoint(path: str) -> LoadedCheckpoint:
+    """Parse and validate a checkpoint journal."""
+    records, valid_length = read_journal(path)
+    if not records:
+        raise CheckpointError(f"checkpoint journal {path!r} is empty")
+    first_type, header = records[0]
+    if first_type != "header" or not isinstance(header, dict):
+        raise CheckpointError(
+            f"checkpoint journal {path!r} does not start with a header"
+        )
+    if header.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not an explore checkpoint: format={header.get('format')!r}"
+        )
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {header.get('version')!r}"
+        )
+    spec = spec_from_dict(header["spec"])
+    cache = EvaluationCache()
+    snapshot: Optional[Dict[str, Any]] = None
+    for record_type, payload in records[1:]:
+        if record_type == "outcome":
+            signature = frozenset(payload["sig"])
+            # keep the *first* record per signature: it was computed at
+            # the lowest dispatch incumbent, which is what makes the
+            # speculation-coverage invariant of the replay hold across
+            # resume sessions (see docs/resilience.md).
+            if signature not in cache:
+                cache.put(signature, outcome_from_dict(payload["outcome"]))
+        elif record_type == "checkpoint":
+            snapshot = payload
+        elif record_type == "header":
+            raise CheckpointError(
+                f"checkpoint journal {path!r} has multiple headers"
+            )
+    if snapshot is None:
+        snapshot = {
+            "cursor": 0,
+            "f_cur": 0.0,
+            "points": [],
+            "stats": {},
+            "events": [],
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "completed": False,
+        }
+    cache.hits = int(snapshot.get("cache_hits", 0))
+    cache.misses = int(snapshot.get("cache_misses", 0))
+    points = [
+        implementation_from_dict(entry)
+        for entry in snapshot.get("points", ())
+    ]
+    return LoadedCheckpoint(
+        spec=spec,
+        params=dict(header.get("params", {})),
+        cursor=int(snapshot["cursor"]),
+        f_cur=float(snapshot["f_cur"]),
+        points=points,
+        counters=dict(snapshot.get("stats", {})),
+        events=list(snapshot.get("events", ())),
+        cache=cache,
+        valid_length=valid_length,
+        completed=bool(snapshot.get("completed", False)),
+    )
+
+
+#: ``explore_batched`` keyword arguments persisted in the header and
+#: restored verbatim on resume (overridable via ``resume_explore``).
+_RESUMABLE_PARAMS = (
+    "util_bound",
+    "max_cost",
+    "max_candidates",
+    "use_possible_filter",
+    "use_estimation",
+    "prune_comm",
+    "check_utilization",
+    "weighted",
+    "backend",
+    "keep_ties",
+    "timing_mode",
+    "require_units",
+    "forbid_units",
+    "parallel",
+    "batch_size",
+    "workers",
+    "checkpoint_every",
+    "deadline_seconds",
+    "max_evaluations",
+    "batch_timeout",
+    "retry",
+)
+
+
+def resume_explore(path: str, **overrides: Any) -> ExplorationResult:
+    """Continue a checkpointed exploration to its (identical) result.
+
+    Restores the newest fsync'd snapshot from ``path`` and runs the
+    remaining candidates; the returned result fingerprint (Pareto
+    points, statistics except wall-clock, flexibility bound) is
+    identical to the run never having been interrupted.
+
+    ``overrides`` replace header parameters for the continuation —
+    useful ones are ``parallel``/``workers``/``batch_size`` (execution
+    geometry never affects results) and fresh anytime budgets
+    (``deadline_seconds``/``max_evaluations``, both measured from the
+    resume, with ``None`` lifting the original budget).  Overriding
+    result-affecting parameters (``backend``, ``weighted``, ...) is
+    rejected — the journaled outcomes were computed under the original
+    semantics.
+    """
+    from ..parallel.batched import explore_batched
+
+    loaded = load_checkpoint(path)
+    unknown = set(overrides) - set(_RESUMABLE_PARAMS)
+    if unknown:
+        raise CheckpointError(
+            f"unknown resume override(s) {sorted(unknown)!r}"
+        )
+    frozen = {
+        "util_bound", "max_cost", "max_candidates", "use_possible_filter",
+        "use_estimation", "prune_comm", "check_utilization", "weighted",
+        "backend", "keep_ties", "timing_mode", "require_units",
+        "forbid_units",
+    }
+    bad = {
+        name
+        for name in overrides
+        if name in frozen and overrides[name] != loaded.params.get(name)
+    }
+    if bad:
+        raise CheckpointError(
+            f"cannot change result-affecting parameter(s) {sorted(bad)!r} "
+            f"on resume; start a fresh run instead"
+        )
+    kwargs = {
+        name: loaded.params.get(name)
+        for name in _RESUMABLE_PARAMS
+        if name in loaded.params
+    }
+    kwargs.update(overrides)
+    if isinstance(kwargs.get("retry"), dict):
+        from .retry import RetryPolicy
+
+        kwargs["retry"] = RetryPolicy.from_dict(kwargs["retry"])
+    return explore_batched(
+        loaded.spec,
+        cache=loaded.cache,
+        checkpoint=path,
+        _resume=loaded,
+        **kwargs,
+    )

@@ -1,0 +1,260 @@
+"""Deterministic fault injection for the exploration runtime.
+
+Flexibility claims about the *runtime* deserve the same standard the
+paper applies to designs: quantified behaviour under disturbance.  This
+module injects disturbances at three seams of the batched explorer —
+
+* ``"worker"`` — fired at the top of
+  :func:`repro.parallel.worker.evaluate_candidate`, i.e. inside pool
+  workers (threads or child processes) and inline evaluation;
+* ``"pool"`` — fired in the batch dispatcher just before a batch is
+  handed to the worker pool;
+* ``"checkpoint"`` — fired right after a checkpoint record reaches
+  stable storage (used to simulate a process killed at a checkpoint
+  boundary).
+
+A :class:`FaultPlan` decides, deterministically from its seed and
+per-site call counters, whether a given firing injects a fault and
+which one: a transient error, a permanent error, a worker crash
+(``os._exit`` in a pool child — indistinguishable from ``kill -9`` to
+the parent), a delay, or a whole-process abort
+(:class:`SimulatedCrash`).  Plans are picklable so process pools ship
+them to children through the pool initializer; each child counts its
+own calls.
+
+Install a plan with :func:`inject` (a context manager) and keep
+correctness paths honest with :func:`suppressed`, which the quarantine
+rescue uses so that *injected* worker faults cannot corrupt the
+fault-free inline evaluation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import random
+import threading
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..errors import PermanentWorkerError, TransientWorkerError
+
+#: Fault actions a plan may schedule.
+ACTIONS = ("transient", "permanent", "crash", "delay", "abort")
+
+#: The seams at which :func:`maybe_inject` is called.
+SITES = ("worker", "pool", "checkpoint")
+
+
+class SimulatedCrash(RuntimeError):
+    """The fault harness aborted the whole exploration process.
+
+    Raised by the ``"abort"`` action to model a hard kill at a point
+    where the journal is on disk; tests catch it and resume from the
+    checkpoint file exactly as they would after a real ``kill -9``.
+    """
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of injected faults.
+
+    ``schedule`` — explicit faults: maps a site to ``{call_index:
+    action}`` (1-based call numbering per site).  Exact and fully
+    deterministic; preferred in differential tests.
+
+    ``transient_rate`` / ``permanent_rate`` / ``crash_rate`` /
+    ``delay_rate`` — probabilistic faults at the ``"worker"`` site,
+    decided by a :class:`random.Random` seeded with ``seed`` (per
+    process, so thread pools are exactly reproducible and process
+    pools are reproducible per worker call sequence).
+
+    ``max_faults`` — global cap on injected faults, after which the
+    plan goes quiet (lets transient storms end so runs complete).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        schedule: Optional[Dict[str, Dict[int, str]]] = None,
+        transient_rate: float = 0.0,
+        permanent_rate: float = 0.0,
+        crash_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_seconds: float = 0.0,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        self.seed = seed
+        self.schedule = {
+            site: dict(indices) for site, indices in (schedule or {}).items()
+        }
+        for site in self.schedule:
+            if site not in SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+        for indices in self.schedule.values():
+            for action in indices.values():
+                if action not in ACTIONS:
+                    raise ValueError(f"unknown fault action {action!r}")
+        self.transient_rate = transient_rate
+        self.permanent_rate = permanent_rate
+        self.crash_rate = crash_rate
+        self.delay_rate = delay_rate
+        self.delay_seconds = delay_seconds
+        self.max_faults = max_faults
+        self._rng = random.Random(seed)
+        self._calls: Dict[str, int] = {site: 0 for site in SITES}
+        self._injected = 0
+        #: ``(site, call_index, action)`` triples actually injected in
+        #: *this* process (children keep their own logs).
+        self.log: list = []
+
+    # pickling ships the configuration, not the mutable counters: each
+    # process (pool child) starts its own deterministic call sequence.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "transient_rate": self.transient_rate,
+            "permanent_rate": self.permanent_rate,
+            "crash_rate": self.crash_rate,
+            "delay_rate": self.delay_rate,
+            "delay_seconds": self.delay_seconds,
+            "max_faults": self.max_faults,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(**state)
+
+    def _pick(self, site: str, call_index: int) -> Optional[str]:
+        action = self.schedule.get(site, {}).get(call_index)
+        if action is not None:
+            return action
+        if site != "worker":
+            return None
+        roll = self._rng.random()
+        threshold = 0.0
+        for rate, name in (
+            (self.transient_rate, "transient"),
+            (self.permanent_rate, "permanent"),
+            (self.crash_rate, "crash"),
+            (self.delay_rate, "delay"),
+        ):
+            threshold += rate
+            if rate > 0.0 and roll < threshold:
+                return name
+        return None
+
+    def fire(self, site: str, **context: Any) -> None:
+        """One firing of the seam ``site``; may raise / crash / sleep."""
+        self._calls[site] = self._calls.get(site, 0) + 1
+        call_index = self._calls[site]
+        if self.max_faults is not None and self._injected >= self.max_faults:
+            return
+        action = self._pick(site, call_index)
+        if action is None:
+            return
+        self._injected += 1
+        self.log.append((site, call_index, action))
+        if action == "delay":
+            time.sleep(self.delay_seconds)
+            return
+        if action == "transient":
+            raise TransientWorkerError(
+                f"injected transient fault at {site}#{call_index}"
+            )
+        if action == "permanent":
+            raise PermanentWorkerError(
+                f"injected permanent fault at {site}#{call_index}"
+            )
+        if action == "crash":
+            if multiprocessing.parent_process() is not None:
+                # In a pool child: die like kill -9 (no cleanup, no
+                # exception) — the parent sees a broken pool.
+                os._exit(13)
+            raise TransientWorkerError(
+                f"injected worker crash at {site}#{call_index} "
+                f"(thread workers cannot be killed; modelled as a "
+                f"transient loss of the in-flight job)"
+            )
+        if action == "abort":
+            raise SimulatedCrash(
+                f"injected process abort at {site}#{call_index}"
+            )
+
+
+# --- plan installation ------------------------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+_LOCAL = threading.local()
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Make ``plan`` the process-wide active fault plan (or clear it).
+
+    Also installs/clears the worker-side hook so the zero-cost default
+    path in :func:`repro.parallel.worker.evaluate_candidate` stays a
+    single global read when no plan is active.
+    """
+    global _ACTIVE
+    _ACTIVE = plan
+    from ..parallel import worker
+
+    worker._FAULT_HOOK = maybe_inject if plan is not None else None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, if any."""
+    return _ACTIVE
+
+
+def maybe_inject(site: str, **context: Any) -> None:
+    """Fire the active plan at ``site`` unless injection is suppressed."""
+    plan = _ACTIVE
+    if plan is not None and not getattr(_LOCAL, "suppressed", False):
+        plan.fire(site, **context)
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager installing ``plan`` for the duration of a block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(None)
+
+
+@contextlib.contextmanager
+def suppressed() -> Iterator[None]:
+    """Disable injection on this thread (used by rescue/verification
+    paths that must run fault-free)."""
+    previous = getattr(_LOCAL, "suppressed", False)
+    _LOCAL.suppressed = True
+    try:
+        yield
+    finally:
+        _LOCAL.suppressed = previous
+
+
+# --- cache corruption -------------------------------------------------------
+
+
+def corrupt_cache_entry(
+    cache, index: int = 0, flexibility_delta: float = 100.0
+) -> Optional[Tuple[Any, Any]]:
+    """Silently corrupt one memo-cache entry (bit-rot model).
+
+    Mutates the ``index``-th stored outcome *without* touching its
+    integrity checksum, exactly like in-memory or on-disk corruption
+    would; the cache must detect the mismatch on the next ``get`` and
+    re-evaluate.  Returns ``(signature, outcome)`` of the corrupted
+    entry, or ``None`` when the cache holds fewer entries.
+    """
+    signatures = sorted(cache._entries, key=sorted)
+    if index >= len(signatures):
+        return None
+    signature = signatures[index]
+    outcome, _crc = cache._entries[signature]
+    outcome.flexibility += flexibility_delta
+    outcome.feasible = True
+    return signature, outcome

@@ -1,0 +1,71 @@
+"""Retry policy for transient worker-pool failures.
+
+Exponential backoff with deterministic, seeded jitter: delay ``i`` is
+``min(max_delay, base_delay * 2**i)`` scaled by a jitter factor drawn
+uniformly from ``[1 - jitter, 1 + jitter]`` by a :class:`random.Random`
+seeded per policy — runs are reproducible, yet concurrent retries do
+not thundering-herd on the exact same schedule.
+
+The policy only *times* retries; classification (transient vs
+permanent) and the quarantine of repeat offenders live in the batch
+dispatcher (:mod:`repro.parallel.batched`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+#: Default number of pool attempts per candidate (1 initial + retries).
+DEFAULT_ATTEMPTS = 3
+
+
+class RetryPolicy:
+    """How often and how patiently to retry a transient worker failure."""
+
+    __slots__ = ("attempts", "base_delay", "max_delay", "jitter", "seed")
+
+    def __init__(
+        self,
+        attempts: int = DEFAULT_ATTEMPTS,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts!r}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter!r}")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delays between attempts (``attempts - 1`` values)."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.attempts - 1):
+            raw = min(self.max_delay, self.base_delay * (2 ** attempt))
+            scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield raw * scale
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (stored in checkpoint headers)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "RetryPolicy":
+        return cls(**{k: document[k] for k in cls.__slots__ if k in document})
+
+    def schedule(self) -> List[float]:
+        """The full delay schedule as a list (for tests and docs)."""
+        return list(self.delays())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(attempts={self.attempts}, "
+            f"base_delay={self.base_delay}, max_delay={self.max_delay}, "
+            f"jitter={self.jitter}, seed={self.seed})"
+        )

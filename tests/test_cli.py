@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.cli import EXIT_LINT, EXIT_OK, main
+from repro.cli import EXIT_LINT, EXIT_OK, EXIT_TRUNCATED, main
 from repro.io import load_result
 
 
@@ -183,4 +183,86 @@ class TestFailures:
 
     def test_failure_infeasible_allocation(self, settop_json):
         code, _ = run(["failures", settop_json, "--allocation", "A1"])
+        assert code == 1
+
+
+class TestExploreResilience:
+    def test_truncated_run_exits_3_with_gap_line(self, settop_json):
+        code, text = run(
+            ["explore", settop_json, "--max-evaluations", "3"]
+        )
+        assert code == EXIT_TRUNCATED
+        assert "TRUNCATED (max_evaluations)" in text
+        assert "costs >= $160" in text
+        assert "$430" not in text  # best points not reached yet
+
+    def test_deadline_zero_exits_3(self, settop_json):
+        code, text = run(["explore", settop_json, "--deadline", "0"])
+        assert code == EXIT_TRUNCATED
+        assert "TRUNCATED (deadline)" in text
+
+    def test_complete_run_exits_0(self, settop_json):
+        code, text = run(
+            ["explore", settop_json, "--max-evaluations", "100000"]
+        )
+        assert code == EXIT_OK
+        assert "TRUNCATED" not in text
+        assert "$430" in text
+
+    def test_truncated_json_document_carries_the_gap(
+        self, settop_json, tmp_path
+    ):
+        json_path = tmp_path / "truncated.json"
+        code, _ = run(
+            ["explore", settop_json, "--max-evaluations", "3",
+             "--json", str(json_path)]
+        )
+        assert code == EXIT_TRUNCATED
+        result = load_result(str(json_path))
+        assert not result.completed
+        assert result.gap.reason == "max_evaluations"
+
+    def test_checkpoint_then_resume(self, settop_json, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        code, text = run(
+            ["explore", settop_json, "--checkpoint", str(ckpt),
+             "--checkpoint-every", "512"]
+        )
+        assert code == EXIT_OK
+        assert ckpt.exists()
+        code, resumed_text = run(["explore", "--resume", str(ckpt)])
+        assert code == EXIT_OK
+        assert "$430" in resumed_text
+
+    def test_resume_of_truncated_run_finishes_it(
+        self, settop_json, tmp_path
+    ):
+        ckpt = tmp_path / "run.ckpt"
+        code, text = run(
+            ["explore", settop_json, "--checkpoint", str(ckpt),
+             "--checkpoint-every", "64", "--max-evaluations", "3"]
+        )
+        assert code == EXIT_TRUNCATED
+        assert "$430" not in text
+        # --resume with a fresh (unlimited) budget completes the front
+        code, text = run(
+            ["explore", "--resume", str(ckpt),
+             "--max-evaluations", "100000"]
+        )
+        assert code == EXIT_OK
+        assert "$430" in text
+
+    def test_resume_with_spec_is_an_error(self, settop_json, tmp_path):
+        code, _ = run(
+            ["explore", settop_json, "--resume",
+             str(tmp_path / "x.ckpt")]
+        )
+        assert code == 1
+
+    def test_explore_without_spec_or_resume_is_an_error(self):
+        code, _ = run(["explore"])
+        assert code == 1
+
+    def test_resume_missing_checkpoint_is_an_error(self, tmp_path):
+        code, _ = run(["explore", "--resume", str(tmp_path / "no.ckpt")])
         assert code == 1

@@ -60,7 +60,9 @@ class TestExplorationResult:
     def test_stats_as_dict_complete(self):
         stats = ExplorationStats()
         data = stats.as_dict()
-        assert set(data) == set(ExplorationStats.__slots__)
+        # every slot is a counter exported by as_dict() except the
+        # events log, which is a list and deliberately excluded
+        assert set(data) == set(ExplorationStats.__slots__) - {"events"}
         assert "solver_invocations" in repr(stats)
 
 

@@ -113,3 +113,161 @@ class TestMonotonicity:
         assert (
             large.remaining_flexibility <= small.remaining_flexibility
         )
+
+
+# ---------------------------------------------------------------------------
+# Kill/resume robustness: a checkpointed exploration killed at an
+# arbitrary point and resumed must reproduce the uninterrupted run's
+# result fingerprint exactly — over a seeded corpus of random
+# specifications, all execution modes, and both case studies.
+# ---------------------------------------------------------------------------
+
+from repro.casestudies import build_tv_decoder_spec  # noqa: E402
+from repro.resilience import (  # noqa: E402
+    FaultPlan,
+    SimulatedCrash,
+    inject,
+    resume_explore,
+)
+
+from .test_resilience import fingerprint  # noqa: E402
+
+RESUME_SEEDS = range(30)
+
+
+def _run_killed_and_resume(spec, tmp_path, mode, kill_at, every, label):
+    """Reference vs killed-at-checkpoint-``kill_at``-then-resumed runs."""
+    reference = explore(
+        spec,
+        parallel=mode,
+        checkpoint=str(tmp_path / f"{label}-ref.ckpt"),
+        checkpoint_every=every,
+    )
+    killed = str(tmp_path / f"{label}-killed.ckpt")
+    crashed = False
+    try:
+        with inject(FaultPlan(schedule={"checkpoint": {kill_at: "abort"}})):
+            explore(
+                spec, parallel=mode, checkpoint=killed,
+                checkpoint_every=every,
+            )
+    except SimulatedCrash:
+        crashed = True
+    # small specs may finish before checkpoint ``kill_at``; resume then
+    # just reproduces the completed run — both cases must fingerprint
+    # identically to the reference.
+    resumed = resume_explore(killed)
+    return reference, resumed, crashed
+
+
+class TestKillResumeCorpus:
+    @pytest.mark.parametrize("seed", RESUME_SEEDS)
+    def test_seeded_specs_serial(self, seed, tmp_path):
+        spec = random_spec(seed)
+        reference, resumed, _ = _run_killed_and_resume(
+            spec, tmp_path, "serial", kill_at=2, every=8, label="s"
+        )
+        assert fingerprint(resumed) == fingerprint(reference)
+
+    @pytest.mark.parametrize("seed", RESUME_SEEDS)
+    def test_seeded_specs_thread(self, seed, tmp_path):
+        spec = random_spec(seed)
+        reference, resumed, _ = _run_killed_and_resume(
+            spec, tmp_path, "thread", kill_at=2, every=8, label="t"
+        )
+        assert fingerprint(resumed) == fingerprint(reference)
+
+    @pytest.mark.parametrize("seed", [0, 7, 13, 21, 29])
+    def test_seeded_specs_process(self, seed, tmp_path):
+        spec = random_spec(seed)
+        reference, resumed, _ = _run_killed_and_resume(
+            spec, tmp_path, "process", kill_at=2, every=8, label="p"
+        )
+        assert fingerprint(resumed) == fingerprint(reference)
+
+    @pytest.mark.parametrize("kill_at", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_settop_killed_at_every_checkpoint(
+        self, kill_at, settop, tmp_path
+    ):
+        """The set-top case study, killed at every snapshot in turn."""
+        reference, resumed, crashed = _run_killed_and_resume(
+            settop, tmp_path, "serial", kill_at=kill_at, every=1024,
+            label="settop",
+        )
+        assert crashed  # 8154 replayed candidates -> 8+ checkpoints
+        assert fingerprint(resumed) == fingerprint(reference)
+        assert resumed.front() == [
+            (100.0, 2.0), (120.0, 3.0), (230.0, 4.0),
+            (290.0, 5.0), (360.0, 7.0), (430.0, 8.0),
+        ]
+
+    @pytest.mark.parametrize("kill_at", [1, 2])
+    def test_tv_decoder_killed_at_every_checkpoint(self, kill_at, tmp_path):
+        spec = build_tv_decoder_spec()
+        reference, resumed, crashed = _run_killed_and_resume(
+            spec, tmp_path, "serial", kill_at=kill_at, every=48,
+            label="tv",
+        )
+        assert crashed
+        assert fingerprint(resumed) == fingerprint(reference)
+
+    def test_double_kill_then_resume(self, settop, tmp_path):
+        """Killed, resumed, killed again, resumed again — still exact."""
+        reference = explore(
+            settop,
+            checkpoint=str(tmp_path / "ref.ckpt"),
+            checkpoint_every=1024,
+        )
+        killed = str(tmp_path / "killed.ckpt")
+        with pytest.raises(SimulatedCrash):
+            with inject(FaultPlan(schedule={"checkpoint": {2: "abort"}})):
+                explore(settop, checkpoint=killed, checkpoint_every=1024)
+        with pytest.raises(SimulatedCrash):
+            with inject(FaultPlan(schedule={"checkpoint": {3: "abort"}})):
+                resume_explore(killed)
+        resumed = resume_explore(killed)
+        assert fingerprint(resumed) == fingerprint(reference)
+
+    def test_real_process_kill(self, settop, tmp_path):
+        """An actual hard-killed child process (os._exit, no cleanup),
+        resumed in this process — the fingerprint still matches."""
+        import subprocess
+        import sys
+        import textwrap
+
+        reference = explore(
+            settop,
+            checkpoint=str(tmp_path / "ref.ckpt"),
+            checkpoint_every=512,
+        )
+        killed = str(tmp_path / "killed.ckpt")
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.casestudies import build_settop_spec
+            from repro.core import explore
+            from repro.resilience.checkpoint import CheckpointWriter
+
+            path = sys.argv[1]
+            original = CheckpointWriter.checkpoint
+
+            def dying(self, cursor, *args, **kwargs):
+                original(self, cursor, *args, **kwargs)
+                if cursor >= 512 * 4:
+                    import os
+                    os._exit(9)  # hard kill: no flush, no atexit
+
+            CheckpointWriter.checkpoint = dying
+            explore(
+                build_settop_spec(), checkpoint=path, checkpoint_every=512
+            )
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, killed],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 9, proc.stderr
+        resumed = resume_explore(killed)
+        assert fingerprint(resumed) == fingerprint(reference)
