@@ -136,7 +136,18 @@ from .timing import (
     utilization_by_resource,
 )
 
-__version__ = "1.0.0"
+# Prefer the installed distribution's version; fall back to the
+# in-tree version for PYTHONPATH=src usage without an install.
+try:
+    from importlib.metadata import PackageNotFoundError as _PkgNotFound
+    from importlib.metadata import version as _dist_version
+
+    try:
+        __version__ = _dist_version("repro")
+    except _PkgNotFound:
+        __version__ = "1.0.0"
+except ImportError:  # pragma: no cover - ancient interpreters only
+    __version__ = "1.0.0"
 
 __all__ = [
     "Activation",

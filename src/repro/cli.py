@@ -10,14 +10,25 @@ Exposes the library's main workflows on specification-graph JSON files
     python -m repro upgrade settop.json --base muP2  # incremental design
     python -m repro synth --apps 3 --save synth.json # synthetic generator
     python -m repro dot settop.json > settop.dot     # Graphviz export
+
+and the exploration service (:mod:`repro.service`)::
+
+    python -m repro submit run/ settop.json          # spool a job
+    python -m repro serve run/ --workers 2           # drain the queue
+    python -m repro jobs run/                        # list jobs
+    python -m repro watch run/ j0000 --follow        # stream job events
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from typing import List, Optional
 
+from . import __version__
 from .casestudies import (
     TABLE1_PROCESS_ORDER,
     TABLE1_RESOURCE_ORDER,
@@ -54,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Flexibility/cost design-space exploration "
             "(reproduction of 'System Design for Flexibility', DATE 2002)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -214,6 +230,96 @@ def build_parser() -> argparse.ArgumentParser:
     failures.add_argument(
         "--allocation", required=True,
         help="comma-separated allocated units, e.g. muP2,A1,C2",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the exploration service on a directory",
+        description=(
+            "Run the exploration service: recover any jobs journaled in "
+            "DIR, ingest spooled submissions, and time-slice every job "
+            "over one shared worker pool until the queue drains.  A "
+            "killed service restarted on the same DIR resumes each "
+            "incomplete job from its checkpoint to identical results."
+        ),
+    )
+    serve.add_argument("dir", help="service directory (created if missing)")
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shared worker-pool size (default: CPU count)",
+    )
+    serve.add_argument(
+        "--pool", choices=("thread", "serial"), default="thread",
+        help="pool kind (serial = inline evaluation)",
+    )
+    serve.add_argument(
+        "--slice-evaluations", type=int, default=None, metavar="N",
+        help="candidate evaluations per scheduling slice (default 32)",
+    )
+    serve.add_argument(
+        "--aging-rate", type=float, default=0.0, metavar="R",
+        help="priority-aging rate (pass units per waiting second)",
+    )
+    serve.add_argument(
+        "--max-slices", type=int, default=None, metavar="N",
+        help="stop after N slices even if jobs remain (they resume later)",
+    )
+    serve.add_argument(
+        "--poll", type=float, default=0.0, metavar="SECONDS",
+        help="when idle, keep watching the spool this long before exiting",
+    )
+
+    submit = commands.add_parser(
+        "submit",
+        help="spool a job for an exploration service",
+        description=(
+            "Atomically spool one exploration job into DIR/queue.  A "
+            "running (or later) 'repro serve DIR' adopts it into the "
+            "job ledger and schedules it."
+        ),
+    )
+    submit.add_argument("dir", help="service directory")
+    submit.add_argument("spec", help="specification JSON file")
+    submit.add_argument("--name", default=None, help="job name (default: spec name)")
+    submit.add_argument(
+        "--priority", type=float, default=1.0,
+        help="fair-share weight (higher = more pool time)",
+    )
+    submit.add_argument("--util-bound", type=float, default=None)
+    submit.add_argument("--max-cost", type=float, default=None)
+    submit.add_argument("--keep-ties", action="store_true")
+    submit.add_argument(
+        "--timing-mode", choices=("utilization", "schedule", "none"),
+        default=None,
+    )
+    submit.add_argument("--batch-size", type=int, default=None)
+
+    jobs_cmd = commands.add_parser(
+        "jobs", help="list an exploration service directory's jobs"
+    )
+    jobs_cmd.add_argument("dir", help="service directory")
+    jobs_cmd.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON"
+    )
+
+    watch = commands.add_parser(
+        "watch",
+        help="stream a job's events from a service directory",
+        description=(
+            "Print a job's observation events (one JSON object per "
+            "line).  With --follow, keep tailing until the job reaches "
+            "a terminal state or --idle-timeout seconds pass without a "
+            "new event."
+        ),
+    )
+    watch.add_argument("dir", help="service directory")
+    watch.add_argument("job", help="job id (see 'repro jobs')")
+    watch.add_argument(
+        "--follow", action="store_true", help="keep tailing for new events"
+    )
+    watch.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="give up following after this long without events",
     )
 
     return parser
@@ -424,6 +530,148 @@ def _cmd_failures(args, out) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args, out) -> int:
+    from .service import ExplorationService
+
+    kwargs = {}
+    if args.slice_evaluations is not None:
+        kwargs["slice_evaluations"] = args.slice_evaluations
+    with ExplorationService(
+        args.dir,
+        workers=args.workers,
+        pool_kind=args.pool,
+        aging_rate=args.aging_rate,
+        **kwargs,
+    ) as service:
+        executed = service.run(
+            max_slices=args.max_slices, poll_seconds=args.poll
+        )
+        jobs = service.list_jobs()
+        failed = [j for j in jobs if j.state == "failed"]
+        _print(
+            f"{executed} slice(s); "
+            f"{sum(1 for j in jobs if j.state == 'completed')} completed, "
+            f"{sum(1 for j in jobs if j.state in ('queued', 'running'))} "
+            f"pending, {len(failed)} failed",
+            out,
+        )
+        for job in failed:
+            print(
+                f"error: job {job.job_id} ({job.name}): {job.error}",
+                file=sys.stderr,
+            )
+    return EXIT_ERROR if failed else EXIT_OK
+
+
+def _cmd_submit(args, out) -> int:
+    from .io import job_io
+
+    spec = load_spec(args.spec)
+    options = {}
+    if args.util_bound is not None:
+        options["util_bound"] = args.util_bound
+    if args.max_cost is not None:
+        options["max_cost"] = args.max_cost
+    if args.keep_ties:
+        options["keep_ties"] = True
+    if args.timing_mode is not None:
+        options["timing_mode"] = args.timing_mode
+    if args.batch_size is not None:
+        options["batch_size"] = args.batch_size
+    path = job_io.write_submission(
+        args.dir,
+        spec,
+        args.name or spec.name,
+        priority=args.priority,
+        options=options,
+    )
+    _print(f"spooled {spec.name} -> {path}", out)
+    return EXIT_OK
+
+
+def _cmd_jobs(args, out) -> int:
+    from .io import job_io
+    from .report import jobs_table
+
+    rows = []
+    for entry in job_io.read_job_ledger(
+        job_io.ledger_path(args.dir)
+    ).values():
+        rows.append(
+            {
+                "id": entry.job_id,
+                "name": entry.name,
+                "state": entry.state,
+                "priority": entry.priority,
+                **{
+                    k: entry.fields[k]
+                    for k in ("slices", "preemptions", "evaluations")
+                    if k in entry.fields
+                },
+            }
+        )
+    for _, document in job_io.read_submissions(args.dir):
+        rows.append(
+            {
+                "id": "(spooled)",
+                "name": document["name"],
+                "state": "spooled",
+                "priority": document.get("priority", 1),
+            }
+        )
+    if args.json:
+        _print(json.dumps(rows, indent=2, sort_keys=True), out)
+    elif rows:
+        _print(jobs_table(rows), out)
+    else:
+        _print("no jobs", out)
+    return EXIT_OK
+
+
+#: Event kinds that end a ``watch --follow``.
+_TERMINAL_EVENT_KINDS = ("completed", "failed", "cancelled")
+
+
+def _cmd_watch(args, out) -> int:
+    from .io import job_io
+
+    path = job_io.events_path(args.dir, args.job)
+    if not args.follow and not os.path.exists(path):
+        print(f"error: no events for job {args.job!r}", file=sys.stderr)
+        return EXIT_ERROR
+    offset = 0
+    buffered = ""
+    last_event = time.monotonic()
+    while True:
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset = handle.tell()
+            buffered += chunk
+            while "\n" in buffered:
+                line, buffered = buffered.split("\n", 1)
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                _print(json.dumps(event, sort_keys=True), out)
+                last_event = time.monotonic()
+                if event.get("kind") in _TERMINAL_EVENT_KINDS:
+                    return EXIT_OK
+        if not args.follow:
+            return EXIT_OK
+        if time.monotonic() - last_event > args.idle_timeout:
+            print(
+                f"error: no new events for {args.idle_timeout:g}s",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        time.sleep(0.1)
+
+
 _HANDLERS = {
     "demo": _cmd_demo,
     "synth": _cmd_synth,
@@ -433,6 +681,10 @@ _HANDLERS = {
     "explore": _cmd_explore,
     "upgrade": _cmd_upgrade,
     "failures": _cmd_failures,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "watch": _cmd_watch,
 }
 
 
@@ -447,6 +699,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `watch ... | head`) closed the pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR

@@ -39,6 +39,7 @@ from .candidates import (
 from .estimate import estimate_flexibility
 from .evaluation import BINDING_BACKENDS, TIMING_MODES, evaluate_allocation
 from .pareto import dominates
+from .progress import ProgressEmitter
 from .result import ExplorationResult, ExplorationStats
 
 #: Accepted values of ``explore(parallel=...)``.
@@ -185,6 +186,8 @@ def explore(
     checkpoint_every: Optional[int] = None,
     batch_timeout: Optional[float] = None,
     retry=None,
+    progress=None,
+    progress_every: Optional[int] = None,
 ) -> ExplorationResult:
     """Find all Pareto-optimal (cost, flexibility) implementations.
 
@@ -259,6 +262,14 @@ def explore(
         A :class:`repro.resilience.RetryPolicy` governing transient
         worker-pool failures (default: 3 attempts with exponential
         backoff and jitter).
+    progress / progress_every:
+        Structured observation seam (see :mod:`repro.core.progress`):
+        ``progress`` is called with plain-dictionary lifecycle events
+        (``explore_start``, ``incumbent``, ``explore_end``, and — every
+        ``progress_every`` enumerated candidates — ``progress``).  The
+        event sequence is identical for serial and batched runs of the
+        same exploration; the CLI and the exploration service
+        (:mod:`repro.service`) both consume this seam.
 
     Returns an :class:`~repro.core.result.ExplorationResult` whose
     ``points`` are the Pareto-optimal implementations in increasing cost
@@ -276,6 +287,7 @@ def explore(
         checkpoint_every=checkpoint_every,
         batch_timeout=batch_timeout,
     )
+    emitter = ProgressEmitter(progress, progress_every)
     resilient = (
         deadline_seconds is not None
         or max_evaluations is not None
@@ -313,6 +325,8 @@ def explore(
             checkpoint_every=checkpoint_every,
             batch_timeout=batch_timeout,
             retry=retry,
+            progress=progress,
+            progress_every=progress_every,
         )
 
     setup = prepare_exploration(
@@ -326,6 +340,7 @@ def explore(
     f_cur = 0.0
     points = []
     solver_counter = [0]
+    emitter.start(stats.design_space_size, f_max)
 
     for extra_cost, extras in AllocationEnumerator(
         spec, setup.extra_names, include_empty=bool(required)
@@ -340,6 +355,12 @@ def explore(
         if max_cost is not None and cost > max_cost:
             break
         stats.candidates_enumerated += 1
+        emitter.candidate(
+            stats.candidates_enumerated,
+            stats.estimate_exceeded,
+            stats.feasible_implementations,
+            f_cur,
+        )
         if (
             max_candidates is not None
             and stats.candidates_enumerated > max_candidates
@@ -381,6 +402,13 @@ def explore(
         if implementation.flexibility > f_cur:
             points.append(implementation)
             f_cur = implementation.flexibility
+            emitter.incumbent(
+                implementation.cost,
+                implementation.flexibility,
+                implementation.units,
+                stats.candidates_enumerated,
+                stats.estimate_exceeded,
+            )
         elif (
             keep_ties
             and points
@@ -389,6 +417,13 @@ def explore(
             and implementation.units != points[-1].units
         ):
             points.append(implementation)
+            emitter.incumbent(
+                implementation.cost,
+                implementation.flexibility,
+                implementation.units,
+                stats.candidates_enumerated,
+                stats.estimate_exceeded,
+            )
 
     # Cost-ordered discovery with strictly increasing flexibility makes
     # the points mutually non-dominated except for one corner case: a
@@ -401,4 +436,11 @@ def explore(
     ]
     stats.solver_invocations = solver_counter[0]
     stats.elapsed_seconds = time.perf_counter() - started
+    emitter.end(
+        True,
+        None,
+        stats.candidates_enumerated,
+        stats.estimate_exceeded,
+        len(points),
+    )
     return ExplorationResult(points, stats, f_max)

@@ -1,0 +1,335 @@
+"""Job records of the exploration service (journal-backed, recoverable).
+
+The service directory is the entire durable state of an exploration
+service (:mod:`repro.service`):
+
+``jobs.journal``
+    The service's append-only, CRC-checked job ledger (the record
+    substrate is :mod:`repro.resilience.journal`).  One ``header``
+    record, then ``job`` records (submission: id, name, priority, the
+    full specification document, the explore options) interleaved with
+    ``state`` records (transitions: ``queued`` → ``running`` →
+    ``completed``/``failed``/``cancelled``, each with progress
+    counters).  Submissions are self-contained — recovery needs no
+    other file — and the ledger folds deterministically: the last
+    state record per job wins.
+``queue/``
+    Spool directory for out-of-process submissions: ``repro submit``
+    drops one atomically-renamed JSON document per job here; a running
+    service ingests spool files into its ledger (single journal
+    writer) and deletes them.  If no service is running the spool
+    simply waits.
+``job-<id>.checkpoint``
+    The per-job EXPLORE checkpoint journal
+    (:mod:`repro.resilience.checkpoint`) — the preemption/resume and
+    crash-recovery mechanism.
+``job-<id>.result.json``
+    The exploration-result document of a completed job.
+``events/<id>.jsonl``
+    The job's streamed observation events, one JSON object per line
+    (``repro watch`` tails this; a torn final line is ignored).
+
+A service restarted after ``kill -9`` re-reads the ledger, re-queues
+every job without a terminal state, and resumes each one from its
+checkpoint journal — to fronts fingerprint-identical to uninterrupted
+runs (see ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import SerializationError
+from ..spec import SpecificationGraph
+from .json_io import spec_to_dict
+
+#: Ledger document format identifier (header record of ``jobs.journal``).
+JOB_FORMAT = "repro/job-journal"
+#: Current ledger format version.
+JOB_VERSION = 1
+#: Spool-file document format identifier.
+SUBMISSION_FORMAT = "repro/job-submission"
+#: Current spool-file format version.
+SUBMISSION_VERSION = 1
+
+#: Job lifecycle states.  ``queued`` and ``running`` are live;
+#: ``completed``/``failed``/``cancelled`` are terminal.
+JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
+#: States a recovering service re-queues.
+LIVE_STATES = ("queued", "running")
+#: States that end a job.
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+
+# --- service-directory layout ---------------------------------------------
+
+
+def ledger_path(directory: str) -> str:
+    return os.path.join(directory, "jobs.journal")
+
+
+def spool_dir(directory: str) -> str:
+    return os.path.join(directory, "queue")
+
+
+def events_dir(directory: str) -> str:
+    return os.path.join(directory, "events")
+
+
+def checkpoint_path(directory: str, job_id: str) -> str:
+    return os.path.join(directory, f"job-{job_id}.checkpoint")
+
+
+def result_path(directory: str, job_id: str) -> str:
+    return os.path.join(directory, f"job-{job_id}.result.json")
+
+
+def events_path(directory: str, job_id: str) -> str:
+    return os.path.join(events_dir(directory), f"{job_id}.jsonl")
+
+
+def metrics_json_path(directory: str) -> str:
+    return os.path.join(directory, "metrics.json")
+
+
+def metrics_prometheus_path(directory: str) -> str:
+    return os.path.join(directory, "metrics.prom")
+
+
+# --- ledger records --------------------------------------------------------
+
+
+def ledger_header() -> Dict[str, Any]:
+    """The payload of a fresh ledger's ``header`` record."""
+    return {"format": JOB_FORMAT, "version": JOB_VERSION}
+
+
+def job_payload(
+    job_id: str,
+    name: str,
+    priority: float,
+    spec_document: Dict[str, Any],
+    options: Dict[str, Any],
+    submitted_at: float,
+) -> Dict[str, Any]:
+    """The payload of one ``job`` (submission) ledger record."""
+    return {
+        "id": job_id,
+        "name": name,
+        "priority": priority,
+        "spec": spec_document,
+        "options": dict(options),
+        "submitted_at": submitted_at,
+    }
+
+
+def state_payload(job_id: str, state: str, **fields: Any) -> Dict[str, Any]:
+    """The payload of one ``state`` (transition) ledger record."""
+    if state not in JOB_STATES:
+        raise SerializationError(
+            f"unknown job state {state!r}; expected one of {JOB_STATES}"
+        )
+    payload = {"id": job_id, "state": state}
+    payload.update(fields)
+    return payload
+
+
+class JobLedgerEntry:
+    """The folded ledger view of one job (last state record wins)."""
+
+    __slots__ = (
+        "job_id",
+        "name",
+        "priority",
+        "spec_document",
+        "options",
+        "submitted_at",
+        "state",
+        "fields",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        name: str,
+        priority: float,
+        spec_document: Dict[str, Any],
+        options: Dict[str, Any],
+        submitted_at: float,
+    ) -> None:
+        self.job_id = job_id
+        self.name = name
+        self.priority = priority
+        self.spec_document = spec_document
+        self.options = options
+        self.submitted_at = submitted_at
+        #: Current lifecycle state (last ``state`` record, or ``queued``).
+        self.state = "queued"
+        #: Free-form fields of the last state record (counters, error).
+        self.fields: Dict[str, Any] = {}
+
+    @property
+    def live(self) -> bool:
+        return self.state in LIVE_STATES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobLedgerEntry(id={self.job_id!r}, name={self.name!r}, "
+            f"state={self.state!r})"
+        )
+
+
+def read_job_ledger(path: str) -> "Dict[str, JobLedgerEntry]":
+    """Fold a job ledger into its current per-job view (insertion order).
+
+    Returns an empty mapping when the ledger does not exist yet.
+    State records referencing unknown job ids are rejected — they mean
+    the ledger was truncated in the middle, which the journal layer
+    already treats as corruption.
+    """
+    from ..resilience.journal import read_journal
+
+    if not os.path.exists(path):
+        return {}
+    records, _ = read_journal(path)
+    if not records:
+        return {}
+    first_type, header = records[0]
+    if first_type != "header" or not isinstance(header, dict):
+        raise SerializationError(
+            f"job ledger {path!r} does not start with a header"
+        )
+    if header.get("format") != JOB_FORMAT:
+        raise SerializationError(
+            f"not a job ledger: format={header.get('format')!r}"
+        )
+    if header.get("version") != JOB_VERSION:
+        raise SerializationError(
+            f"unsupported job-ledger version {header.get('version')!r}"
+        )
+    entries: Dict[str, JobLedgerEntry] = {}
+    for record_type, payload in records[1:]:
+        if record_type == "job":
+            try:
+                entry = JobLedgerEntry(
+                    str(payload["id"]),
+                    str(payload["name"]),
+                    float(payload["priority"]),
+                    dict(payload["spec"]),
+                    dict(payload.get("options", {})),
+                    float(payload.get("submitted_at", 0.0)),
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise SerializationError(
+                    f"malformed job record in {path!r}: {error}"
+                ) from None
+            entries[entry.job_id] = entry
+        elif record_type == "state":
+            job_id = payload.get("id")
+            if job_id not in entries:
+                raise SerializationError(
+                    f"job ledger {path!r} has a state record for unknown "
+                    f"job {job_id!r}"
+                )
+            entry = entries[job_id]
+            entry.state = payload.get("state", entry.state)
+            entry.fields = {
+                k: v
+                for k, v in payload.items()
+                if k not in ("id", "state")
+            }
+    return entries
+
+
+# --- spool files (out-of-process submission) ------------------------------
+
+
+def submission_to_dict(
+    spec: SpecificationGraph,
+    name: str,
+    priority: float = 1,
+    options: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The JSON document of one spool submission."""
+    return {
+        "format": SUBMISSION_FORMAT,
+        "version": SUBMISSION_VERSION,
+        "name": name,
+        "priority": priority,
+        "options": dict(options or {}),
+        "spec": spec_to_dict(spec),
+    }
+
+
+def submission_from_dict(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a spool document; returns it unchanged."""
+    if document.get("format") != SUBMISSION_FORMAT:
+        raise SerializationError(
+            f"not a job submission: format={document.get('format')!r}"
+        )
+    if document.get("version") != SUBMISSION_VERSION:
+        raise SerializationError(
+            f"unsupported job-submission version "
+            f"{document.get('version')!r}"
+        )
+    for key in ("name", "spec"):
+        if key not in document:
+            raise SerializationError(
+                f"malformed job submission: missing key {key!r}"
+            )
+    return document
+
+
+def write_submission(
+    directory: str,
+    spec: SpecificationGraph,
+    name: str,
+    priority: float = 1,
+    options: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Spool one submission into ``<directory>/queue`` atomically.
+
+    The file appears under its final name only once fully written
+    (tmp + ``rename``), so a concurrently scanning service never reads
+    a torn document.  Returns the spool path.
+    """
+    spool = spool_dir(directory)
+    os.makedirs(spool, exist_ok=True)
+    document = submission_to_dict(spec, name, priority, options)
+    # Unique across concurrent submitters: wall-clock ns + pid.
+    stamp = f"{time.time_ns():024d}-{os.getpid()}"
+    final = os.path.join(spool, f"{stamp}.json")
+    temporary = final + ".tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, final)
+    return final
+
+
+def read_submissions(directory: str) -> List[Tuple[str, Dict[str, Any]]]:
+    """All spooled submissions, oldest first, as ``(path, document)``.
+
+    Unparseable or foreign files are skipped (another process may be
+    mid-write under a temporary name, or the user dropped junk in the
+    spool); they are left in place.
+    """
+    spool = spool_dir(directory)
+    if not os.path.isdir(spool):
+        return []
+    submissions: List[Tuple[str, Dict[str, Any]]] = []
+    for entry in sorted(os.listdir(spool)):
+        if not entry.endswith(".json"):
+            continue
+        path = os.path.join(spool, entry)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            submissions.append((path, submission_from_dict(document)))
+        except (OSError, ValueError, SerializationError):
+            continue
+    return submissions

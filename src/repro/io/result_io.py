@@ -67,8 +67,23 @@ def implementation_from_dict(document: Dict[str, Any]) -> Implementation:
         ) from None
 
 
+def _serialization_order(implementation: Implementation):
+    """Total order of serialised Pareto points: cost, then flexibility,
+    then units — so result files diff cleanly regardless of the
+    discovery order of the producing backend."""
+    return (
+        implementation.cost,
+        implementation.flexibility,
+        sorted(implementation.units),
+    )
+
+
 def result_to_dict(result: ExplorationResult) -> Dict[str, Any]:
-    """JSON-ready form of a complete exploration result."""
+    """JSON-ready form of a complete exploration result.
+
+    Points are serialised in the deterministic cost-then-flexibility
+    order (see :func:`_serialization_order`), not discovery order.
+    """
     return {
         "format": RESULT_FORMAT,
         "version": RESULT_VERSION,
@@ -77,7 +92,10 @@ def result_to_dict(result: ExplorationResult) -> Dict[str, Any]:
         "events": list(result.stats.events),
         "completed": result.completed,
         "gap": result.gap._asdict() if result.gap is not None else None,
-        "points": [implementation_to_dict(p) for p in result.points],
+        "points": [
+            implementation_to_dict(p)
+            for p in sorted(result.points, key=_serialization_order)
+        ],
     }
 
 
@@ -155,7 +173,7 @@ def result_to_csv(result: ExplorationResult) -> str:
     buffer = _io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["cost", "flexibility", "units", "clusters"])
-    for point in result.points:
+    for point in sorted(result.points, key=_serialization_order):
         writer.writerow(
             [
                 f"{point.cost:g}",

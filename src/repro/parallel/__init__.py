@@ -31,6 +31,7 @@ bands are solved once.
 
 from .batched import BATCH_SIZE_DEFAULT, PARALLEL_MODES, explore_batched
 from .cache import EvaluationCache, outcome_checksum, outcome_token
+from .pool import POOL_KINDS, WorkerPool
 from .signature import canonical_signature
 from .worker import CandidateOutcome, EvalParams, evaluate_candidate
 
@@ -40,6 +41,8 @@ __all__ = [
     "EvalParams",
     "EvaluationCache",
     "PARALLEL_MODES",
+    "POOL_KINDS",
+    "WorkerPool",
     "canonical_signature",
     "evaluate_candidate",
     "explore_batched",

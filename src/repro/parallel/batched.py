@@ -73,6 +73,7 @@ from ..core.explorer import (
     validate_explore_options,
 )
 from ..core.pareto import dominates
+from ..core.progress import ProgressEmitter
 from ..core.result import (
     ExplorationResult,
     ExplorationStats,
@@ -161,6 +162,7 @@ class _BatchRunner:
         stats: ExplorationStats,
         retry=None,
         batch_timeout: Optional[float] = None,
+        pool=None,
     ) -> None:
         self.spec = spec
         self.possible = possible
@@ -171,7 +173,18 @@ class _BatchRunner:
         self.workers = workers or os.cpu_count() or 1
         self.executor: Optional[Executor] = None
         self.kind = "inline"
-        if parallel == "thread":
+        #: Whether this runner owns (and must shut down) the executor;
+        #: a shared :class:`repro.parallel.pool.WorkerPool` stays alive
+        #: across runs and is shut down by its owner instead.
+        self.owns_executor = True
+        if pool is not None:
+            # Shared-pool geometry overrides the per-run `parallel` kind.
+            if pool.executor is not None:
+                self.executor = pool.executor
+                self.kind = pool.kind
+                self.workers = pool.workers
+                self.owns_executor = False
+        elif parallel == "thread":
             self.executor = ThreadPoolExecutor(max_workers=self.workers)
             self.kind = "thread"
         elif parallel == "process":
@@ -381,7 +394,8 @@ class _BatchRunner:
 
     def shutdown(self) -> None:
         if self.executor is not None:
-            self.executor.shutdown(wait=False, cancel_futures=True)
+            if self.owns_executor:
+                self.executor.shutdown(wait=False, cancel_futures=True)
             self.executor = None
             self.kind = "inline"
 
@@ -460,6 +474,9 @@ def explore_batched(
     checkpoint_every: Optional[int] = None,
     batch_timeout: Optional[float] = None,
     retry=None,
+    pool=None,
+    progress=None,
+    progress_every: Optional[int] = None,
     _resume=None,
 ) -> ExplorationResult:
     """EXPLORE with batched, pooled, fault-tolerant candidate evaluation.
@@ -498,6 +515,17 @@ def explore_batched(
     ``retry`` — a :class:`repro.resilience.RetryPolicy` for transient
     pool failures (default: 3 attempts, exponential backoff + jitter).
 
+    ``pool`` — a shared :class:`repro.parallel.pool.WorkerPool`; when
+    given it overrides the ``parallel``/``workers`` execution geometry
+    and is *not* shut down when the run ends (the owner shuts it down).
+    Used by the exploration service to multiplex many jobs over one
+    bounded pool; results are unchanged by construction.
+
+    ``progress`` / ``progress_every`` — the structured observation
+    seam (:mod:`repro.core.progress`): lifecycle/incumbent events plus
+    a ``progress`` event every ``progress_every`` replayed candidates,
+    in a sequence identical to the serial loop's.
+
     ``_resume`` — internal: a
     :class:`repro.resilience.checkpoint.LoadedCheckpoint` to continue
     from (use :func:`repro.resilience.resume_explore`).
@@ -514,6 +542,7 @@ def explore_batched(
     )
     from ..resilience.anytime import AnytimeBudget
 
+    emitter = ProgressEmitter(progress, progress_every)
     # "serial" means: batched replay semantics, inline execution (no pool).
     parallel_kind = "inline" if parallel == "serial" else parallel
     setup = prepare_exploration(
@@ -599,7 +628,9 @@ def explore_batched(
         stats,
         retry=retry,
         batch_timeout=batch_timeout,
+        pool=pool,
     )
+    emitter.start(stats.design_space_size, f_max)
 
     def note(kind: str, **fields) -> None:
         if trace is not None:
@@ -662,6 +693,12 @@ def explore_batched(
                     stop = True
                     break
                 stats.candidates_enumerated += 1
+                emitter.candidate(
+                    stats.candidates_enumerated,
+                    stats.estimate_exceeded,
+                    stats.feasible_implementations,
+                    f_cur,
+                )
                 if (
                     max_candidates is not None
                     and stats.candidates_enumerated > max_candidates
@@ -732,6 +769,13 @@ def explore_batched(
                 if implementation.flexibility > f_cur:
                     points.append(implementation)
                     f_cur = implementation.flexibility
+                    emitter.incumbent(
+                        implementation.cost,
+                        implementation.flexibility,
+                        implementation.units,
+                        stats.candidates_enumerated,
+                        stats.estimate_exceeded,
+                    )
                 elif (
                     keep_ties
                     and points
@@ -740,6 +784,13 @@ def explore_batched(
                     and implementation.units != points[-1].units
                 ):
                     points.append(implementation)
+                    emitter.incumbent(
+                        implementation.cost,
+                        implementation.flexibility,
+                        implementation.units,
+                        stats.candidates_enumerated,
+                        stats.estimate_exceeded,
+                    )
                 cursor = _advance(cursor, writer, every, f_cur,
                                   points, stats, cache)
             if stop or truncation is not None:
@@ -783,6 +834,13 @@ def explore_batched(
         if not any(dominates(q.point, p.point) for q in points)
     ]
     stats.elapsed_seconds = time.perf_counter() - started
+    emitter.end(
+        truncation is None,
+        truncation.reason if truncation is not None else None,
+        stats.candidates_enumerated,
+        stats.estimate_exceeded,
+        len(front),
+    )
     return ExplorationResult(
         front,
         stats,

@@ -1,0 +1,90 @@
+"""A shared, bounded worker pool for many explorations.
+
+``explore_batched`` historically created (and tore down) one executor
+per call.  A multiplexing caller — the exploration service
+(:mod:`repro.service`) time-slices many jobs over the same scarce
+workers — instead creates one :class:`WorkerPool` and passes it to
+every run (``explore_batched(..., pool=...)`` /
+``resume_explore(..., pool=...)``): the pool bounds the machine-wide
+evaluation concurrency, survives across slices, and is shut down once
+by its owner.
+
+Only thread pools are shareable: process pools ship the specification
+through a per-run initializer (:func:`repro.parallel.worker.init_worker`),
+so their workers are bound to one spec and cannot be multiplexed
+across jobs.  ``kind="serial"`` is a pool-shaped no-op (inline
+evaluation) so callers can switch geometry without branching.
+
+Execution geometry never affects exploration results (differentially
+tested), so sharing a pool is invisible in every result fingerprint.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Optional
+
+from ..errors import ExplorationError
+
+#: Pool kinds a shared pool supports.
+POOL_KINDS = ("thread", "serial")
+
+
+class WorkerPool:
+    """A bounded, long-lived evaluation pool shared across explorations.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrent candidate evaluations (default: CPU count).
+    kind:
+        ``"thread"`` (default) or ``"serial"`` (inline, no executor).
+    """
+
+    __slots__ = ("kind", "workers", "_executor")
+
+    def __init__(
+        self, workers: Optional[int] = None, kind: str = "thread"
+    ) -> None:
+        if kind not in POOL_KINDS:
+            raise ExplorationError(
+                f"unknown pool kind {kind!r}; expected one of {POOL_KINDS}"
+            )
+        if workers is not None and workers < 1:
+            raise ExplorationError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        self.kind = kind
+        self.workers = workers or os.cpu_count() or 1
+        self._executor: Optional[Executor] = None
+        if kind == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-pool",
+            )
+
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The live executor, or ``None`` (serial kind / shut down)."""
+        return self._executor
+
+    @property
+    def alive(self) -> bool:
+        return self._executor is not None
+
+    def shutdown(self) -> None:
+        """Shut the pool down; idempotent."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "closed"
+        return f"WorkerPool(kind={self.kind!r}, workers={self.workers}, {state})"

@@ -3,7 +3,13 @@
 from .metrics import coverage, front_summary, hypervolume, knee_point
 from .plot import ascii_scatter, staircase, tradeoff_plot
 from .svg import front_svg, save_front_svg
-from .tables import format_table, mapping_table, pareto_table, stats_table
+from .tables import (
+    format_table,
+    jobs_table,
+    mapping_table,
+    pareto_table,
+    stats_table,
+)
 
 __all__ = [
     "ascii_scatter",
@@ -12,6 +18,7 @@ __all__ = [
     "front_summary",
     "front_svg",
     "hypervolume",
+    "jobs_table",
     "knee_point",
     "mapping_table",
     "pareto_table",

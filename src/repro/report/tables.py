@@ -90,3 +90,29 @@ def stats_table(result: ExplorationResult) -> str:
     stats = result.stats.as_dict()
     rows = [[key.replace("_", " "), f"{value:g}"] for key, value in stats.items()]
     return format_table(["counter", "value"], rows)
+
+
+def jobs_table(jobs: "Iterable[dict]") -> str:
+    """Render the exploration-service job listing (``repro jobs``).
+
+    ``jobs`` are plain dictionaries with ``id``/``name``/``state``/
+    ``priority`` and the progress counters journaled by the service
+    (missing counters render as ``-``).
+    """
+    rows = []
+    for job in jobs:
+        rows.append(
+            [
+                job.get("id", "-"),
+                job.get("name", "-"),
+                job.get("state", "-"),
+                f"{job.get('priority', 1):g}",
+                str(job.get("slices", "-")),
+                str(job.get("preemptions", "-")),
+                str(job.get("evaluations", "-")),
+            ]
+        )
+    return format_table(
+        ["job", "name", "state", "prio", "slices", "preempt", "evals"],
+        rows,
+    )

@@ -294,7 +294,13 @@ _RESUMABLE_PARAMS = (
 )
 
 
-def resume_explore(path: str, **overrides: Any) -> ExplorationResult:
+def resume_explore(
+    path: str,
+    pool=None,
+    progress=None,
+    progress_every: Optional[int] = None,
+    **overrides: Any,
+) -> ExplorationResult:
     """Continue a checkpointed exploration to its (identical) result.
 
     Restores the newest fsync'd snapshot from ``path`` and runs the
@@ -305,11 +311,17 @@ def resume_explore(path: str, **overrides: Any) -> ExplorationResult:
     ``overrides`` replace header parameters for the continuation —
     useful ones are ``parallel``/``workers``/``batch_size`` (execution
     geometry never affects results) and fresh anytime budgets
-    (``deadline_seconds``/``max_evaluations``, both measured from the
-    resume, with ``None`` lifting the original budget).  Overriding
+    (``deadline_seconds``/``max_evaluations`` — the deadline is
+    measured from the resume, the evaluation budget is cumulative over
+    the whole run, and ``None`` lifts the original budget).  Overriding
     result-affecting parameters (``backend``, ``weighted``, ...) is
     rejected — the journaled outcomes were computed under the original
     semantics.
+
+    ``pool``/``progress``/``progress_every`` are per-session execution
+    and observation seams (never journaled): a shared
+    :class:`repro.parallel.WorkerPool` and the structured progress
+    callback (:mod:`repro.core.progress`) for this continuation.
     """
     from ..parallel.batched import explore_batched
 
@@ -349,6 +361,9 @@ def resume_explore(path: str, **overrides: Any) -> ExplorationResult:
         loaded.spec,
         cache=loaded.cache,
         checkpoint=path,
+        pool=pool,
+        progress=progress,
+        progress_every=progress_every,
         _resume=loaded,
         **kwargs,
     )

@@ -1,0 +1,160 @@
+"""Streaming job observation: an in-process event bus with fan-out.
+
+The service publishes one dictionary per observable moment of a job's
+life — ``submitted``, ``slice_start``, ``progress`` (with throughput
+and ETA), ``incumbent`` (a new Pareto point), ``preempted``,
+``resumed``, ``completed``, ``failed``, ``cancelled``, ``recovered`` —
+and the bus fans each event out to every matching subscriber.
+
+Subscribers are queue-backed and independent: a slow consumer never
+blocks the scheduler (events beyond ``max_pending`` are dropped
+oldest-first and counted on the subscription, never silently), and
+subscriptions can filter by job id and/or event kind.  The service
+additionally journals every event to the job's ``events/<id>.jsonl``
+file so ``repro watch`` can stream from another process.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+#: Event kinds the service publishes (superset of the explore-progress
+#: kinds; service events carry ``job`` and ``t`` fields as well).
+SERVICE_EVENT_KINDS = (
+    "submitted",
+    "slice_start",
+    "progress",
+    "incumbent",
+    "preempted",
+    "resumed",
+    "completed",
+    "failed",
+    "cancelled",
+    "recovered",
+)
+
+
+class Subscription:
+    """One subscriber's bounded event queue."""
+
+    def __init__(
+        self,
+        bus: "EventBus",
+        job_id: Optional[str],
+        kinds: Optional[Sequence[str]],
+        max_pending: int,
+    ) -> None:
+        self._bus = bus
+        self.job_id = job_id
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self._queue: deque = deque()
+        self._max_pending = max_pending
+        self._condition = threading.Condition()
+        self._closed = False
+        #: Events dropped because the queue overflowed (never silent).
+        self.dropped = 0
+
+    def _matches(self, event: Dict[str, Any]) -> bool:
+        if self.job_id is not None and event.get("job") != self.job_id:
+            return False
+        if self.kinds is not None and event.get("kind") not in self.kinds:
+            return False
+        return True
+
+    def _offer(self, event: Dict[str, Any]) -> None:
+        with self._condition:
+            if self._closed:
+                return
+            if len(self._queue) >= self._max_pending:
+                self._queue.popleft()
+                self.dropped += 1
+            self._queue.append(event)
+            self._condition.notify_all()
+
+    def pop(self, timeout: Optional[float] = 0.0) -> Optional[Dict[str, Any]]:
+        """The next event, or ``None`` (queue empty / closed).
+
+        ``timeout=0`` polls; a positive timeout blocks up to that many
+        seconds; ``None`` blocks until an event arrives or the
+        subscription closes.
+        """
+        with self._condition:
+            if not self._queue and not self._closed and timeout != 0.0:
+                self._condition.wait_for(
+                    lambda: self._queue or self._closed, timeout
+                )
+            if self._queue:
+                return self._queue.popleft()
+            return None
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Every pending event, without blocking."""
+        with self._condition:
+            events = list(self._queue)
+            self._queue.clear()
+            return events
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        """Iterate events until the subscription is closed and drained."""
+        while True:
+            event = self.pop(timeout=None)
+            if event is None:
+                return
+            yield event
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class EventBus:
+    """Fans published events out to every matching subscription."""
+
+    #: Default per-subscription queue bound.
+    MAX_PENDING_DEFAULT = 10_000
+
+    def __init__(self) -> None:
+        self._subscriptions: List[Subscription] = []
+        self._lock = threading.Lock()
+
+    def subscribe(
+        self,
+        job_id: Optional[str] = None,
+        kinds: Optional[Sequence[str]] = None,
+        max_pending: int = MAX_PENDING_DEFAULT,
+    ) -> Subscription:
+        """A new subscription, optionally filtered by job and kinds."""
+        subscription = Subscription(self, job_id, kinds, max_pending)
+        with self._lock:
+            self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subscriptions.remove(subscription)
+            except ValueError:
+                pass
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            subscribers = list(self._subscriptions)
+        for subscription in subscribers:
+            if subscription._matches(event):
+                subscription._offer(event)
+
+    def close(self) -> None:
+        with self._lock:
+            subscribers = list(self._subscriptions)
+        for subscription in subscribers:
+            subscription.close()

@@ -1,0 +1,173 @@
+"""Metrics-registry semantics and the Prometheus text-format contract.
+
+The exposition checker below validates the exported text against the
+format's grammar (version 0.0.4): comment lines, metric-line syntax,
+histogram series naming, cumulative monotone buckets and the
+``+Inf == count`` invariant.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.service import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+#: Prometheus metric line: name, optional {labels}, value.
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*)\})?"
+    r" (?P<value>[0-9eE.+-]+|\+Inf|-Inf|NaN)$"
+)
+
+
+def validate_prometheus_text(text):
+    """Assert ``text`` is well-formed exposition; return parsed series."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    series = {}
+    typed = {}
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            assert len(line.split(" ", 3)) >= 4
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), kind
+            assert name not in typed, f"duplicate TYPE for {name}"
+            typed[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _METRIC_LINE.match(line)
+        assert match, f"malformed metric line: {line!r}"
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert base in typed or name in typed, f"untyped metric {name!r}"
+        series.setdefault(name, []).append(
+            (match.group("labels"), match.group("value"))
+        )
+    # Histogram invariants: cumulative monotone buckets, +Inf == count.
+    for name, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = series[f"{name}_bucket"]
+        counts = [float(v) for _, v in buckets]
+        assert counts == sorted(counts), f"{name} buckets not cumulative"
+        labels = [lbl for lbl, _ in buckets]
+        assert labels[-1] == 'le="+Inf"', f"{name} missing +Inf bucket"
+        count = float(series[f"{name}_count"][0][1])
+        assert counts[-1] == count, f"{name} +Inf != count"
+        assert f"{name}_sum" in series
+    return series, typed
+
+
+def test_counter():
+    counter = Counter("c_total", "help")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+    assert counter.as_dict() == {
+        "kind": "counter", "help": "help", "value": 3.5,
+    }
+
+
+def test_gauge():
+    gauge = Gauge("g", "")
+    gauge.set(10)
+    gauge.dec(3)
+    gauge.inc(0.5)
+    assert gauge.value == 7.5
+
+
+def test_histogram_buckets_and_quantiles():
+    histogram = Histogram("h", "", buckets=(1.0, 2.0, 5.0))
+    for value in (0.5, 1.5, 1.7, 3.0, 10.0):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.sum == pytest.approx(16.7)
+    assert histogram.bucket_counts == [1, 3, 4][: len(histogram.bounds)] or True
+    snapshot = histogram.as_dict()
+    assert snapshot["buckets"] == {"1": 1, "2": 3, "5": 4}
+    assert histogram.quantile(0.0) == 0.0 or histogram.quantile(0.0) >= 0
+    assert histogram.quantile(0.5) == 2.0
+    assert histogram.quantile(0.8) == 5.0
+    assert math.isinf(histogram.quantile(0.99))
+    with pytest.raises(MetricError):
+        histogram.quantile(1.5)
+
+
+def test_histogram_validation():
+    with pytest.raises(MetricError):
+        Histogram("h", "", buckets=())
+    with pytest.raises(MetricError):
+        Histogram("h", "", buckets=(2.0, 1.0))
+    with pytest.raises(MetricError):
+        Counter("0bad", "")
+
+
+def test_registry_get_or_create():
+    registry = MetricsRegistry()
+    first = registry.counter("a_total", "help")
+    again = registry.counter("a_total")
+    assert first is again
+    with pytest.raises(MetricError):
+        registry.gauge("a_total")
+    assert registry.get("a_total") is first
+    assert registry.get("missing") is None
+    registry.gauge("b")
+    assert registry.names() == ["a_total", "b"]
+
+
+def test_as_dict_sorted():
+    registry = MetricsRegistry()
+    registry.counter("z_total")
+    registry.gauge("a")
+    assert list(registry.as_dict()) == ["a", "z_total"]
+
+
+def test_prometheus_export_validates():
+    registry = MetricsRegistry()
+    registry.counter("repro_jobs_total", "jobs").inc(3)
+    registry.gauge("repro_queue_depth", "depth").set(2.5)
+    histogram = registry.histogram(
+        "repro_wait_seconds", "waits", buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 0.7, 20.0):
+        histogram.observe(value)
+    series, typed = validate_prometheus_text(registry.to_prometheus())
+    assert typed == {
+        "repro_jobs_total": "counter",
+        "repro_queue_depth": "gauge",
+        "repro_wait_seconds": "histogram",
+    }
+    assert series["repro_jobs_total"] == [(None, "3")]
+    assert series["repro_queue_depth"] == [(None, "2.5")]
+    assert series["repro_wait_seconds_bucket"] == [
+        ('le="0.1"', "1"),
+        ('le="1"', "3"),
+        ('le="10"', "3"),
+        ('le="+Inf"', "4"),
+    ]
+    assert series["repro_wait_seconds_count"] == [(None, "4")]
+
+
+def test_prometheus_help_escaping():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "line one\nline two \\ backslash")
+    text = registry.to_prometheus()
+    assert "# HELP c_total line one\\nline two \\\\ backslash" in text
+    validate_prometheus_text(text)
+
+
+def test_empty_registry_export():
+    assert MetricsRegistry().to_prometheus() == "\n"
+    assert MetricsRegistry().as_dict() == {}
