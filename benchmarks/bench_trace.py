@@ -1,0 +1,187 @@
+"""TRACE — overhead of the deterministic tracing layer.
+
+Runs the Set-Top microbench (the paper's Table-1 search: 8154
+candidates, 36 full evaluations) with tracing off, with spans-only
+tracing, and with the full pruning audit, and records the best-of-N
+wall clocks and overhead ratios to ``BENCH_trace.json``.  The
+acceptance budget of PR 4 is **spans-only overhead <= 10%**; the audit
+level buys one record per discarded candidate and is allowed to cost
+more.
+
+The bench also re-asserts the zero-change contract while it is at it:
+the traced runs must return fronts and statistics identical to the
+untraced baseline, and the spans/audit traces must reproduce the
+search statistics (``repro.trace.recompute_stats``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace.py           # full
+    PYTHONPATH=src python benchmarks/bench_trace.py --quick   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.casestudies import build_settop_spec
+from repro.core import explore
+from repro.report import format_table
+from repro.trace import Tracer, compute_trace_id, recompute_stats
+
+#: Spans-only tracing must stay within this overhead ratio.
+SPANS_BUDGET = 1.10
+
+#: The measured tracing configurations.
+LEVELS = ("off", "spans", "audit")
+
+
+def outcome(result):
+    """Comparable exploration outcome (everything but wall-clock)."""
+    stats = {
+        k: v
+        for k, v in result.stats.as_dict().items()
+        if k != "elapsed_seconds"
+    }
+    return (
+        [(sorted(p.units), p.cost, p.flexibility) for p in result.points],
+        stats,
+    )
+
+
+def timed(spec, repeat, level):
+    """Best-of-``repeat`` wall clock; returns (seconds, result, tracer)."""
+    best = float("inf")
+    result = None
+    tracer = None
+    for _ in range(repeat):
+        tracer = (
+            None
+            if level == "off"
+            else Tracer(level=level, trace_id=compute_trace_id(spec))
+        )
+        start = time.perf_counter()
+        result = explore(spec, tracer=tracer)
+        best = min(best, time.perf_counter() - start)
+    return best, result, tracer
+
+
+def run(repeat, out_path, verbose=True):
+    spec = build_settop_spec()
+    baseline_seconds = None
+    baseline_outcome = None
+    records = {}
+    identical = True
+    stats_reproduced = True
+    for level in LEVELS:
+        seconds, result, tracer = timed(spec, repeat, level)
+        if level == "off":
+            baseline_seconds = seconds
+            baseline_outcome = outcome(result)
+        exact = outcome(result) == baseline_outcome
+        identical = identical and exact
+        record = {
+            "seconds": seconds,
+            "overhead": seconds / baseline_seconds,
+            "identical_outcome": exact,
+        }
+        if tracer is not None:
+            record["records"] = len(tracer.all_records())
+            recomputed = recompute_stats(tracer.all_records())
+            reproduced = (
+                recomputed["candidates_enumerated"]
+                == result.stats.candidates_enumerated
+                and recomputed["estimate_exceeded"]
+                == result.stats.estimate_exceeded
+            )
+            if level == "audit":
+                reproduced = reproduced and (
+                    recomputed["possible_allocations"]
+                    == result.stats.possible_allocations
+                    and recomputed["solver_invocations"]
+                    == result.stats.solver_invocations
+                )
+                stats_reproduced = stats_reproduced and reproduced
+            record["stats_reproduced"] = reproduced
+        records[level] = record
+        if verbose:
+            extra = (
+                f" ({record.get('records', 0)} records)"
+                if level != "off"
+                else ""
+            )
+            print(
+                f"{level:5s} {seconds:.4f}s "
+                f"({record['overhead']:.3f}x){extra}"
+            )
+
+    spans_overhead = records["spans"]["overhead"]
+    within_budget = spans_overhead <= SPANS_BUDGET
+    document = {
+        "bench": "trace",
+        "spec": spec.name,
+        "cpu_count": os.cpu_count(),
+        "repeat": repeat,
+        "candidates": 8154,
+        "levels": records,
+        "spans_budget": SPANS_BUDGET,
+        "spans_overhead": spans_overhead,
+        "within_budget": within_budget,
+        "all_outcomes_identical": identical,
+        "audit_stats_reproduced": stats_reproduced,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    if verbose:
+        rows = [
+            [
+                level,
+                f"{records[level]['seconds']:.4f}s",
+                f"{records[level]['overhead']:.3f}x",
+                str(records[level].get("records", "-")),
+            ]
+            for level in LEVELS
+        ]
+        print()
+        print(format_table(["level", "seconds", "overhead", "records"], rows))
+        print(
+            f"\nspans-only overhead {spans_overhead:.3f}x "
+            f"(budget {SPANS_BUDGET:.2f}x) -> "
+            f"{'OK' if within_budget else 'OVER BUDGET'}"
+        )
+        print(f"wrote {out_path}")
+    return document
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="tracing-overhead benchmark (off / spans / audit)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke run: one repetition per level",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="timed repetitions per level (best-of, default 5)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_trace.json",
+        help="output JSON path (default BENCH_trace.json)",
+    )
+    args = parser.parse_args(argv)
+    repeat = args.repeat if args.repeat is not None else (1 if args.quick else 5)
+    document = run(repeat, args.out)
+    ok = (
+        document["within_budget"]
+        and document["all_outcomes_identical"]
+        and document["audit_stats_reproduced"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,9 @@ package implements the complete system:
 * :mod:`repro.adaptive` — runtime mode switching / reconfiguration;
 * :mod:`repro.casestudies` — the paper's TV decoder and Set-Top box
   plus a synthetic generator;
-* :mod:`repro.io` / :mod:`repro.report` — serialisation and reporting.
+* :mod:`repro.io` / :mod:`repro.report` — serialisation and reporting;
+* :mod:`repro.trace` — deterministic search tracing, pruning audit
+  and the ``repro explain`` toolchain.
 
 Quickstart::
 
@@ -28,6 +30,14 @@ Quickstart::
     # [(100.0, 2.0), (120.0, 3.0), (230.0, 4.0),
     #  (290.0, 5.0), (360.0, 7.0), (430.0, 8.0)]
 """
+
+import logging as _logging
+
+# Library logging convention: the package logs through module loggers
+# under the "repro" namespace and never configures handlers itself —
+# the NullHandler silences "no handler" warnings for applications that
+# do not use logging, and the CLI's -v/--log-level attaches a real one.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from .activation import (
     Activation,
@@ -90,6 +100,7 @@ from .errors import (
     ReproError,
     SerializationError,
     TimingError,
+    TraceError,
     ValidationError,
 )
 from .hgraph import (
@@ -134,6 +145,15 @@ from .timing import (
     list_schedule,
     meets_utilization_bound,
     utilization_by_resource,
+)
+from .trace import (
+    Tracer,
+    compute_trace_id,
+    explain_text,
+    read_trace,
+    trace_fingerprint,
+    write_chrome_trace,
+    write_trace,
 )
 
 # Prefer the installed distribution's version; fall back to the
@@ -182,6 +202,8 @@ __all__ = [
     "SerializationError",
     "SpecificationGraph",
     "TimingError",
+    "TraceError",
+    "Tracer",
     "UpgradeResult",
     "ValidationError",
     "Vertex",
@@ -191,6 +213,7 @@ __all__ = [
     "build_settop_spec",
     "build_tv_decoder_spec",
     "compare_scenarios",
+    "compute_trace_id",
     "cost_sensitivity",
     "critical_units",
     "dominates",
@@ -199,6 +222,7 @@ __all__ = [
     "estimate_flexibility",
     "evaluate_allocation",
     "exhaustive_front",
+    "explain_text",
     "explore",
     "explore_upgrades",
     "flatten",
@@ -221,6 +245,7 @@ __all__ = [
     "nsga2_explore",
     "pareto_front",
     "pareto_table",
+    "read_trace",
     "result_to_csv",
     "save_front_svg",
     "scenario_table",
@@ -233,8 +258,11 @@ __all__ = [
     "spec_to_dot",
     "stats_table",
     "synthetic_spec",
+    "trace_fingerprint",
     "tradeoff_plot",
     "upgrade_preserves_base",
     "utilization_by_resource",
     "with_unit_costs",
+    "write_chrome_trace",
+    "write_trace",
 ]

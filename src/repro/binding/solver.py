@@ -23,19 +23,30 @@ from .routing import Router
 class SolverStats:
     """Search-effort counters of one :class:`BindingSolver`."""
 
-    __slots__ = ("invocations", "assignments", "backtracks", "solutions")
+    __slots__ = (
+        "invocations",
+        "assignments",
+        "backtracks",
+        "solutions",
+        "util_rejections",
+    )
 
     def __init__(self) -> None:
         self.invocations = 0
         self.assignments = 0
         self.backtracks = 0
         self.solutions = 0
+        #: Assignments rejected by the utilisation bound alone — the
+        #: timing test's share of the search effort (see
+        #: ``docs/observability.md``).
+        self.util_rejections = 0
 
     def __repr__(self) -> str:
         return (
             f"SolverStats(invocations={self.invocations}, "
             f"assignments={self.assignments}, "
-            f"backtracks={self.backtracks}, solutions={self.solutions})"
+            f"backtracks={self.backtracks}, solutions={self.solutions}, "
+            f"util_rejections={self.util_rejections})"
         )
 
 
@@ -120,6 +131,7 @@ class BindingSolver:
                         utilization.get(resource, 0.0) + increment
                         > self.util_bound + 1e-12
                     ):
+                        self.stats.util_rejections += 1
                         continue
                 # communication with already-bound neighbours
                 feasible = True

@@ -11,6 +11,12 @@ Exposes the library's main workflows on specification-graph JSON files
     python -m repro synth --apps 3 --save synth.json # synthetic generator
     python -m repro dot settop.json > settop.dot     # Graphviz export
 
+the introspection toolchain (:mod:`repro.trace`)::
+
+    python -m repro explore settop.json --trace t.jsonl  # record a trace
+    python -m repro explain t.jsonl --tree               # render it
+    python -m repro trace settop.json --chrome t.json    # both in one step
+
 and the exploration service (:mod:`repro.service`)::
 
     python -m repro submit run/ settop.json          # spool a job
@@ -23,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import sys
 import time
@@ -70,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--version",
         action="version",
         version=f"%(prog)s {__version__}",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log to stderr (-v: info, -vv: debug)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="explicit stderr log level (overrides -v)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -211,6 +228,91 @@ def build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument(
         "--svg", metavar="FILE", help="render the front as SVG"
     )
+    explore_cmd.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help=(
+            "record the search trace to FILE (JSONL; inspect with "
+            "'repro explain FILE')"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--trace-level", choices=("spans", "audit"), default="audit",
+        help=(
+            "spans: phase/evaluation records only; audit: additionally "
+            "one record per pruned candidate (default)"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--chrome-trace", metavar="FILE", default=None,
+        help=(
+            "export a Chrome trace-event JSON timeline (open in "
+            "Perfetto or chrome://tracing)"
+        ),
+    )
+
+    explain = commands.add_parser(
+        "explain",
+        help="render a search trace (or result) as a human report",
+        description=(
+            "Explain an EXPLORE run from its artefacts alone.  FILE is "
+            "either a trace JSONL written by 'repro explore --trace' / "
+            "'repro trace' (per-phase time breakdown, prune-reason "
+            "audit, bound-tightness statistics, optionally the search "
+            "tree) or a result JSON written by --json (front and "
+            "statistics tables)."
+        ),
+    )
+    explain.add_argument("file", help="trace JSONL or result JSON file")
+    explain.add_argument(
+        "--tree", action="store_true",
+        help="render the search tree by cost band (audit traces)",
+    )
+    explain.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="cost bands shown in the tree (default 20)",
+    )
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="explore with tracing on and explain the run",
+        description=(
+            "Run EXPLORE with the tracer attached, write the requested "
+            "exports, and print the explain report.  Equivalent to "
+            "'repro explore --trace ... && repro explain ...' in one "
+            "step."
+        ),
+    )
+    trace_cmd.add_argument("spec", help="specification JSON file")
+    trace_cmd.add_argument(
+        "--level", choices=("spans", "audit"), default="audit",
+        help="trace detail level (default audit)",
+    )
+    trace_cmd.add_argument(
+        "--jsonl", metavar="FILE", default=None,
+        help="write the trace JSONL log",
+    )
+    trace_cmd.add_argument(
+        "--chrome", metavar="FILE", default=None,
+        help="write the Chrome trace-event JSON timeline",
+    )
+    trace_cmd.add_argument("--tree", action="store_true")
+    trace_cmd.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="cost bands shown with --tree (default 20)",
+    )
+    trace_cmd.add_argument("--util-bound", type=float, default=0.69)
+    trace_cmd.add_argument("--max-cost", type=float, default=None)
+    trace_cmd.add_argument("--keep-ties", action="store_true")
+    trace_cmd.add_argument(
+        "--timing-mode", choices=("utilization", "schedule", "none"),
+        default=None,
+    )
+    trace_cmd.add_argument(
+        "--parallel", choices=("serial", "thread", "process"),
+        default="serial",
+    )
+    trace_cmd.add_argument("--batch-size", type=int, default=None)
+    trace_cmd.add_argument("--workers", type=int, default=None)
 
     upgrade = commands.add_parser(
         "upgrade", help="incremental design: upgrades of a base allocation"
@@ -394,6 +496,37 @@ def _cmd_dot(args, out) -> int:
     return EXIT_OK
 
 
+def _build_tracer(args, spec=None):
+    """The tracer of an explore/trace invocation, or ``None``."""
+    jsonl = getattr(args, "trace", None) or getattr(args, "jsonl", None)
+    chrome = getattr(args, "chrome_trace", None) or getattr(
+        args, "chrome", None
+    )
+    wants_report = getattr(args, "command", None) == "trace"
+    if not (jsonl or chrome or wants_report):
+        return None
+    from .trace import Tracer, compute_trace_id
+
+    level = getattr(args, "trace_level", None) or getattr(
+        args, "level", "audit"
+    )
+    trace_id = compute_trace_id(spec) if spec is not None else None
+    return Tracer(level=level, trace_id=trace_id)
+
+
+def _export_tracer(tracer, jsonl, chrome, out) -> None:
+    if tracer is None:
+        return
+    from .trace import write_chrome_trace, write_trace
+
+    if jsonl:
+        write_trace(tracer, jsonl)
+        _print(f"wrote {jsonl}", out)
+    if chrome:
+        write_chrome_trace(tracer, chrome)
+        _print(f"wrote {chrome}", out)
+
+
 def _cmd_explore(args, out) -> int:
     if args.resume is not None:
         if args.spec is not None:
@@ -418,7 +551,8 @@ def _cmd_explore(args, out) -> int:
             overrides["workers"] = args.workers
         if args.checkpoint_every is not None:
             overrides["checkpoint_every"] = args.checkpoint_every
-        result = resume_explore(args.resume, **overrides)
+        tracer = _build_tracer(args)
+        result = resume_explore(args.resume, tracer=tracer, **overrides)
         spec_name = "resumed run"
     else:
         if args.spec is None:
@@ -430,6 +564,7 @@ def _cmd_explore(args, out) -> int:
             return EXIT_ERROR
         spec = load_spec(args.spec)
         spec_name = spec.name
+        tracer = _build_tracer(args, spec)
         result = explore(
             spec,
             util_bound=args.util_bound,
@@ -444,6 +579,7 @@ def _cmd_explore(args, out) -> int:
             max_evaluations=args.max_evaluations,
             checkpoint=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            tracer=tracer,
         )
     _print(pareto_table(result), out)
     if not result.completed and result.gap is not None:
@@ -474,6 +610,63 @@ def _cmd_explore(args, out) -> int:
             result.front(), args.svg, title=f"{spec_name}: front"
         )
         _print(f"wrote {args.svg}", out)
+    _export_tracer(tracer, args.trace, args.chrome_trace, out)
+    return EXIT_OK if result.completed else EXIT_TRUNCATED
+
+
+def _cmd_explain(args, out) -> int:
+    from .trace import TRACE_FORMAT, explain_text, read_trace
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        first_line = handle.readline().strip()
+    try:
+        header = json.loads(first_line) if first_line else {}
+    except ValueError:
+        header = {}
+    if isinstance(header, dict) and header.get("format") == TRACE_FORMAT:
+        records = read_trace(args.file)
+        _print(
+            explain_text(records, tree=args.tree, limit=args.limit), out
+        )
+        return EXIT_OK
+    from .io import load_result
+
+    result = load_result(args.file)
+    _print(pareto_table(result), out)
+    _print(stats_table(result), out)
+    if not result.completed and result.gap is not None:
+        gap = result.gap
+        _print(
+            f"TRUNCATED ({gap.reason}): any missed implementation costs "
+            f">= ${gap.next_cost_bound:g}",
+            out,
+        )
+    return EXIT_OK
+
+
+def _cmd_trace(args, out) -> int:
+    from .trace import explain_text
+
+    spec = load_spec(args.spec)
+    tracer = _build_tracer(args, spec)
+    result = explore(
+        spec,
+        util_bound=args.util_bound,
+        max_cost=args.max_cost,
+        keep_ties=args.keep_ties,
+        timing_mode=args.timing_mode,
+        parallel=args.parallel,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        tracer=tracer,
+    )
+    _print(
+        explain_text(
+            tracer.all_records(), tree=args.tree, limit=args.limit
+        ),
+        out,
+    )
+    _export_tracer(tracer, args.jsonl, args.chrome, out)
     return EXIT_OK if result.completed else EXIT_TRUNCATED
 
 
@@ -679,6 +872,8 @@ _HANDLERS = {
     "table": _cmd_table,
     "dot": _cmd_dot,
     "explore": _cmd_explore,
+    "explain": _cmd_explain,
+    "trace": _cmd_trace,
     "upgrade": _cmd_upgrade,
     "failures": _cmd_failures,
     "serve": _cmd_serve,
@@ -688,11 +883,36 @@ _HANDLERS = {
 }
 
 
+def _configure_logging(args) -> None:
+    """Attach a stderr handler to the package logger when asked.
+
+    The library itself only ever adds a :class:`logging.NullHandler`
+    (see :mod:`repro`); the CLI is the place where log records become
+    visible.  Without ``-v``/``--log-level`` nothing is emitted.
+    """
+    if args.log_level is not None:
+        level = getattr(logging, args.log_level.upper())
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    package_logger = logging.getLogger("repro")
+    package_logger.addHandler(handler)
+    package_logger.setLevel(level)
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     handler = _HANDLERS[args.command]
     try:
         return handler(args, out)

@@ -10,7 +10,8 @@ over the covered clusters.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set
+import time
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Set
 
 from ..activation import flatten
 from ..binding import Allocation, BindingSolver, solve_binding_sat
@@ -48,6 +49,7 @@ def evaluate_allocation(
     backend: str = "csp",
     solver_counter: Optional[list] = None,
     timing_mode: Optional[str] = None,
+    detail: Optional[Dict[str, Any]] = None,
 ) -> Optional[Implementation]:
     """Construct the best implementation of an allocation, or ``None``.
 
@@ -58,6 +60,15 @@ def evaluate_allocation(
     ``solver_counter`` — when given, a single-element list whose first
     entry is incremented per binding-solver invocation (used by the
     exploration statistics).
+
+    ``detail`` — when given, a dictionary filled with the evaluation's
+    wall-clock phase breakdown and solver effort (``binding_seconds``,
+    ``timing_seconds``, ``timing_checks``, ``timing_rejections`` and a
+    ``solver`` sub-dictionary mirroring
+    :class:`repro.binding.SolverStats`).  Purely diagnostic: collecting
+    it never changes the evaluation's outcome.  The serial exploration
+    loop attaches it to the tracer's wall-clock channel
+    (:mod:`repro.trace`).
 
     ``timing_mode`` selects the performance test:
 
@@ -88,17 +99,33 @@ def evaluate_allocation(
     solver = BindingSolver(
         spec, allocation, util_bound, check_util
     )
+    if detail is not None:
+        detail.setdefault("binding_seconds", 0.0)
+        detail.setdefault("timing_seconds", 0.0)
+        detail.setdefault("timing_checks", 0)
+        detail.setdefault("timing_rejections", 0)
 
-    def solve(flat):
+    def check_schedule(flat, candidate) -> bool:
+        from ..timing import schedule_meets_periods
+
+        if detail is None:
+            return schedule_meets_periods(spec, flat, candidate.as_dict())
+        t0 = time.perf_counter()
+        ok = schedule_meets_periods(spec, flat, candidate.as_dict())
+        detail["timing_seconds"] += time.perf_counter() - t0
+        detail["timing_checks"] += 1
+        if not ok:
+            detail["timing_rejections"] += 1
+        return ok
+
+    def solve_inner(flat):
         if solver_counter is not None:
             solver_counter[0] += 1
         if timing_mode == "schedule":
-            from ..timing import schedule_meets_periods
-
             for candidate in solver.iter_solutions(
                 flat, limit=SCHEDULE_SEARCH_LIMIT
             ):
-                if schedule_meets_periods(spec, flat, candidate.as_dict()):
+                if check_schedule(flat, candidate):
                     return candidate
             return None
         if backend == "sat":
@@ -106,6 +133,20 @@ def evaluate_allocation(
                 spec, allocation, flat, util_bound, check_util
             )
         return solver.solve(flat)
+
+    def solve(flat):
+        if detail is None:
+            return solve_inner(flat)
+        timing_before = detail["timing_seconds"]
+        t0 = time.perf_counter()
+        binding = solve_inner(flat)
+        elapsed = time.perf_counter() - t0
+        # The schedule checks run inside the solve; subtract them so the
+        # binding and timing phases do not double-count.
+        detail["binding_seconds"] += elapsed - (
+            detail["timing_seconds"] - timing_before
+        )
+        return binding
 
     covered: Set[str] = set()
     coverage: list = []
@@ -138,9 +179,20 @@ def evaluate_allocation(
                 return True
         return False
 
+    def snapshot_solver_stats() -> None:
+        if detail is not None:
+            detail["solver"] = {
+                "invocations": solver.stats.invocations,
+                "assignments": solver.stats.assignments,
+                "backtracks": solver.stats.backtracks,
+                "solutions": solver.stats.solutions,
+                "util_rejections": solver.stats.util_rejections,
+            }
+
     # First, any feasible implementation at all (the top level must be
     # activatable somehow, rule 4).
     if not try_cover(None):
+        snapshot_solver_stats()
         return None
     # Then extend the coverage cluster by cluster.
     for cluster_name in sorted(allowed):
@@ -155,6 +207,7 @@ def evaluate_allocation(
         weighted=weighted,
         strict=False,
     )
+    snapshot_solver_stats()
     return Implementation(
         unit_set,
         allocation.cost,
@@ -162,3 +215,39 @@ def evaluate_allocation(
         frozenset(covered),
         coverage,
     )
+
+
+def infeasibility_reason(
+    spec: SpecificationGraph,
+    units: Iterable[str],
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+    weighted: bool = False,
+    backend: str = "csp",
+    timing_mode: Optional[str] = None,
+) -> str:
+    """Classify why an allocation has no feasible implementation.
+
+    Returns ``"timing_test"`` when the allocation is structurally
+    bindable but the active performance test (utilisation bound or
+    exact schedule) rejected every binding, and
+    ``"infeasible_binding"`` when no feasible binding exists even with
+    the timing test disabled.  Used by the pruning audit trail
+    (:mod:`repro.trace`); the classification re-evaluates the
+    allocation with ``timing_mode="none"``, which is deterministic, so
+    serial and batched replays agree on it.
+    """
+    if timing_mode is None:
+        timing_mode = "utilization" if check_utilization else "none"
+    if timing_mode == "none":
+        return "infeasible_binding"
+    relaxed = evaluate_allocation(
+        spec,
+        units,
+        util_bound=util_bound,
+        check_utilization=False,
+        weighted=weighted,
+        backend=backend,
+        timing_mode="none",
+    )
+    return "timing_test" if relaxed is not None else "infeasible_binding"

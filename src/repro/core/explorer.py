@@ -24,6 +24,7 @@ module's pruning decisions, statistics and tie-breaking exactly.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import FrozenSet, Iterable, List, NamedTuple, Optional
 
@@ -37,10 +38,17 @@ from .candidates import (
     possible_allocation_expr,
 )
 from .estimate import estimate_flexibility
-from .evaluation import BINDING_BACKENDS, TIMING_MODES, evaluate_allocation
+from .evaluation import (
+    BINDING_BACKENDS,
+    TIMING_MODES,
+    evaluate_allocation,
+    infeasibility_reason,
+)
 from .pareto import dominates
 from .progress import ProgressEmitter
 from .result import ExplorationResult, ExplorationStats
+
+logger = logging.getLogger(__name__)
 
 #: Accepted values of ``explore(parallel=...)``.
 PARALLEL_MODES = ("serial", "thread", "process")
@@ -188,6 +196,7 @@ def explore(
     retry=None,
     progress=None,
     progress_every: Optional[int] = None,
+    tracer=None,
 ) -> ExplorationResult:
     """Find all Pareto-optimal (cost, flexibility) implementations.
 
@@ -270,6 +279,14 @@ def explore(
         event sequence is identical for serial and batched runs of the
         same exploration; the CLI and the exploration service
         (:mod:`repro.service`) both consume this seam.
+    tracer:
+        An optional :class:`repro.trace.Tracer` collecting deterministic
+        span/audit records of the search (see ``docs/observability.md``).
+        Like progress events, trace records are emitted at replay
+        positions with no wall-clock in fingerprint-relevant fields, so
+        serial, batched and service runs of the same exploration produce
+        byte-identical logical traces.  ``None`` (the default) disables
+        tracing with zero behaviour change.
 
     Returns an :class:`~repro.core.result.ExplorationResult` whose
     ``points`` are the Pareto-optimal implementations in increasing cost
@@ -327,6 +344,7 @@ def explore(
             retry=retry,
             progress=progress,
             progress_every=progress_every,
+            tracer=tracer,
         )
 
     setup = prepare_exploration(
@@ -340,7 +358,16 @@ def explore(
     f_cur = 0.0
     points = []
     solver_counter = [0]
+    audit = tracer is not None and tracer.audit
     emitter.start(stats.design_space_size, f_max)
+    if tracer is not None:
+        tracer.start(stats.design_space_size, f_max)
+    logger.info(
+        "explore start: spec=%s design_space=%d f_max=%g serial",
+        spec.name,
+        stats.design_space_size,
+        f_max,
+    )
 
     for extra_cost, extras in AllocationEnumerator(
         spec, setup.extra_names, include_empty=bool(required)
@@ -351,8 +378,22 @@ def explore(
             # With ties kept, continue through candidates of the same
             # cost as the maximal point before stopping.
             if not keep_ties or not points or cost > points[-1].cost:
+                if tracer is not None:
+                    tracer.stop(
+                        "flexibility_bound_reached",
+                        cost=cost,
+                        f_max=f_max,
+                        candidates=stats.candidates_enumerated,
+                    )
                 break
         if max_cost is not None and cost > max_cost:
+            if tracer is not None:
+                tracer.stop(
+                    "cost_bound",
+                    cost=cost,
+                    max_cost=max_cost,
+                    candidates=stats.candidates_enumerated,
+                )
             break
         stats.candidates_enumerated += 1
         emitter.candidate(
@@ -365,18 +406,43 @@ def explore(
             max_candidates is not None
             and stats.candidates_enumerated > max_candidates
         ):
+            if tracer is not None:
+                tracer.stop(
+                    "max_candidates",
+                    cost=cost,
+                    max_candidates=max_candidates,
+                    candidates=stats.candidates_enumerated,
+                )
             break
         if use_possible_filter:
             if not evaluate_over_set(setup.possible, units):
+                if audit:
+                    tracer.prune("impossible_allocation", cost, units)
                 continue
             stats.possible_allocations += 1
         if prune_comm and has_useless_comm(spec, units):
             stats.pruned_comm += 1
+            if audit:
+                tracer.prune("useless_comm", cost, units)
             continue
+        estimate = None
         if use_estimation:
             stats.estimates_computed += 1
-            estimate = estimate_flexibility(spec, units, weighted)
+            if tracer is not None:
+                estimate = tracer.timed(
+                    "estimate", estimate_flexibility, spec, units, weighted
+                )
+            else:
+                estimate = estimate_flexibility(spec, units, weighted)
             if estimate < f_cur or (estimate == f_cur and not keep_ties):
+                if audit:
+                    tracer.prune(
+                        "estimate_below_incumbent",
+                        cost,
+                        units,
+                        estimate=estimate,
+                        incumbent=f_cur,
+                    )
                 continue
             if (
                 keep_ties
@@ -384,19 +450,79 @@ def explore(
                 and points
                 and cost > points[-1].cost
             ):
-                continue  # same flexibility at higher cost is dominated
+                # same flexibility at higher cost is dominated
+                if audit:
+                    tracer.prune(
+                        "tie_higher_cost",
+                        cost,
+                        units,
+                        estimate=estimate,
+                        incumbent=f_cur,
+                    )
+                continue
         stats.estimate_exceeded += 1
-        implementation = evaluate_allocation(
-            spec,
-            units,
-            util_bound=util_bound,
-            check_utilization=check_utilization,
-            weighted=weighted,
-            backend=backend,
-            solver_counter=solver_counter,
-            timing_mode=timing_mode,
-        )
+        if tracer is None:
+            implementation = evaluate_allocation(
+                spec,
+                units,
+                util_bound=util_bound,
+                check_utilization=check_utilization,
+                weighted=weighted,
+                backend=backend,
+                solver_counter=solver_counter,
+                timing_mode=timing_mode,
+            )
+        else:
+            calls_before = solver_counter[0]
+            detail: dict = {}
+            t0 = time.perf_counter()
+            implementation = evaluate_allocation(
+                spec,
+                units,
+                util_bound=util_bound,
+                check_utilization=check_utilization,
+                weighted=weighted,
+                backend=backend,
+                solver_counter=solver_counter,
+                timing_mode=timing_mode,
+                detail=detail,
+            )
+            t1 = time.perf_counter()
+            tracer.charge("evaluate", t1 - t0)
+            tracer.charge("binding", detail.get("binding_seconds", 0.0))
+            if detail.get("timing_checks"):
+                tracer.charge("timing", detail["timing_seconds"])
+            tracer.evaluate(
+                cost,
+                units,
+                estimate,
+                solver_counter[0] - calls_before,
+                implementation is not None,
+                implementation.flexibility
+                if implementation is not None
+                else 0.0,
+                f_cur,
+                t0=t0,
+                t1=t1,
+                diag=detail,
+            )
         if implementation is None:
+            if audit:
+                tracer.prune(
+                    infeasibility_reason(
+                        spec,
+                        units,
+                        util_bound=util_bound,
+                        check_utilization=check_utilization,
+                        weighted=weighted,
+                        backend=backend,
+                        timing_mode=timing_mode,
+                    ),
+                    cost,
+                    units,
+                    estimate=estimate,
+                    incumbent=f_cur,
+                )
             continue
         stats.feasible_implementations += 1
         if implementation.flexibility > f_cur:
@@ -408,6 +534,20 @@ def explore(
                 implementation.units,
                 stats.candidates_enumerated,
                 stats.estimate_exceeded,
+            )
+            if tracer is not None:
+                tracer.incumbent(
+                    implementation.cost,
+                    implementation.flexibility,
+                    implementation.units,
+                    stats.candidates_enumerated,
+                    stats.estimate_exceeded,
+                )
+            logger.debug(
+                "incumbent: cost=%g flexibility=%g after %d candidates",
+                implementation.cost,
+                implementation.flexibility,
+                stats.candidates_enumerated,
             )
         elif (
             keep_ties
@@ -424,16 +564,41 @@ def explore(
                 stats.candidates_enumerated,
                 stats.estimate_exceeded,
             )
+            if tracer is not None:
+                tracer.incumbent(
+                    implementation.cost,
+                    implementation.flexibility,
+                    implementation.units,
+                    stats.candidates_enumerated,
+                    stats.estimate_exceeded,
+                )
+        elif audit:
+            tracer.prune(
+                "not_improving",
+                cost,
+                units,
+                estimate=estimate,
+                achieved=implementation.flexibility,
+                incumbent=f_cur,
+            )
 
     # Cost-ordered discovery with strictly increasing flexibility makes
     # the points mutually non-dominated except for one corner case: a
     # same-cost candidate later in the tie order may achieve strictly
     # more flexibility.  A final dominance pass removes such points.
-    points = [
+    kept = [
         p
         for p in points
         if not any(dominates(q.point, p.point) for q in points)
     ]
+    if audit and len(kept) < len(points):
+        survivors = {id(p) for p in kept}
+        for p in points:
+            if id(p) not in survivors:
+                tracer.prune(
+                    "dominated", p.cost, p.units, flexibility=p.flexibility
+                )
+    points = kept
     stats.solver_invocations = solver_counter[0]
     stats.elapsed_seconds = time.perf_counter() - started
     emitter.end(
@@ -442,5 +607,24 @@ def explore(
         stats.candidates_enumerated,
         stats.estimate_exceeded,
         len(points),
+    )
+    if tracer is not None:
+        tracer.end(
+            True,
+            None,
+            stats.candidates_enumerated,
+            stats.estimate_exceeded,
+            stats.feasible_implementations,
+            len(points),
+            [list(p.point) for p in points],
+        )
+    logger.info(
+        "explore end: spec=%s candidates=%d evaluations=%d points=%d "
+        "elapsed=%.3fs",
+        spec.name,
+        stats.candidates_enumerated,
+        stats.estimate_exceeded,
+        len(points),
+        stats.elapsed_seconds,
     )
     return ExplorationResult(points, stats, f_max)

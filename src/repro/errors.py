@@ -73,3 +73,7 @@ class PermanentWorkerError(WorkerError):
 
 class CheckpointError(ReproError):
     """A checkpoint journal is missing, corrupt, or inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace was configured inconsistently or failed validation."""

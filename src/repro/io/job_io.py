@@ -25,6 +25,11 @@ service (:mod:`repro.service`):
     crash-recovery mechanism.
 ``job-<id>.result.json``
     The exploration-result document of a completed job.
+``job-<id>.trace.jsonl``
+    The job's search trace (only when submitted with a ``trace``
+    option) — the JSONL span/audit log of :mod:`repro.trace`,
+    rewritten after every slice so it always reflects the job's
+    cumulative logical history.
 ``events/<id>.jsonl``
     The job's streamed observation events, one JSON object per line
     (``repro watch`` tails this; a torn final line is ignored).
@@ -85,6 +90,11 @@ def checkpoint_path(directory: str, job_id: str) -> str:
 
 def result_path(directory: str, job_id: str) -> str:
     return os.path.join(directory, f"job-{job_id}.result.json")
+
+
+def trace_path(directory: str, job_id: str) -> str:
+    """Per-job search trace (JSONL, see :mod:`repro.trace.export`)."""
+    return os.path.join(directory, f"job-{job_id}.trace.jsonl")
 
 
 def events_path(directory: str, job_id: str) -> str:

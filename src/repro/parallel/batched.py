@@ -55,6 +55,7 @@ explicit :class:`~repro.core.result.OptimalityGap`.
 from __future__ import annotations
 
 import itertools
+import logging
 import os
 import time
 import warnings
@@ -68,6 +69,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.candidates import AllocationEnumerator, iter_cost_batches
+from ..core.evaluation import infeasibility_reason
 from ..core.explorer import (
     prepare_exploration,
     validate_explore_options,
@@ -97,6 +99,8 @@ from .worker import (
     init_worker,
     pool_evaluate,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Default number of candidates dispatched per batch.  Small enough to
 #: keep speculative over-evaluation near the incumbent's rise points
@@ -477,6 +481,7 @@ def explore_batched(
     pool=None,
     progress=None,
     progress_every: Optional[int] = None,
+    tracer=None,
     _resume=None,
 ) -> ExplorationResult:
     """EXPLORE with batched, pooled, fault-tolerant candidate evaluation.
@@ -525,6 +530,14 @@ def explore_batched(
     seam (:mod:`repro.core.progress`): lifecycle/incumbent events plus
     a ``progress`` event every ``progress_every`` replayed candidates,
     in a sequence identical to the serial loop's.
+
+    ``tracer`` — an optional :class:`repro.trace.Tracer`; every record
+    is emitted at the candidate's replay position from
+    replay-deterministic data, so the logical trace is byte-identical
+    to the serial loop's (``tests/test_trace.py``).  On a service
+    preemption (budget truncation with ``record_truncation=False``)
+    nothing is recorded, so a job traced across many slices accumulates
+    the trace of one uninterrupted run.
 
     ``_resume`` — internal: a
     :class:`repro.resilience.checkpoint.LoadedCheckpoint` to continue
@@ -630,7 +643,19 @@ def explore_batched(
         batch_timeout=batch_timeout,
         pool=pool,
     )
+    audit = tracer is not None and tracer.audit
     emitter.start(stats.design_space_size, f_max)
+    if tracer is not None:
+        tracer.start(stats.design_space_size, f_max, cursor=cursor)
+    logger.info(
+        "explore start: spec=%s design_space=%d f_max=%g mode=%s "
+        "cursor=%d",
+        spec.name,
+        stats.design_space_size,
+        f_max,
+        runner.kind,
+        cursor,
+    )
 
     def note(kind: str, **fields) -> None:
         if trace is not None:
@@ -667,6 +692,13 @@ def explore_batched(
                     achieved_flexibility=f_cur,
                     reason=reason,
                 )
+                if tracer is not None:
+                    tracer.stop(
+                        "budget",
+                        budget=reason,
+                        next_cost_bound=truncation.next_cost_bound,
+                        candidates=stats.candidates_enumerated,
+                    )
                 break
             resolved = _evaluate_batch(
                 spec, batch, required, f_cur, cache, runner, writer
@@ -683,13 +715,34 @@ def explore_batched(
                         achieved_flexibility=f_cur,
                         reason=reason,
                     )
+                    if tracer is not None:
+                        tracer.stop(
+                            "budget",
+                            budget=reason,
+                            next_cost_bound=cost,
+                            candidates=stats.candidates_enumerated,
+                        )
                     stop = True
                     break
                 if f_cur >= f_max:
                     if not keep_ties or not points or cost > points[-1].cost:
+                        if tracer is not None:
+                            tracer.stop(
+                                "flexibility_bound_reached",
+                                cost=cost,
+                                f_max=f_max,
+                                candidates=stats.candidates_enumerated,
+                            )
                         stop = True
                         break
                 if max_cost is not None and cost > max_cost:
+                    if tracer is not None:
+                        tracer.stop(
+                            "cost_bound",
+                            cost=cost,
+                            max_cost=max_cost,
+                            candidates=stats.candidates_enumerated,
+                        )
                     stop = True
                     break
                 stats.candidates_enumerated += 1
@@ -703,16 +756,29 @@ def explore_batched(
                     max_candidates is not None
                     and stats.candidates_enumerated > max_candidates
                 ):
+                    if tracer is not None:
+                        tracer.stop(
+                            "max_candidates",
+                            cost=cost,
+                            max_candidates=max_candidates,
+                            candidates=stats.candidates_enumerated,
+                        )
                     stop = True
                     break
                 if use_possible_filter:
                     if not outcome.possible:
+                        if audit:
+                            tracer.prune(
+                                "impossible_allocation", cost, units
+                            )
                         cursor = _advance(cursor, writer, every, f_cur,
                                           points, stats, cache)
                         continue
                     stats.possible_allocations += 1
                 if prune_comm and outcome.comm_pruned:
                     stats.pruned_comm += 1
+                    if audit:
+                        tracer.prune("useless_comm", cost, units)
                     cursor = _advance(cursor, writer, every, f_cur,
                                       points, stats, cache)
                     continue
@@ -729,6 +795,14 @@ def explore_batched(
                             estimate=estimate,
                             incumbent=f_cur,
                         )
+                        if audit:
+                            tracer.prune(
+                                "estimate_below_incumbent",
+                                cost,
+                                units,
+                                estimate=estimate,
+                                incumbent=f_cur,
+                            )
                         cursor = _advance(cursor, writer, every, f_cur,
                                           points, stats, cache)
                         continue
@@ -745,6 +819,14 @@ def explore_batched(
                             estimate=estimate,
                             incumbent=f_cur,
                         )
+                        if audit:
+                            tracer.prune(
+                                "tie_higher_cost",
+                                cost,
+                                units,
+                                estimate=estimate,
+                                incumbent=f_cur,
+                            )
                         cursor = _advance(cursor, writer, every, f_cur,
                                           points, stats, cache)
                         continue
@@ -761,7 +843,41 @@ def explore_batched(
                 implementation = outcome.implementation_for(
                     units, spec.units.total_cost(units)
                 )
+                if tracer is not None:
+                    # Replay position, outcome-derived data only: the
+                    # logical record equals the serial loop's.  The
+                    # wall-clock channel stays empty — the evaluation
+                    # work happened on a worker.
+                    tracer.evaluate(
+                        cost,
+                        units,
+                        outcome.estimate if use_estimation else None,
+                        outcome.solver_calls,
+                        implementation is not None,
+                        implementation.flexibility
+                        if implementation is not None
+                        else 0.0,
+                        f_cur,
+                    )
                 if implementation is None:
+                    if audit:
+                        tracer.prune(
+                            infeasibility_reason(
+                                spec,
+                                units,
+                                util_bound=util_bound,
+                                check_utilization=check_utilization,
+                                weighted=weighted,
+                                backend=backend,
+                                timing_mode=timing_mode,
+                            ),
+                            cost,
+                            units,
+                            estimate=(
+                                outcome.estimate if use_estimation else None
+                            ),
+                            incumbent=f_cur,
+                        )
                     cursor = _advance(cursor, writer, every, f_cur,
                                       points, stats, cache)
                     continue
@@ -775,6 +891,21 @@ def explore_batched(
                         implementation.units,
                         stats.candidates_enumerated,
                         stats.estimate_exceeded,
+                    )
+                    if tracer is not None:
+                        tracer.incumbent(
+                            implementation.cost,
+                            implementation.flexibility,
+                            implementation.units,
+                            stats.candidates_enumerated,
+                            stats.estimate_exceeded,
+                        )
+                    logger.debug(
+                        "incumbent: cost=%g flexibility=%g after %d "
+                        "candidates",
+                        implementation.cost,
+                        implementation.flexibility,
+                        stats.candidates_enumerated,
                     )
                 elif (
                     keep_ties
@@ -790,6 +921,25 @@ def explore_batched(
                         implementation.units,
                         stats.candidates_enumerated,
                         stats.estimate_exceeded,
+                    )
+                    if tracer is not None:
+                        tracer.incumbent(
+                            implementation.cost,
+                            implementation.flexibility,
+                            implementation.units,
+                            stats.candidates_enumerated,
+                            stats.estimate_exceeded,
+                        )
+                elif audit:
+                    tracer.prune(
+                        "not_improving",
+                        cost,
+                        units,
+                        estimate=(
+                            outcome.estimate if use_estimation else None
+                        ),
+                        achieved=implementation.flexibility,
+                        incumbent=f_cur,
                     )
                 cursor = _advance(cursor, writer, every, f_cur,
                                   points, stats, cache)
@@ -833,6 +983,20 @@ def explore_batched(
         for p in points
         if not any(dominates(q.point, p.point) for q in points)
     ]
+    # Dominated-point audit records belong to a run's *final* dominance
+    # pass; a preempted service slice (truncation suppressed) re-runs
+    # this pass every slice and must not re-record them.
+    if (
+        audit
+        and len(front) < len(points)
+        and (truncation is None or tracer.record_truncation)
+    ):
+        survivors = {id(p) for p in front}
+        for p in points:
+            if id(p) not in survivors:
+                tracer.prune(
+                    "dominated", p.cost, p.units, flexibility=p.flexibility
+                )
     stats.elapsed_seconds = time.perf_counter() - started
     emitter.end(
         truncation is None,
@@ -840,6 +1004,26 @@ def explore_batched(
         stats.candidates_enumerated,
         stats.estimate_exceeded,
         len(front),
+    )
+    if tracer is not None:
+        tracer.end(
+            truncation is None,
+            truncation.reason if truncation is not None else None,
+            stats.candidates_enumerated,
+            stats.estimate_exceeded,
+            stats.feasible_implementations,
+            len(front),
+            [list(p.point) for p in front],
+        )
+    logger.info(
+        "explore end: spec=%s candidates=%d evaluations=%d points=%d "
+        "completed=%s elapsed=%.3fs",
+        spec.name,
+        stats.candidates_enumerated,
+        stats.estimate_exceeded,
+        len(front),
+        truncation is None,
+        stats.elapsed_seconds,
     )
     return ExplorationResult(
         front,

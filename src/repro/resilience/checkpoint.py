@@ -26,6 +26,7 @@ checkpoint.
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Dict, FrozenSet, List, NamedTuple, Optional
 
 from ..core.result import ExplorationResult, ExplorationStats, Implementation
@@ -37,6 +38,8 @@ from ..parallel.worker import CandidateOutcome
 from ..spec import SpecificationGraph
 from . import faults
 from .journal import JournalWriter, read_journal
+
+logger = logging.getLogger(__name__)
 
 #: Checkpoint-document format identifier (stored in the header record).
 CHECKPOINT_FORMAT = "repro/explore-checkpoint"
@@ -299,6 +302,7 @@ def resume_explore(
     pool=None,
     progress=None,
     progress_every: Optional[int] = None,
+    tracer=None,
     **overrides: Any,
 ) -> ExplorationResult:
     """Continue a checkpointed exploration to its (identical) result.
@@ -318,14 +322,26 @@ def resume_explore(
     rejected — the journaled outcomes were computed under the original
     semantics.
 
-    ``pool``/``progress``/``progress_every`` are per-session execution
-    and observation seams (never journaled): a shared
-    :class:`repro.parallel.WorkerPool` and the structured progress
-    callback (:mod:`repro.core.progress`) for this continuation.
+    ``pool``/``progress``/``progress_every``/``tracer`` are per-session
+    execution and observation seams (never journaled): a shared
+    :class:`repro.parallel.WorkerPool`, the structured progress
+    callback (:mod:`repro.core.progress`) and a deterministic
+    :class:`repro.trace.Tracer` for this continuation.  A tracer kept
+    alive across preemption slices (the service's configuration)
+    accumulates the logical trace of one uninterrupted run; a fresh
+    tracer attached mid-run records from the restored cursor onward
+    and marks its ``explore_start`` with ``resumed_from_cursor``.
     """
     from ..parallel.batched import explore_batched
 
     loaded = load_checkpoint(path)
+    logger.info(
+        "resume: %s cursor=%d outcomes=%d completed=%s",
+        path,
+        loaded.cursor,
+        len(loaded.cache),
+        loaded.completed,
+    )
     unknown = set(overrides) - set(_RESUMABLE_PARAMS)
     if unknown:
         raise CheckpointError(
@@ -364,6 +380,7 @@ def resume_explore(
         pool=pool,
         progress=progress,
         progress_every=progress_every,
+        tracer=tracer,
         _resume=loaded,
         **kwargs,
     )

@@ -8,6 +8,7 @@ from ..core.result import ExplorationResult
 from ..errors import ReproError
 from ..io.job_io import JOB_STATES, TERMINAL_STATES
 from ..spec import SpecificationGraph
+from ..trace import compute_trace_id
 
 #: ``explore()`` keyword arguments a submission may set.  Execution
 #: geometry (parallel/workers/pool), checkpointing and budgets are the
@@ -28,6 +29,10 @@ SUBMIT_OPTIONS = (
     "require_units",
     "forbid_units",
     "batch_size",
+    # Not an explore() kwarg: asks the service to record the job's
+    # search trace ("spans" or "audit", see repro.trace) into
+    # job-<id>.trace.jsonl.  Stripped before explore_batched().
+    "trace",
 )
 
 
@@ -43,6 +48,11 @@ def validate_options(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
         raise ServiceError(
             f"unknown explore option(s) {sorted(unknown)!r}; "
             f"a job may set {SUBMIT_OPTIONS}"
+        )
+    trace = options.get("trace")
+    if trace is not None and trace not in ("spans", "audit"):
+        raise ServiceError(
+            f"trace option must be 'spans' or 'audit', got {trace!r}"
         )
     return options
 
@@ -68,6 +78,7 @@ class Job:
         "error",
         "result",
         "recovered",
+        "trace_id",
     )
 
     def __init__(
@@ -105,6 +116,10 @@ class Job:
         self.result: Optional[ExplorationResult] = None
         #: Whether this job was restored from the ledger by a restart.
         self.recovered = False
+        #: Deterministic trace id of the job's specification — the same
+        #: spec explored solo, batched, or under the service carries the
+        #: same id, so traces and job events can be correlated.
+        self.trace_id = compute_trace_id(spec)
 
     @property
     def terminal(self) -> bool:

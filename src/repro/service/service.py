@@ -37,6 +37,7 @@ function of the job mix, asserted literally in the tests.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import time
@@ -54,9 +55,12 @@ from ..resilience.journal import JournalWriter, read_journal
 from ..spec import SpecificationGraph
 from .clock import ManualClock, MonotonicClock, ServiceClock
 from .events import EventBus, Subscription
+from ..trace import Tracer, bridge_trace_metrics, write_trace
 from .job import Job, ServiceError, validate_options
 from .metrics import MetricsRegistry
 from .scheduler import StrideScheduler
+
+logger = logging.getLogger(__name__)
 
 #: Default slice budget: full candidate evaluations per scheduling
 #: decision.  Small enough that a 2-worker pool interleaves many jobs
@@ -106,6 +110,7 @@ class ExplorationService:
         self._seq = 0
         self._event_files: Dict[str, Any] = {}
         self._stats_seen: Dict[str, Dict[str, float]] = {}
+        self._tracers: Dict[str, Tracer] = {}
         self._design_space: Dict[str, int] = {}
         self._runtime: Dict[str, float] = {}
         self._slice_started: Dict[str, float] = {}
@@ -193,6 +198,9 @@ class ExplorationService:
 
     def _emit(self, job_id: str, kind: str, **fields: Any) -> None:
         event = {"kind": kind, "job": job_id, "t": self.clock.now()}
+        job = self.jobs.get(job_id)
+        if job is not None:
+            event["trace"] = job.trace_id
         event.update(fields)
         self.bus.publish(event)
         handle = self._event_files.get(job_id)
@@ -249,6 +257,13 @@ class ExplorationService:
         self.scheduler.add(job_id, priority)
         self.m_submitted.inc()
         self.m_queue_depth.set(len(self.scheduler))
+        logger.info(
+            "job %s (%s) submitted: priority=%g trace=%s",
+            job_id,
+            job.name,
+            priority,
+            options.get("trace", "off"),
+        )
         self._emit(
             job_id,
             "submitted",
@@ -302,6 +317,14 @@ class ExplorationService:
                 job.state = "queued"
                 job.recovered = True
                 self.scheduler.add(entry.job_id, entry.priority)
+                logger.info(
+                    "job %s (%s) recovered from the ledger: "
+                    "%d slice(s), %d evaluation(s)",
+                    entry.job_id,
+                    job.name,
+                    job.slices,
+                    job.evaluations,
+                )
                 self.m_recovered.inc()
                 self._emit(
                     entry.job_id,
@@ -403,11 +426,31 @@ class ExplorationService:
         rate = candidates / elapsed
         return round((total - candidates) / rate, 6)
 
+    def _tracer_for(self, job: Job) -> Optional[Tracer]:
+        """The job's per-service-lifetime tracer (``None`` untraced).
+
+        ``record_truncation`` is off so preemptions leave no logical
+        mark: a job sliced N times accumulates exactly the records of
+        one uninterrupted run.
+        """
+        level = job.options.get("trace")
+        if level is None:
+            return None
+        tracer = self._tracers.get(job.job_id)
+        if tracer is None:
+            tracer = Tracer(
+                level=level, clock=self.clock, trace_id=job.trace_id
+            )
+            tracer.record_truncation = False
+            self._tracers[job.job_id] = tracer
+        return tracer
+
     def _run_slice(self, job: Job, budget: int) -> ExplorationResult:
         """One checkpointed slice of a job, bounded by ``budget``
         cumulative evaluations."""
         checkpoint = job_io.checkpoint_path(self.directory, job.job_id)
         forward = self._progress_forwarder(job)
+        tracer = self._tracer_for(job)
         if os.path.exists(checkpoint):
             try:
                 return resume_explore(
@@ -416,11 +459,13 @@ class ExplorationService:
                     progress=forward,
                     progress_every=self.progress_every,
                     max_evaluations=budget,
+                    tracer=tracer,
                 )
             except CheckpointError:
                 # Torn beyond use (e.g. killed before the header hit
                 # the disk): start over — the fresh run rewrites it.
                 pass
+        options = {k: v for k, v in job.options.items() if k != "trace"}
         return explore_batched(
             job.spec,
             parallel="serial",
@@ -430,7 +475,8 @@ class ExplorationService:
             max_evaluations=budget,
             progress=forward,
             progress_every=self.progress_every,
-            **job.options,
+            tracer=tracer,
+            **options,
         )
 
     def step(self) -> Optional[str]:
@@ -474,6 +520,13 @@ class ExplorationService:
             self.m_slice_time.observe(elapsed)
             self.clock.advance(1.0)  # one virtual slice on manual clocks
         self._charge_stats(job, result, elapsed)
+        tracer = self._tracers.get(job_id)
+        if tracer is not None:
+            # Rewrite after every slice so the on-disk trace always
+            # reflects the job's cumulative logical history.
+            write_trace(
+                tracer, job_io.trace_path(self.directory, job_id)
+            )
         job.slices += 1
         self.scheduler.charge(job_id)
         if result.completed:
@@ -537,6 +590,18 @@ class ExplorationService:
         self.scheduler.remove(job.job_id)
         self.m_completed.inc()
         self.m_queue_depth.set(len(self.scheduler))
+        tracer = self._tracers.get(job.job_id)
+        if tracer is not None:
+            bridge_trace_metrics(tracer, self.metrics)
+        logger.info(
+            "job %s (%s) completed: %d point(s), %d evaluation(s), "
+            "%d slice(s)",
+            job.job_id,
+            job.name,
+            len(result.points),
+            job.evaluations,
+            job.slices,
+        )
         self._emit(
             job.job_id,
             "completed",
@@ -551,6 +616,9 @@ class ExplorationService:
         job.error = repr(error)
         job.finished_at = self.clock.now()
         self._journal_state(job, sync=True, error=job.error)
+        logger.warning(
+            "job %s (%s) failed: %s", job.job_id, job.name, job.error
+        )
         self.scheduler.remove(job.job_id)
         self.m_failed.inc()
         self.m_queue_depth.set(len(self.scheduler))

@@ -11,12 +11,15 @@ check.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Mapping, Tuple
 
 from ..activation import FlatProblem
 from ..errors import BindingError, TimingError
 from ..spec import SpecificationGraph
 from .tasks import task_set
+
+logger = logging.getLogger(__name__)
 
 
 class ScheduleEntry:
@@ -224,6 +227,12 @@ def schedule_meets_periods(
         if task.period is None or task.negligible:
             continue
         if schedule.entry(process).finish > task.period + 1e-9:
+            logger.debug(
+                "schedule rejected: %s finishes at %g past period %g",
+                process,
+                schedule.entry(process).finish,
+                task.period,
+            )
             return False
     return True
 

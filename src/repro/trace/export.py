@@ -1,0 +1,404 @@
+"""Trace exporters: JSONL span logs, Chrome trace-event JSON, metrics.
+
+Three export surfaces over the records of a :class:`~repro.trace.Tracer`:
+
+* :func:`write_trace` / :func:`read_trace` — the canonical JSONL log
+  (one sorted-key JSON object per line, format documented in
+  ``docs/formats.md``);
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON Array-with-metadata format, loadable in Perfetto or
+  ``chrome://tracing``; :func:`validate_chrome_trace` checks a document
+  against the event schema (used by CI);
+* :func:`bridge_trace_metrics` — fold the record counts and wall-clock
+  phase totals into a :class:`repro.service.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..errors import TraceError
+from .tracer import Tracer, strip_wall_fields
+
+#: Format identifier of the first record of a JSONL trace file.
+TRACE_FORMAT = "repro/trace"
+#: Current trace-format version.
+TRACE_VERSION = 1
+
+#: The Chrome trace-event phases this exporter emits.
+_CHROME_PHASES = {"X", "i", "C", "M"}
+#: All phases the validator accepts (the published event taxonomy).
+_CHROME_KNOWN_PHASES = set("BEXiICPnOSTFsftMbe")
+
+
+def _records_of(
+    source: Union[Tracer, Iterable[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    if isinstance(source, Tracer):
+        return source.all_records()
+    return list(source)
+
+
+# ---------------------------------------------------------------------------
+# JSONL span log
+# ---------------------------------------------------------------------------
+
+
+def trace_to_jsonl(source: Union[Tracer, Iterable[Dict[str, Any]]]) -> str:
+    """The JSONL document: a header line, then one record per line."""
+    records = _records_of(source)
+    header = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(r, sort_keys=True) for r in records)
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(
+    source: Union[Tracer, Iterable[Dict[str, Any]]], path: str
+) -> None:
+    """Write the JSONL trace log to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_jsonl(source))
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace log; returns the records (header stripped)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise TraceError(
+                    f"{path}:{number + 1}: not JSON: {error}"
+                ) from None
+            if not isinstance(record, dict):
+                raise TraceError(
+                    f"{path}:{number + 1}: trace records are objects, "
+                    f"got {type(record).__name__}"
+                )
+            records.append(record)
+    if not records:
+        raise TraceError(f"{path}: empty trace file")
+    header = records[0]
+    if header.get("format") != TRACE_FORMAT:
+        raise TraceError(
+            f"{path}: not a trace log (format={header.get('format')!r})"
+        )
+    if header.get("version") != TRACE_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace version {header.get('version')!r}"
+        )
+    return records[1:]
+
+
+def logical_view(
+    source: Union[Tracer, Iterable[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """The deterministic logical view of a tracer or record list."""
+    return strip_wall_fields(_records_of(source))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+
+def _microseconds(seconds: float, base: float) -> float:
+    return round((seconds - base) * 1e6, 3)
+
+
+def chrome_trace(
+    source: Union[Tracer, Iterable[Dict[str, Any]]],
+    trace_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Convert trace records to a Chrome trace-event JSON document.
+
+    Emits ``X`` (complete) events for the run frame and every candidate
+    evaluation, ``i`` (instant) events for prunes/incumbents/stops and
+    a ``C`` (counter) track following the incumbent flexibility — all
+    on one pid/tid, timestamps in microseconds relative to the first
+    record.  Loadable in Perfetto / ``chrome://tracing``.
+    """
+    records = _records_of(source)
+    stamps = [
+        record[key]
+        for record in records
+        for key in ("t", "t0")
+        if isinstance(record.get(key), (int, float))
+    ]
+    base = min(stamps) if stamps else 0.0
+    if trace_id is None:
+        for record in records:
+            if record.get("type") == "explore_start":
+                trace_id = record.get("trace")
+                break
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "repro explore"},
+        }
+    ]
+    start_ts: Optional[float] = None
+    end_ts: Optional[float] = None
+    start_args: Dict[str, Any] = {}
+    for record in records:
+        kind = record.get("type")
+        stamp = record.get("t", record.get("t0", base))
+        ts = _microseconds(stamp, base)
+        if kind == "explore_start":
+            start_ts = ts
+            start_args = {
+                "design_space_size": record.get("design_space_size"),
+                "f_max": record.get("f_max"),
+                "trace": record.get("trace"),
+            }
+        elif kind == "explore_end":
+            end_ts = ts
+            start_args["completed"] = record.get("completed")
+            start_args["points"] = record.get("points")
+        elif kind == "evaluate":
+            t0 = record.get("t0", stamp)
+            t1 = record.get("t1", t0)
+            events.append(
+                {
+                    "name": "evaluate",
+                    "cat": "evaluate",
+                    "ph": "X",
+                    "ts": _microseconds(t0, base),
+                    "dur": max(0.0, round((t1 - t0) * 1e6, 3)),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        "cost": record.get("cost"),
+                        "estimate": record.get("estimate"),
+                        "flexibility": record.get("flexibility"),
+                        "feasible": record.get("feasible"),
+                        "solver_calls": record.get("solver_calls"),
+                        "units": record.get("units"),
+                    },
+                }
+            )
+        elif kind == "prune":
+            events.append(
+                {
+                    "name": record.get("reason", "prune"),
+                    "cat": "prune",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        "cost": record.get("cost"),
+                        "units": record.get("units"),
+                    },
+                }
+            )
+        elif kind == "incumbent":
+            events.append(
+                {
+                    "name": "incumbent",
+                    "cat": "front",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        "cost": record.get("cost"),
+                        "flexibility": record.get("flexibility"),
+                    },
+                }
+            )
+            events.append(
+                {
+                    "name": "incumbent_flexibility",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"flexibility": record.get("flexibility")},
+                }
+            )
+        elif kind == "stop":
+            events.append(
+                {
+                    "name": f"stop:{record.get('reason', '?')}",
+                    "cat": "stop",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        k: v
+                        for k, v in record.items()
+                        if k not in ("type", "t", "seq")
+                    },
+                }
+            )
+        elif kind == "phase_totals":
+            for phase, totals in sorted(
+                (record.get("phases") or {}).items()
+            ):
+                events.append(
+                    {
+                        "name": f"phase:{phase}",
+                        "cat": "phase",
+                        "ph": "i",
+                        "s": "g",
+                        "ts": end_ts if end_ts is not None else 0.0,
+                        "pid": 1,
+                        "tid": 1,
+                        "args": dict(totals),
+                    }
+                )
+    if start_ts is not None:
+        duration = (
+            max(0.0, end_ts - start_ts) if end_ts is not None else 0.0
+        )
+        events.insert(
+            1,
+            {
+                "name": "explore",
+                "cat": "explore",
+                "ph": "X",
+                "ts": start_ts,
+                "dur": duration,
+                "pid": 1,
+                "tid": 1,
+                "args": start_args,
+            },
+        )
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if trace_id is not None:
+        document["otherData"] = {"trace_id": trace_id}
+    return document
+
+
+def write_chrome_trace(
+    source: Union[Tracer, Iterable[Dict[str, Any]]],
+    path: str,
+    trace_id: Optional[str] = None,
+) -> None:
+    """Write the Chrome trace-event JSON document to ``path``."""
+    document = chrome_trace(source, trace_id)
+    errors = validate_chrome_trace(document)
+    if errors:  # pragma: no cover - exporter bug guard
+        raise TraceError(
+            f"internal: generated Chrome trace is invalid: {errors[0]}"
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Validate a Chrome trace-event document; returns error strings.
+
+    Checks the JSON Object Format constraints that Perfetto and
+    ``chrome://tracing`` rely on: a ``traceEvents`` array of objects,
+    each with a known ``ph`` phase, a string ``name``, integer-like
+    ``pid``/``tid``, a non-negative numeric ``ts`` (except metadata
+    events) and, for ``X`` events, a non-negative ``dur``.
+    """
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be an object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents array"]
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _CHROME_KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing string name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: missing integer {key}")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: missing non-negative ts")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event missing non-negative dur")
+        if phase == "i" and event.get("s") not in (None, "t", "p", "g"):
+            errors.append(f"{where}: instant scope {event.get('s')!r}")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Metrics bridge
+# ---------------------------------------------------------------------------
+
+
+def bridge_trace_metrics(
+    source: Union[Tracer, Iterable[Dict[str, Any]]],
+    registry,
+    prefix: str = "repro_trace_",
+) -> None:
+    """Fold trace records into a metrics registry's counters.
+
+    Increments ``<prefix>records_total``, per-record-type counters
+    (``<prefix>evaluations_total``, ``<prefix>incumbents_total``,
+    ``<prefix>prunes_total``), one counter per prune reason
+    (``<prefix>prune_<reason>_total``) and the wall-clock phase totals
+    (``<prefix>phase_<phase>_seconds``).  ``registry`` is a
+    :class:`repro.service.metrics.MetricsRegistry` (or anything with
+    its ``counter(name, help)`` get-or-create API).
+    """
+    records = _records_of(source)
+    registry.counter(
+        prefix + "records_total", "Trace records exported."
+    ).inc(len(records))
+    type_names = {
+        "evaluate": "evaluations_total",
+        "incumbent": "incumbents_total",
+        "prune": "prunes_total",
+        "stop": "stops_total",
+    }
+    for record in records:
+        kind = record.get("type")
+        metric = type_names.get(kind)
+        if metric is not None:
+            registry.counter(
+                prefix + metric, f"Trace {kind} records."
+            ).inc()
+        if kind == "prune":
+            reason = record.get("reason", "unknown")
+            registry.counter(
+                prefix + f"prune_{reason}_total",
+                f"Candidates pruned by rule {reason}.",
+            ).inc()
+        elif kind == "evaluate":
+            registry.counter(
+                prefix + "solver_calls_total",
+                "Binding-solver invocations seen in traces.",
+            ).inc(record.get("solver_calls", 0))
+        elif kind == "phase_totals":
+            for phase, totals in sorted(
+                (record.get("phases") or {}).items()
+            ):
+                registry.counter(
+                    prefix + f"phase_{phase}_seconds",
+                    f"Wall-clock seconds charged to the {phase} phase.",
+                ).inc(max(0.0, float(totals.get("seconds", 0.0))))

@@ -106,6 +106,20 @@ def test_differential_event_sequences_options():
         assert observed == reference, f"diverged with {options}"
 
 
+def test_tracer_does_not_perturb_events():
+    """Attaching a tracer (PR-4) leaves the event stream untouched —
+    tracing is a parallel observation channel, not a participant."""
+    from repro.trace import Tracer
+
+    for seed in SEEDS[:4]:
+        spec = random_spec(seed)
+        reference, _ = collect_events(spec, progress_every=3)
+        observed, _ = collect_events(
+            spec, progress_every=3, tracer=Tracer(level="audit")
+        )
+        assert observed == reference, f"seed {seed} perturbed by tracer"
+
+
 def test_truncated_run_events():
     """An anytime-truncated run ends with completed=False + reason."""
     events, result = collect_events(

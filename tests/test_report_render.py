@@ -1,0 +1,52 @@
+"""Golden-render smoke tests of the text and SVG report renderers.
+
+The renderers (:mod:`repro.report.plot`, :mod:`repro.report.svg`) are
+pure functions of the front, so their output over the paper's Set-Top
+front is committed verbatim under ``tests/golden/`` and compared
+byte-for-byte.  A deliberate rendering change means regenerating the
+fixtures (see the module docstring of ``tests/golden``-adjacent files);
+an accidental one fails here first.
+"""
+
+import os
+
+from repro.report import front_svg, tradeoff_plot
+from repro.report.plot import ascii_scatter, staircase
+
+#: The paper's Set-Top Pareto front (Figure 4 / Table 1) — the
+#: canonical rendering input, asserted live in test_golden_paper.py.
+SETTOP_FRONT = [
+    (100.0, 2.0),
+    (120.0, 3.0),
+    (230.0, 4.0),
+    (290.0, 5.0),
+    (360.0, 7.0),
+    (430.0, 8.0),
+]
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_tradeoff_plot_matches_golden():
+    assert tradeoff_plot(SETTOP_FRONT) == golden("settop_tradeoff.txt")
+
+
+def test_staircase_matches_golden():
+    assert staircase(SETTOP_FRONT) == golden("settop_staircase.txt")
+
+
+def test_front_svg_matches_golden():
+    assert front_svg(
+        SETTOP_FRONT, title="SetTop_spec: front"
+    ) == golden("settop_front.svg")
+
+
+def test_empty_inputs_render_placeholders():
+    assert ascii_scatter([]) == "(no points)\n"
+    assert staircase([]) == "(empty front)\n"
+    assert front_svg([]).startswith("<svg ")

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.resilience",
     "repro.service",
+    "repro.trace",
     "repro.adaptive",
     "repro.analysis",
     "repro.casestudies",
@@ -82,6 +83,20 @@ with `parallel="serial"`); see `docs/resilience.md`:
 
 See `docs/resilience.md` for the journal format and the resume-identity
 argument.
+""",
+    "repro.trace": """\
+### The determinism contract
+
+A tracer attached to `explore(tracer=...)` records the search's
+logical history at replay positions from outcome-derivable data only,
+so serial, batched thread/process, and preempted-service runs of the
+same exploration produce **byte-identical** logical traces
+(`trace_fingerprint` hashes exactly that view; wall-clock lives in the
+separate `t`/`t0`/`t1`/`diag`/`phase_totals` channel).  Tracing is
+observation-only: with or without a tracer, fronts, statistics and
+progress events are identical.  See `docs/observability.md` for the
+span model, the prune-reason taxonomy and the exporters, and
+`docs/formats.md` for the `repro/trace` v1 JSONL format.
 """,
 }
 
