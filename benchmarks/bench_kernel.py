@@ -1,0 +1,273 @@
+"""KERNEL — compiled candidate-evaluation engine vs the reference.
+
+Runs the paper's case studies (set-top box, automotive body network)
+and the scalability-suite synthetic specifications through both
+evaluation engines, verifies the *identical* Pareto front and
+statistics (the differential guarantee of :mod:`repro.compiled`), and
+records wall clock, candidates/second and the per-phase breakdown
+(estimate / evaluate / binding / timing, from the tracer's phase
+accounting) to ``BENCH_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py           # full
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke   # CI smoke
+
+The full run asserts the compiled engine's headline target: >= 3x
+end-to-end on the "large" synthetic specification.  The smoke run
+covers both case studies only and asserts front equality plus a
+conservative candidates/second floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.casestudies import (
+    build_automotive_spec,
+    build_settop_spec,
+    synthetic_spec,
+)
+from repro.core import explore
+from repro.report import format_table
+from repro.trace import Tracer
+
+#: (label, spec factory) — the case studies plus the scalability suite.
+CASE_STUDIES = [
+    ("settop", build_settop_spec),
+    ("automotive", build_automotive_spec),
+]
+
+SIZES = [
+    ("tiny", dict(n_apps=2, interfaces_per_app=1, alternatives=2,
+                  n_procs=2, n_accels=2)),
+    ("small", dict(n_apps=3, interfaces_per_app=2, alternatives=3,
+                   n_procs=2, n_accels=3)),
+    ("medium", dict(n_apps=4, interfaces_per_app=2, alternatives=3,
+                    n_procs=2, n_accels=4)),
+    ("large", dict(n_apps=4, interfaces_per_app=3, alternatives=4,
+                   n_procs=2, n_accels=5)),
+]
+
+#: The engine phases reported from the tracer's phase accounting.
+#: "evaluate" covers the full per-candidate evaluation; "binding" and
+#: "timing" are its solver / schedule-test shares; "estimate" is the
+#: pruning bound.  Enumeration + mask filters are the remainder of the
+#: elapsed time and are reported as "other".
+PHASES = ("estimate", "evaluate", "binding", "timing")
+
+#: Conservative smoke-mode floor on the compiled engine's end-to-end
+#: enumeration rate (candidates/second) on the set-top case study.
+#: Measured rates are two orders of magnitude above this on commodity
+#: hardware; the floor only catches catastrophic regressions.
+SMOKE_CANDIDATES_PER_SECOND_FLOOR = 500.0
+
+#: Full-run requirement: compiled end-to-end speedup on "large".
+LARGE_SPEEDUP_TARGET = 3.0
+
+
+def fingerprint(result):
+    """Comparable exploration outcome (everything but wall-clock)."""
+    stats = {
+        k: v
+        for k, v in result.stats.as_dict().items()
+        if k != "elapsed_seconds"
+    }
+    return (
+        [
+            (sorted(p.units), p.cost, p.flexibility, sorted(p.clusters))
+            for p in result.points
+        ],
+        stats,
+        result.max_flexibility_bound,
+    )
+
+
+def timed_explore(spec, repeat, **kw):
+    """Best-of-``repeat`` wall clock plus the (identical) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = explore(spec, **kw)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def phase_seconds(spec, engine):
+    """Per-phase wall-clock of one traced run (tracer overhead is the
+    same for both engines, so phase *ratios* stay meaningful)."""
+    tracer = Tracer(level="spans")
+    start = time.perf_counter()
+    explore(spec, engine=engine, tracer=tracer)
+    elapsed = time.perf_counter() - start
+    seconds = {
+        phase: totals[1]
+        for phase, totals in tracer.phase_totals.items()
+        if phase in PHASES
+    }
+    accounted = seconds.get("estimate", 0.0) + seconds.get("evaluate", 0.0)
+    seconds["other"] = max(0.0, elapsed - accounted)
+    return seconds
+
+
+def bench_spec(label, spec_factory, repeat, with_phases=True):
+    spec = spec_factory()
+    reference_time, reference = timed_explore(
+        spec, repeat, engine="reference"
+    )
+    compiled_time, compiled = timed_explore(spec, repeat, engine="compiled")
+    identical = fingerprint(compiled) == fingerprint(reference)
+    candidates = compiled.stats.candidates_enumerated
+    record = {
+        "spec": label,
+        "units": len(spec.units),
+        "design_space": spec.design_space_size(),
+        "candidates": candidates,
+        "front": [list(point) for point in compiled.front()],
+        "identical": identical,
+        "reference_seconds": reference_time,
+        "compiled_seconds": compiled_time,
+        "speedup": (
+            reference_time / compiled_time if compiled_time > 0 else None
+        ),
+        "reference_candidates_per_second": (
+            candidates / reference_time if reference_time > 0 else None
+        ),
+        "compiled_candidates_per_second": (
+            candidates / compiled_time if compiled_time > 0 else None
+        ),
+    }
+    if with_phases:
+        reference_phases = phase_seconds(spec, "reference")
+        compiled_phases = phase_seconds(spec, "compiled")
+        record["phases"] = {
+            phase: {
+                "reference_seconds": reference_phases.get(phase, 0.0),
+                "compiled_seconds": compiled_phases.get(phase, 0.0),
+                "speedup": (
+                    reference_phases.get(phase, 0.0)
+                    / compiled_phases[phase]
+                    if compiled_phases.get(phase) else None
+                ),
+            }
+            for phase in PHASES + ("other",)
+            if phase in reference_phases or phase in compiled_phases
+        }
+    return record
+
+
+def run(smoke, repeat, out_path, verbose=True):
+    specs = list(CASE_STUDIES)
+    if not smoke:
+        specs += [
+            (label, lambda kw=kwargs: synthetic_spec(**kw))
+            for label, kwargs in SIZES
+        ]
+    records = []
+    for label, factory in specs:
+        record = bench_spec(label, factory, repeat, with_phases=not smoke)
+        records.append(record)
+        if verbose:
+            print(
+                f"{label:10s} reference {record['reference_seconds']:.3f}s"
+                f" | compiled {record['compiled_seconds']:.3f}s"
+                f" ({record['speedup']:.2f}x)"
+                f" | {record['compiled_candidates_per_second']:.0f}"
+                f" cand/s | identical={record['identical']}"
+            )
+
+    document = {
+        "bench": "kernel",
+        "cpu_count": os.cpu_count(),
+        "smoke": smoke,
+        "repeat": repeat,
+        "all_identical": all(r["identical"] for r in records),
+        "results": records,
+    }
+    failures = []
+    if not document["all_identical"]:
+        failures.append(
+            "ENGINES DIVERGED: "
+            + ", ".join(r["spec"] for r in records if not r["identical"])
+        )
+    if smoke:
+        settop = next(r for r in records if r["spec"] == "settop")
+        rate = settop["compiled_candidates_per_second"]
+        if rate < SMOKE_CANDIDATES_PER_SECOND_FLOOR:
+            failures.append(
+                f"compiled settop rate {rate:.0f} cand/s below the "
+                f"{SMOKE_CANDIDATES_PER_SECOND_FLOOR:.0f} floor"
+            )
+    else:
+        large = next((r for r in records if r["spec"] == "large"), None)
+        if large is not None and large["speedup"] < LARGE_SPEEDUP_TARGET:
+            failures.append(
+                f"large speedup {large['speedup']:.2f}x below the "
+                f"{LARGE_SPEEDUP_TARGET:.1f}x target"
+            )
+    document["failures"] = failures
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    if verbose:
+        rows = [
+            [
+                r["spec"],
+                str(r["units"]),
+                f"{r['reference_seconds']:.3f}s",
+                f"{r['compiled_seconds']:.3f}s",
+                f"{r['speedup']:.2f}x",
+                f"{r['compiled_candidates_per_second']:.0f}/s",
+                "yes" if r["identical"] else "NO",
+            ]
+            for r in records
+        ]
+        print()
+        print(
+            format_table(
+                [
+                    "spec", "units", "reference", "compiled",
+                    "speedup", "cand/s", "identical",
+                ],
+                rows,
+            )
+        )
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        print(f"\nwrote {out_path}")
+    return document
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compiled vs reference evaluation-engine benchmark"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "CI smoke: both case studies only, assert front equality "
+            "and the candidates/second floor"
+        ),
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="timed repetitions per configuration (best-of)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_kernel.json",
+        help="output JSON path (default BENCH_kernel.json)",
+    )
+    args = parser.parse_args(argv)
+    repeat = args.repeat if args.repeat is not None else (
+        2 if args.smoke else 1
+    )
+    document = run(args.smoke, repeat, args.out)
+    return 1 if document["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

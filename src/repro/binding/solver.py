@@ -72,6 +72,14 @@ class BindingSolver:
             for u in allocation.units
             if set(catalog.unit(u).ancestors) <= allocation.units
         }
+        #: Per-flat-problem artifacts that do not depend on the search:
+        #: the neighbour adjacency and the task set, keyed by the
+        #: (identity-hashed) flattened activation so repeated
+        #: ``iter_solutions`` calls on the same activation stop
+        #: rebuilding them.
+        self._prepared: Dict[
+            FlatProblem, Tuple[Dict[str, Tuple[str, ...]], Dict]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -94,8 +102,7 @@ class BindingSolver:
             domains,
             key=lambda leaf: (len(domains[leaf]), leaf),
         )
-        neighbors = self._neighbors(flat)
-        tasks = task_set(self.spec, flat)
+        neighbors, tasks = self._prepare(flat)
         assignment: Dict[str, str] = {}
         utilization: Dict[str, float] = {}
         interface_choice: Dict[str, str] = {}
@@ -190,6 +197,16 @@ class BindingSolver:
                 return None
             domains[leaf] = candidates
         return domains
+
+    def _prepare(
+        self, flat: FlatProblem
+    ) -> Tuple[Dict[str, Tuple[str, ...]], Dict]:
+        """Search-independent artifacts of ``flat``, built once."""
+        prepared = self._prepared.get(flat)
+        if prepared is None:
+            prepared = (self._neighbors(flat), task_set(self.spec, flat))
+            self._prepared[flat] = prepared
+        return prepared
 
     def _neighbors(self, flat: FlatProblem) -> Dict[str, Tuple[str, ...]]:
         adjacency: Dict[str, set] = {}

@@ -160,6 +160,16 @@ class Bdd:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def node_table(self) -> List[Tuple[int, int, int]]:
+        """The ``(level, low, high)`` node triples, indexed by node id.
+
+        Ids 0 and 1 are the terminals (their triples are placeholders).
+        The table is what external evaluators (e.g. the compiled
+        kernel's bitmask walk in :mod:`repro.compiled`) need to decide
+        satisfaction without per-call dictionary lookups.
+        """
+        return list(self._nodes)
+
     def evaluate(self, node: int, assignment: Dict[str, bool]) -> bool:
         """Evaluate under a complete assignment."""
         while node not in (ZERO, ONE):

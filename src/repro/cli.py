@@ -173,6 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     explore_cmd.add_argument(
+        "--engine", choices=("compiled", "reference"), default=None,
+        help=(
+            "candidate-evaluation engine: the compiled bitmask kernel "
+            "(default) or the reference pipeline; identical results "
+            "either way (see docs/performance.md)"
+        ),
+    )
+    explore_cmd.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
         help="candidates per dispatched batch in parallel modes",
     )
@@ -313,6 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_cmd.add_argument("--batch-size", type=int, default=None)
     trace_cmd.add_argument("--workers", type=int, default=None)
+    trace_cmd.add_argument(
+        "--engine", choices=("compiled", "reference"), default=None,
+        help="candidate-evaluation engine (identical results)",
+    )
 
     upgrade = commands.add_parser(
         "upgrade", help="incremental design: upgrades of a base allocation"
@@ -395,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
     )
     submit.add_argument("--batch-size", type=int, default=None)
+    submit.add_argument(
+        "--engine", choices=("compiled", "reference"), default=None,
+        help="candidate-evaluation engine (identical results)",
+    )
 
     jobs_cmd = commands.add_parser(
         "jobs", help="list an exploration service directory's jobs"
@@ -551,6 +567,8 @@ def _cmd_explore(args, out) -> int:
             overrides["workers"] = args.workers
         if args.checkpoint_every is not None:
             overrides["checkpoint_every"] = args.checkpoint_every
+        if args.engine is not None:
+            overrides["engine"] = args.engine
         tracer = _build_tracer(args)
         result = resume_explore(args.resume, tracer=tracer, **overrides)
         spec_name = "resumed run"
@@ -580,6 +598,7 @@ def _cmd_explore(args, out) -> int:
             checkpoint=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             tracer=tracer,
+            engine=args.engine,
         )
     _print(pareto_table(result), out)
     if not result.completed and result.gap is not None:
@@ -659,6 +678,7 @@ def _cmd_trace(args, out) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         tracer=tracer,
+        engine=args.engine,
     )
     _print(
         explain_text(
@@ -771,6 +791,8 @@ def _cmd_submit(args, out) -> int:
         options["timing_mode"] = args.timing_mode
     if args.batch_size is not None:
         options["batch_size"] = args.batch_size
+    if args.engine is not None:
+        options["engine"] = args.engine
     path = job_io.write_submission(
         args.dir,
         spec,

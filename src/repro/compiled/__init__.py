@@ -1,0 +1,44 @@
+"""The compiled candidate-evaluation kernel (``explore(engine="compiled")``).
+
+This package compiles a frozen specification once into bit-level
+tables (:class:`CompiledSpec`), then evaluates candidates over masks
+with cross-candidate memoization keyed by relevance projections
+(:class:`CompiledEvaluator`).  It is the default engine; the reference
+pipeline remains available as ``engine="reference"`` and the two are
+differentially tested to produce identical fronts, statistics,
+progress events and logical traces.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from .enumerate import MaskAllocationEnumerator
+from .evaluator import CompiledEvaluator, Verdict, compiled_evaluator
+from .spec import CompiledSpec, EcsInfo, OptionRec
+
+#: One CompiledSpec per live specification object.  Weak keys: the
+#: compiled tables die with the specification; nothing here is ever
+#: pickled (process-pool workers rebuild their own in the initializer).
+_COMPILED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def compiled_spec_for(spec) -> CompiledSpec:
+    """The interned :class:`CompiledSpec` of a frozen specification."""
+    compiled = _COMPILED.get(spec)
+    if compiled is None:
+        compiled = CompiledSpec(spec)
+        _COMPILED[spec] = compiled
+    return compiled
+
+
+__all__ = [
+    "CompiledEvaluator",
+    "CompiledSpec",
+    "EcsInfo",
+    "MaskAllocationEnumerator",
+    "OptionRec",
+    "Verdict",
+    "compiled_evaluator",
+    "compiled_spec_for",
+]

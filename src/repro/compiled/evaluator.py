@@ -1,0 +1,477 @@
+"""The compiled candidate evaluator (``engine="compiled"``).
+
+One :class:`CompiledEvaluator` per (specification, parameter set),
+shared across every candidate of a run — and across runs, service
+slices and resumes of the same specification.  It reproduces the
+reference pipeline of :mod:`repro.core.evaluation` *exactly* (fronts,
+statistics, progress events and logical trace records are
+differentially tested to be identical) while eliminating its
+per-candidate rework:
+
+* allocations are bitmasks; the possible-allocation equation is a BDD
+  walk; ``has_useless_comm`` and the reduction predicates are mask
+  tests with projection-keyed caches (:class:`CompiledSpec`);
+* each elementary cluster-activation is flattened and tabled once,
+  ever (``CompiledSpec.ecs_info``);
+* binding verdicts are memoized across candidates under the key
+  ``(ecs, usable_mask & ecs.support)`` — the *relevance projection* —
+  because the backtracking search reads only the usable units that can
+  own one of the ECS's mapping options or route traffic (see
+  ``docs/performance.md`` for the soundness argument);
+* the search itself replays :class:`repro.binding.BindingSolver`
+  decision-for-decision over precompiled option records, so its
+  statistics deltas (invocations, assignments, backtracks, solutions,
+  utilisation rejections) equal the reference solver's, including the
+  generator-abandonment semantics of ``solve()``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from ..binding import Allocation, solve_binding_sat
+from ..core.evaluation import (
+    BINDING_BACKENDS,
+    SCHEDULE_SEARCH_LIMIT,
+    TIMING_MODES,
+)
+from ..core.result import EcsRecord, Implementation
+from ..timing import PAPER_UTILIZATION_BOUND, schedule_meets_periods
+from .enumerate import MaskAllocationEnumerator
+from .spec import CompiledSpec, EcsInfo
+
+#: Zero solver-stats delta (sat backend: the reference never touches
+#: ``BindingSolver.stats`` on the sat path).
+_ZERO_DELTAS = (0, 0, 0, 0, 0)
+
+
+class Verdict:
+    """Cached outcome of solving one ECS under one usable projection."""
+
+    __slots__ = (
+        "binding",
+        "deltas",
+        "timing_checks",
+        "timing_rejections",
+        "timing_seconds",
+    )
+
+    def __init__(
+        self,
+        binding: Optional[Dict[str, str]],
+        deltas: Tuple[int, int, int, int, int],
+        timing_checks: int,
+        timing_rejections: int,
+        timing_seconds: float,
+    ) -> None:
+        #: First feasible assignment (process -> resource), or ``None``.
+        self.binding = binding
+        #: (invocations, assignments, backtracks, solutions,
+        #: util_rejections) the reference solver would have recorded.
+        self.deltas = deltas
+        self.timing_checks = timing_checks
+        self.timing_rejections = timing_rejections
+        #: Wall-clock of the schedule checks at compute time (diagnostic
+        #: only; replayed verbatim on cache hits).
+        self.timing_seconds = timing_seconds
+
+
+class CompiledEvaluator:
+    """Mask-native evaluator implementing the engine interface."""
+
+    engine = "compiled"
+
+    def __init__(
+        self,
+        cspec: CompiledSpec,
+        util_bound: float = PAPER_UTILIZATION_BOUND,
+        weighted: bool = False,
+        backend: str = "csp",
+        timing_mode: str = "utilization",
+    ) -> None:
+        if timing_mode not in TIMING_MODES:
+            raise ValueError(f"unknown timing_mode {timing_mode!r}")
+        if backend not in BINDING_BACKENDS:
+            raise ValueError(f"unknown binding backend {backend!r}")
+        self.cs = cspec
+        self.spec = cspec.spec
+        self.util_bound = util_bound
+        self.weighted = weighted
+        self.backend = backend
+        self.timing_mode = timing_mode
+        self.check_utilization = timing_mode == "utilization"
+        #: Cross-candidate binding verdicts keyed by
+        #: ``(ecs_mask, usable_mask & ecs.support)``.
+        self._verdicts: Dict[Tuple[int, int], Verdict] = {}
+        #: One-slot identity-keyed units->mask memo (the shared loop
+        #: calls possible/comm/estimate/evaluate on the same frozenset).
+        self._last_units: Optional[FrozenSet[str]] = None
+        self._last_masks: Tuple[int, int] = (0, 0)
+        self._relaxed: Optional["CompiledEvaluator"] = None
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+    def enumerator(
+        self,
+        units: Optional[Iterable[str]] = None,
+        include_empty: bool = False,
+    ) -> MaskAllocationEnumerator:
+        """Cost-ordered candidate enumeration (``(cost, units)`` pairs)."""
+        return MaskAllocationEnumerator(
+            self.cs,
+            list(units) if units is not None else None,
+            include_empty=include_empty,
+        )
+
+    def possible(self, units: Iterable[str]) -> bool:
+        """The possible-resource-allocation equation (BDD mask walk)."""
+        mask, _usable = self._masks_of(units)
+        return self.cs.possible(mask)
+
+    def comm_pruned(self, units: Iterable[str]) -> bool:
+        """True when the useless-communication rule drops the candidate."""
+        mask, usable = self._masks_of(units)
+        verdict = self.cs._comm_cache.get(usable)
+        if verdict is None:
+            verdict = self.cs._compute_comm_pruned(usable)
+            self.cs._comm_cache[usable] = verdict
+        return verdict
+
+    def estimate(self, units: Iterable[str]) -> float:
+        """The flexibility estimate (projection-cached mask walk)."""
+        mask, _usable = self._masks_of(units)
+        return self.cs.estimate(mask, self.weighted)
+
+    def evaluate(
+        self,
+        units: Iterable[str],
+        solver_counter: Optional[list] = None,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Implementation]:
+        """Construct the best implementation, mirroring
+        :func:`repro.core.evaluation.evaluate_allocation` exactly."""
+        unit_set = frozenset(units)
+        mask, usable = self._masks_of(unit_set)
+        cs = self.cs
+        if not cs.supported(mask):
+            return None
+        allowed_mask = cs.activatable_mask(mask)
+        if detail is not None:
+            detail.setdefault("binding_seconds", 0.0)
+            detail.setdefault("timing_seconds", 0.0)
+            detail.setdefault("timing_checks", 0)
+            detail.setdefault("timing_rejections", 0)
+        acc = [0, 0, 0, 0, 0]
+        # Per-candidate outcome table: the reference's selection-keyed
+        # ``outcome_cache``; the solver counter charges once per
+        # *distinct* selection per candidate, cache hit or not.
+        outcome: Dict[int, Verdict] = {}
+
+        def solve_selection(sel_mask: int) -> Verdict:
+            cached = outcome.get(sel_mask)
+            if cached is not None:
+                return cached
+            if solver_counter is not None:
+                solver_counter[0] += 1
+            info = cs.ecs_info(sel_mask)
+            key = (sel_mask, usable & info.support)
+            verdict = self._verdicts.get(key)
+            if detail is None:
+                if verdict is None:
+                    verdict = self._compute_verdict(info, usable)
+                    self._verdicts[key] = verdict
+            else:
+                t0 = time.perf_counter()
+                fresh = verdict is None
+                if fresh:
+                    verdict = self._compute_verdict(info, usable)
+                    self._verdicts[key] = verdict
+                elapsed = time.perf_counter() - t0
+                detail["binding_seconds"] += elapsed - (
+                    verdict.timing_seconds if fresh else 0.0
+                )
+                detail["timing_seconds"] += verdict.timing_seconds
+                detail["timing_checks"] += verdict.timing_checks
+                detail["timing_rejections"] += verdict.timing_rejections
+                deltas = verdict.deltas
+                for i in range(5):
+                    acc[i] += deltas[i]
+            outcome[sel_mask] = verdict
+            return verdict
+
+        covered_mask = 0
+        coverage: list = []
+
+        def try_cover(target: Optional[str]) -> bool:
+            nonlocal covered_mask
+            for sel_mask in cs.selection_masks(allowed_mask, target):
+                verdict = solve_selection(sel_mask)
+                if verdict.binding is not None:
+                    covered_mask |= sel_mask
+                    info = cs.ecs_info(sel_mask)
+                    coverage.append(
+                        EcsRecord(info.selection, verdict.binding)
+                    )
+                    return True
+            return False
+
+        def snapshot_solver_stats() -> None:
+            if detail is not None:
+                detail["solver"] = {
+                    "invocations": acc[0],
+                    "assignments": acc[1],
+                    "backtracks": acc[2],
+                    "solutions": acc[3],
+                    "util_rejections": acc[4],
+                }
+
+        if not try_cover(None):
+            snapshot_solver_stats()
+            return None
+        uncoverable_mask = 0
+        cluster_bit = cs.cluster_bit
+        for cluster_name in cs.sorted_cluster_names:
+            bit = cluster_bit[cluster_name]
+            if not allowed_mask & bit:
+                continue
+            if (covered_mask | uncoverable_mask) & bit:
+                continue
+            if not try_cover(cluster_name):
+                uncoverable_mask |= bit
+
+        achieved = cs.flex_value(covered_mask, self.weighted)
+        snapshot_solver_stats()
+        covered = frozenset(
+            c for c in cs.cluster_names if covered_mask & cluster_bit[c]
+        )
+        return Implementation(
+            unit_set,
+            self.spec.units.total_cost(unit_set),
+            achieved,
+            covered,
+            coverage,
+        )
+
+    def infeasibility_reason(self, units: Iterable[str]) -> str:
+        """Audit-trail classification of an infeasible allocation."""
+        if self.timing_mode == "none":
+            return "infeasible_binding"
+        relaxed = self._relaxed
+        if relaxed is None:
+            relaxed = self._relaxed = compiled_evaluator(
+                self.spec,
+                util_bound=self.util_bound,
+                weighted=self.weighted,
+                backend=self.backend,
+                timing_mode="none",
+            )
+        feasible = relaxed.evaluate(units) is not None
+        return "timing_test" if feasible else "infeasible_binding"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _masks_of(self, units: Iterable[str]) -> Tuple[int, int]:
+        if units is self._last_units:
+            return self._last_masks
+        cs = self.cs
+        handoff = cs._enum_memo
+        if handoff is not None and handoff[0] is units:
+            mask = handoff[1]
+        else:
+            mask = cs.mask_of(units)
+        usable = cs.usable_mask(mask)
+        if isinstance(units, frozenset):
+            self._last_units = units
+            self._last_masks = (mask, usable)
+        return mask, usable
+
+    def _compute_verdict(self, info: EcsInfo, usable: int) -> Verdict:
+        counters = [0, 0, 0, 0, 0]
+        if self.timing_mode == "schedule":
+            checks = 0
+            rejections = 0
+            timing_seconds = 0.0
+            binding: Optional[Dict[str, str]] = None
+            for assignment in self._iter_bindings(
+                info, usable, SCHEDULE_SEARCH_LIMIT, counters
+            ):
+                t0 = time.perf_counter()
+                ok = schedule_meets_periods(self.spec, info.flat, assignment)
+                timing_seconds += time.perf_counter() - t0
+                checks += 1
+                if ok:
+                    binding = assignment
+                    break
+                rejections += 1
+            return Verdict(
+                binding, tuple(counters), checks, rejections, timing_seconds
+            )
+        if self.backend == "sat":
+            allocation = Allocation(self.spec, self.cs.names_of(usable))
+            result = solve_binding_sat(
+                self.spec,
+                allocation,
+                info.flat,
+                self.util_bound,
+                self.check_utilization,
+            )
+            return Verdict(
+                result.as_dict() if result is not None else None,
+                _ZERO_DELTAS,
+                0,
+                0,
+                0.0,
+            )
+        binding = None
+        for assignment in self._iter_bindings(info, usable, 1, counters):
+            binding = assignment
+            break
+        return Verdict(binding, tuple(counters), 0, 0, 0.0)
+
+    def _iter_bindings(
+        self,
+        info: EcsInfo,
+        usable: int,
+        limit: Optional[int],
+        counters: list,
+    ) -> Iterator[Dict[str, str]]:
+        """Decision-for-decision replay of
+        :meth:`repro.binding.BindingSolver.iter_solutions` over the
+        precompiled option records; ``counters`` accumulates the five
+        :class:`~repro.binding.SolverStats` fields at exactly the
+        moments the reference increments them, so abandoning this
+        generator mid-iteration leaves the same totals the reference's
+        abandoned generator leaves."""
+        counters[0] += 1
+        domains = []
+        for recs in info.options:
+            domain = [
+                rec for rec in recs if usable >> rec.owner_bit & 1
+            ]
+            if not domain:
+                return
+            domains.append(domain)
+        leaves = info.leaves
+        order = sorted(
+            range(len(leaves)),
+            key=lambda i: (len(domains[i]), leaves[i]),
+        )
+        neighbors = info.neighbors
+        check_util = self.check_utilization
+        util_bound = self.util_bound
+        tops_connected = self.cs.tops_connected
+        comm_tops = self.cs.comm_tops_of(usable)
+        assignment: Dict[str, str] = {}
+        chosen: Dict[str, Any] = {}
+        utilization: Dict[str, float] = {}
+        interface_choice: Dict[int, int] = {}
+        interface_count: Dict[int, int] = {}
+        yielded = 0
+
+        def backtrack(position: int) -> Iterator[Dict[str, str]]:
+            nonlocal yielded
+            if limit is not None and yielded >= limit:
+                return
+            if position == len(order):
+                counters[3] += 1
+                yielded += 1
+                yield dict(assignment)
+                return
+            index = order[position]
+            leaf = leaves[index]
+            for rec in domains[index]:
+                counters[1] += 1
+                iface = rec.iface_id
+                if iface >= 0:
+                    current = interface_choice.get(iface)
+                    if current is not None and current != rec.owner_bit:
+                        continue
+                increment = 0.0
+                if check_util and rec.loaded:
+                    increment = rec.util_increment
+                    if (
+                        utilization.get(rec.resource, 0.0) + increment
+                        > util_bound + 1e-12
+                    ):
+                        counters[4] += 1
+                        continue
+                feasible = True
+                for other in neighbors.get(leaf, ()):
+                    other_rec = chosen.get(other)
+                    if other_rec is None:
+                        continue
+                    if rec.owner_bit == other_rec.owner_bit:
+                        continue
+                    if rec.owner_top != other_rec.owner_top and not (
+                        tops_connected(
+                            rec.owner_top, other_rec.owner_top, comm_tops
+                        )
+                    ):
+                        feasible = False
+                        break
+                if not feasible:
+                    continue
+                assignment[leaf] = rec.resource
+                chosen[leaf] = rec
+                if increment:
+                    utilization[rec.resource] = (
+                        utilization.get(rec.resource, 0.0) + increment
+                    )
+                if iface >= 0:
+                    interface_choice[iface] = rec.owner_bit
+                    interface_count[iface] = (
+                        interface_count.get(iface, 0) + 1
+                    )
+                yield from backtrack(position + 1)
+                del assignment[leaf]
+                del chosen[leaf]
+                if increment:
+                    utilization[rec.resource] -= increment
+                if iface >= 0:
+                    interface_count[iface] -= 1
+                    if not interface_count[iface]:
+                        del interface_count[iface]
+                        del interface_choice[iface]
+                if limit is not None and yielded >= limit:
+                    return
+            counters[2] += 1
+
+        yield from backtrack(0)
+
+
+def compiled_evaluator(
+    spec,
+    *,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+    weighted: bool = False,
+    backend: str = "csp",
+    timing_mode: Optional[str] = None,
+):
+    """The shared compiled evaluator for one parameter set.
+
+    Evaluators (and their verdict caches) are interned on the
+    specification's :class:`CompiledSpec`, so every run, resume and
+    service slice with the same parameters reuses the accumulated
+    cross-candidate state.
+    """
+    from . import compiled_spec_for
+
+    if timing_mode is None:
+        timing_mode = "utilization" if check_utilization else "none"
+    cspec = compiled_spec_for(spec)
+    key = (util_bound, weighted, backend, timing_mode)
+    evaluator = cspec._evaluators.get(key)
+    if evaluator is None:
+        evaluator = CompiledEvaluator(
+            cspec,
+            util_bound=util_bound,
+            weighted=weighted,
+            backend=backend,
+            timing_mode=timing_mode,
+        )
+        cspec._evaluators[key] = evaluator
+    return evaluator

@@ -22,7 +22,15 @@ from .ecs import (
     minimal_coverage_size,
 )
 from .estimate import estimate_flexibility, spec_max_flexibility
-from .evaluation import BINDING_BACKENDS, TIMING_MODES, evaluate_allocation
+from .evaluation import (
+    BINDING_BACKENDS,
+    DEFAULT_ENGINE,
+    ENGINES,
+    TIMING_MODES,
+    ReferenceEvaluator,
+    evaluate_allocation,
+    make_evaluator,
+)
 from .exhaustive import exhaustive_front, iter_all_implementations
 from .explorer import PARALLEL_MODES, explore, validate_explore_options
 from .flexibility import flexibility, max_flexibility
@@ -35,6 +43,7 @@ from .nsga2 import Nsga2Result, nsga2_explore
 from .pareto import (
     ParetoArchive,
     dominates,
+    final_front,
     is_non_dominated,
     pareto_front,
 )
@@ -56,6 +65,8 @@ from .result import (
 __all__ = [
     "AllocationEnumerator",
     "BINDING_BACKENDS",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "EcsRecord",
     "ExplorationResult",
     "ExplorationStats",
@@ -65,6 +76,7 @@ __all__ = [
     "OptimalityGap",
     "PARALLEL_MODES",
     "ParetoArchive",
+    "ReferenceEvaluator",
     "TIMING_MODES",
     "UpgradeResult",
     "count_possible_allocations",
@@ -78,6 +90,7 @@ __all__ = [
     "exhaustive_front",
     "explore",
     "explore_upgrades",
+    "final_front",
     "flexibility",
     "force_chain",
     "has_useless_comm",
@@ -85,6 +98,7 @@ __all__ = [
     "iter_all_implementations",
     "iter_possible_allocations",
     "iter_selections",
+    "make_evaluator",
     "max_flexibility",
     "minimal_cover",
     "minimal_coverage_size",

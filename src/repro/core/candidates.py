@@ -36,7 +36,14 @@ def possible_allocation_expr(spec: SpecificationGraph) -> Expr:
     interfaces has at least one supported cluster.  The formula is the
     symbolic form of :func:`repro.spec.reduce.supports_problem` and
     agrees with it on every assignment (property-tested).
+
+    The expression only depends on the frozen specification, so it is
+    built once and cached on the graph: repeated explorations, resumes
+    and service slices of the same specification share one instance.
     """
+    cached_expr = getattr(spec, "_possible_expr", None)
+    if cached_expr is not None:
+        return cached_expr
     catalog = spec.units
 
     def unit_term(unit_name: str) -> Expr:
@@ -76,7 +83,9 @@ def possible_allocation_expr(spec: SpecificationGraph) -> Expr:
             cluster_cache[cluster.name] = cached
         return cached
 
-    return scope_expr(spec.problem)
+    expr = scope_expr(spec.problem)
+    spec._possible_expr = expr
+    return expr
 
 
 class AllocationEnumerator:

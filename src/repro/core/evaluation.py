@@ -20,8 +20,15 @@ from ..spec import (
     activatable_clusters,
     supports_problem,
 )
+from ..boolexpr import evaluate_over_set
 from ..timing import PAPER_UTILIZATION_BOUND
+from .candidates import (
+    AllocationEnumerator,
+    has_useless_comm,
+    possible_allocation_expr,
+)
 from .ecs import force_chain, iter_selections
+from .estimate import estimate_flexibility
 from .flexibility import flexibility
 from .result import EcsRecord, Implementation
 
@@ -33,6 +40,14 @@ TIMING_MODES = ("utilization", "schedule", "none")
 
 #: The recognised binding-solver backends.
 BINDING_BACKENDS = ("csp", "sat")
+
+#: The recognised candidate-evaluation engines (``explore(engine=...)``).
+ENGINES = ("compiled", "reference")
+
+#: Engine selected when ``engine=None``: the compiled bitmask kernel
+#: (:mod:`repro.compiled`), differentially proven to reproduce the
+#: reference pipeline exactly.
+DEFAULT_ENGINE = "compiled"
 
 
 #: How many structurally feasible bindings the exact-schedule mode
@@ -251,3 +266,138 @@ def infeasibility_reason(
         timing_mode="none",
     )
     return "timing_test" if relaxed is not None else "infeasible_binding"
+
+
+class ReferenceEvaluator:
+    """The classic per-candidate pipeline behind ``engine="reference"``.
+
+    A thin stateless façade over :func:`evaluate_allocation` and the
+    pruning predicates, presenting the evaluator interface the
+    exploration loops program against (see :func:`make_evaluator`):
+    ``enumerator`` / ``possible`` / ``comm_pruned`` / ``estimate`` /
+    ``evaluate`` / ``infeasibility_reason``.  Every method re-derives
+    its answer from the specification exactly as the historical inline
+    loop did, which is what makes this engine the differential-testing
+    oracle for the compiled kernel (:mod:`repro.compiled`).
+    """
+
+    engine = "reference"
+
+    def __init__(
+        self,
+        spec: SpecificationGraph,
+        util_bound: float = PAPER_UTILIZATION_BOUND,
+        check_utilization: bool = True,
+        weighted: bool = False,
+        backend: str = "csp",
+        timing_mode: Optional[str] = None,
+    ) -> None:
+        if timing_mode is None:
+            timing_mode = "utilization" if check_utilization else "none"
+        if timing_mode not in TIMING_MODES:
+            raise ValueError(f"unknown timing_mode {timing_mode!r}")
+        if backend not in BINDING_BACKENDS:
+            raise ValueError(f"unknown binding backend {backend!r}")
+        self.spec = spec
+        self.util_bound = util_bound
+        self.weighted = weighted
+        self.backend = backend
+        self.timing_mode = timing_mode
+
+    def enumerator(
+        self,
+        units: Optional[Iterable[str]] = None,
+        include_empty: bool = False,
+    ):
+        """Cost-ordered candidate enumeration (``(cost, units)`` pairs)."""
+        return AllocationEnumerator(
+            self.spec, units, include_empty=include_empty
+        )
+
+    def possible(self, units: FrozenSet[str]) -> bool:
+        """The possible-resource-allocation equation (Theorem 1)."""
+        return evaluate_over_set(possible_allocation_expr(self.spec), units)
+
+    def comm_pruned(self, units: FrozenSet[str]) -> bool:
+        """True when the useless-communication rule drops the candidate."""
+        return has_useless_comm(self.spec, units)
+
+    def estimate(self, units: Iterable[str]) -> float:
+        """The flexibility estimate (upper bound) of an allocation."""
+        return estimate_flexibility(self.spec, units, self.weighted)
+
+    def evaluate(
+        self,
+        units: Iterable[str],
+        solver_counter: Optional[list] = None,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Implementation]:
+        """Full implementation construction (binding + timing)."""
+        return evaluate_allocation(
+            self.spec,
+            units,
+            util_bound=self.util_bound,
+            weighted=self.weighted,
+            backend=self.backend,
+            solver_counter=solver_counter,
+            timing_mode=self.timing_mode,
+            detail=detail,
+        )
+
+    def infeasibility_reason(self, units: Iterable[str]) -> str:
+        """Audit-trail classification of an infeasible allocation."""
+        return infeasibility_reason(
+            self.spec,
+            units,
+            util_bound=self.util_bound,
+            weighted=self.weighted,
+            backend=self.backend,
+            timing_mode=self.timing_mode,
+        )
+
+
+def make_evaluator(
+    spec: SpecificationGraph,
+    engine: Optional[str] = None,
+    *,
+    util_bound: float = PAPER_UTILIZATION_BOUND,
+    check_utilization: bool = True,
+    weighted: bool = False,
+    backend: str = "csp",
+    timing_mode: Optional[str] = None,
+):
+    """Build the candidate evaluator for one exploration run.
+
+    ``engine=None`` selects :data:`DEFAULT_ENGINE`.  ``"compiled"``
+    returns the shared bitmask kernel of :mod:`repro.compiled` (one
+    :class:`~repro.compiled.CompiledSpec` per frozen specification,
+    one evaluator per parameter set, with cross-candidate memoization);
+    ``"reference"`` returns a fresh :class:`ReferenceEvaluator`.  Both
+    produce identical fronts, statistics, progress events and logical
+    traces — differentially tested over the randspec corpus and the
+    case studies.
+    """
+    name = DEFAULT_ENGINE if engine is None else engine
+    if name == "reference":
+        return ReferenceEvaluator(
+            spec,
+            util_bound=util_bound,
+            check_utilization=check_utilization,
+            weighted=weighted,
+            backend=backend,
+            timing_mode=timing_mode,
+        )
+    if name == "compiled":
+        from ..compiled import compiled_evaluator
+
+        return compiled_evaluator(
+            spec,
+            util_bound=util_bound,
+            check_utilization=check_utilization,
+            weighted=weighted,
+            backend=backend,
+            timing_mode=timing_mode,
+        )
+    raise ValueError(
+        f"unknown engine {name!r}; expected one of {ENGINES}"
+    )

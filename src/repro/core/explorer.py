@@ -28,23 +28,19 @@ import logging
 import time
 from typing import FrozenSet, Iterable, List, NamedTuple, Optional
 
-from ..boolexpr import Expr, evaluate_over_set
+from ..boolexpr import Expr
 from ..errors import ExplorationError
 from ..spec import SpecificationGraph
 from ..timing import PAPER_UTILIZATION_BOUND
-from .candidates import (
-    AllocationEnumerator,
-    has_useless_comm,
-    possible_allocation_expr,
-)
+from .candidates import possible_allocation_expr
 from .estimate import estimate_flexibility
 from .evaluation import (
     BINDING_BACKENDS,
+    ENGINES,
     TIMING_MODES,
-    evaluate_allocation,
-    infeasibility_reason,
+    make_evaluator,
 )
-from .pareto import dominates
+from .pareto import final_front
 from .progress import ProgressEmitter
 from .result import ExplorationResult, ExplorationStats
 
@@ -82,6 +78,7 @@ def validate_explore_options(
     max_evaluations: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
     batch_timeout: Optional[float] = None,
+    engine: Optional[str] = None,
 ) -> None:
     """Reject unknown modes/backends with a clear :class:`ExplorationError`.
 
@@ -125,6 +122,10 @@ def validate_explore_options(
         raise ExplorationError(
             f"batch_timeout must be > 0 seconds, got {batch_timeout!r}"
         )
+    if engine is not None and engine not in ENGINES:
+        raise ExplorationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
 
 
 def prepare_exploration(
@@ -133,8 +134,15 @@ def prepare_exploration(
     forbid_units: Optional[Iterable[str]],
     max_cost: Optional[float],
     weighted: bool,
+    evaluator=None,
 ) -> ExplorationSetup:
-    """Validate the specification/constraints and precompute run inputs."""
+    """Validate the specification/constraints and precompute run inputs.
+
+    ``evaluator`` — when given, the engine evaluator computes ``f_max``
+    (both engines agree on every estimate, differentially tested); the
+    possible-allocation expression is cached on the specification
+    either way, so repeated preparations stop recompiling it.
+    """
     if not spec.frozen:
         raise ExplorationError("specification must be frozen before explore()")
     required = frozenset(
@@ -162,9 +170,11 @@ def prepare_exploration(
         )
     possible = possible_allocation_expr(spec)
     required_cost = spec.units.total_cost(required)
-    f_max = estimate_flexibility(
-        spec, set(spec.units.names()) - forbidden, weighted
-    )
+    all_usable = set(spec.units.names()) - forbidden
+    if evaluator is not None:
+        f_max = evaluator.estimate(frozenset(all_usable))
+    else:
+        f_max = estimate_flexibility(spec, all_usable, weighted)
     return ExplorationSetup(
         required, forbidden, extra_names, required_cost, possible, f_max
     )
@@ -197,6 +207,7 @@ def explore(
     progress=None,
     progress_every: Optional[int] = None,
     tracer=None,
+    engine: Optional[str] = None,
 ) -> ExplorationResult:
     """Find all Pareto-optimal (cost, flexibility) implementations.
 
@@ -287,6 +298,15 @@ def explore(
         serial, batched and service runs of the same exploration produce
         byte-identical logical traces.  ``None`` (the default) disables
         tracing with zero behaviour change.
+    engine:
+        Candidate-evaluation engine: ``"compiled"`` (default — the
+        bitmask kernel of :mod:`repro.compiled` with cross-candidate
+        memoization) or ``"reference"`` (the classic per-candidate
+        pipeline).  Both produce identical fronts, statistics, progress
+        events and logical traces — the compiled engine is
+        differentially tested against the reference on every corpus —
+        so this is purely a performance/debugging escape hatch (see
+        ``docs/performance.md``).
 
     Returns an :class:`~repro.core.result.ExplorationResult` whose
     ``points`` are the Pareto-optimal implementations in increasing cost
@@ -303,6 +323,7 @@ def explore(
         max_evaluations=max_evaluations,
         checkpoint_every=checkpoint_every,
         batch_timeout=batch_timeout,
+        engine=engine,
     )
     emitter = ProgressEmitter(progress, progress_every)
     resilient = (
@@ -345,10 +366,27 @@ def explore(
             progress=progress,
             progress_every=progress_every,
             tracer=tracer,
+            engine=engine,
         )
 
+    if not spec.frozen:
+        raise ExplorationError("specification must be frozen before explore()")
+    evaluator = make_evaluator(
+        spec,
+        engine,
+        util_bound=util_bound,
+        check_utilization=check_utilization,
+        weighted=weighted,
+        backend=backend,
+        timing_mode=timing_mode,
+    )
     setup = prepare_exploration(
-        spec, require_units, forbid_units, max_cost, weighted
+        spec,
+        require_units,
+        forbid_units,
+        max_cost,
+        weighted,
+        evaluator=evaluator,
     )
     required = setup.required
     started = time.perf_counter()
@@ -369,11 +407,14 @@ def explore(
         f_max,
     )
 
-    for extra_cost, extras in AllocationEnumerator(
-        spec, setup.extra_names, include_empty=bool(required)
+    for extra_cost, extras in evaluator.enumerator(
+        setup.extra_names, include_empty=bool(required)
     ):
         cost = setup.required_cost + extra_cost
-        units = required | extras
+        # Preserve the enumerator's frozenset identity when nothing is
+        # required — the compiled engine keys its units->mask handoff
+        # memo on it (a union would copy and defeat the memo).
+        units = required | extras if required else extras
         if f_cur >= f_max:
             # With ties kept, continue through candidates of the same
             # cost as the maximal point before stopping.
@@ -415,12 +456,12 @@ def explore(
                 )
             break
         if use_possible_filter:
-            if not evaluate_over_set(setup.possible, units):
+            if not evaluator.possible(units):
                 if audit:
                     tracer.prune("impossible_allocation", cost, units)
                 continue
             stats.possible_allocations += 1
-        if prune_comm and has_useless_comm(spec, units):
+        if prune_comm and evaluator.comm_pruned(units):
             stats.pruned_comm += 1
             if audit:
                 tracer.prune("useless_comm", cost, units)
@@ -429,11 +470,9 @@ def explore(
         if use_estimation:
             stats.estimates_computed += 1
             if tracer is not None:
-                estimate = tracer.timed(
-                    "estimate", estimate_flexibility, spec, units, weighted
-                )
+                estimate = tracer.timed("estimate", evaluator.estimate, units)
             else:
-                estimate = estimate_flexibility(spec, units, weighted)
+                estimate = evaluator.estimate(units)
             if estimate < f_cur or (estimate == f_cur and not keep_ties):
                 if audit:
                     tracer.prune(
@@ -462,30 +501,15 @@ def explore(
                 continue
         stats.estimate_exceeded += 1
         if tracer is None:
-            implementation = evaluate_allocation(
-                spec,
-                units,
-                util_bound=util_bound,
-                check_utilization=check_utilization,
-                weighted=weighted,
-                backend=backend,
-                solver_counter=solver_counter,
-                timing_mode=timing_mode,
+            implementation = evaluator.evaluate(
+                units, solver_counter=solver_counter
             )
         else:
             calls_before = solver_counter[0]
             detail: dict = {}
             t0 = time.perf_counter()
-            implementation = evaluate_allocation(
-                spec,
-                units,
-                util_bound=util_bound,
-                check_utilization=check_utilization,
-                weighted=weighted,
-                backend=backend,
-                solver_counter=solver_counter,
-                timing_mode=timing_mode,
-                detail=detail,
+            implementation = evaluator.evaluate(
+                units, solver_counter=solver_counter, detail=detail
             )
             t1 = time.perf_counter()
             tracer.charge("evaluate", t1 - t0)
@@ -509,15 +533,7 @@ def explore(
         if implementation is None:
             if audit:
                 tracer.prune(
-                    infeasibility_reason(
-                        spec,
-                        units,
-                        util_bound=util_bound,
-                        check_utilization=check_utilization,
-                        weighted=weighted,
-                        backend=backend,
-                        timing_mode=timing_mode,
-                    ),
+                    evaluator.infeasibility_reason(units),
                     cost,
                     units,
                     estimate=estimate,
@@ -585,12 +601,9 @@ def explore(
     # Cost-ordered discovery with strictly increasing flexibility makes
     # the points mutually non-dominated except for one corner case: a
     # same-cost candidate later in the tie order may achieve strictly
-    # more flexibility.  A final dominance pass removes such points.
-    kept = [
-        p
-        for p in points
-        if not any(dominates(q.point, p.point) for q in points)
-    ]
+    # more flexibility.  A final linear dominance pass removes such
+    # points (see :func:`repro.core.pareto.final_front`).
+    kept = final_front(points)
     if audit and len(kept) < len(points):
         survivors = {id(p) for p in kept}
         for p in points:

@@ -68,13 +68,12 @@ from concurrent.futures import (
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from ..core.candidates import AllocationEnumerator, iter_cost_batches
-from ..core.evaluation import infeasibility_reason
+from ..core.candidates import iter_cost_batches
 from ..core.explorer import (
     prepare_exploration,
     validate_explore_options,
 )
-from ..core.pareto import dominates
+from ..core.pareto import final_front
 from ..core.progress import ProgressEmitter
 from ..core.result import (
     ExplorationResult,
@@ -161,7 +160,7 @@ class _BatchRunner:
         parallel: str,
         workers: Optional[int],
         spec: SpecificationGraph,
-        possible,
+        evaluator,
         params: EvalParams,
         stats: ExplorationStats,
         retry=None,
@@ -169,7 +168,7 @@ class _BatchRunner:
         pool=None,
     ) -> None:
         self.spec = spec
-        self.possible = possible
+        self.evaluator = evaluator
         self.params = params
         self.stats = stats
         self.retry = retry if retry is not None else _default_retry()
@@ -234,8 +233,7 @@ class _BatchRunner:
             return self.executor.submit(pool_evaluate, (units, f_entry))
         return self.executor.submit(
             evaluate_candidate,
-            self.spec,
-            self.possible,
+            self.evaluator,
             self.params,
             units,
             f_entry,
@@ -247,7 +245,7 @@ class _BatchRunner:
         """Fault-free inline evaluation (injection suppressed)."""
         with _faults().suppressed():
             return evaluate_candidate(
-                self.spec, self.possible, self.params, units, f_entry
+                self.evaluator, self.params, units, f_entry
             )
 
     def _evaluate_inline(
@@ -256,7 +254,7 @@ class _BatchRunner:
         """Inline evaluation; worker-level faults quarantine + rescue."""
         try:
             return evaluate_candidate(
-                self.spec, self.possible, self.params, units, f_entry
+                self.evaluator, self.params, units, f_entry
             )
         except WorkerError as error:
             self._quarantine(units, error)
@@ -421,7 +419,9 @@ def _evaluate_batch(
     computed outcomes are journaled through ``writer`` (when
     checkpointing) the moment they are cached.
     """
-    unit_sets = [required | extras for _, extras in batch]
+    unit_sets = [
+        required | extras if required else extras for _, extras in batch
+    ]
     signatures = [canonical_signature(spec, units) for units in unit_sets]
     outcomes: List[Optional[CandidateOutcome]] = [None] * len(batch)
     owners: Dict[FrozenSet[str], int] = {}
@@ -482,6 +482,7 @@ def explore_batched(
     progress=None,
     progress_every: Optional[int] = None,
     tracer=None,
+    engine: Optional[str] = None,
     _resume=None,
 ) -> ExplorationResult:
     """EXPLORE with batched, pooled, fault-tolerant candidate evaluation.
@@ -539,6 +540,10 @@ def explore_batched(
     nothing is recorded, so a job traced across many slices accumulates
     the trace of one uninterrupted run.
 
+    ``engine`` — candidate-evaluation engine, ``"compiled"`` (default)
+    or ``"reference"``; identical results either way (see
+    :func:`repro.core.explorer.explore` and ``docs/performance.md``).
+
     ``_resume`` — internal: a
     :class:`repro.resilience.checkpoint.LoadedCheckpoint` to continue
     from (use :func:`repro.resilience.resume_explore`).
@@ -552,14 +557,35 @@ def explore_batched(
         max_evaluations=max_evaluations,
         checkpoint_every=checkpoint_every,
         batch_timeout=batch_timeout,
+        engine=engine,
     )
     from ..resilience.anytime import AnytimeBudget
 
     emitter = ProgressEmitter(progress, progress_every)
     # "serial" means: batched replay semantics, inline execution (no pool).
     parallel_kind = "inline" if parallel == "serial" else parallel
+    if not spec.frozen:
+        raise ExplorationError("specification must be frozen before explore()")
+    params = EvalParams(
+        util_bound=util_bound,
+        check_utilization=check_utilization,
+        weighted=weighted,
+        backend=backend,
+        timing_mode=timing_mode,
+        use_possible_filter=use_possible_filter,
+        use_estimation=use_estimation,
+        prune_comm=prune_comm,
+        keep_ties=keep_ties,
+        engine=engine,
+    )
+    evaluator = params.evaluator(spec)
     setup = prepare_exploration(
-        spec, require_units, forbid_units, max_cost, weighted
+        spec,
+        require_units,
+        forbid_units,
+        max_cost,
+        weighted,
+        evaluator=evaluator,
     )
     required = setup.required
     started = time.perf_counter()
@@ -578,17 +604,6 @@ def explore_batched(
         f_cur = _resume.f_cur
         points = list(_resume.points)
         cursor = _resume.cursor
-    params = EvalParams(
-        util_bound=util_bound,
-        check_utilization=check_utilization,
-        weighted=weighted,
-        backend=backend,
-        timing_mode=timing_mode,
-        use_possible_filter=use_possible_filter,
-        use_estimation=use_estimation,
-        prune_comm=prune_comm,
-        keep_ties=keep_ties,
-    )
     cache = cache if cache is not None else EvaluationCache()
     corruptions_at_start = cache.corruptions
     size = BATCH_SIZE_DEFAULT if batch_size is None else batch_size
@@ -626,6 +641,7 @@ def explore_batched(
                 max_evaluations=max_evaluations,
                 batch_timeout=batch_timeout,
                 retry=retry,
+                engine=engine,
             ),
             resume_length=(
                 _resume.valid_length if _resume is not None else None
@@ -636,7 +652,7 @@ def explore_batched(
         parallel_kind,
         workers,
         spec,
-        setup.possible,
+        evaluator,
         params,
         stats,
         retry=retry,
@@ -663,9 +679,7 @@ def explore_batched(
             trace.append(fields)
 
     candidate_stream = iter(
-        AllocationEnumerator(
-            spec, setup.extra_names, include_empty=bool(required)
-        )
+        evaluator.enumerator(setup.extra_names, include_empty=bool(required))
     )
     if cursor:
         skipped = sum(
@@ -862,15 +876,7 @@ def explore_batched(
                 if implementation is None:
                     if audit:
                         tracer.prune(
-                            infeasibility_reason(
-                                spec,
-                                units,
-                                util_bound=util_bound,
-                                check_utilization=check_utilization,
-                                weighted=weighted,
-                                backend=backend,
-                                timing_mode=timing_mode,
-                            ),
+                            evaluator.infeasibility_reason(units),
                             cost,
                             units,
                             estimate=(
@@ -978,11 +984,7 @@ def explore_batched(
         if writer is not None:
             writer.close()
 
-    front = [
-        p
-        for p in points
-        if not any(dominates(q.point, p.point) for q in points)
-    ]
+    front = final_front(points)
     # Dominated-point audit records belong to a run's *final* dominance
     # pass; a preempted service slice (truncation suppressed) re-runs
     # this pass every slice and must not re-record them.

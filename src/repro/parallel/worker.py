@@ -27,10 +27,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Tuple
 
-from ..boolexpr import Expr, evaluate_over_set
-from ..core.candidates import has_useless_comm, possible_allocation_expr
-from ..core.estimate import estimate_flexibility
-from ..core.evaluation import evaluate_allocation
+from ..core.evaluation import make_evaluator
 from ..core.result import EcsRecord, Implementation
 from ..spec import SpecificationGraph
 
@@ -48,6 +45,7 @@ class EvalParams:
         "use_estimation",
         "prune_comm",
         "keep_ties",
+        "engine",
     )
 
     def __init__(
@@ -61,6 +59,7 @@ class EvalParams:
         use_estimation: bool,
         prune_comm: bool,
         keep_ties: bool,
+        engine: Optional[str] = None,
     ) -> None:
         self.util_bound = util_bound
         self.check_utilization = check_utilization
@@ -71,6 +70,24 @@ class EvalParams:
         self.use_estimation = use_estimation
         self.prune_comm = prune_comm
         self.keep_ties = keep_ties
+        self.engine = engine
+
+    def evaluator(self, spec: SpecificationGraph):
+        """Build the engine evaluator these parameters describe.
+
+        Called once per worker (pool initializer) or once per run
+        (inline execution) — never per candidate: the compiled engine's
+        cross-candidate caches live on the evaluator.
+        """
+        return make_evaluator(
+            spec,
+            self.engine,
+            util_bound=self.util_bound,
+            check_utilization=self.check_utilization,
+            weighted=self.weighted,
+            backend=self.backend,
+            timing_mode=self.timing_mode,
+        )
 
 
 class CandidateOutcome:
@@ -142,42 +159,37 @@ _FAULT_HOOK = None
 
 
 def evaluate_candidate(
-    spec: SpecificationGraph,
-    possible: Optional[Expr],
+    evaluator,
     params: EvalParams,
     units: FrozenSet[str],
     f_entry: float,
 ) -> CandidateOutcome:
-    """Run the incumbent-independent pipeline for one candidate."""
+    """Run the incumbent-independent pipeline for one candidate.
+
+    ``evaluator`` is the engine evaluator of this run (built once by
+    :meth:`EvalParams.evaluator`); both engines expose the same
+    protocol and produce identical outcomes.
+    """
     if _FAULT_HOOK is not None:
         _FAULT_HOOK("worker", units=units)
     out = CandidateOutcome()
     if params.use_possible_filter:
-        out.possible = evaluate_over_set(possible, units)
+        out.possible = evaluator.possible(units)
         if not out.possible:
             return out
     if params.prune_comm:
-        out.comm_pruned = has_useless_comm(spec, units)
+        out.comm_pruned = evaluator.comm_pruned(units)
         if out.comm_pruned:
             return out
     if params.use_estimation:
-        out.estimate = estimate_flexibility(spec, units, params.weighted)
+        out.estimate = evaluator.estimate(units)
         speculate = out.estimate > f_entry or (
             params.keep_ties and out.estimate == f_entry
         )
         if not speculate:
             return out
     counter = [0]
-    implementation = evaluate_allocation(
-        spec,
-        units,
-        util_bound=params.util_bound,
-        check_utilization=params.check_utilization,
-        weighted=params.weighted,
-        backend=params.backend,
-        solver_counter=counter,
-        timing_mode=params.timing_mode,
-    )
+    implementation = evaluator.evaluate(units, solver_counter=counter)
     out.evaluated = True
     out.solver_calls = counter[0]
     if implementation is not None:
@@ -190,13 +202,13 @@ def evaluate_candidate(
 
 # --- process-pool plumbing -------------------------------------------------
 #
-# Each worker process holds the specification, the compiled
-# possible-allocation expression and the run parameters in module
-# globals, installed once by the pool initializer; work items are then
-# just (units, f_entry) pairs.
+# Each worker process holds the engine evaluator (with its caches and
+# precompiled tables) and the run parameters in module globals,
+# installed once by the pool initializer; work items are then just
+# (units, f_entry) pairs.  The compiled tables are never pickled — each
+# worker compiles its own from the shipped specification.
 
-_WORKER_SPEC: Optional[SpecificationGraph] = None
-_WORKER_POSSIBLE: Optional[Expr] = None
+_WORKER_EVALUATOR = None
 _WORKER_PARAMS: Optional[EvalParams] = None
 
 
@@ -211,12 +223,9 @@ def init_worker(
     :class:`repro.resilience.faults.FaultPlan` shipped from the parent
     so the fault-injection harness also reaches process-pool children.
     """
-    global _WORKER_SPEC, _WORKER_POSSIBLE, _WORKER_PARAMS
-    _WORKER_SPEC = spec
+    global _WORKER_EVALUATOR, _WORKER_PARAMS
     _WORKER_PARAMS = params
-    _WORKER_POSSIBLE = (
-        possible_allocation_expr(spec) if params.use_possible_filter else None
-    )
+    _WORKER_EVALUATOR = params.evaluator(spec)
     if fault_plan is not None:
         from ..resilience import faults
 
@@ -229,5 +238,5 @@ def pool_evaluate(
     """Top-level (picklable) work function for process pools."""
     units, f_entry = task
     return evaluate_candidate(
-        _WORKER_SPEC, _WORKER_POSSIBLE, _WORKER_PARAMS, units, f_entry
+        _WORKER_EVALUATOR, _WORKER_PARAMS, units, f_entry
     )

@@ -294,6 +294,10 @@ _RESUMABLE_PARAMS = (
     "max_evaluations",
     "batch_timeout",
     "retry",
+    # Engines produce identical results (differentially tested), so —
+    # like the parallel/workers execution geometry — "engine" is
+    # restorable *and* freely overridable on resume.
+    "engine",
 )
 
 

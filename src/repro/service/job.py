@@ -29,6 +29,7 @@ SUBMIT_OPTIONS = (
     "require_units",
     "forbid_units",
     "batch_size",
+    "engine",
     # Not an explore() kwarg: asks the service to record the job's
     # search trace ("spans" or "audit", see repro.trace) into
     # job-<id>.trace.jsonl.  Stripped before explore_batched().

@@ -46,6 +46,11 @@ class SpecificationGraph:
         self._binding_options: Optional[Dict[str, Tuple]] = None
         self._arch_adjacency: Optional[Dict[str, frozenset]] = None
         self._process_timing: Optional[Dict[str, Tuple]] = None
+        #: Cached possible-resource-allocation expression (Theorem 1);
+        #: populated by :func:`repro.core.candidates.possible_allocation_expr`
+        #: once the specification is frozen, so repeated explorations,
+        #: resumes and service slices stop rebuilding it.
+        self._possible_expr: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.binding",
     "repro.timing",
     "repro.core",
+    "repro.compiled",
     "repro.parallel",
     "repro.resilience",
     "repro.service",
@@ -41,6 +42,15 @@ PACKAGES = [
 #: (the only way narrative survives regeneration).
 EXTRA_SECTIONS = {
     "repro.core": """\
+### `explore()` engine parameter
+
+`explore()` evaluates candidates through one of two engines (see
+`docs/performance.md` for the kernel design and benchmark guide):
+
+| parameter | default | meaning |
+|---|---|---|
+| `engine` | `"compiled"` | `"compiled"` runs the bitmask kernel of `repro.compiled` (cross-candidate memoization, BDD-compiled possible-allocation test, precomputed binding tables); `"reference"` runs the classic per-candidate pipeline. Both produce **identical** fronts, statistics, progress events and logical traces |
+
 ### `explore()` parallel parameters
 
 `explore()` accepts three parameters selecting the batched parallel
