@@ -1,0 +1,215 @@
+"""DISTRIBUTED — sharded EXPLORE cost model and merge overhead.
+
+Measurements backing ``docs/distributed.md``:
+
+* **Shard sweep** — both case studies partitioned 1/2/4/8 ways with
+  each strategy, every shard run to completion (inline, serial — this
+  container has one CPU, so the numbers quantify the *overhead* and
+  *balance* of sharding, not a speed-up) with a per-shard timing
+  breakdown, merge-replay time, and byte-identity verification
+  against the solo run.
+* **Remote round-trip** — one shard dispatched to a real
+  ``shard-worker`` subprocess over the wire protocol: connection +
+  handshake + run + journal-transfer time vs the same shard inline.
+
+Honesty note: ``cpu_count``/``host_count`` report the actual machine
+(one container, one host).  Sharding buys wall-clock only with real
+parallel hardware; what this benchmark proves is that the *price* of
+distribution — partitioning, journaling, merging — is small and the
+result is exact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py           # full
+    PYTHONPATH=src python benchmarks/bench_distributed.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.core import explore
+from repro.distributed import explore_sharded
+from repro.errors import ExplorationError
+from repro.io.result_io import result_to_dict
+
+#: Partition widths of the sweep.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+WORKER_SCRIPT = """
+import sys
+from repro.distributed.worker import serve
+def ready(bound):
+    print(f"READY {bound[1]}", flush=True)
+serve(sys.argv[1], ready=ready)
+"""
+
+
+def result_doc(result):
+    document = result_to_dict(result)
+    document.get("stats", {}).pop("elapsed_seconds", None)
+    return json.dumps(document, sort_keys=True)
+
+
+def sweep_point(spec, solo_doc, count, strategy, repeat):
+    """Best-of-``repeat`` sharded run; per-shard timing + identity."""
+    best = None
+    for _ in range(repeat):
+        with tempfile.TemporaryDirectory() as workdir:
+            started = time.perf_counter()
+            sharded = explore_sharded(
+                spec, shards=count, strategy=strategy, mode="inline",
+                workdir=workdir, engine="compiled",
+            )
+            elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[1]:
+            best = (sharded, elapsed)
+    sharded, elapsed = best
+    shard_seconds = [o.elapsed_seconds for o in sharded.outcomes]
+    return {
+        "shards": count,
+        "strategy": strategy,
+        "elapsed_seconds": elapsed,
+        "merge_seconds": sharded.merge_seconds,
+        "shard_seconds": shard_seconds,
+        "slowest_shard_seconds": max(shard_seconds),
+        # With one shard per host, wall-clock would be the slowest
+        # shard plus the merge; report that projection honestly.
+        "projected_parallel_seconds": max(shard_seconds)
+        + sharded.merge_seconds,
+        "identical": result_doc(sharded.result) == solo_doc,
+    }
+
+
+def remote_round_trip(spec, solo_doc):
+    """One 2-shard run through a real worker subprocess."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = (
+        os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    with tempfile.TemporaryDirectory() as worker_dir, \
+            tempfile.TemporaryDirectory() as workdir:
+        process = subprocess.Popen(
+            [sys.executable, "-c", WORKER_SCRIPT, worker_dir],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            port = int(process.stdout.readline().split()[1])
+            started = time.perf_counter()
+            sharded = explore_sharded(
+                spec, shards=2, strategy="band", mode="remote",
+                workers=[f"127.0.0.1:{port}"], workdir=workdir,
+                engine="compiled",
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            process.kill()
+            process.wait()
+    inline_seconds = sum(o.elapsed_seconds for o in sharded.outcomes)
+    return {
+        "shards": 2,
+        "worker_processes": 1,
+        "elapsed_seconds": elapsed,
+        "shard_seconds": [o.elapsed_seconds for o in sharded.outcomes],
+        "merge_seconds": sharded.merge_seconds,
+        "identical": result_doc(sharded.result) == solo_doc,
+        "wire_overhead_seconds": elapsed
+        - inline_seconds
+        - sharded.merge_seconds,
+    }
+
+
+def run(repeat, smoke, out_path, verbose=True):
+    started = time.perf_counter()
+    cases = [("settop", build_settop_spec())]
+    if not smoke:
+        cases.append(("tv_decoder", build_tv_decoder_spec()))
+    sweep = []
+    remotes = []
+    for name, spec in cases:
+        solo_started = time.perf_counter()
+        solo_doc = result_doc(explore(spec, engine="compiled"))
+        solo_seconds = time.perf_counter() - solo_started
+        for count in SHARD_COUNTS:
+            for strategy in ("band", "prefix"):
+                try:
+                    point = sweep_point(
+                        spec, solo_doc, count, strategy, repeat
+                    )
+                except ExplorationError:
+                    continue  # prefix wider than the free units
+                point["case"] = name
+                point["solo_seconds"] = solo_seconds
+                sweep.append(point)
+                if verbose:
+                    print(
+                        f"{name} {count}x{strategy}: "
+                        f"{point['elapsed_seconds']:.3f}s "
+                        f"(merge {point['merge_seconds']:.3f}s, "
+                        f"slowest shard "
+                        f"{point['slowest_shard_seconds']:.3f}s) "
+                        f"identical={point['identical']}"
+                    )
+        remote = remote_round_trip(spec, solo_doc)
+        remote["case"] = name
+        remotes.append(remote)
+        if verbose:
+            print(
+                f"{name} remote 2-shard: "
+                f"{remote['elapsed_seconds']:.3f}s "
+                f"(wire overhead "
+                f"{remote['wire_overhead_seconds']:.3f}s) "
+                f"identical={remote['identical']}"
+            )
+    all_identical = all(p["identical"] for p in sweep + remotes)
+    document = {
+        "bench": "distributed",
+        "cpu_count": os.cpu_count(),
+        "host_count": 1,
+        "sweep": sweep,
+        "remote": remotes,
+        "all_identical": all_identical,
+        "elapsed_seconds": time.perf_counter() - started,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    if verbose:
+        print(f"all_identical={all_identical}; wrote {out_path}")
+    return document
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="sharded EXPLORE cost model and merge overhead"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: settop only, single repetition",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="timed repetitions, best-of (default: 3; smoke 1)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_distributed.json",
+        help="output JSON path (default BENCH_distributed.json)",
+    )
+    args = parser.parse_args(argv)
+    repeat = args.repeat if args.repeat is not None else (
+        1 if args.smoke else 3
+    )
+    document = run(repeat, args.smoke, args.out)
+    # Exactness under distribution is the hard requirement.
+    return 0 if document["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

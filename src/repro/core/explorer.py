@@ -208,6 +208,7 @@ def explore(
     progress_every: Optional[int] = None,
     tracer=None,
     engine: Optional[str] = None,
+    shard=None,
 ) -> ExplorationResult:
     """Find all Pareto-optimal (cost, flexibility) implementations.
 
@@ -307,6 +308,14 @@ def explore(
         differentially tested against the reference on every corpus —
         so this is purely a performance/debugging escape hatch (see
         ``docs/performance.md``).
+    shard:
+        A :class:`repro.distributed.Shard`: restrict the run to the
+        candidates one member of a disjoint, exhaustive partition owns
+        (in global enumeration order).  Shard runs are building blocks
+        of distributed exploration — their merge reproduces the
+        whole-space result byte-for-byte; see :mod:`repro.distributed`
+        and ``docs/distributed.md``.  Incompatible with
+        ``max_candidates``.
 
     Returns an :class:`~repro.core.result.ExplorationResult` whose
     ``points`` are the Pareto-optimal implementations in increasing cost
@@ -332,6 +341,7 @@ def explore(
         or checkpoint is not None
         or batch_timeout is not None
         or retry is not None
+        or shard is not None
     )
     if parallel != "serial" or resilient:
         # The resilience features live in the batched replay loop, which
@@ -367,6 +377,7 @@ def explore(
             progress_every=progress_every,
             tracer=tracer,
             engine=engine,
+            shard=shard,
         )
 
     if not spec.frozen:

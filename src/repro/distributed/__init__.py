@@ -1,0 +1,95 @@
+"""Distributed sharded EXPLORE with proven-sound front merging.
+
+The possible-allocation space is partitioned into disjoint, exhaustive
+shards (:mod:`~repro.distributed.partition`), each shard runs as an
+independent checkpointed exploration (in-process, under the
+exploration service, or on remote shard workers —
+:mod:`~repro.distributed.coordinator` /
+:mod:`~repro.distributed.worker`), and the per-shard journals are
+replay-merged (:mod:`~repro.distributed.merge`) into a result
+byte-identical to the single-host run — or, when a shard is lost, the
+exact single-host prefix with a provably sound
+:class:`~repro.core.result.OptimalityGap`.
+"""
+
+from .coordinator import (
+    DISPATCH_MODES,
+    RETRY_ATTEMPTS_DEFAULT,
+    RETRY_DELAY_DEFAULT,
+    ShardedExploration,
+    ShardOutcome,
+    explore_sharded,
+    shard_journal_path,
+)
+from .merge import (
+    SHARD_GAP_REASON,
+    ShardRun,
+    combine_gaps,
+    merge_fronts,
+    merge_shard_checkpoints,
+    merge_shard_runs,
+)
+from .partition import (
+    BAND_PROBE_LIMIT,
+    PARTITION_STRATEGIES,
+    Shard,
+    cost_bands,
+    make_partition,
+    owner_index,
+    prefix_balance_scores,
+    prefix_shards,
+    validate_partition,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    PROTOCOL_FORMAT,
+    PROTOCOL_VERSION,
+    MessageStream,
+    check_hello,
+    connect,
+    decode_message,
+    encode_message,
+    hello_payload,
+    parse_address,
+)
+from .worker import WORKER_RUN_OPTIONS, run_request, serve
+
+__all__ = [
+    "BAND_PROBE_LIMIT",
+    "DISPATCH_MODES",
+    "MAX_FRAME_BYTES",
+    "MESSAGE_TYPES",
+    "PARTITION_STRATEGIES",
+    "PROTOCOL_FORMAT",
+    "PROTOCOL_VERSION",
+    "RETRY_ATTEMPTS_DEFAULT",
+    "RETRY_DELAY_DEFAULT",
+    "SHARD_GAP_REASON",
+    "WORKER_RUN_OPTIONS",
+    "MessageStream",
+    "Shard",
+    "ShardOutcome",
+    "ShardRun",
+    "ShardedExploration",
+    "check_hello",
+    "combine_gaps",
+    "connect",
+    "cost_bands",
+    "decode_message",
+    "encode_message",
+    "explore_sharded",
+    "hello_payload",
+    "make_partition",
+    "merge_fronts",
+    "merge_shard_checkpoints",
+    "merge_shard_runs",
+    "owner_index",
+    "parse_address",
+    "prefix_balance_scores",
+    "prefix_shards",
+    "run_request",
+    "serve",
+    "shard_journal_path",
+    "validate_partition",
+]

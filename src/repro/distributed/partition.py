@@ -1,0 +1,479 @@
+"""Disjoint, exhaustive partitions of the possible-allocation space.
+
+A :class:`Shard` is a membership predicate over candidates ``(total
+cost, extra units)``; a partition is a list of shards that together
+tile the whole candidate space.  Two strategies are provided:
+
+* **cost bands** — shard *i* owns the candidates whose total allocation
+  cost falls in the half-open interval ``[lo_i, hi_i)``.  Boundaries
+  are chosen from cost quantiles of a deterministic probe of the
+  enumeration, so bands are roughly balanced in candidate count;
+  adjacent bands share a boundary (``hi_i == lo_{i+1}``), the first
+  starts at ``0.0`` and the last is unbounded, which makes the family
+  disjoint and exhaustive *by construction*.
+
+* **allocation prefixes** — for ``2^p`` shards, ``p`` freely
+  allocatable units are fixed per shard to one of the ``2^p``
+  true/false patterns.  The ``p`` units are picked by balance of the
+  compiled kernel's BDD-lowered possible-allocation expression
+  (:func:`repro.core.candidates.possible_allocation_expr` compiled via
+  :func:`repro.boolexpr.expr_to_bdd`): for each unit the partition
+  compares the model counts of the positive and negative cofactors and
+  greedily keeps the units splitting the *possible* space most evenly,
+  so shards receive comparable shares of the non-pruned work.  All
+  ``2^p`` patterns of a fixed unit tuple are trivially disjoint and
+  exhaustive.
+
+Shards filter the shared cost-ordered candidate stream rather than
+enumerating a private sub-lattice, so the candidates a shard owns
+appear in exactly the global enumeration order — the property the
+deterministic merge replay (:mod:`repro.distributed.merge`) relies on.
+Empty shards (an empty band, or a prefix pattern with no possible
+allocation) are legal and merge as no-ops.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ExplorationError
+from ..spec import SpecificationGraph
+
+#: Supported partition strategies.
+PARTITION_STRATEGIES = ("band", "prefix")
+
+#: Candidates probed (at most) when placing cost-band boundaries.
+BAND_PROBE_LIMIT = 4096
+
+
+class Shard:
+    """One member of a disjoint, exhaustive candidate partition.
+
+    Immutable value object; compare/serialise via :meth:`to_dict`.
+    """
+
+    __slots__ = (
+        "strategy", "index", "count",
+        "cost_lo", "cost_hi", "prefix_units", "pattern",
+    )
+
+    def __init__(
+        self,
+        strategy: str,
+        index: int,
+        count: int,
+        cost_lo: float = 0.0,
+        cost_hi: Optional[float] = None,
+        prefix_units: Sequence[str] = (),
+        pattern: int = 0,
+    ) -> None:
+        if strategy not in PARTITION_STRATEGIES:
+            raise ExplorationError(
+                f"unknown shard strategy {strategy!r}; "
+                f"expected one of {PARTITION_STRATEGIES}"
+            )
+        if not 0 <= index < count:
+            raise ExplorationError(
+                f"shard index {index!r} outside partition of {count!r}"
+            )
+        if strategy == "band":
+            if cost_hi is not None and cost_hi < cost_lo:
+                raise ExplorationError(
+                    f"empty-inverted cost band [{cost_lo!r}, {cost_hi!r})"
+                )
+        else:
+            if len(set(prefix_units)) != len(prefix_units):
+                raise ExplorationError(
+                    f"duplicate prefix units {list(prefix_units)!r}"
+                )
+            if not 0 <= pattern < (1 << len(prefix_units)):
+                raise ExplorationError(
+                    f"prefix pattern {pattern!r} outside "
+                    f"2^{len(prefix_units)} patterns"
+                )
+        self.strategy = strategy
+        self.index = index
+        self.count = count
+        self.cost_lo = float(cost_lo)
+        self.cost_hi = None if cost_hi is None else float(cost_hi)
+        self.prefix_units = tuple(prefix_units)
+        self.pattern = int(pattern)
+
+    # -- membership -----------------------------------------------------
+
+    def accepts(self, cost: float, extras: FrozenSet[str]) -> bool:
+        """Whether the candidate ``(total cost, extra units)`` is owned
+        by this shard."""
+        if self.strategy == "band":
+            if cost < self.cost_lo:
+                return False
+            return self.cost_hi is None or cost < self.cost_hi
+        for bit, name in enumerate(self.prefix_units):
+            if bool(self.pattern >> bit & 1) != (name in extras):
+                return False
+        return True
+
+    def filter_stream(
+        self,
+        stream: Iterable[Tuple[float, FrozenSet[str]]],
+        required_cost: float,
+    ) -> Iterator[Tuple[float, FrozenSet[str]]]:
+        """The shard's sub-stream of a cost-ordered candidate stream.
+
+        Yields the owned ``(extra_cost, extras)`` pairs in their
+        original (global) order.  A bounded cost band stops consuming
+        the moment the stream reaches ``cost_hi`` — costs never
+        decrease, so nothing owned can follow.
+        """
+        if self.strategy == "band":
+            hi = self.cost_hi
+            for extra_cost, extras in stream:
+                cost = required_cost + extra_cost
+                if hi is not None and cost >= hi:
+                    return
+                if cost >= self.cost_lo:
+                    yield extra_cost, extras
+            return
+        for extra_cost, extras in stream:
+            if self.accepts(required_cost + extra_cost, extras):
+                yield extra_cost, extras
+
+    def validate_for(self, extra_names: Iterable[str]) -> None:
+        """Check the shard is applicable to a run's free unit set."""
+        missing = set(self.prefix_units) - set(extra_names)
+        if missing:
+            raise ExplorationError(
+                f"shard prefix unit(s) {sorted(missing)!r} are not "
+                f"freely allocatable in this run (required/forbidden "
+                f"units cannot be prefix variables)"
+            )
+
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the shard-manifest entry, see
+        ``docs/formats.md``)."""
+        document: Dict[str, Any] = {
+            "strategy": self.strategy,
+            "index": self.index,
+            "count": self.count,
+        }
+        if self.strategy == "band":
+            document["cost_lo"] = self.cost_lo
+            document["cost_hi"] = self.cost_hi
+        else:
+            document["prefix_units"] = list(self.prefix_units)
+            document["pattern"] = self.pattern
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Any) -> "Shard":
+        """Rebuild a shard from its dictionary form (loudly typed)."""
+        if not isinstance(document, dict):
+            raise ExplorationError(
+                f"shard document must be a mapping, got "
+                f"{type(document).__name__}"
+            )
+        try:
+            strategy = document["strategy"]
+            index = int(document["index"])
+            count = int(document["count"])
+            if strategy == "band":
+                hi = document.get("cost_hi")
+                return cls(
+                    strategy, index, count,
+                    cost_lo=float(document.get("cost_lo", 0.0)),
+                    cost_hi=None if hi is None else float(hi),
+                )
+            return cls(
+                strategy, index, count,
+                prefix_units=[str(n) for n in document["prefix_units"]],
+                pattern=int(document["pattern"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ExplorationError(
+                f"malformed shard document: {error!r}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.strategy == "band":
+            return (
+                f"Shard(band {self.index}/{self.count} "
+                f"[{self.cost_lo:g}, "
+                f"{'inf' if self.cost_hi is None else f'{self.cost_hi:g}'}))"
+            )
+        bits = "".join(
+            "1" if self.pattern >> i & 1 else "0"
+            for i in range(len(self.prefix_units))
+        )
+        return (
+            f"Shard(prefix {self.index}/{self.count} "
+            f"{list(self.prefix_units)}={bits})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Shard) and self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash((
+            self.strategy, self.index, self.count,
+            self.cost_lo, self.cost_hi, self.prefix_units, self.pattern,
+        ))
+
+
+def validate_partition(shards: Sequence[Shard]) -> List[Shard]:
+    """Check that ``shards`` is a disjoint, exhaustive partition.
+
+    Returns the shards sorted by index.  The check is structural —
+    cost bands must tile ``[0, inf)`` seamlessly, prefix patterns must
+    cover all ``2^p`` assignments of one unit tuple — so a passing
+    family is disjoint and exhaustive for *every* specification, not
+    just a sampled one.
+    """
+    if not shards:
+        raise ExplorationError("a partition needs at least one shard")
+    ordered = sorted(shards, key=lambda s: s.index)
+    count = ordered[0].count
+    strategy = ordered[0].strategy
+    if len(ordered) != count:
+        raise ExplorationError(
+            f"partition has {len(ordered)} shard(s) but declares "
+            f"count={count}"
+        )
+    if [s.index for s in ordered] != list(range(count)):
+        raise ExplorationError(
+            f"shard indices {[s.index for s in ordered]!r} are not "
+            f"0..{count - 1}"
+        )
+    if any(s.strategy != strategy or s.count != count for s in ordered):
+        raise ExplorationError(
+            "shards of one partition must share strategy and count"
+        )
+    if strategy == "band":
+        if ordered[0].cost_lo != 0.0:
+            raise ExplorationError(
+                f"first cost band starts at {ordered[0].cost_lo!r}, "
+                f"not 0.0 — candidates below it would be lost"
+            )
+        if ordered[-1].cost_hi is not None:
+            raise ExplorationError(
+                f"last cost band ends at {ordered[-1].cost_hi!r} — "
+                f"candidates above it would be lost"
+            )
+        for left, right in zip(ordered, ordered[1:]):
+            if left.cost_hi != right.cost_lo:
+                raise ExplorationError(
+                    f"cost bands {left.index} and {right.index} do not "
+                    f"tile: [{left.cost_lo!r}, {left.cost_hi!r}) then "
+                    f"[{right.cost_lo!r}, {right.cost_hi!r})"
+                )
+    else:
+        units = ordered[0].prefix_units
+        if any(s.prefix_units != units for s in ordered):
+            raise ExplorationError(
+                "prefix shards of one partition must fix the same units"
+            )
+        if count != 1 << len(units):
+            raise ExplorationError(
+                f"{count} prefix shard(s) cannot cover the "
+                f"2^{len(units)} patterns of {list(units)!r}"
+            )
+        patterns = sorted(s.pattern for s in ordered)
+        if patterns != list(range(count)):
+            raise ExplorationError(
+                f"prefix patterns {patterns!r} do not cover "
+                f"0..{count - 1} exactly once"
+            )
+    return ordered
+
+
+def owner_index(
+    shards: Sequence[Shard], cost: float, extras: FrozenSet[str]
+) -> int:
+    """The index of the (unique) shard owning a candidate.
+
+    ``shards`` must be a validated partition in index order.  Raises
+    :class:`ExplorationError` when no shard accepts the candidate —
+    impossible for a family that passed :func:`validate_partition`,
+    kept as a loud invariant check."""
+    first = shards[0]
+    if first.strategy == "band":
+        for shard in shards:
+            if shard.accepts(cost, extras):
+                return shard.index
+        raise ExplorationError(
+            f"no cost band owns candidate cost {cost!r}"
+        )
+    pattern = 0
+    for bit, name in enumerate(first.prefix_units):
+        if name in extras:
+            pattern |= 1 << bit
+    for shard in shards:
+        if shard.pattern == pattern:
+            return shard.index
+    raise ExplorationError(
+        f"no prefix shard owns pattern {pattern!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Partition construction
+# ----------------------------------------------------------------------
+
+def _exploration_frame(
+    spec: SpecificationGraph,
+    require_units: Optional[Iterable[str]],
+    forbid_units: Optional[Iterable[str]],
+) -> Tuple[FrozenSet[str], List[str], float]:
+    """(required, extra names, required cost) as EXPLORE resolves them."""
+    from ..core.explorer import prepare_exploration
+
+    setup = prepare_exploration(
+        spec, require_units, forbid_units, max_cost=0.0, weighted=False
+    )
+    return setup.required, setup.extra_names, setup.required_cost
+
+
+def cost_bands(
+    spec: SpecificationGraph,
+    count: int,
+    require_units: Optional[Iterable[str]] = None,
+    forbid_units: Optional[Iterable[str]] = None,
+    probe_limit: int = BAND_PROBE_LIMIT,
+) -> List[Shard]:
+    """A ``count``-way cost-band partition with quantile boundaries.
+
+    Probes the first ``probe_limit`` candidates of the deterministic
+    enumeration and places boundaries at cost quantiles, so bands hold
+    comparable candidate counts when the probe covers the space (and a
+    reasonable estimate when it does not — only balance suffers, never
+    correctness).  Duplicate quantiles collapse into empty bands.
+    """
+    if count < 1:
+        raise ExplorationError(f"shard count must be >= 1, got {count!r}")
+    required, extra_names, required_cost = _exploration_frame(
+        spec, require_units, forbid_units
+    )
+    if count == 1:
+        return [Shard("band", 0, 1)]
+    from ..core.candidates import AllocationEnumerator
+
+    stream = AllocationEnumerator(
+        spec, extra_names, include_empty=bool(required)
+    )
+    costs: List[float] = []
+    for extra_cost, _ in stream:
+        costs.append(required_cost + extra_cost)
+        if len(costs) >= probe_limit:
+            break
+    boundaries: List[float] = [0.0]
+    if costs:
+        for i in range(1, count):
+            position = min(len(costs) - 1, i * len(costs) // count)
+            boundaries.append(max(boundaries[-1], costs[position]))
+    else:
+        boundaries.extend([0.0] * (count - 1))
+    return [
+        Shard(
+            "band", i, count,
+            cost_lo=boundaries[i],
+            cost_hi=boundaries[i + 1] if i + 1 < count else None,
+        )
+        for i in range(count)
+    ]
+
+
+def prefix_balance_scores(
+    spec: SpecificationGraph,
+    extra_names: Sequence[str],
+) -> Dict[str, int]:
+    """Per-unit imbalance of the possible-allocation space.
+
+    Compiles the possible-allocation expression to a BDD (exactly the
+    lowering the compiled kernel uses) and scores each freely
+    allocatable unit by ``|#models(u=1) - #models(u=0)|`` — the smaller
+    the score, the more evenly fixing that unit splits the space of
+    possible allocations.
+    """
+    from ..boolexpr import expr_to_bdd
+    from ..core.candidates import possible_allocation_expr
+
+    expr = possible_allocation_expr(spec)
+    order = sorted(spec.units.names())
+    manager, root = expr_to_bdd(expr, order)
+    scores: Dict[str, int] = {}
+    for name in extra_names:
+        positive = manager.sat_count(manager.restrict(root, {name: True}))
+        negative = manager.sat_count(manager.restrict(root, {name: False}))
+        scores[name] = abs(positive - negative)
+    return scores
+
+
+def prefix_shards(
+    spec: SpecificationGraph,
+    count: int,
+    require_units: Optional[Iterable[str]] = None,
+    forbid_units: Optional[Iterable[str]] = None,
+) -> List[Shard]:
+    """A ``2^p``-way allocation-prefix partition, BDD-balanced.
+
+    ``count`` must be a power of two; the ``p = log2(count)`` fixed
+    units are the freely allocatable units whose positive/negative
+    cofactors of the possible-allocation BDD have the most even model
+    counts (ties broken by name, so the partition is deterministic).
+    """
+    if count < 1:
+        raise ExplorationError(f"shard count must be >= 1, got {count!r}")
+    if count & (count - 1):
+        raise ExplorationError(
+            f"prefix partitions need a power-of-two shard count, "
+            f"got {count!r}"
+        )
+    _, extra_names, _ = _exploration_frame(
+        spec, require_units, forbid_units
+    )
+    p = count.bit_length() - 1
+    if p > len(extra_names):
+        raise ExplorationError(
+            f"cannot fix {p} prefix unit(s): only {len(extra_names)} "
+            f"freely allocatable unit(s)"
+        )
+    if p == 0:
+        return [Shard("prefix", 0, 1)]
+    scores = prefix_balance_scores(spec, extra_names)
+    chosen = sorted(extra_names, key=lambda n: (scores[n], n))[:p]
+    return [
+        Shard("prefix", pattern, count,
+              prefix_units=chosen, pattern=pattern)
+        for pattern in range(count)
+    ]
+
+
+def make_partition(
+    spec: SpecificationGraph,
+    count: int,
+    strategy: str = "band",
+    require_units: Optional[Iterable[str]] = None,
+    forbid_units: Optional[Iterable[str]] = None,
+) -> List[Shard]:
+    """Build and validate a partition with the named strategy."""
+    if strategy == "band":
+        shards = cost_bands(spec, count, require_units, forbid_units)
+    elif strategy == "prefix":
+        shards = prefix_shards(spec, count, require_units, forbid_units)
+    else:
+        raise ExplorationError(
+            f"unknown shard strategy {strategy!r}; "
+            f"expected one of {PARTITION_STRATEGIES}"
+        )
+    return validate_partition(shards)

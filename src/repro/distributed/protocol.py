@@ -1,0 +1,191 @@
+"""The shard-worker wire protocol (CRC-framed JSON messages).
+
+Messages reuse the journal record encoding of
+:mod:`repro.resilience.journal`: one newline-terminated JSON object
+``{"t": <type>, "p": <payload>, "c": <crc32 of canonical [t, p]>}``
+per message.  Unlike the journal — where a torn *final* line is the
+expected signature of a killed writer and is silently discarded — a
+wire message is a complete request/response unit, so *every* framing
+defect (truncation, garbling, checksum mismatch, oversized or
+unknown-type frames) raises a typed
+:class:`~repro.errors.ProtocolError`; corruption is never silently
+dropped.  The handshake pins ``PROTOCOL_FORMAT``/``PROTOCOL_VERSION``
+so incompatible peers are rejected before any work is exchanged.
+
+Message flow (coordinator = client, shard worker = server)::
+
+    client: hello {format, version}
+    server: hello {format, version, pid}
+    client: run   {job, spec, shard, options, checkpoint_every}
+    server: result {result: <result-JSON-v2>, journal: <checkpoint
+                    journal text>, job, cursor, completed}
+         or error  {kind, message}
+    client: ping {} / shutdown {}      (liveness / orderly stop)
+    server: pong {} / bye {}
+
+The ``result`` payload speaks the two existing on-disk formats
+(``docs/formats.md``): the result document is result-JSON-v2 and the
+journal text is a verbatim ``repro/explore-checkpoint`` journal, which
+the coordinator re-validates record-by-record (CRC) before merging.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..resilience.journal import encode_record, record_crc
+
+#: Wire-format identifier exchanged in the hello handshake.
+PROTOCOL_FORMAT = "repro/shard-protocol"
+#: Current wire-format version.
+PROTOCOL_VERSION = 1
+
+#: Message types a well-formed peer may send.
+MESSAGE_TYPES = (
+    "hello", "run", "result", "error", "ping", "pong", "shutdown", "bye",
+)
+
+#: Upper bound on one frame (a shard journal for a huge space is tens
+#: of MB; beyond this the frame is hostile or corrupt).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_message(message_type: str, payload: Any) -> bytes:
+    """One CRC-framed wire message (newline-terminated UTF-8)."""
+    if message_type not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {message_type!r}")
+    return encode_record(message_type, payload).encode("utf-8")
+
+
+def decode_message(line: bytes) -> Tuple[str, Any]:
+    """Parse and verify one received frame.
+
+    Raises :class:`ProtocolError` — loudly, with the defect named — on
+    a truncated frame (no trailing newline), undecodable bytes, invalid
+    JSON, a missing/unknown type, or a CRC mismatch.
+    """
+    if not line:
+        raise ProtocolError("connection closed mid-message (empty frame)")
+    if not line.endswith(b"\n"):
+        raise ProtocolError(
+            f"truncated message frame ({len(line)} bytes, no newline)"
+        )
+    try:
+        document = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"garbled message frame: {error}") from None
+    if not isinstance(document, dict):
+        raise ProtocolError(
+            f"message frame is not an object: {type(document).__name__}"
+        )
+    message_type = document.get("t")
+    if not isinstance(message_type, str) or "p" not in document:
+        raise ProtocolError("message frame lacks type/payload fields")
+    if message_type not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {message_type!r}")
+    if record_crc(message_type, document["p"]) != document.get("c"):
+        raise ProtocolError(
+            f"message checksum mismatch on {message_type!r} frame "
+            f"(corrupted in transit)"
+        )
+    return message_type, document["p"]
+
+
+def hello_payload() -> Dict[str, Any]:
+    import os
+
+    return {
+        "format": PROTOCOL_FORMAT,
+        "version": PROTOCOL_VERSION,
+        "pid": os.getpid(),
+    }
+
+
+def check_hello(payload: Any) -> None:
+    """Validate a peer's hello; wrong format/version is a loud error."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("hello payload is not an object")
+    if payload.get("format") != PROTOCOL_FORMAT:
+        raise ProtocolError(
+            f"peer speaks {payload.get('format')!r}, "
+            f"expected {PROTOCOL_FORMAT!r}"
+        )
+    if payload.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {payload.get('version')!r} "
+            f"(this side speaks {PROTOCOL_VERSION})"
+        )
+
+
+class MessageStream:
+    """Framed messages over one connected socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def send(self, message_type: str, payload: Any) -> None:
+        self._sock.sendall(encode_message(message_type, payload))
+
+    def receive(self) -> Tuple[str, Any]:
+        line = self._reader.readline(MAX_FRAME_BYTES + 1)
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"message frame exceeds {MAX_FRAME_BYTES} bytes"
+            )
+        return decode_message(line)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "MessageStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    address: Tuple[str, int], timeout: Optional[float] = None
+) -> MessageStream:
+    """Open a handshaken client connection to a shard worker."""
+    sock = socket.create_connection(address, timeout=timeout)
+    stream = MessageStream(sock)
+    try:
+        stream.send("hello", hello_payload())
+        message_type, payload = stream.receive()
+        if message_type == "error":
+            raise ProtocolError(
+                f"worker rejected handshake: {payload.get('message')!r}"
+                if isinstance(payload, dict) else "worker rejected handshake"
+            )
+        if message_type != "hello":
+            raise ProtocolError(
+                f"expected hello from worker, got {message_type!r}"
+            )
+        check_hello(payload)
+    except BaseException:
+        stream.close()
+        raise
+    return stream
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``host:port`` → ``(host, port)``, loudly validated."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not host:
+        raise ProtocolError(
+            f"worker address {text!r} is not of the form host:port"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ProtocolError(
+            f"worker address {text!r} has a non-numeric port"
+        ) from None

@@ -77,3 +77,14 @@ class CheckpointError(ReproError):
 
 class TraceError(ReproError):
     """A trace was configured inconsistently or failed validation."""
+
+
+class ProtocolError(ReproError):
+    """A distributed worker message is truncated, garbled or has an
+    unsupported format/version.
+
+    The shard-worker wire protocol (:mod:`repro.distributed.protocol`)
+    rejects every malformed frame loudly with this error — corruption
+    is never silently dropped, mirroring the CRC-journal contract of
+    :mod:`repro.resilience.journal`.
+    """

@@ -483,6 +483,7 @@ def explore_batched(
     progress_every: Optional[int] = None,
     tracer=None,
     engine: Optional[str] = None,
+    shard=None,
     _resume=None,
 ) -> ExplorationResult:
     """EXPLORE with batched, pooled, fault-tolerant candidate evaluation.
@@ -544,6 +545,15 @@ def explore_batched(
     or ``"reference"``; identical results either way (see
     :func:`repro.core.explorer.explore` and ``docs/performance.md``).
 
+    ``shard`` — a :class:`repro.distributed.Shard` (or its dictionary
+    form): the run consumes only the candidates the shard owns, in
+    their global enumeration order, and the result covers exactly that
+    slice of the space.  Shard runs exist to be *merged* — see
+    :mod:`repro.distributed` and ``docs/distributed.md`` — and journal
+    a per-shard checkpoint like any other run.  ``max_candidates``
+    cannot combine with ``shard`` (it counts enumeration positions,
+    which differ per shard).
+
     ``_resume`` — internal: a
     :class:`repro.resilience.checkpoint.LoadedCheckpoint` to continue
     from (use :func:`repro.resilience.resume_explore`).
@@ -559,6 +569,21 @@ def explore_batched(
         batch_timeout=batch_timeout,
         engine=engine,
     )
+    if shard is not None:
+        from ..distributed.partition import Shard
+
+        if isinstance(shard, dict):
+            shard = Shard.from_dict(shard)
+        if not isinstance(shard, Shard):
+            raise ExplorationError(
+                f"shard must be a repro.distributed.Shard (or its "
+                f"dictionary form), got {type(shard).__name__}"
+            )
+        if max_candidates is not None:
+            raise ExplorationError(
+                "max_candidates counts enumeration positions, which "
+                "differ per shard; it cannot be combined with shard"
+            )
     from ..resilience.anytime import AnytimeBudget
 
     emitter = ProgressEmitter(progress, progress_every)
@@ -642,6 +667,7 @@ def explore_batched(
                 batch_timeout=batch_timeout,
                 retry=retry,
                 engine=engine,
+                shard=shard.to_dict() if shard is not None else None,
             ),
             resume_length=(
                 _resume.valid_length if _resume is not None else None
@@ -681,6 +707,14 @@ def explore_batched(
     candidate_stream = iter(
         evaluator.enumerator(setup.extra_names, include_empty=bool(required))
     )
+    if shard is not None:
+        # The shard's sub-stream preserves global enumeration order, so
+        # the replay below — and the checkpoint cursor — count positions
+        # in the shard's own deterministic sequence.
+        shard.validate_for(setup.extra_names)
+        candidate_stream = shard.filter_stream(
+            candidate_stream, setup.required_cost
+        )
     if cursor:
         skipped = sum(
             1 for _ in itertools.islice(candidate_stream, cursor)

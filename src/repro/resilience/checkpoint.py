@@ -298,6 +298,10 @@ _RESUMABLE_PARAMS = (
     # like the parallel/workers execution geometry — "engine" is
     # restorable *and* freely overridable on resume.
     "engine",
+    # The candidate slice a distributed shard run owns (see
+    # repro.distributed): restored verbatim, frozen against change —
+    # the journaled cursor counts positions of *this* shard's stream.
+    "shard",
 )
 
 
@@ -355,8 +359,10 @@ def resume_explore(
         "util_bound", "max_cost", "max_candidates", "use_possible_filter",
         "use_estimation", "prune_comm", "check_utilization", "weighted",
         "backend", "keep_ties", "timing_mode", "require_units",
-        "forbid_units",
+        "forbid_units", "shard",
     }
+    if hasattr(overrides.get("shard"), "to_dict"):
+        overrides["shard"] = overrides["shard"].to_dict()
     bad = {
         name
         for name in overrides

@@ -1,0 +1,262 @@
+"""Fault-injection tests of the distributed coordinator and workers.
+
+The kill tests are the real thing: a ``python -m repro shard-worker``
+subprocess is SIGKILL'd mid-shard and restarted on the same directory;
+the coordinator's bounded retries resume the shard from its journal
+and the merged result must be byte-identical to an uninterrupted run.
+A shard whose worker never comes back degrades the merge to
+``completed=False`` with an optimality gap that ``verify_gap``
+accepts — sound, never silently wrong.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.casestudies import build_settop_spec
+from repro.core import explore
+from repro.distributed import explore_sharded
+from repro.io.result_io import result_to_dict
+from repro.resilience.anytime import verify_gap
+
+WORKER_SCRIPT = """
+import sys
+from repro.distributed.worker import serve
+def ready(bound):
+    print(f"READY {bound[1]}", flush=True)
+serve(sys.argv[1], port=int(sys.argv[2]) if len(sys.argv) > 2 else 0,
+      ready=ready)
+"""
+
+
+def _child_env():
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def start_worker(directory, port=0):
+    """A shard-worker subprocess; returns (process, bound port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-c", WORKER_SCRIPT, str(directory), str(port)],
+        env=_child_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    line = process.stdout.readline()
+    assert line.startswith("READY"), f"worker failed to start: {line!r}"
+    return process, int(line.split()[1])
+
+
+def free_port():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def result_doc(result):
+    document = result_to_dict(result)
+    document.get("stats", {}).pop("elapsed_seconds", None)
+    return json.dumps(document, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def settop_solo():
+    return explore(build_settop_spec(), engine="compiled")
+
+
+class TestWorkerKill:
+    def test_sigkill_mid_run_then_restart_matches_uninterrupted(
+        self, tmp_path, settop_solo
+    ):
+        """Kill -9 the worker mid-shard; the restarted worker resumes
+        from its journal and the merged front is byte-identical."""
+        worker_dir = str(tmp_path / "worker")
+        process, port = start_worker(worker_dir)
+        replacement = {}
+
+        def kill_and_restart():
+            time.sleep(0.35)
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+            time.sleep(0.2)
+            # Same directory, same port: the journals survive the kill.
+            replacement["process"], _ = start_worker(worker_dir, port)
+
+        saboteur = threading.Thread(target=kill_and_restart, daemon=True)
+        saboteur.start()
+        try:
+            sharded = explore_sharded(
+                build_settop_spec(),
+                shards=4,
+                strategy="band",
+                mode="remote",
+                workers=[f"127.0.0.1:{port}"],
+                workdir=str(tmp_path / "coord"),
+                engine="compiled",
+                checkpoint_every=5,
+                retry_attempts=10,
+                retry_delay=0.4,
+            )
+        finally:
+            saboteur.join(timeout=30)
+            for victim in (process, replacement.get("process")):
+                if victim is not None and victim.poll() is None:
+                    victim.kill()
+                    victim.wait(timeout=30)
+        assert result_doc(sharded.result) == result_doc(settop_solo)
+        assert sharded.result.completed
+        # The kill actually bit: at least one shard needed a retry.
+        assert any(o.attempts > 1 for o in sharded.outcomes)
+
+    def test_worker_never_returns_degrades_to_sound_gap(
+        self, tmp_path, settop_solo
+    ):
+        """One worker alive, one address dead, no failover budget: the
+        dead worker's shards are lost and the gap is verifiably sound."""
+        process, port = start_worker(str(tmp_path / "worker"))
+        try:
+            sharded = explore_sharded(
+                build_settop_spec(),
+                shards=4,
+                strategy="band",
+                mode="remote",
+                workers=[
+                    f"127.0.0.1:{port}",
+                    f"127.0.0.1:{free_port()}",
+                ],
+                workdir=str(tmp_path / "coord"),
+                engine="compiled",
+                retry_attempts=1,
+                retry_delay=0.01,
+            )
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+        assert [o.shard.index for o in sharded.outcomes if o.lost] == [1, 3]
+        assert not sharded.result.completed
+        assert sharded.result.gap is not None
+        assert verify_gap(sharded.result, settop_solo) == []
+
+    def test_failover_to_surviving_worker(self, tmp_path, settop_solo):
+        """With retry budget, a dead address's shards fail over to the
+        surviving worker and the run still completes exactly."""
+        process, port = start_worker(str(tmp_path / "worker"))
+        try:
+            sharded = explore_sharded(
+                build_settop_spec(),
+                shards=4,
+                strategy="band",
+                mode="remote",
+                workers=[
+                    f"127.0.0.1:{port}",
+                    f"127.0.0.1:{free_port()}",
+                ],
+                workdir=str(tmp_path / "coord"),
+                engine="compiled",
+                retry_attempts=2,
+                retry_delay=0.01,
+            )
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+        assert result_doc(sharded.result) == result_doc(settop_solo)
+        assert not sharded.lost_shards
+
+
+class TestWorkerDirectoryReuse:
+    def test_stale_journal_from_other_spec_is_never_resumed(
+        self, tmp_path
+    ):
+        """A worker directory outlives any one exploration.  A run
+        request whose job id collides with a journal from a *different*
+        spec must start fresh, not resume the stale journal and return
+        the wrong run's result."""
+        from repro.casestudies import build_tv_decoder_spec
+        from repro.distributed import make_partition
+        from repro.distributed.worker import run_request
+        from repro.io.json_io import spec_to_dict
+
+        directory = str(tmp_path / "worker")
+        os.makedirs(directory)
+        replies = []
+        for spec in (build_settop_spec(), build_tv_decoder_spec()):
+            shard = make_partition(spec, 1, "band")[0]
+            replies.append(run_request(directory, {
+                "job": "shard-000",  # colliding id, on purpose
+                "spec": spec_to_dict(spec),
+                "shard": shard.to_dict(),
+                "options": {"engine": "compiled"},
+            }))
+        assert all(reply["completed"] for reply in replies)
+        assert not replies[1]["resumed"]
+        solo = result_to_dict(
+            explore(build_tv_decoder_spec(), engine="compiled")
+        )
+        assert replies[1]["result"]["points"] == solo["points"]
+
+    def test_coordinator_runs_share_workers_across_specs(self, tmp_path):
+        """End-to-end regression: two different explorations through
+        the same worker processes (spec-digest-namespaced job ids keep
+        their journals apart) each merge to their own solo result."""
+        from repro.casestudies import build_tv_decoder_spec
+
+        process, port = start_worker(str(tmp_path / "worker"))
+        try:
+            docs = []
+            for name, spec in (
+                ("settop", build_settop_spec()),
+                ("tv", build_tv_decoder_spec()),
+            ):
+                sharded = explore_sharded(
+                    spec, shards=2, strategy="band", mode="remote",
+                    workers=[f"127.0.0.1:{port}"],
+                    workdir=str(tmp_path / f"coord-{name}"),
+                    engine="compiled",
+                )
+                docs.append((result_doc(sharded.result), result_doc(
+                    explore(spec, engine="compiled")
+                )))
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+        for got, want in docs:
+            assert got == want
+
+
+class TestCoordinatorInterrupted:
+    def test_inline_rerun_resumes_truncated_shards(self, tmp_path):
+        """An interrupted inline coordinator (simulated by per-shard
+        evaluation budgets) leaves journals a rerun finishes exactly."""
+        spec = build_settop_spec()
+        workdir = str(tmp_path / "coord")
+        first = explore_sharded(
+            spec, shards=4, strategy="band", mode="inline",
+            workdir=workdir, engine="compiled",
+            checkpoint_every=1, max_evaluations=2,
+        )
+        assert not first.result.completed
+        assert first.result.gap is not None
+        second = explore_sharded(
+            spec, shards=4, strategy="band", mode="inline",
+            workdir=workdir, engine="compiled",
+        )
+        assert second.result.completed
+        assert all(o.resumed for o in second.outcomes)
+        assert result_doc(second.result) == result_doc(
+            explore(spec, engine="compiled")
+        )

@@ -1,0 +1,270 @@
+"""Corruption tests of the shard-worker wire protocol.
+
+A wire message is a complete request/response unit, so — unlike the
+checkpoint journal, where a torn final line is the expected signature
+of a killed writer — *every* framing defect must be rejected loudly
+with a typed :class:`~repro.errors.ProtocolError`: truncated frames,
+garbled bytes, wrong checksums, unknown types, oversized frames and
+incompatible protocol versions.  Nothing is ever silently dropped.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.distributed import (
+    MessageStream,
+    PROTOCOL_FORMAT,
+    PROTOCOL_VERSION,
+    check_hello,
+    connect,
+    decode_message,
+    encode_message,
+    hello_payload,
+    parse_address,
+    serve,
+)
+from repro.resilience.journal import record_crc
+
+
+class TestDecodeMessage:
+    def test_round_trip(self):
+        message_type, payload = decode_message(
+            encode_message("ping", {"x": 1})
+        )
+        assert message_type == "ping"
+        assert payload == {"x": 1}
+
+    def test_empty_frame_is_loud(self):
+        with pytest.raises(ProtocolError, match="closed mid-message"):
+            decode_message(b"")
+
+    def test_truncated_frame_is_loud(self):
+        frame = encode_message("ping", {})
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_message(frame[:-1])  # newline chopped
+
+    def test_garbled_bytes_are_loud(self):
+        with pytest.raises(ProtocolError, match="garbled"):
+            decode_message(b"\xff\xfe not json\n")
+
+    def test_invalid_json_is_loud(self):
+        with pytest.raises(ProtocolError, match="garbled"):
+            decode_message(b'{"t": "ping", \n')
+
+    def test_non_object_frame_is_loud(self):
+        with pytest.raises(ProtocolError, match="not an object"):
+            decode_message(b'[1, 2, 3]\n')
+
+    def test_missing_fields_are_loud(self):
+        with pytest.raises(ProtocolError, match="lacks type/payload"):
+            decode_message(b'{"t": "ping"}\n')
+        with pytest.raises(ProtocolError, match="lacks type/payload"):
+            decode_message(b'{"p": {}}\n')
+
+    def test_unknown_type_is_loud(self):
+        line = json.dumps(
+            {"t": "exfiltrate", "p": {},
+             "c": record_crc("exfiltrate", {})}
+        ).encode() + b"\n"
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_message(line)
+
+    def test_checksum_mismatch_is_loud(self):
+        """A flipped payload byte cannot sneak past the CRC."""
+        frame = encode_message("run", {"job": "s0"})
+        tampered = frame.replace(b'"s0"', b'"s1"')
+        assert tampered != frame
+        with pytest.raises(ProtocolError, match="checksum mismatch"):
+            decode_message(tampered)
+
+    def test_encode_rejects_unknown_type(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            encode_message("gossip", {})
+
+
+class TestHello:
+    def test_valid_hello_accepted(self):
+        check_hello(hello_payload())
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ProtocolError, match="speaks"):
+            check_hello({"format": "repro/other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            check_hello(
+                {"format": PROTOCOL_FORMAT,
+                 "version": PROTOCOL_VERSION + 1}
+            )
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="not an object"):
+            check_hello("hi")
+
+
+class TestParseAddress:
+    def test_parses_host_port(self):
+        assert parse_address("worker9:4321") == ("worker9", 4321)
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ProtocolError, match="host:port"):
+            parse_address("worker9")
+
+    def test_non_numeric_port_rejected(self):
+        with pytest.raises(ProtocolError, match="non-numeric"):
+            parse_address("worker9:http")
+
+
+def one_shot_server(behaviour):
+    """A TCP server that runs ``behaviour(connection)`` once."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def run():
+        connection, _ = listener.accept()
+        try:
+            behaviour(connection)
+        finally:
+            connection.close()
+            listener.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return port, thread
+
+
+class TestSocketLevel:
+    def test_garbage_from_peer_is_loud(self):
+        def behaviour(connection):
+            connection.recv(65536)  # swallow the client hello
+            connection.sendall(b"HTTP/1.1 200 OK\r\n\r\n")
+
+        port, thread = one_shot_server(behaviour)
+        with pytest.raises(ProtocolError, match="garbled|unknown"):
+            connect(("127.0.0.1", port))
+        thread.join(timeout=10)
+
+    def test_connection_cut_mid_message_is_loud(self):
+        def behaviour(connection):
+            connection.recv(65536)
+            frame = encode_message("hello", hello_payload())
+            connection.sendall(frame[: len(frame) // 2])  # then close
+
+        port, thread = one_shot_server(behaviour)
+        with pytest.raises(ProtocolError, match="truncated|closed"):
+            connect(("127.0.0.1", port))
+        thread.join(timeout=10)
+
+    def test_wrong_version_peer_rejected(self):
+        def behaviour(connection):
+            connection.recv(65536)
+            connection.sendall(encode_message(
+                "hello",
+                {"format": PROTOCOL_FORMAT,
+                 "version": PROTOCOL_VERSION + 7},
+            ))
+
+        port, thread = one_shot_server(behaviour)
+        with pytest.raises(ProtocolError, match="version"):
+            connect(("127.0.0.1", port))
+        thread.join(timeout=10)
+
+
+def worker_in_thread(tmp_path):
+    """A real serve() loop in a daemon thread; returns its port."""
+    bound = {}
+    ready_event = threading.Event()
+
+    def ready(address):
+        bound["port"] = address[1]
+        ready_event.set()
+
+    thread = threading.Thread(
+        target=serve,
+        args=(str(tmp_path),),
+        kwargs={"max_requests": 1, "ready": ready},
+        daemon=True,
+    )
+    thread.start()
+    assert ready_event.wait(timeout=10)
+    return bound["port"], thread
+
+
+class TestWorkerRejections:
+    def test_worker_rejects_wrong_version_hello(self, tmp_path):
+        """An incompatible coordinator gets a typed error reply and
+        the worker survives to say so."""
+        port, thread = worker_in_thread(tmp_path)
+        sock = socket.create_connection(("127.0.0.1", port))
+        stream = MessageStream(sock)
+        try:
+            stream.send("hello", {"format": PROTOCOL_FORMAT,
+                                  "version": 999})
+            message_type, payload = stream.receive()
+        finally:
+            stream.close()
+        assert message_type == "error"
+        assert payload["kind"] == "ProtocolError"
+        assert "version" in payload["message"]
+        thread.join(timeout=10)
+
+    def test_worker_rejects_unknown_run_options(self, tmp_path):
+        port, thread = worker_in_thread(tmp_path)
+        stream = connect(("127.0.0.1", port))
+        try:
+            stream.send("run", {
+                "job": "s0", "spec": {}, "shard": {},
+                "options": {"sudo": True},
+            })
+            message_type, payload = stream.receive()
+        finally:
+            stream.close()
+        assert message_type == "error"
+        assert payload["kind"] == "ProtocolError"
+        assert "sudo" in payload["message"]
+        thread.join(timeout=10)
+
+    def test_worker_rejects_path_traversal_job_id(self, tmp_path):
+        port, thread = worker_in_thread(tmp_path)
+        stream = connect(("127.0.0.1", port))
+        try:
+            stream.send("run", {
+                "job": "../../etc/passwd", "spec": {}, "shard": {},
+            })
+            message_type, payload = stream.receive()
+        finally:
+            stream.close()
+        assert message_type == "error"
+        assert payload["kind"] == "ProtocolError"
+        assert "job id" in payload["message"]
+        thread.join(timeout=10)
+
+    def test_worker_rejects_incomplete_run_payload(self, tmp_path):
+        port, thread = worker_in_thread(tmp_path)
+        stream = connect(("127.0.0.1", port))
+        try:
+            stream.send("run", {"job": "s0"})
+            message_type, payload = stream.receive()
+        finally:
+            stream.close()
+        assert message_type == "error"
+        assert payload["kind"] == "ProtocolError"
+        thread.join(timeout=10)
+
+    def test_ping_pong_and_shutdown(self, tmp_path):
+        port, thread = worker_in_thread(tmp_path)
+        stream = connect(("127.0.0.1", port))
+        try:
+            stream.send("ping", {})
+            assert stream.receive() == ("pong", {})
+            stream.send("shutdown", {})
+            assert stream.receive() == ("bye", {})
+        finally:
+            stream.close()
+        thread.join(timeout=10)

@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.resilience",
     "repro.service",
+    "repro.distributed",
     "repro.trace",
     "repro.adaptive",
     "repro.analysis",
