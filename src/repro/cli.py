@@ -44,7 +44,7 @@ from .casestudies import (
     synthetic_spec,
 )
 from .core import explore, explore_upgrades, max_flexibility
-from .errors import ReproError
+from .errors import OverloadedError, ReproError
 from .io import (
     dump_result,
     dump_spec,
@@ -62,6 +62,9 @@ EXIT_LINT = 2
 #: ``explore`` ended on an anytime budget (--deadline/--max-evaluations):
 #: the printed front is valid but possibly incomplete (see the gap line).
 EXIT_TRUNCATED = 3
+#: A submission was refused by admission control (the service queue is
+#: full under --max-queued): back off and resubmit.
+EXIT_OVERLOADED = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -257,6 +260,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     explore_cmd.add_argument(
+        "--heartbeat-seconds", type=float, default=None, metavar="S",
+        help=(
+            "remote mode: ask workers to stream heartbeat frames every "
+            "S seconds while a shard runs (default 1; 0 disables)"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="S",
+        help=(
+            "remote mode: declare a worker hung (and fail the shard "
+            "over) after S seconds without a frame (default 30)"
+        ),
+    )
+    explore_cmd.add_argument(
         "--plot", action="store_true", help="render the tradeoff curve"
     )
     explore_cmd.add_argument(
@@ -416,6 +433,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--poll", type=float, default=0.0, metavar="SECONDS",
         help="when idle, keep watching the spool this long before exiting",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        help=(
+            "admission control: bound the runnable queue at N jobs "
+            "(default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--overload-policy", choices=("reject", "shed"), default="reject",
+        help=(
+            "what a full queue does to a submission: refuse it (exit "
+            "code 4 via the CLI) or shed the lowest-priority queued "
+            "job to make room"
+        ),
+    )
+    serve.add_argument(
+        "--slice-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "watchdog budget per scheduling slice: a slice exceeding "
+            "it is preempted (typed HangError) and the job quarantined "
+            "(default: unsupervised)"
+        ),
     )
 
     shard_worker = commands.add_parser(
@@ -730,6 +770,14 @@ def _cmd_explore_sharded(args, out) -> int:
             for address in args.shard_workers.split(",")
             if address.strip()
         ]
+    supervision_kwargs = {}
+    if args.heartbeat_seconds is not None:
+        # 0 disables beats (legacy single end-of-run receive).
+        supervision_kwargs["heartbeat_seconds"] = (
+            args.heartbeat_seconds or None
+        )
+    if args.heartbeat_timeout is not None:
+        supervision_kwargs["heartbeat_timeout"] = args.heartbeat_timeout
     sharded = explore_sharded(
         spec,
         shards=args.shards,
@@ -738,6 +786,7 @@ def _cmd_explore_sharded(args, out) -> int:
         workers=workers,
         workdir=args.shard_dir,
         checkpoint_every=args.checkpoint_every,
+        **supervision_kwargs,
         tracer=tracer,
         util_bound=args.util_bound,
         max_cost=args.max_cost,
@@ -936,6 +985,9 @@ def _cmd_serve(args, out) -> int:
         workers=args.workers,
         pool_kind=args.pool,
         aging_rate=args.aging_rate,
+        max_queued=args.max_queued,
+        overload_policy=args.overload_policy,
+        slice_timeout=args.slice_timeout,
         **kwargs,
     ) as service:
         executed = service.run(
@@ -1121,6 +1173,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     handler = _HANDLERS[args.command]
     try:
         return handler(args, out)
+    except OverloadedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_OVERLOADED
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR

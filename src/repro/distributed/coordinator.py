@@ -43,14 +43,25 @@ from __future__ import annotations
 
 import logging
 import os
+import socket
 import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.result import ExplorationResult
-from ..errors import CheckpointError, ExplorationError, ProtocolError
+from ..errors import (
+    CheckpointError,
+    ExplorationError,
+    HangError,
+    ProtocolError,
+)
 from ..io import shard_io
 from ..spec import SpecificationGraph
+from ..supervision.watchdog import (
+    HEARTBEAT_SECONDS_DEFAULT,
+    HEARTBEAT_TIMEOUT_DEFAULT,
+    Watchdog,
+)
 from .partition import Shard, make_partition
 from .protocol import MessageStream, connect, parse_address
 
@@ -62,6 +73,13 @@ DISPATCH_MODES = ("inline", "service", "remote")
 #: Default bounded-retry policy for remote dispatch.
 RETRY_ATTEMPTS_DEFAULT = 3
 RETRY_DELAY_DEFAULT = 0.5
+
+#: How a failed remote attempt is classified (typed, per attempt, in
+#: :attr:`ShardOutcome.failures`): the peer is *hung* (reachable yet
+#: silent past the heartbeat timeout), *dead* (the OS says the
+#: connection is gone), or spoke garbage (*protocol*).  A *slow* peer —
+#: heartbeats keep arriving — is never failed over.
+FAILURE_KINDS = ("hung", "dead", "protocol", "refused")
 
 #: The manifest filename inside a coordinator workdir.
 MANIFEST_NAME = "shards.json"
@@ -78,6 +96,7 @@ class ShardOutcome:
     __slots__ = (
         "shard", "journal_path", "elapsed_seconds", "attempts",
         "worker", "resumed", "lost", "cursor", "completed",
+        "heartbeats", "hangs", "failures",
     )
 
     def __init__(self, shard: Shard, journal_path: str) -> None:
@@ -90,6 +109,14 @@ class ShardOutcome:
         self.lost = False
         self.cursor: Optional[int] = None
         self.completed = False
+        #: Heartbeat frames received across all attempts.
+        self.heartbeats = 0
+        #: Attempts failed over because the worker went silent (hung).
+        self.hangs = 0
+        #: One ``{"worker", "kind", "error"}`` record per failed
+        #: attempt (``kind`` is one of :data:`FAILURE_KINDS`) — the
+        #: typed hung-vs-dead-vs-garbled story of this shard.
+        self.failures: List[Dict[str, Any]] = []
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -102,6 +129,9 @@ class ShardOutcome:
             "lost": self.lost,
             "cursor": self.cursor,
             "completed": self.completed,
+            "heartbeats": self.heartbeats,
+            "hangs": self.hangs,
+            "failures": list(self.failures),
         }
 
 
@@ -327,18 +357,60 @@ def _remote_request(
     checkpoint_every: Optional[int],
     options: Dict[str, Any],
     timeout: Optional[float],
+    heartbeat_seconds: Optional[float] = None,
+    heartbeat_timeout: float = HEARTBEAT_TIMEOUT_DEFAULT,
 ) -> Dict[str, Any]:
-    """One run round-trip to one worker (raises on any failure)."""
+    """One run round-trip to one worker (raises on any failure).
+
+    With heartbeats enabled (``heartbeat_seconds``), the reply phase is
+    a receive *loop* bounded per frame by ``heartbeat_timeout`` — the
+    coordinator never blocks indefinitely on a single end-of-run
+    receive.  ``heartbeat`` frames re-arm the watchdog (a beating
+    worker is *slow*, never failed over, however long the run takes);
+    silence past the timeout raises a typed
+    :class:`~repro.errors.HangError` (*hung*), while a dropped
+    connection stays a :class:`ConnectionError` (*dead*) — both feed
+    the caller's retry/failover path, distinguishably.
+    """
+    key = f"{address[0]}:{address[1]}"
     stream: MessageStream = connect(address, timeout=timeout)
     try:
-        stream.send("run", {
+        run_payload = {
             "job": job,
             "spec": spec_doc,
             "shard": outcome.shard.to_dict(),
             "options": options,
             "checkpoint_every": checkpoint_every,
-        })
-        message_type, payload = stream.receive()
+        }
+        if heartbeat_seconds:
+            run_payload["heartbeat_seconds"] = heartbeat_seconds
+        stream.send("run", run_payload)
+        if heartbeat_seconds:
+            watchdog = Watchdog(timeout_seconds=heartbeat_timeout)
+            watchdog.arm(key)
+            stream.settimeout(heartbeat_timeout)
+            while True:
+                try:
+                    message_type, payload = stream.receive()
+                except socket.timeout:
+                    raise HangError(
+                        f"worker {key} went silent on shard "
+                        f"{outcome.shard.index}: no frame for "
+                        f"{heartbeat_timeout:g}s after "
+                        f"{watchdog.beats(key)} heartbeat(s) "
+                        f"(last: {watchdog.info(key) or 'none'})"
+                    ) from None
+                if message_type != "heartbeat":
+                    break
+                beat = payload if isinstance(payload, dict) else {}
+                watchdog.beat(
+                    key,
+                    cursor=beat.get("cursor"),
+                    evaluations=beat.get("evaluations"),
+                )
+                outcome.heartbeats += 1
+        else:
+            message_type, payload = stream.receive()
     finally:
         stream.close()
     if message_type == "error":
@@ -357,6 +429,37 @@ def _remote_request(
     return payload
 
 
+def _classify_failure(error: BaseException) -> str:
+    """Which :data:`FAILURE_KINDS` a failed remote attempt is."""
+    if isinstance(error, (HangError, socket.timeout)):
+        return "hung"
+    if isinstance(error, ProtocolError):
+        return "protocol"
+    return "dead"
+
+
+def _pick_address(
+    addresses: Sequence[Tuple[str, int]],
+    base: int,
+    breakers,
+) -> Tuple[str, int]:
+    """The rotation address, skipped past open circuit breakers.
+
+    Starting at ``base`` (the deterministic shard/attempt rotation),
+    return the first address whose breaker admits work.  When *every*
+    breaker is open, fall back to the rotation address anyway — losing
+    a shard because all peers recently failed is strictly worse than
+    probing one of them early.
+    """
+    for offset in range(len(addresses)):
+        address = addresses[(base + offset) % len(addresses)]
+        if breakers is None or breakers.allow(
+            f"{address[0]}:{address[1]}"
+        ):
+            return address
+    return addresses[base % len(addresses)]
+
+
 def _run_remote(
     spec: SpecificationGraph,
     outcomes: Sequence[ShardOutcome],
@@ -366,6 +469,9 @@ def _run_remote(
     retry_attempts: int,
     retry_delay: float,
     timeout: Optional[float],
+    heartbeat_seconds: Optional[float] = None,
+    heartbeat_timeout: float = HEARTBEAT_TIMEOUT_DEFAULT,
+    breakers=None,
 ) -> None:
     from ..io.json_io import spec_to_dict
     from ..resilience.checkpoint import load_checkpoint
@@ -390,28 +496,44 @@ def _run_remote(
         job = f"{digest}-shard-{outcome.shard.index:03d}"
         reply = None
         for attempt in range(retry_attempts):
-            # Rotate across workers: a dead host's shards fail over to
-            # its peers (which start the shard fresh — equally sound,
-            # the journal is complete either way).
-            address = addresses[(outcome.shard.index + attempt)
-                                % len(addresses)]
+            # Rotate across workers (skipping open breakers): a dead
+            # or hung host's shards fail over to its peers (which
+            # start the shard fresh — equally sound, the journal is
+            # complete either way).
+            address = _pick_address(
+                addresses, outcome.shard.index + attempt, breakers
+            )
+            key = f"{address[0]}:{address[1]}"
             outcome.attempts = attempt + 1
             try:
                 reply = _remote_request(
                     address, job, spec_doc, outcome,
                     checkpoint_every, run_options, timeout,
+                    heartbeat_seconds=heartbeat_seconds,
+                    heartbeat_timeout=heartbeat_timeout,
                 )
-                outcome.worker = f"{address[0]}:{address[1]}"
+                outcome.worker = key
+                if breakers is not None:
+                    breakers.record_success(key)
                 break
-            except (ProtocolError, ConnectionError, OSError) as error:
-                # Connection-level failure: the worker died or is
-                # restarting.  Its journal survives, so the retry
-                # resumes rather than repeats.
+            except (HangError, ProtocolError, ConnectionError,
+                    OSError) as error:
+                # The worker died, went silent, or spoke garbage.  Its
+                # journal survives, so the retry resumes rather than
+                # repeats.  The kind is recorded — hung-vs-dead-vs-
+                # garbled matter to operators and to the breakers.
+                kind = _classify_failure(error)
+                if kind == "hung":
+                    outcome.hangs += 1
+                outcome.failures.append({
+                    "worker": key, "kind": kind, "error": str(error),
+                })
+                if breakers is not None:
+                    breakers.record_failure(key)
                 logger.warning(
-                    "coordinator: shard %d attempt %d via %s:%d "
-                    "failed: %s",
-                    outcome.shard.index, attempt + 1,
-                    address[0], address[1], error,
+                    "coordinator: shard %d attempt %d via %s "
+                    "failed (%s): %s",
+                    outcome.shard.index, attempt + 1, key, kind, error,
                 )
                 if attempt + 1 < retry_attempts:
                     time.sleep(retry_delay)
@@ -458,6 +580,9 @@ def explore_sharded(
     retry_attempts: int = RETRY_ATTEMPTS_DEFAULT,
     retry_delay: float = RETRY_DELAY_DEFAULT,
     timeout: Optional[float] = None,
+    heartbeat_seconds: Optional[float] = HEARTBEAT_SECONDS_DEFAULT,
+    heartbeat_timeout: float = HEARTBEAT_TIMEOUT_DEFAULT,
+    breakers=None,
     trace: Optional[list] = None,
     progress=None,
     progress_every: Optional[int] = None,
@@ -488,6 +613,20 @@ def explore_sharded(
         the worker list, then the shard is declared lost and the merge
         returns the sound degraded result (``completed=False`` plus an
         :class:`OptimalityGap` accepted by ``verify_gap``).
+    heartbeat_seconds, heartbeat_timeout, breakers:
+        The remote supervision plane (:mod:`repro.supervision`).
+        Workers stream ``heartbeat`` frames every ``heartbeat_seconds``
+        while a shard runs; a worker silent past ``heartbeat_timeout``
+        is declared *hung* (typed in ``outcome.failures``) and failed
+        over — a beating worker is merely *slow* and never preempted.
+        ``heartbeat_seconds=None`` disables beats (legacy single
+        end-of-run receive, bounded only by ``timeout``).  ``breakers``
+        is an optional
+        :class:`~repro.supervision.BreakerRegistry`; by default a
+        fresh one supervises this run, so a repeatedly failing worker
+        address stops receiving shards until its cool-down probe
+        succeeds — pass a shared registry to carry breaker state (and
+        its metrics export) across runs.
     trace, progress, progress_every, tracer:
         Observability of the *merged* (global) exploration, identical
         in meaning to the ``explore()`` parameters.
@@ -532,9 +671,16 @@ def explore_sharded(
     elif mode == "service":
         _run_service(spec, workdir, outcomes, checkpoint_every, options)
     else:
+        if breakers is None:
+            from ..supervision.breaker import BreakerRegistry
+
+            breakers = BreakerRegistry()
         _run_remote(
             spec, outcomes, workers or (), checkpoint_every, options,
             retry_attempts, retry_delay, timeout,
+            heartbeat_seconds=heartbeat_seconds,
+            heartbeat_timeout=heartbeat_timeout,
+            breakers=breakers,
         )
     merge_started = time.perf_counter()
     merged = merge_shard_checkpoints(

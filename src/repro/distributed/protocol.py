@@ -16,12 +16,22 @@ Message flow (coordinator = client, shard worker = server)::
 
     client: hello {format, version}
     server: hello {format, version, pid}
-    client: run   {job, spec, shard, options, checkpoint_every}
+    client: run   {job, spec, shard, options, checkpoint_every,
+                   heartbeat_seconds}
+    server: heartbeat {job, cursor, evaluations}   (0..n, while running)
     server: result {result: <result-JSON-v2>, journal: <checkpoint
                     journal text>, job, cursor, completed}
          or error  {kind, message}
     client: ping {} / shutdown {}      (liveness / orderly stop)
     server: pong {} / bye {}
+
+``heartbeat`` frames are the liveness channel of the supervision plane
+(:mod:`repro.supervision`): the worker streams them at
+``heartbeat_seconds`` intervals while a run is in progress, carrying
+the shard cursor and evaluation count, so the coordinator can
+distinguish a *slow* worker (beats keep arriving) from a *hung* one
+(silence past the heartbeat timeout) from a *dead* one (connection
+error) — and never blocks indefinitely on a single end-of-run receive.
 
 The ``result`` payload speaks the two existing on-disk formats
 (``docs/formats.md``): the result document is result-JSON-v2 and the
@@ -33,10 +43,19 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ProtocolError
 from ..resilience.journal import encode_record, record_crc
+
+
+def _faults():
+    """The fault-injection seams (lazy import keeps the wire layer free
+    of any resilience-package import cost on the hot path)."""
+    from ..resilience import faults
+
+    return faults
 
 #: Wire-format identifier exchanged in the hello handshake.
 PROTOCOL_FORMAT = "repro/shard-protocol"
@@ -46,6 +65,7 @@ PROTOCOL_VERSION = 1
 #: Message types a well-formed peer may send.
 MESSAGE_TYPES = (
     "hello", "run", "result", "error", "ping", "pong", "shutdown", "bye",
+    "heartbeat",
 )
 
 #: Upper bound on one frame (a shard journal for a huge space is tens
@@ -121,14 +141,48 @@ def check_hello(payload: Any) -> None:
 
 
 class MessageStream:
-    """Framed messages over one connected socket."""
+    """Framed messages over one connected socket.
+
+    The ``"net"`` fault seam (:func:`repro.resilience.faults.maybe_action`)
+    fires once per sent frame: ``delay`` sleeps ``delay_seconds`` before
+    sending, ``stall`` wedges the link for ``stall_seconds`` (the
+    heartbeat watchdog's job to catch), ``truncate`` delivers half the
+    frame and drops the connection (the peer sees a torn frame →
+    :class:`ProtocolError`), ``duplicate`` delivers the frame twice,
+    ``reset`` drops the connection without sending a byte
+    (:class:`ConnectionResetError` on this side).
+    """
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._reader = sock.makefile("rb")
 
     def send(self, message_type: str, payload: Any) -> None:
-        self._sock.sendall(encode_message(message_type, payload))
+        frame = encode_message(message_type, payload)
+        fault = _faults().maybe_action("net", message=message_type)
+        if fault == "delay":
+            time.sleep(_faults().active_plan().delay_seconds)
+        elif fault == "stall":
+            time.sleep(_faults().active_plan().stall_seconds)
+        elif fault == "truncate":
+            self._sock.sendall(frame[: max(1, len(frame) // 2)])
+            self.close()
+            raise ConnectionResetError(
+                f"injected mid-frame truncation on {message_type!r}"
+            )
+        elif fault == "duplicate":
+            self._sock.sendall(frame + frame)
+            return
+        elif fault == "reset":
+            self.close()
+            raise ConnectionResetError(
+                f"injected connection reset before {message_type!r}"
+            )
+        self._sock.sendall(frame)
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """(Re)bound every subsequent socket operation by ``timeout``."""
+        self._sock.settimeout(timeout)
 
     def receive(self) -> Tuple[str, Any]:
         line = self._reader.readline(MAX_FRAME_BYTES + 1)
@@ -151,11 +205,33 @@ class MessageStream:
         self.close()
 
 
+#: Default bound on the TCP connect + hello exchange.  A worker that
+#: cannot complete a two-frame handshake in this window is effectively
+#: down; without a finite default, a silently dropped SYN-ACK or a
+#: wedged accept loop blocks the coordinator forever.
+HANDSHAKE_TIMEOUT_DEFAULT = 10.0
+
+
 def connect(
-    address: Tuple[str, int], timeout: Optional[float] = None
+    address: Tuple[str, int],
+    timeout: Optional[float] = None,
+    handshake_timeout: Optional[float] = HANDSHAKE_TIMEOUT_DEFAULT,
 ) -> MessageStream:
-    """Open a handshaken client connection to a shard worker."""
-    sock = socket.create_connection(address, timeout=timeout)
+    """Open a handshaken client connection to a shard worker.
+
+    The connect + hello exchange is bounded by ``handshake_timeout``
+    (finite by default; a caller-supplied finite ``timeout`` tightens it
+    further); once the peer has proven protocol-compatible, the socket
+    is rebound to ``timeout`` — the caller's policy for the run phase,
+    where the heartbeat watchdog takes over liveness.
+    """
+    if handshake_timeout is None:
+        effective = timeout
+    elif timeout is None:
+        effective = handshake_timeout
+    else:
+        effective = min(timeout, handshake_timeout)
+    sock = socket.create_connection(address, timeout=effective)
     stream = MessageStream(sock)
     try:
         stream.send("hello", hello_payload())
@@ -170,6 +246,7 @@ def connect(
                 f"expected hello from worker, got {message_type!r}"
             )
         check_hello(payload)
+        stream.settimeout(timeout)
     except BaseException:
         stream.close()
         raise

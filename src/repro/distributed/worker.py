@@ -25,7 +25,8 @@ import logging
 import os
 import re
 import socket
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import CheckpointError, ProtocolError, ReproError
 from .protocol import (
@@ -35,6 +36,11 @@ from .protocol import (
 )
 
 logger = logging.getLogger(__name__)
+
+#: Progress-event cadence (enumerated candidates) feeding the heartbeat
+#: sender.  Deliberately fine-grained — the sender rate-limits by wall
+#: clock, so a finer cadence costs a dict lookup, not wire traffic.
+HEARTBEAT_PROGRESS_EVERY = 64
 
 #: Options a run request may carry (the result-affecting explore
 #: parameters plus per-run geometry; unknown keys are rejected loudly).
@@ -97,9 +103,20 @@ def _journal_mismatch(path: str, spec, shard) -> Optional[str]:
 
 
 def run_request(
-    directory: str, payload: Any
+    directory: str,
+    payload: Any,
+    heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
-    """Execute one validated ``run`` request; returns the reply payload."""
+    """Execute one validated ``run`` request; returns the reply payload.
+
+    ``heartbeat`` (when given) is called with ``{"cursor": ...,
+    "evaluations": ...}`` at every progress event of the underlying
+    exploration — the liveness seam :func:`_serve_connection` wires to
+    ``heartbeat`` wire frames.  Heartbeats prove *progress*, not mere
+    process liveness: an evaluation wedged inside one candidate stops
+    the beats, which is exactly what the coordinator's watchdog is
+    there to catch.
+    """
     from ..io.json_io import spec_from_dict
     from ..io.result_io import result_to_dict
     from ..parallel.batched import explore_batched
@@ -141,6 +158,17 @@ def run_request(
                 "strategy": shard.strategy,
             },
         )
+    progress_cb = None
+    progress_every = None
+    if heartbeat is not None:
+        progress_every = HEARTBEAT_PROGRESS_EVERY
+
+        def progress_cb(event: Dict[str, Any]) -> None:
+            heartbeat({
+                "cursor": event.get("candidates"),
+                "evaluations": event.get("evaluations"),
+            })
+
     resumed = False
     result = None
     if os.path.exists(path):
@@ -161,6 +189,8 @@ def run_request(
                 result = resume_explore(
                     path,
                     tracer=tracer,
+                    progress=progress_cb,
+                    progress_every=progress_every,
                     max_evaluations=options.get("max_evaluations"),
                     deadline_seconds=options.get("deadline_seconds"),
                 )
@@ -177,6 +207,8 @@ def run_request(
             checkpoint_every=payload.get("checkpoint_every"),
             parallel=options.pop("parallel", "serial"),
             tracer=tracer,
+            progress=progress_cb,
+            progress_every=progress_every,
             **options,
         )
     loaded = load_checkpoint(path)
@@ -194,6 +226,42 @@ def run_request(
     if tracer is not None:
         reply["trace"] = tracer.all_records()
     return reply
+
+
+def _heartbeat_sender(
+    stream: MessageStream, job: Any, interval: Any
+) -> Optional[Callable[[Dict[str, Any]], None]]:
+    """A rate-limited ``heartbeat``-frame sender (``None`` = disabled).
+
+    Heartbeats are only sent when the coordinator asked for them
+    (``heartbeat_seconds`` in the run payload) — an older coordinator
+    does one end-of-run receive and must never see an unexpected frame.
+    A send failure disables further beats but never aborts the run: the
+    computation and its journal are worth finishing even if the
+    coordinator is gone (a retry resumes from that journal).
+    """
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        return None
+    state = {"last": float("-inf"), "dead": False}
+
+    def send(info: Dict[str, Any]) -> None:
+        if state["dead"]:
+            return
+        now = time.monotonic()
+        if now - state["last"] < interval:
+            return
+        state["last"] = now
+        try:
+            stream.send("heartbeat", {"job": job, **info})
+        except OSError:
+            state["dead"] = True
+            logger.warning(
+                "worker: heartbeat for job %r undeliverable; continuing "
+                "the run without beats (journal survives for resume)",
+                job,
+            )
+
+    return send
 
 
 def _serve_connection(stream: MessageStream, directory: str) -> str:
@@ -215,7 +283,15 @@ def _serve_connection(stream: MessageStream, directory: str) -> str:
         elif message_type == "run":
             job = payload.get("job") if isinstance(payload, dict) else None
             logger.info("worker: run job=%r", job)
-            stream.send("result", run_request(directory, payload))
+            sender = _heartbeat_sender(
+                stream,
+                job,
+                payload.get("heartbeat_seconds")
+                if isinstance(payload, dict) else None,
+            )
+            stream.send("result", run_request(
+                directory, payload, heartbeat=sender
+            ))
         else:
             raise ProtocolError(
                 f"unexpected {message_type!r} message from coordinator"

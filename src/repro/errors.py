@@ -88,3 +88,28 @@ class ProtocolError(ReproError):
     is never silently dropped, mirroring the CRC-journal contract of
     :mod:`repro.resilience.journal`.
     """
+
+
+class HangError(ReproError):
+    """A supervised activity stopped making observable progress.
+
+    Raised by the supervision plane (:mod:`repro.supervision`) when a
+    watchdog's heartbeat timeout elapses: a shard worker that accepted
+    a run but stopped heartbeating, or a service job slice that wedged
+    inside an evaluation.  A hang is distinct from a *death*
+    (``ConnectionError`` — the peer is gone) and from mere slowness
+    (heartbeats still arriving): the activity is alive but not
+    progressing, so the supervisor preempts it rather than waiting
+    forever.
+    """
+
+
+class OverloadedError(ReproError):
+    """The service declined work because its admission queue is full.
+
+    Raised by :class:`repro.service.ExplorationService` under the
+    ``"reject"`` overload policy when a submission arrives with
+    ``max_queued`` jobs already queued.  Overload is a visible,
+    recoverable state — the caller backs off and resubmits — never
+    unbounded queue growth.  The CLI maps it to exit code 4.
+    """

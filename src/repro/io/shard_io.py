@@ -11,6 +11,7 @@ See ``docs/formats.md`` for the field-by-field description.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 from typing import Any, Dict, List, Optional, Sequence
@@ -86,9 +87,38 @@ def manifest_from_dict(document: Any):
 
 
 def dump_manifest(path: str, document: Dict[str, Any]) -> None:
+    """Write a manifest atomically enough for the chaos harness.
+
+    The ``"disk"`` fault seam fires once per dump: ``torn`` leaves half
+    the JSON on disk and aborts (``load_manifest`` then fails loudly —
+    a half manifest must never validate), ``enospc`` fails before any
+    byte lands, ``fsync_fail`` degrades to a loud
+    :class:`SerializationError` (a manifest we cannot make durable must
+    not anchor a resume).
+    """
+    from ..resilience import faults
+
+    serialised = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    fault = faults.maybe_action("disk", path=path, record_type="manifest")
+    if fault == "enospc":
+        raise SerializationError(
+            f"cannot write shard manifest {path!r}: "
+            f"[Errno {errno.ENOSPC}] injected ENOSPC "
+            f"(no space left on device)"
+        )
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        if fault == "torn":
+            handle.write(serialised[: max(1, len(serialised) // 2)])
+            handle.flush()
+            raise faults.SimulatedCrash(
+                f"injected torn write to shard manifest {path!r}"
+            )
+        handle.write(serialised)
+        if fault == "fsync_fail":
+            raise SerializationError(
+                f"fsync of shard manifest {path!r} failed (injected); "
+                f"the manifest may not be durable"
+            )
 
 
 def load_manifest(path: str):

@@ -268,8 +268,11 @@ class _BatchRunner:
         Returns ``None`` when the pool is lost (caller goes inline).
         """
         last: Optional[BaseException] = None
+        site_key = "dispatch:" + (
+            ",".join(sorted(unit_sets[0])) if unit_sets else ""
+        )
         for attempt, delay in enumerate(
-            itertools.chain([0.0], self.retry.delays())
+            itertools.chain([0.0], self.retry.delays(site_key=site_key))
         ):
             if attempt:
                 self.stats.pool_retries += 1
@@ -304,7 +307,10 @@ class _BatchRunner:
     ) -> CandidateOutcome:
         """Backoff-retry one failed candidate in the pool, then rescue."""
         last = error
-        for attempt, delay in enumerate(self.retry.delays(), start=1):
+        site_key = "candidate:" + ",".join(sorted(units))
+        for attempt, delay in enumerate(
+            self.retry.delays(site_key=site_key), start=1
+        ):
             if self.executor is None:
                 break
             self.stats.pool_retries += 1

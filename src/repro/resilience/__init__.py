@@ -21,7 +21,9 @@ return a *valid, bounded* answer under all of that:
   ``ExplorationResult.stats`` — fallback is never silent;
 * a **fault-injection harness** (:mod:`.faults`) — deterministic
   worker kills, transient/permanent errors, delays, cache corruption
-  and process aborts, used by the differential robustness tests.
+  and process aborts, plus ``"net"`` (stall / truncate / duplicate /
+  reset) and ``"disk"`` (torn write / ENOSPC / fsync failure) seams
+  for the chaos matrix in ``tests/test_chaos.py``.
 
 Submodules are imported lazily (PEP 562) so that low-level users —
 ``repro.parallel.worker`` ships fault plans into pool children — never
@@ -45,6 +47,7 @@ __all__ = [
     "corrupt_cache_entry",
     "inject",
     "load_checkpoint",
+    "maybe_action",
     "read_journal",
     "resume_explore",
     "verify_gap",
@@ -63,6 +66,7 @@ _LAZY = {
     "SimulatedCrash": ("faults", "SimulatedCrash"),
     "corrupt_cache_entry": ("faults", "corrupt_cache_entry"),
     "inject": ("faults", "inject"),
+    "maybe_action": ("faults", "maybe_action"),
     "JournalWriter": ("journal", "JournalWriter"),
     "read_journal": ("journal", "read_journal"),
     "RetryPolicy": ("retry", "RetryPolicy"),

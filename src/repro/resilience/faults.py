@@ -11,7 +11,19 @@ module injects disturbances at three seams of the batched explorer —
   handed to the worker pool;
 * ``"checkpoint"`` — fired right after a checkpoint record reaches
   stable storage (used to simulate a process killed at a checkpoint
-  boundary).
+  boundary);
+* ``"net"`` — fired per frame in the shard wire protocol
+  (:meth:`repro.distributed.protocol.MessageStream.send`).  Actions:
+  ``delay`` (slow link), ``stall`` (link wedges for ``stall_seconds``
+  — the heartbeat watchdog's job to catch), ``truncate`` (connection
+  dies mid-frame; the peer sees a torn frame), ``duplicate`` (the
+  frame is delivered twice), ``reset`` (connection reset by peer);
+* ``"disk"`` — fired per journal/manifest write
+  (:meth:`repro.resilience.journal.JournalWriter.append`,
+  :func:`repro.io.shard_io.dump_manifest`).  Actions: ``torn`` (half
+  the record reaches disk, then the process dies —
+  :class:`SimulatedCrash`), ``enospc`` (``OSError(ENOSPC)``),
+  ``fsync_fail`` (data written, durability barrier fails).
 
 A :class:`FaultPlan` decides, deterministically from its seed and
 per-site call counters, whether a given firing injects a fault and
@@ -21,6 +33,13 @@ the parent), a delay, or a whole-process abort
 (:class:`SimulatedCrash`).  Plans are picklable so process pools ship
 them to children through the pool initializer; each child counts its
 own calls.
+
+The ``worker``/``pool``/``checkpoint`` seams call :func:`maybe_inject`,
+which *performs* the generic actions.  The ``net``/``disk`` seams call
+:func:`maybe_action` instead, which only *names* the scheduled action —
+tearing a frame or failing an fsync needs the site's own file handles
+and sockets, so the site implements the behaviour and the plan stays a
+pure, picklable schedule.
 
 Install a plan with :func:`inject` (a context manager) and keep
 correctness paths honest with :func:`suppressed`, which the quarantine
@@ -40,11 +59,21 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 from ..errors import PermanentWorkerError, TransientWorkerError
 
-#: Fault actions a plan may schedule.
-ACTIONS = ("transient", "permanent", "crash", "delay", "abort")
+#: Network fault actions (implemented by the ``"net"`` seam).
+NET_ACTIONS = ("delay", "stall", "truncate", "duplicate", "reset")
 
-#: The seams at which :func:`maybe_inject` is called.
-SITES = ("worker", "pool", "checkpoint")
+#: Disk fault actions (implemented by the ``"disk"`` seam).
+DISK_ACTIONS = ("torn", "enospc", "fsync_fail")
+
+#: Fault actions a plan may schedule.
+ACTIONS = (
+    ("transient", "permanent", "crash", "delay", "abort")
+    + tuple(a for a in NET_ACTIONS if a != "delay")
+    + DISK_ACTIONS
+)
+
+#: The seams at which :func:`maybe_inject` / :func:`maybe_action` fire.
+SITES = ("worker", "pool", "checkpoint", "net", "disk")
 
 
 class SimulatedCrash(RuntimeError):
@@ -82,6 +111,7 @@ class FaultPlan:
         crash_rate: float = 0.0,
         delay_rate: float = 0.0,
         delay_seconds: float = 0.0,
+        stall_seconds: float = 30.0,
         max_faults: Optional[int] = None,
     ) -> None:
         self.seed = seed
@@ -100,6 +130,11 @@ class FaultPlan:
         self.crash_rate = crash_rate
         self.delay_rate = delay_rate
         self.delay_seconds = delay_seconds
+        #: How long a ``stall`` wedges the link.  Finite (not literally
+        #: forever) so chaos tests terminate even when supervision is
+        #: deliberately disabled; with it enabled, the heartbeat
+        #: watchdog preempts the stall long before this elapses.
+        self.stall_seconds = stall_seconds
         self.max_faults = max_faults
         self._rng = random.Random(seed)
         self._calls: Dict[str, int] = {site: 0 for site in SITES}
@@ -119,6 +154,7 @@ class FaultPlan:
             "crash_rate": self.crash_rate,
             "delay_rate": self.delay_rate,
             "delay_seconds": self.delay_seconds,
+            "stall_seconds": self.stall_seconds,
             "max_faults": self.max_faults,
         }
 
@@ -144,17 +180,31 @@ class FaultPlan:
                 return name
         return None
 
-    def fire(self, site: str, **context: Any) -> None:
-        """One firing of the seam ``site``; may raise / crash / sleep."""
+    def take(self, site: str, **context: Any) -> Optional[str]:
+        """Count one firing of ``site``; name the scheduled action.
+
+        Returns the action name (logged, counted against
+        ``max_faults``) or ``None``.  The caller implements the
+        behaviour — this is the API of the ``"net"``/``"disk"`` seams,
+        whose faults need the site's own sockets and file handles.
+        """
         self._calls[site] = self._calls.get(site, 0) + 1
         call_index = self._calls[site]
         if self.max_faults is not None and self._injected >= self.max_faults:
-            return
+            return None
         action = self._pick(site, call_index)
         if action is None:
-            return
+            return None
         self._injected += 1
         self.log.append((site, call_index, action))
+        return action
+
+    def fire(self, site: str, **context: Any) -> None:
+        """One firing of the seam ``site``; may raise / crash / sleep."""
+        action = self.take(site, **context)
+        if action is None:
+            return
+        call_index = self._calls[site]
         if action == "delay":
             time.sleep(self.delay_seconds)
             return
@@ -178,8 +228,13 @@ class FaultPlan:
             )
         if action == "abort":
             raise SimulatedCrash(
-                f"injected process abort at {site}#{call_index}"
+                f"injected process abort at {site}#{self._calls[site]}"
             )
+        raise ValueError(
+            f"action {action!r} scheduled at generic seam {site!r}; "
+            f"net/disk actions are implemented by their seams via "
+            f"maybe_action()"
+        )
 
 
 # --- plan installation ------------------------------------------------------
@@ -212,6 +267,19 @@ def maybe_inject(site: str, **context: Any) -> None:
     plan = _ACTIVE
     if plan is not None and not getattr(_LOCAL, "suppressed", False):
         plan.fire(site, **context)
+
+
+def maybe_action(site: str, **context: Any) -> Optional[str]:
+    """Name the active plan's scheduled action at ``site`` (or ``None``).
+
+    The caller-implemented twin of :func:`maybe_inject`, used by the
+    ``"net"`` and ``"disk"`` seams whose faults require the site's own
+    sockets and file handles.  Respects :func:`suppressed`.
+    """
+    plan = _ACTIVE
+    if plan is None or getattr(_LOCAL, "suppressed", False):
+        return None
+    return plan.take(site, **context)
 
 
 @contextlib.contextmanager

@@ -18,12 +18,22 @@ on power failure — they are pure cache and are recomputed on resume.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import zlib
 from typing import Any, Iterator, List, Optional, Tuple
 
 from ..errors import CheckpointError
+
+
+def _faults():
+    """The fault-injection seams (lazy import: avoids a module cycle —
+    :mod:`.faults` is a sibling, but importing it eagerly would load
+    the whole parallel stack for every journal read)."""
+    from . import faults
+
+    return faults
 
 
 def _canonical(record_type: str, payload: Any) -> str:
@@ -69,12 +79,44 @@ class JournalWriter:
             self._handle.seek(truncate_to)
 
     def append(self, record_type: str, payload: Any, sync: bool = False) -> None:
-        """Append one record; ``sync=True`` forces it to stable storage."""
+        """Append one record; ``sync=True`` forces it to stable storage.
+
+        The ``"disk"`` fault seam fires per append: ``torn`` writes half
+        the record and aborts (the torn final line is discarded on the
+        next load), ``enospc`` fails loudly *before* any byte lands (a
+        failed write may not leave a half-record that a later append
+        would silently follow), ``fsync_fail`` models a storage stack
+        whose durability barrier lies — surfaced as
+        :class:`CheckpointError` so the caller never believes an
+        unsynced checkpoint is stable.
+        """
         if self._handle is None:
             raise CheckpointError(f"journal {self.path!r} already closed")
-        self._handle.write(encode_record(record_type, payload))
+        line = encode_record(record_type, payload)
+        fault = _faults().maybe_action(
+            "disk", path=self.path, record_type=record_type
+        )
+        if fault == "torn":
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            raise _faults().SimulatedCrash(
+                f"injected torn write to {self.path!r} "
+                f"(record {record_type!r})"
+            )
+        if fault == "enospc":
+            raise CheckpointError(
+                f"cannot append to journal {self.path!r}: "
+                f"[Errno {errno.ENOSPC}] injected ENOSPC "
+                f"(no space left on device)"
+            )
+        self._handle.write(line)
         self._handle.flush()
         if sync:
+            if fault == "fsync_fail":
+                raise CheckpointError(
+                    f"fsync of journal {self.path!r} failed (injected); "
+                    f"the record may not be durable"
+                )
             os.fsync(self._handle.fileno())
 
     def close(self) -> None:

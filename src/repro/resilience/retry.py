@@ -3,8 +3,14 @@
 Exponential backoff with deterministic, seeded jitter: delay ``i`` is
 ``min(max_delay, base_delay * 2**i)`` scaled by a jitter factor drawn
 uniformly from ``[1 - jitter, 1 + jitter]`` by a :class:`random.Random`
-seeded per policy — runs are reproducible, yet concurrent retries do
-not thundering-herd on the exact same schedule.
+seeded from ``(policy seed, site key)``.  The ``site_key`` — supplied
+by the caller, e.g. the candidate's unit set or the breaker's peer
+address — is what actually prevents thundering herds: every policy
+defaults to ``seed=0`` and :meth:`RetryPolicy.delays` re-seeds per
+call, so without it all concurrent retries would share one schedule
+and herd on the exact same instants.  With it, schedules stay fully
+reproducible (same seed, same site, same delays) yet distinct per
+site.
 
 The policy only *times* retries; classification (transient vs
 permanent) and the quarantine of repeat offenders live in the batch
@@ -14,7 +20,7 @@ dispatcher (:mod:`repro.parallel.batched`).
 from __future__ import annotations
 
 import random
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 #: Default number of pool attempts per candidate (1 initial + retries).
 DEFAULT_ATTEMPTS = 3
@@ -43,9 +49,17 @@ class RetryPolicy:
         self.jitter = jitter
         self.seed = seed
 
-    def delays(self) -> Iterator[float]:
-        """The backoff delays between attempts (``attempts - 1`` values)."""
-        rng = random.Random(self.seed)
+    def delays(self, site_key: Optional[str] = None) -> Iterator[float]:
+        """The backoff delays between attempts (``attempts - 1`` values).
+
+        ``site_key`` names the retrying site (a candidate's unit set, a
+        peer address); distinct sites get distinct — still fully
+        deterministic — jitter, so they never herd.  ``None`` keeps the
+        historical seed-only schedule.
+        """
+        # str seeding hashes via SHA-512: stable across runs/platforms.
+        seed = self.seed if site_key is None else f"{self.seed}/{site_key}"
+        rng = random.Random(seed)
         for attempt in range(self.attempts - 1):
             raw = min(self.max_delay, self.base_delay * (2 ** attempt))
             scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
@@ -59,9 +73,9 @@ class RetryPolicy:
     def from_dict(cls, document: dict) -> "RetryPolicy":
         return cls(**{k: document[k] for k in cls.__slots__ if k in document})
 
-    def schedule(self) -> List[float]:
+    def schedule(self, site_key: Optional[str] = None) -> List[float]:
         """The full delay schedule as a list (for tests and docs)."""
-        return list(self.delays())
+        return list(self.delays(site_key=site_key))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

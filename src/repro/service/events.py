@@ -3,8 +3,10 @@
 The service publishes one dictionary per observable moment of a job's
 life — ``submitted``, ``slice_start``, ``progress`` (with throughput
 and ETA), ``incumbent`` (a new Pareto point), ``preempted``,
-``resumed``, ``completed``, ``failed``, ``cancelled``, ``recovered`` —
-and the bus fans each event out to every matching subscriber.
+``resumed``, ``completed``, ``failed``, ``cancelled``, ``recovered``,
+``shed`` (evicted by admission control under overload), ``hung`` (a
+slice preempted by the watchdog) — and the bus fans each event out to
+every matching subscriber.
 
 Subscribers are queue-backed and independent: a slow consumer never
 blocks the scheduler (events beyond ``max_pending`` are dropped
@@ -33,6 +35,8 @@ SERVICE_EVENT_KINDS = (
     "failed",
     "cancelled",
     "recovered",
+    "shed",
+    "hung",
 )
 
 

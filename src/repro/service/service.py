@@ -44,7 +44,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..core.result import ExplorationResult
-from ..errors import CheckpointError, ReproError
+from ..errors import CheckpointError, HangError, OverloadedError, ReproError
 from ..io import job_io
 from ..io.json_io import spec_from_dict, spec_to_dict
 from ..io.result_io import dump_result, load_result
@@ -53,6 +53,8 @@ from ..parallel.pool import WorkerPool
 from ..resilience.checkpoint import resume_explore
 from ..resilience.journal import JournalWriter, read_journal
 from ..spec import SpecificationGraph
+from ..supervision.admission import AdmissionController
+from ..supervision.watchdog import run_bounded
 from .clock import ManualClock, MonotonicClock, ServiceClock
 from .events import EventBus, Subscription
 from ..trace import Tracer, bridge_trace_metrics, write_trace
@@ -89,11 +91,19 @@ class ExplorationService:
         progress_every: Optional[int] = PROGRESS_EVERY_DEFAULT,
         clock: Optional[ServiceClock] = None,
         aging_rate: float = 0.0,
+        max_queued: Optional[int] = None,
+        overload_policy: str = "reject",
+        slice_timeout: Optional[float] = None,
     ) -> None:
         if slice_evaluations < 1:
             raise ServiceError(
                 f"slice_evaluations must be a positive integer, "
                 f"got {slice_evaluations!r}"
+            )
+        if slice_timeout is not None and slice_timeout <= 0:
+            raise ServiceError(
+                f"slice_timeout must be > 0 seconds (or None for "
+                f"unsupervised slices), got {slice_timeout!r}"
             )
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
@@ -101,6 +111,18 @@ class ExplorationService:
         self.slice_evaluations = slice_evaluations
         self.checkpoint_every = checkpoint_every
         self.progress_every = progress_every
+        #: Admission control: the runnable queue is bounded at
+        #: ``max_queued`` with an explicit overload policy ("reject"
+        #: raises :class:`~repro.errors.OverloadedError`; "shed"
+        #: cancels the lowest-priority queued job with a journaled
+        #: ``shed`` event).  ``None`` keeps the historical unbounded
+        #: queue.
+        self.admission = AdmissionController(max_queued, overload_policy)
+        #: Wall-clock watchdog budget per slice (``None`` = off): a
+        #: slice that exceeds it is preempted with a typed
+        #: :class:`~repro.errors.HangError` and the job quarantined
+        #: (failed, checkpoint kept) instead of wedging the scheduler.
+        self.slice_timeout = slice_timeout
         self.clock: ServiceClock = clock if clock is not None else MonotonicClock()
         self.pool = WorkerPool(workers=workers, kind=pool_kind)
         self.bus = EventBus()
@@ -147,6 +169,18 @@ class ExplorationService:
         self.m_recovered = m.counter(
             "repro_jobs_recovered_total",
             "Live jobs re-queued from the ledger after a restart",
+        )
+        self.m_rejected = m.counter(
+            "repro_jobs_rejected_total",
+            "Submissions refused because the admission queue was full",
+        )
+        self.m_shed = m.counter(
+            "repro_jobs_shed_total",
+            "Queued jobs shed (cancelled) to admit higher-priority work",
+        )
+        self.m_hangs = m.counter(
+            "repro_hangs_total",
+            "Slices preempted by the watchdog (job quarantined)",
         )
         self.m_queue_depth = m.gauge(
             "repro_queue_depth", "Runnable jobs in the scheduler"
@@ -228,10 +262,34 @@ class ExplorationService:
         priority: float = 1.0,
         options: Optional[Dict[str, Any]] = None,
     ) -> Job:
-        """Accept a job: journal it durably and make it runnable."""
+        """Accept a job: journal it durably and make it runnable.
+
+        Submissions pass admission control first: when the runnable
+        queue holds ``max_queued`` jobs, the overload policy either
+        refuses this submission (:class:`~repro.errors.OverloadedError`,
+        CLI exit code 4) or sheds the lowest-priority queued job to
+        make room.  Either way overload is loud — typed errors,
+        ``shed`` events, and the ``repro_jobs_rejected_total`` /
+        ``repro_jobs_shed_total`` counters.
+        """
         if priority <= 0:
             raise ServiceError(f"priority must be > 0, got {priority!r}")
         options = validate_options(options)
+        queued = [
+            (
+                job_id,
+                self.jobs[job_id].priority,
+                self.jobs[job_id].submitted_at,
+            )
+            for job_id in self.scheduler.job_ids()
+        ]
+        try:
+            decision = self.admission.admit(queued, priority)
+        except OverloadedError:
+            self.m_rejected.inc()
+            raise
+        if decision.victim is not None:
+            self._shed(decision.victim, priority)
         job_id = self._next_job_id()
         job = Job(
             job_id,
@@ -366,6 +424,33 @@ class ExplorationService:
                 f"job {job_id!r} has no result (state {job.state!r})"
             )
         return job.result
+
+    def _shed(self, job_id: str, admitted_priority: float) -> None:
+        """Shed one queued job to make room for a higher-priority one.
+
+        The victim ends ``cancelled`` with a journaled ``shed`` event;
+        its checkpoint journal stays on disk, so resubmitting the same
+        specification resumes where the shed job left off.
+        """
+        job = self.job(job_id)
+        job.transition("cancelled")
+        job.finished_at = self.clock.now()
+        if job_id in self.scheduler:
+            self.scheduler.remove(job_id)
+        self._journal_state(job, sync=True, reason="shed")
+        self.m_shed.inc()
+        self.m_queue_depth.set(len(self.scheduler))
+        logger.warning(
+            "job %s (%s) shed: queue full, displaced by a "
+            "priority-%g submission",
+            job_id, job.name, admitted_priority,
+        )
+        self._emit(
+            job_id,
+            "shed",
+            priority=job.priority,
+            displaced_by_priority=admitted_priority,
+        )
 
     def cancel(self, job_id: str) -> None:
         """Cancel a queued job (its checkpoint remains on disk)."""
@@ -507,7 +592,25 @@ class ExplorationService:
         self._slice_started[job_id] = started
         budget = job.evaluations + self.slice_evaluations
         try:
-            result = self._run_slice(job, budget)
+            result = run_bounded(
+                lambda: self._run_slice(job, budget),
+                self.slice_timeout,
+                name=f"job {job_id} slice {job.slices + 1}",
+            )
+        except HangError as error:
+            # A wedged evaluation: the watchdog preempted the slice
+            # (typed, loud) and the job is quarantined — its checkpoint
+            # survives for a resubmission to resume from.
+            self.m_hangs.inc()
+            self._emit(
+                job_id,
+                "hung",
+                slice=job.slices + 1,
+                timeout_seconds=self.slice_timeout,
+                error=str(error),
+            )
+            self._finish_failed(job, error)
+            return job_id
         except ReproError as error:
             self._finish_failed(job, error)
             return job_id

@@ -1,0 +1,122 @@
+"""Admission control and load shedding for the exploration service.
+
+Unbounded submit queues turn overload into unbounded memory growth and
+multi-hour latency — invisible until the OOM killer makes it visible.
+An :class:`AdmissionController` bounds the runnable queue at
+``max_queued`` jobs and applies an explicit policy when a submission
+would exceed it:
+
+``"reject"``
+    The submission is refused with a typed
+    :class:`~repro.errors.OverloadedError` (CLI exit code 4).  The
+    caller backs off and resubmits; nothing already queued is touched.
+
+``"shed"``
+    The *lowest-priority* queued job is shed to make room (cancelled
+    with a journaled ``shed`` event — visible in the ledger, the event
+    stream, and the metrics; its checkpoint journal survives, so a
+    resubmission resumes where it left off).  A submission whose own
+    priority does not beat the lowest queued job is rejected instead —
+    shedding higher-priority work for it would invert the policy.
+
+Both policies make overload a *visible, recoverable* state: counters
+(`repro_jobs_rejected_total`, `repro_jobs_shed_total`) move, events
+fire, and the queue depth stays bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import OverloadedError
+
+#: Admission policies.
+ADMISSION_POLICIES = ("reject", "shed")
+
+#: What :meth:`AdmissionController.admit` decided.
+ACCEPT = "accept"
+SHED = "shed"
+
+
+class AdmissionDecision:
+    """The outcome of one admission check."""
+
+    __slots__ = ("action", "victim")
+
+    def __init__(self, action: str, victim: Optional[str] = None) -> None:
+        self.action = action
+        #: Job id to shed before accepting (``"shed"`` decisions only).
+        self.victim = victim
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdmissionDecision({self.action!r}, victim={self.victim!r})"
+
+
+class AdmissionController:
+    """Bounded-queue admission with an explicit overload policy."""
+
+    def __init__(
+        self,
+        max_queued: Optional[int] = None,
+        policy: str = "reject",
+    ) -> None:
+        if max_queued is not None and max_queued < 1:
+            raise ValueError(
+                f"max_queued must be >= 1 (or None for unbounded), "
+                f"got {max_queued!r}"
+            )
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; expected one of "
+                f"{ADMISSION_POLICIES}"
+            )
+        self.max_queued = max_queued
+        self.policy = policy
+
+    def admit(
+        self,
+        queued: Sequence[Tuple[str, float, float]],
+        priority: float,
+    ) -> AdmissionDecision:
+        """Decide one submission against the current queue.
+
+        ``queued`` lists the runnable jobs as ``(job_id, priority,
+        submitted_at)`` triples; ``priority`` is the incoming job's.
+        Returns an :class:`AdmissionDecision` (``accept`` or ``shed``
+        with a victim) or raises :class:`OverloadedError` — the queue
+        is full and the policy (or the incoming priority) refuses it.
+        """
+        if self.max_queued is None or len(queued) < self.max_queued:
+            return AdmissionDecision(ACCEPT)
+        if self.policy == "reject":
+            raise OverloadedError(
+                f"queue full ({len(queued)}/{self.max_queued} jobs); "
+                f"policy 'reject' declines the submission — back off "
+                f"and resubmit"
+            )
+        # "shed": the victim is the lowest-priority queued job, newest
+        # first among equals (it has the least sunk work).  Fully
+        # deterministic so tests can assert the exact eviction.
+        victim_id, victim_priority, _ = min(
+            queued, key=lambda row: (row[1], -row[2], row[0])
+        )
+        if priority <= victim_priority:
+            raise OverloadedError(
+                f"queue full ({len(queued)}/{self.max_queued} jobs) and "
+                f"the submission's priority {priority:g} does not beat "
+                f"the lowest queued priority {victim_priority:g}; "
+                f"policy 'shed' declines it"
+            )
+        return AdmissionDecision(SHED, victim=victim_id)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"max_queued": self.max_queued, "policy": self.policy}
+
+
+__all__ = [
+    "ACCEPT",
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "SHED",
+]

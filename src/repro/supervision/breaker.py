@@ -1,0 +1,244 @@
+"""Per-peer circuit breakers (closed / open / half-open).
+
+A flapping remote host is worse than a dead one: every shard sent to
+it costs a connection, a timeout, and a retry.  A
+:class:`CircuitBreaker` tracks consecutive failures per key (a worker
+``host:port`` address) and, once ``failure_threshold`` is reached,
+*opens*: the coordinator stops offering work to that peer.  After a
+deterministic cool-down the breaker turns *half-open* and admits
+exactly one probe; a probe success closes the breaker, a probe failure
+re-opens it with a longer cool-down.
+
+The cool-down schedule deliberately reuses the
+:class:`~repro.resilience.RetryPolicy` backoff shape — exponential
+growth, bounded, with jitter drawn from an RNG seeded per ``(seed,
+key)`` (the same derivation that fixed the retry thundering-herd), so
+two breakers opened by the same outage probe at *different* moments,
+every schedule is reproducible under a
+:class:`~repro.service.clock.ManualClock`, and the whole state machine
+is a pure function of its inputs.
+
+Breaker state is never silent: a :class:`BreakerRegistry` exports each
+breaker's state (0 closed / 1 half-open / 2 open) and cumulative
+trip/probe counters through a
+:class:`~repro.service.metrics.MetricsRegistry`, hence through the
+service's JSON and Prometheus snapshots.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..resilience.retry import RetryPolicy
+from .watchdog import _default_clock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.clock import ServiceClock
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+BREAKER_STATES = (CLOSED, OPEN, HALF_OPEN)
+
+#: Numeric encoding used by the metrics gauges.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Consecutive failures that trip a closed breaker.
+FAILURE_THRESHOLD_DEFAULT = 3
+
+#: Cool-down schedule shape: first open lasts ~``base_delay``, each
+#: re-open doubles it up to ``max_delay`` (jittered per ``(seed, key)``).
+PROBE_POLICY_DEFAULT = dict(
+    attempts=16, base_delay=1.0, max_delay=60.0, jitter=0.5, seed=0
+)
+
+_METRIC_SAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+class CircuitBreaker:
+    """One peer's breaker state machine."""
+
+    __slots__ = (
+        "key", "failure_threshold", "state", "failures", "trips",
+        "probes", "_clock", "_schedule", "_open_index", "_open_until",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        failure_threshold: int = FAILURE_THRESHOLD_DEFAULT,
+        probe_policy: Optional[RetryPolicy] = None,
+        clock: Optional["ServiceClock"] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        self.key = key
+        self.failure_threshold = failure_threshold
+        policy = probe_policy or RetryPolicy(**PROBE_POLICY_DEFAULT)
+        # The full deterministic cool-down ladder, derived once from
+        # (policy seed, key): reproducible, peer-desynchronised.
+        self._schedule = policy.schedule(site_key=key) or [policy.base_delay]
+        self._clock = clock if clock is not None else _default_clock()
+        self.state = CLOSED
+        #: Consecutive failures while closed (reset by any success).
+        self.failures = 0
+        #: Times the breaker transitioned closed/half-open -> open.
+        self.trips = 0
+        #: Half-open probes admitted.
+        self.probes = 0
+        self._open_index = 0
+        self._open_until: Optional[float] = None
+
+    def _cool_down(self) -> float:
+        index = min(self._open_index, len(self._schedule) - 1)
+        return self._schedule[index]
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.trips += 1
+        self._open_until = self._clock.now() + self._cool_down()
+        self._open_index += 1
+
+    def allow(self) -> bool:
+        """May the caller offer work to this peer right now?
+
+        Closed: always.  Open: no, until the cool-down elapses — at
+        which point the breaker turns half-open and admits exactly one
+        probe.  Half-open: no (the probe is already in flight).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            assert self._open_until is not None
+            if self._clock.now() >= self._open_until:
+                self.state = HALF_OPEN
+                self.probes += 1
+                return True
+            return False
+        return False  # half-open: one probe at a time
+
+    def next_probe_at(self) -> Optional[float]:
+        """Clock time of the next admitted probe (``None`` unless open)."""
+        return self._open_until if self.state == OPEN else None
+
+    def record_success(self) -> None:
+        """The peer served a request: close (from any state)."""
+        self.state = CLOSED
+        self.failures = 0
+        self._open_index = 0
+        self._open_until = None
+
+    def record_failure(self) -> None:
+        """The peer failed a request (dead, hung, or garbled)."""
+        if self.state == HALF_OPEN:
+            self._trip()  # failed probe: longer cool-down
+            return
+        self.failures += 1
+        if self.state == CLOSED and self.failures >= self.failure_threshold:
+            self._trip()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "state": self.state,
+            "failures": self.failures,
+            "trips": self.trips,
+            "probes": self.probes,
+            "next_probe_at": self._open_until,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(key={self.key!r}, state={self.state!r}, "
+            f"failures={self.failures}, trips={self.trips})"
+        )
+
+
+class BreakerRegistry:
+    """Per-key breakers sharing one clock, policy, and metrics sink."""
+
+    def __init__(
+        self,
+        failure_threshold: int = FAILURE_THRESHOLD_DEFAULT,
+        probe_policy: Optional[RetryPolicy] = None,
+        clock: Optional["ServiceClock"] = None,
+        metrics=None,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.probe_policy = probe_policy or RetryPolicy(
+            **PROBE_POLICY_DEFAULT
+        )
+        self.clock = clock if clock is not None else _default_clock()
+        self.metrics = metrics
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        """Get-or-create the breaker of ``key``."""
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                key,
+                failure_threshold=self.failure_threshold,
+                probe_policy=self.probe_policy,
+                clock=self.clock,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def allow(self, key: str) -> bool:
+        allowed = self.breaker(key).allow()
+        self._export(key)
+        return allowed
+
+    def record_success(self, key: str) -> None:
+        self.breaker(key).record_success()
+        self._export(key)
+
+    def record_failure(self, key: str) -> None:
+        self.breaker(key).record_failure()
+        self._export(key)
+
+    def open_keys(self) -> List[str]:
+        """Keys currently refusing work (sorted)."""
+        return sorted(
+            k for k, b in self._breakers.items() if b.state != CLOSED
+        )
+
+    def _export(self, key: str) -> None:
+        """Mirror one breaker's state into the metrics registry."""
+        if self.metrics is None:
+            return
+        breaker = self._breakers[key]
+        suffix = _METRIC_SAFE.sub("_", key)
+        self.metrics.gauge(
+            f"repro_breaker_state_{suffix}",
+            "Circuit-breaker state (0 closed, 1 half-open, 2 open)",
+        ).set(STATE_CODES[breaker.state])
+        trips = self.metrics.counter(
+            f"repro_breaker_trips_{suffix}",
+            "Times this peer's breaker opened",
+        )
+        trips.inc(max(0.0, breaker.trips - trips.value))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of every breaker (sorted by key)."""
+        return {
+            key: self._breakers[key].as_dict()
+            for key in sorted(self._breakers)
+        }
+
+
+__all__ = [
+    "BREAKER_STATES",
+    "BreakerRegistry",
+    "CLOSED",
+    "CircuitBreaker",
+    "FAILURE_THRESHOLD_DEFAULT",
+    "HALF_OPEN",
+    "OPEN",
+]

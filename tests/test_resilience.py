@@ -107,6 +107,62 @@ class TestJournal:
         with pytest.raises(CheckpointError, match="closed"):
             journal.append("a", 1)
 
+    def test_append_under_enospc_leaves_no_half_record(self, tmp_path):
+        """A full disk fails the append loudly *before* any byte lands:
+        the journal stays a valid prefix a later append can follow."""
+        from repro.resilience.faults import FaultPlan, inject
+
+        path = str(tmp_path / "j.log")
+        with JournalWriter(path, fresh=True) as journal:
+            journal.append("a", 1)
+            # Call indices count per installed plan: this append is
+            # the plan's first sighting of the disk seam.
+            with inject(FaultPlan(schedule={"disk": {1: "enospc"}})):
+                with pytest.raises(CheckpointError, match="ENOSPC"):
+                    journal.append("b", 2)
+            journal.append("c", 3)
+        records, valid_length = read_journal(path)
+        assert records == [("a", 1), ("c", 3)]
+        assert valid_length == os.path.getsize(path)
+
+    def test_torn_final_record_discards_and_resumes(self, tmp_path):
+        """An injected torn write (process dies mid-record) leaves a
+        torn final line; the reader discards it and a resuming writer
+        truncates to the clean prefix."""
+        from repro.resilience.faults import (
+            FaultPlan,
+            SimulatedCrash,
+            inject,
+        )
+
+        path = str(tmp_path / "j.log")
+        with inject(FaultPlan(schedule={"disk": {3: "torn"}})):
+            with pytest.raises(SimulatedCrash, match="torn"):
+                with JournalWriter(path, fresh=True) as journal:
+                    journal.append("a", 1)
+                    journal.append("b", 2)
+                    journal.append("c", 3)
+        records, valid_length = read_journal(path)
+        assert records == [("a", 1), ("b", 2)]
+        assert valid_length < os.path.getsize(path)  # the torn tail
+        with JournalWriter(path, truncate_to=valid_length) as journal:
+            journal.append("c", 3)
+        assert read_journal(path)[0] == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_fsync_failure_is_loud(self, tmp_path):
+        """A lying durability barrier surfaces as CheckpointError — the
+        record is on the file, but the caller must never believe it is
+        stable."""
+        from repro.resilience.faults import FaultPlan, inject
+
+        path = str(tmp_path / "j.log")
+        with JournalWriter(path, fresh=True) as journal:
+            journal.append("a", 1)
+            with inject(FaultPlan(schedule={"disk": {1: "fsync_fail"}})):
+                with pytest.raises(CheckpointError, match="fsync"):
+                    journal.append("b", 2, sync=True)
+        assert read_journal(path)[0] == [("a", 1), ("b", 2)]
+
 
 class TestCheckpointing:
     def test_checkpointing_does_not_perturb_the_result(

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.compiled",
     "repro.parallel",
     "repro.resilience",
+    "repro.supervision",
     "repro.service",
     "repro.distributed",
     "repro.trace",
