@@ -1,73 +1,310 @@
-"""EXT1 — incremental design (extension; paper intro vs. Pop et al.).
+"""INCR — persistent warm-start re-exploration after a spec edit.
 
-The paper's introduction argues that Pop et al.'s incremental mapping
-"can not guarantee that future applications do not interfere with the
-already running functionality".  This extension bench demonstrates the
-guarantee the flexibility framework provides: exploring *supersets* of
-a shipped base allocation yields flexibility upgrades under which every
-base elementary cluster-activation — selection and binding — remains
-feasible verbatim.
+Explores a case study cold while recording its binding verdicts into a
+warm-start store (:mod:`repro.store`), applies a **single-latency
+edit**, garbage-collects the touched entries with ``invalidate()``, and
+re-explores warm.  Records to ``BENCH_incremental.json``:
+
+* byte-identity of the warm result document and logical trace
+  fingerprint against a cold run of the edited spec (always asserted);
+* the **re-solve speedup** — binding verdicts computed by the cold run
+  versus recomputed by the warm run.  This is the work the store
+  eliminates, it is deterministic, and it is the asserted ``>= 5x``
+  headline (on the set-top case study a one-latency edit recomputes a
+  handful of the ~120 verdicts);
+* end-to-end wall clock for both runs, reported honestly alongside: on
+  the small case studies candidate *enumeration* dominates the run, so
+  the end-to-end ratio hovers around 1x even at a ~100x re-solve
+  speedup (see ``docs/performance.md``); the guard only asserts the
+  warm run is not pathologically slower;
+* hit rates, invalidation report, store entry count and bytes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py           # full
+    PYTHONPATH=src python benchmarks/bench_incremental.py --smoke   # CI
 """
 
-from repro.core import (
-    evaluate_allocation,
-    explore_upgrades,
-    upgrade_preserves_base,
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.analysis import with_latency
+from repro.casestudies import (
+    build_settop_spec,
+    build_tv_decoder_spec,
+    synthetic_spec,
 )
+from repro.core import explore
+from repro.io import spec_from_dict, spec_to_dict
+from repro.io.result_io import result_to_dict
 from repro.report import format_table
+from repro.store import invalidate, open_store
+from repro.store.store import _reset_stores  # drop interned handles between runs
+from repro.trace import Tracer, trace_fingerprint
+
+#: (label, spec factory, explore options) — smoke runs the first two.
+SCENARIOS = [
+    ("settop", build_settop_spec, {}),
+    ("tv_decoder", build_tv_decoder_spec, {}),
+    ("settop_schedule", build_settop_spec, {"timing_mode": "schedule"}),
+    (
+        "medium_synthetic",
+        lambda: synthetic_spec(
+            n_apps=4, interfaces_per_app=2, alternatives=3,
+            n_procs=2, n_accels=4,
+        ),
+        {},
+    ),
+]
+
+#: The acceptance target: verdicts computed cold / recomputed warm on
+#: the set-top single-latency edit.  Deterministic (cache counters, not
+#: wall clock), so it is asserted in smoke mode too.
+RESOLVE_SPEEDUP_TARGET = 5.0
+
+#: Catastrophe guard on end-to-end wall clock: the warm run must not be
+#: slower than this multiple of cold.  Parity is the expectation; the
+#: slack absorbs CI timer noise, not a real regression budget.
+WARM_SLOWDOWN_CEILING = 2.0
 
 
-def test_ext1_upgrade_exploration(benchmark, settop_spec):
-    result = benchmark.pedantic(
-        explore_upgrades,
-        args=(settop_spec, {"muP2"}),
-        rounds=1,
-        iterations=1,
+def fresh(spec):
+    """A structurally identical spec sharing no object identity, so
+    every run consults the store instead of the interned in-memory
+    evaluator memo."""
+    return spec_from_dict(spec_to_dict(spec))
+
+
+def canonical(result):
+    """Result document minus wall clock and cache diagnostics."""
+    document = result_to_dict(result)
+    document.get("stats", {}).pop("elapsed_seconds", None)
+    document.pop("cache", None)
+    return json.dumps(document, sort_keys=True)
+
+
+def traced(spec, **kw):
+    tracer = Tracer(level="audit")
+    result = explore(fresh(spec), tracer=tracer, **kw)
+    return result, trace_fingerprint(tracer.all_records())
+
+
+def timed(spec, repeat, **kw):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        _reset_stores()
+        start = time.perf_counter()
+        result = explore(fresh(spec), **kw)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def single_latency_edit(spec):
+    """The spec with its first mapping edge's latency bumped by one."""
+    edge = spec_to_dict(spec)["mappings"][0]
+    pair = (edge["process"], edge["resource"])
+    return (
+        with_latency(spec, {pair: edge["latency"] + 1.0}),
+        {
+            "process": edge["process"],
+            "resource": edge["resource"],
+            "old_latency": edge["latency"],
+            "new_latency": edge["latency"] + 1.0,
+        },
     )
-    assert result.base.point == (100.0, 2.0)
-    assert result.best().flexibility == 8.0
-    # every upgrade keeps the shipped platform
-    for point in result.points:
-        assert "muP2" in point.units
 
 
-def test_ext1_non_interference_guarantee(settop_spec):
-    result = explore_upgrades(settop_spec, {"muP2"})
-    base = result.base
-    for upgrade in result.points[1:]:
-        assert upgrade_preserves_base(
-            settop_spec, base, frozenset(upgrade.units)
+def bench_scenario(label, spec_factory, options, repeat):
+    spec = spec_factory()
+    patched, edit = single_latency_edit(spec)
+    store_dir = tempfile.mkdtemp(prefix="bench-incr-")
+    try:
+        _reset_stores()
+        explore(fresh(spec), warm_store=store_dir, **options)  # seed
+        report = invalidate(open_store(store_dir), spec, patched)
+
+        cold_seconds, cold = timed(patched, repeat, **options)
+        cold_traced, cold_trace = traced(patched, **options)
+
+        # First warm run after the edit: the counters that matter —
+        # how much solver work survived the edit.
+        _reset_stores()
+        start = time.perf_counter()
+        warm_first = explore(fresh(patched), warm_store=store_dir, **options)
+        warm_first_seconds = time.perf_counter() - start
+        recomputed = warm_first.stats.warm_misses
+        reused = warm_first.stats.warm_hits
+
+        # Steady state (the first run wrote its misses back).
+        warm_seconds, _ = timed(
+            patched, repeat, warm_store=store_dir, **options
+        )
+        _reset_stores()
+        warm_traced, warm_trace = traced(
+            patched, warm_store=store_dir, **options
         )
 
+        identical = (
+            canonical(cold) == canonical(cold_traced) == canonical(warm_first)
+            == canonical(warm_traced) and cold_trace == warm_trace
+        )
+        stats = open_store(store_dir).stats()
+    finally:
+        _reset_stores()
+        shutil.rmtree(store_dir, ignore_errors=True)
 
-def test_ext1_upgrade_price_of_commitment(settop_spec, settop_result):
-    """Committing to muP1 first forecloses the cheap muP2 upgrades: the
-    upgrade front from muP1 is more expensive than the global front at
-    equal flexibility."""
-    from_muP1 = explore_upgrades(settop_spec, {"muP1"})
-    global_by_flex = {f: c for c, f in settop_result.front()}
-    penalty_seen = False
-    for cost, flex in from_muP1.front():
-        if flex in global_by_flex:
-            assert cost >= global_by_flex[flex]
-            if cost > global_by_flex[flex]:
-                penalty_seen = True
-    assert penalty_seen
+    cold_computed = cold.stats.memo_misses
+    return {
+        "spec": label,
+        "options": options,
+        "edit": edit,
+        "invalidation": report,
+        "identical": identical,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_first_seconds": warm_first_seconds,
+        "end_to_end_speedup": (
+            cold_seconds / warm_seconds if warm_seconds > 0 else None
+        ),
+        "verdicts": {
+            "cold_computed": cold_computed,
+            "warm_recomputed": recomputed,
+            "warm_reused": reused,
+        },
+        "resolve_speedup": cold_computed / max(1, recomputed),
+        "hit_rate": (
+            reused / (reused + recomputed) if reused + recomputed else None
+        ),
+        "store_entries": stats["entries"],
+        "store_bytes": stats["bytes"],
+    }
 
 
-def test_ext1_render(settop_spec, capsys):
-    rows = []
-    for base in ({"muP2"}, {"muP1"}):
-        result = explore_upgrades(settop_spec, base)
-        for point, extra in zip(result.points, result.upgrade_costs()):
-            rows.append([
-                "+".join(sorted(base)),
-                ", ".join(sorted(point.units)),
-                f"${point.cost:g}",
-                f"+${extra:g}",
-                f"{point.flexibility:g}",
-            ])
-    print()
-    print(format_table(
-        ["base", "upgraded allocation", "c", "extra", "f"], rows,
-    ))
+def run(smoke, repeat, out_path, verbose=True):
+    scenarios = SCENARIOS[:2] if smoke else SCENARIOS
+    records = [
+        bench_scenario(label, factory, options, repeat)
+        for label, factory, options in scenarios
+    ]
+    if verbose:
+        for r in records:
+            print(
+                f"{r['spec']:18s} cold {r['cold_seconds']:.3f}s"
+                f" | warm {r['warm_seconds']:.3f}s"
+                f" | re-solve {r['resolve_speedup']:.0f}x"
+                f" ({r['verdicts']['cold_computed']} -> "
+                f"{r['verdicts']['warm_recomputed']} verdicts)"
+                f" | identical={r['identical']}"
+            )
+
+    failures = []
+    for r in records:
+        if not r["identical"]:
+            failures.append(f"{r['spec']}: warm result diverged from cold")
+        if r["end_to_end_speedup"] is not None and (
+            r["end_to_end_speedup"] < 1.0 / WARM_SLOWDOWN_CEILING
+        ):
+            failures.append(
+                f"{r['spec']}: warm end-to-end "
+                f"{r['warm_seconds']:.3f}s exceeds "
+                f"{WARM_SLOWDOWN_CEILING:.0f}x cold "
+                f"{r['cold_seconds']:.3f}s"
+            )
+    settop = next(r for r in records if r["spec"] == "settop")
+    if settop["resolve_speedup"] < RESOLVE_SPEEDUP_TARGET:
+        failures.append(
+            f"settop re-solve speedup {settop['resolve_speedup']:.1f}x "
+            f"below the {RESOLVE_SPEEDUP_TARGET:.0f}x target"
+        )
+    if settop["invalidation"]["kind"] != "local" or (
+        settop["invalidation"]["invalidated"] < 1
+    ):
+        failures.append(
+            "settop latency edit was not classified as a local edit "
+            f"({settop['invalidation']})"
+        )
+
+    document = {
+        "bench": "incremental",
+        "cpu_count": os.cpu_count(),
+        "smoke": smoke,
+        "repeat": repeat,
+        "speedup_metric": (
+            "resolve_speedup = binding verdicts computed cold / recomputed "
+            "warm after the edit (the work the store eliminates; "
+            "deterministic).  End-to-end wall clock is reported alongside; "
+            "enumeration dominates the small case studies, so its ratio "
+            "stays near 1x (docs/performance.md)."
+        ),
+        "results": records,
+        "failures": failures,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    if verbose:
+        rows = [
+            [
+                r["spec"],
+                f"{r['cold_seconds']:.3f}s",
+                f"{r['warm_seconds']:.3f}s",
+                f"{r['resolve_speedup']:.0f}x",
+                f"{r['hit_rate']:.0%}" if r["hit_rate"] is not None else "-",
+                str(r["invalidation"]["invalidated"]),
+                f"{r['store_bytes']}",
+                "yes" if r["identical"] else "NO",
+            ]
+            for r in records
+        ]
+        print()
+        print(
+            format_table(
+                [
+                    "spec", "cold", "warm", "re-solve",
+                    "hit rate", "dropped", "bytes", "identical",
+                ],
+                rows,
+            )
+        )
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        print(f"\nwrote {out_path}")
+    return document
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="warm-start incremental re-exploration benchmark"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "CI smoke: set-top + TV decoder only; still asserts "
+            "byte-identity and the re-solve speedup target"
+        ),
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="timed repetitions per configuration (best-of)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_incremental.json",
+        help="output JSON path (default BENCH_incremental.json)",
+    )
+    args = parser.parse_args(argv)
+    repeat = args.repeat if args.repeat is not None else (
+        2 if args.smoke else 3
+    )
+    document = run(args.smoke, repeat, args.out)
+    return 1 if document["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

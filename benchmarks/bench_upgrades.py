@@ -1,0 +1,73 @@
+"""EXT1 — incremental design (extension; paper intro vs. Pop et al.).
+
+The paper's introduction argues that Pop et al.'s incremental mapping
+"can not guarantee that future applications do not interfere with the
+already running functionality".  This extension bench demonstrates the
+guarantee the flexibility framework provides: exploring *supersets* of
+a shipped base allocation yields flexibility upgrades under which every
+base elementary cluster-activation — selection and binding — remains
+feasible verbatim.
+"""
+
+from repro.core import (
+    evaluate_allocation,
+    explore_upgrades,
+    upgrade_preserves_base,
+)
+from repro.report import format_table
+
+
+def test_ext1_upgrade_exploration(benchmark, settop_spec):
+    result = benchmark.pedantic(
+        explore_upgrades,
+        args=(settop_spec, {"muP2"}),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.base.point == (100.0, 2.0)
+    assert result.best().flexibility == 8.0
+    # every upgrade keeps the shipped platform
+    for point in result.points:
+        assert "muP2" in point.units
+
+
+def test_ext1_non_interference_guarantee(settop_spec):
+    result = explore_upgrades(settop_spec, {"muP2"})
+    base = result.base
+    for upgrade in result.points[1:]:
+        assert upgrade_preserves_base(
+            settop_spec, base, frozenset(upgrade.units)
+        )
+
+
+def test_ext1_upgrade_price_of_commitment(settop_spec, settop_result):
+    """Committing to muP1 first forecloses the cheap muP2 upgrades: the
+    upgrade front from muP1 is more expensive than the global front at
+    equal flexibility."""
+    from_muP1 = explore_upgrades(settop_spec, {"muP1"})
+    global_by_flex = {f: c for c, f in settop_result.front()}
+    penalty_seen = False
+    for cost, flex in from_muP1.front():
+        if flex in global_by_flex:
+            assert cost >= global_by_flex[flex]
+            if cost > global_by_flex[flex]:
+                penalty_seen = True
+    assert penalty_seen
+
+
+def test_ext1_render(settop_spec, capsys):
+    rows = []
+    for base in ({"muP2"}, {"muP1"}):
+        result = explore_upgrades(settop_spec, base)
+        for point, extra in zip(result.points, result.upgrade_costs()):
+            rows.append([
+                "+".join(sorted(base)),
+                ", ".join(sorted(point.units)),
+                f"${point.cost:g}",
+                f"+${extra:g}",
+                f"{point.flexibility:g}",
+            ])
+    print()
+    print(format_table(
+        ["base", "upgraded allocation", "c", "extra", "f"], rows,
+    ))

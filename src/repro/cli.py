@@ -225,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     explore_cmd.add_argument(
+        "--warm-store", metavar="DIR", default=None,
+        help=(
+            "persistent warm-start store: reuse binding verdicts "
+            "recorded by earlier runs in DIR and record this run's "
+            "(results are byte-identical either way; see 'repro cache' "
+            "and docs/performance.md)"
+        ),
+    )
+    explore_cmd.add_argument(
         "--shards", type=int, default=None, metavar="N",
         help=(
             "partition the allocation space into N disjoint shards, "
@@ -456,6 +465,40 @@ def build_parser() -> argparse.ArgumentParser:
             "it is preempted (typed HangError) and the job quarantined "
             "(default: unsupervised)"
         ),
+    )
+    serve.add_argument(
+        "--warm-store", metavar="DIR", default="auto",
+        help=(
+            "warm-start store shared by every job on this service "
+            "(default: DIR/warmstore inside the service directory; "
+            "'none' disables persistence)"
+        ),
+    )
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or maintain a warm-start store",
+        description=(
+            "Inspect or maintain a persistent warm-start store "
+            "(written by 'repro explore --warm-store DIR' or by the "
+            "service).  'stats' prints entry/byte counts per spec "
+            "namespace, 'verify' sweeps every segment record strictly "
+            "(CRC + digest + version) and exits nonzero on any "
+            "problem, 'gc' compacts the segments and evicts "
+            "least-recently-used namespaces down to --max-bytes."
+        ),
+    )
+    cache.add_argument(
+        "action", choices=("stats", "verify", "gc"),
+        help="what to do with the store",
+    )
+    cache.add_argument("store", help="warm-start store directory")
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="gc: evict namespaces until the store is under N bytes",
+    )
+    cache.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON"
     )
 
     shard_worker = commands.add_parser(
@@ -690,6 +733,8 @@ def _cmd_explore(args, out) -> int:
             overrides["checkpoint_every"] = args.checkpoint_every
         if args.engine is not None:
             overrides["engine"] = args.engine
+        if args.warm_store is not None:
+            overrides["warm_store"] = args.warm_store
         tracer = _build_tracer(args)
         result = resume_explore(args.resume, tracer=tracer, **overrides)
         spec_name = "resumed run"
@@ -720,6 +765,7 @@ def _cmd_explore(args, out) -> int:
             checkpoint_every=args.checkpoint_every,
             tracer=tracer,
             engine=args.engine,
+            warm_store=args.warm_store,
         )
     _print(pareto_table(result), out)
     if not result.completed and result.gap is not None:
@@ -980,6 +1026,7 @@ def _cmd_serve(args, out) -> int:
     kwargs = {}
     if args.slice_evaluations is not None:
         kwargs["slice_evaluations"] = args.slice_evaluations
+    warm_store = None if args.warm_store == "none" else args.warm_store
     with ExplorationService(
         args.dir,
         workers=args.workers,
@@ -988,6 +1035,7 @@ def _cmd_serve(args, out) -> int:
         max_queued=args.max_queued,
         overload_policy=args.overload_policy,
         slice_timeout=args.slice_timeout,
+        warm_store=warm_store,
         **kwargs,
     ) as service:
         executed = service.run(
@@ -1008,6 +1056,56 @@ def _cmd_serve(args, out) -> int:
                 file=sys.stderr,
             )
     return EXIT_ERROR if failed else EXIT_OK
+
+
+def _cmd_cache(args, out) -> int:
+    from .store import describe_store, open_store
+
+    if not os.path.isdir(args.store):
+        print(
+            f"error: no warm-start store at {args.store}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    store = open_store(args.store)
+    if args.action == "stats":
+        document = store.stats()
+        if args.json:
+            _print(json.dumps(document, indent=2, sort_keys=True), out)
+        else:
+            _print(describe_store(document), out)
+        return EXIT_OK
+    if args.action == "verify":
+        report = store.verify()
+        if args.json:
+            _print(json.dumps(report, indent=2, sort_keys=True), out)
+        else:
+            _print(
+                f"verified {report['segments']} segment(s), "
+                f"{report['records']} record(s): "
+                + ("ok" if report["ok"] else
+                   f"{len(report['problems'])} problem(s)"),
+                out,
+            )
+            for problem in report["problems"]:
+                print(
+                    "error: "
+                    + ", ".join(
+                        f"{k}={v}" for k, v in sorted(problem.items())
+                    ),
+                    file=sys.stderr,
+                )
+        return EXIT_OK if report["ok"] else EXIT_ERROR
+    report = store.gc(max_bytes=args.max_bytes)
+    if args.json:
+        _print(json.dumps(report, indent=2, sort_keys=True), out)
+    else:
+        _print(
+            f"compacted {report['compacted']} namespace(s), evicted "
+            f"{len(report['evicted'])}; store is {report['bytes']} bytes",
+            out,
+        )
+    return EXIT_OK
 
 
 def _cmd_submit(args, out) -> int:
@@ -1133,6 +1231,7 @@ _HANDLERS = {
     "upgrade": _cmd_upgrade,
     "failures": _cmd_failures,
     "serve": _cmd_serve,
+    "cache": _cmd_cache,
     "shard-worker": _cmd_shard_worker,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,

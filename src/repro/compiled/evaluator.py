@@ -109,6 +109,18 @@ class CompiledEvaluator:
         self._last_units: Optional[FrozenSet[str]] = None
         self._last_masks: Tuple[int, int] = (0, 0)
         self._relaxed: Optional["CompiledEvaluator"] = None
+        #: Warm-start store attachment (:mod:`repro.store`): the
+        #: directory path and the bound namespace handle, or ``None``.
+        self._warm_path: Optional[str] = None
+        self._warm = None
+        # Memo/warm cache counters (process-lifetime, monotone — runs
+        # snapshot and charge deltas; see ``cache_counters``).
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.warm_hits = 0
+        self.warm_misses = 0
+        self.warm_writes = 0
+        self.warm_corruptions = 0
 
     # ------------------------------------------------------------------
     # Engine interface
@@ -180,17 +192,22 @@ class CompiledEvaluator:
             verdict = self._verdicts.get(key)
             if detail is None:
                 if verdict is None:
-                    verdict = self._compute_verdict(info, usable)
-                    self._verdicts[key] = verdict
+                    verdict, _computed = self._memo_miss(info, usable, key)
+                else:
+                    self.memo_hits += 1
             else:
                 t0 = time.perf_counter()
-                fresh = verdict is None
-                if fresh:
-                    verdict = self._compute_verdict(info, usable)
-                    self._verdicts[key] = verdict
+                if verdict is None:
+                    # ``computed`` is False on a warm-store hit: the
+                    # replayed timing_seconds then did not happen inside
+                    # ``elapsed`` and must not be subtracted from it.
+                    verdict, computed = self._memo_miss(info, usable, key)
+                else:
+                    self.memo_hits += 1
+                    computed = False
                 elapsed = time.perf_counter() - t0
                 detail["binding_seconds"] += elapsed - (
-                    verdict.timing_seconds if fresh else 0.0
+                    verdict.timing_seconds if computed else 0.0
                 )
                 detail["timing_seconds"] += verdict.timing_seconds
                 detail["timing_checks"] += verdict.timing_checks
@@ -267,8 +284,121 @@ class CompiledEvaluator:
                 backend=self.backend,
                 timing_mode="none",
             )
+        relaxed.set_warm_store(self._warm_path)
         feasible = relaxed.evaluate(units) is not None
         return "timing_test" if feasible else "infeasible_binding"
+
+    # ------------------------------------------------------------------
+    # Warm-start store (persistent verdict memo; see :mod:`repro.store`)
+    # ------------------------------------------------------------------
+    def set_warm_store(self, path: Optional[str]) -> None:
+        """Attach (``path``) or detach (``None``) the persistent store.
+
+        Attaching binds this evaluator to the store namespace of its
+        specification's structure; verdict memo misses then try a
+        load-before-solve and write-behind on a compute.  Evaluators
+        are interned per parameter set, so the attachment is set anew
+        by every run (a run without ``warm_store`` runs detached).
+        """
+        if path == self._warm_path and (path is None) == (self._warm is None):
+            return
+        self._warm_path = path
+        if path is None:
+            self._warm = None
+            return
+        from ..store import open_store
+        from ..store.digest import namespace_digest
+
+        cspec = self.cs
+        digest = getattr(cspec, "_warm_namespace", None)
+        if digest is None:
+            digest = namespace_digest(self.spec)
+            cspec._warm_namespace = digest
+        self._warm = open_store(path).binding(digest)
+
+    def cache_counters(self) -> Dict[str, int]:
+        """The memo/warm counters (cumulative over the process; runs
+        snapshot before and charge the delta to their stats)."""
+        return {
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "warm_hits": self.warm_hits,
+            "warm_misses": self.warm_misses,
+            "warm_writes": self.warm_writes,
+            "warm_corruptions": self.warm_corruptions,
+        }
+
+    def _memo_miss(
+        self, info: EcsInfo, usable: int, key: Tuple[int, int]
+    ) -> Tuple[Verdict, bool]:
+        """Resolve a verdict-memo miss: warm-store load or cold compute.
+
+        Returns ``(verdict, computed)`` — ``computed`` is ``False``
+        when the verdict was replayed from the store (its
+        ``timing_seconds`` then did not elapse in this process).
+        """
+        self.memo_misses += 1
+        warm = self._warm
+        wkey = deps = None
+        if warm is not None:
+            from ..store.digest import key_digest
+
+            wkey, deps = key_digest(self, info, usable)
+            verdict = self._verdict_from_payload(warm.get(wkey))
+            if verdict is not None:
+                self.warm_hits += 1
+                self._verdicts[key] = verdict
+                return verdict, False
+            self.warm_misses += 1
+        verdict = self._compute_verdict(info, usable)
+        self._verdicts[key] = verdict
+        if warm is not None:
+            warm.put(wkey, deps, self._verdict_to_payload(verdict))
+            self.warm_writes += 1
+        return verdict, True
+
+    @staticmethod
+    def _verdict_to_payload(verdict: Verdict) -> Dict[str, Any]:
+        return {
+            "b": verdict.binding,
+            "d": list(verdict.deltas),
+            "tc": verdict.timing_checks,
+            "tr": verdict.timing_rejections,
+            "ts": verdict.timing_seconds,
+        }
+
+    def _verdict_from_payload(self, payload: Any) -> Optional[Verdict]:
+        """Rebuild a verdict from its stored payload; malformed data is
+        counted as a corruption and degrades to a cold compute."""
+        if payload is None:
+            return None
+        try:
+            binding = payload["b"]
+            deltas = payload["d"]
+            if binding is not None and not (
+                isinstance(binding, dict)
+                and all(
+                    isinstance(k, str) and isinstance(v, str)
+                    for k, v in binding.items()
+                )
+            ):
+                raise TypeError("malformed binding")
+            if not (
+                isinstance(deltas, list)
+                and len(deltas) == 5
+                and all(isinstance(d, int) for d in deltas)
+            ):
+                raise TypeError("malformed deltas")
+            return Verdict(
+                binding,
+                tuple(deltas),
+                int(payload["tc"]),
+                int(payload["tr"]),
+                float(payload["ts"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            self.warm_corruptions += 1
+            return None
 
     # ------------------------------------------------------------------
     # Internals
@@ -450,6 +580,7 @@ def compiled_evaluator(
     weighted: bool = False,
     backend: str = "csp",
     timing_mode: Optional[str] = None,
+    warm_store: Optional[str] = None,
 ):
     """The shared compiled evaluator for one parameter set.
 
@@ -457,6 +588,11 @@ def compiled_evaluator(
     specification's :class:`CompiledSpec`, so every run, resume and
     service slice with the same parameters reuses the accumulated
     cross-candidate state.
+
+    ``warm_store`` — directory of a persistent verdict store
+    (:mod:`repro.store`); every construction call (re)sets the
+    attachment, so a run without it runs detached even on an interned
+    evaluator a previous run attached.
     """
     from . import compiled_spec_for
 
@@ -474,4 +610,5 @@ def compiled_evaluator(
             timing_mode=timing_mode,
         )
         cspec._evaluators[key] = evaluator
+    evaluator.set_warm_store(warm_store)
     return evaluator

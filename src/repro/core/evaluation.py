@@ -365,6 +365,7 @@ def make_evaluator(
     weighted: bool = False,
     backend: str = "csp",
     timing_mode: Optional[str] = None,
+    warm_store: Optional[str] = None,
 ):
     """Build the candidate evaluator for one exploration run.
 
@@ -376,6 +377,11 @@ def make_evaluator(
     produce identical fronts, statistics, progress events and logical
     traces — differentially tested over the randspec corpus and the
     case studies.
+
+    ``warm_store`` — directory of a persistent warm-start verdict
+    store (:mod:`repro.store`).  Only the compiled engine has a
+    verdict memo to persist; the reference engine ignores the store
+    (results are identical either way).
     """
     name = DEFAULT_ENGINE if engine is None else engine
     if name == "reference":
@@ -397,7 +403,33 @@ def make_evaluator(
             weighted=weighted,
             backend=backend,
             timing_mode=timing_mode,
+            warm_store=warm_store,
         )
     raise ValueError(
         f"unknown engine {name!r}; expected one of {ENGINES}"
     )
+
+
+def cache_counter_snapshot(evaluator) -> Optional[dict]:
+    """The evaluator's cumulative memo/warm counters (``None`` for
+    engines without a cache; see ``charge_cache_counters``)."""
+    counters = getattr(evaluator, "cache_counters", None)
+    return counters() if counters is not None else None
+
+
+def charge_cache_counters(stats, evaluator, base: Optional[dict]) -> None:
+    """Charge the run's memo/warm counter deltas to ``stats``.
+
+    The compiled evaluator is interned and its counters span the
+    process lifetime; a run snapshots them at start (``base``) and
+    records only its own delta.  Counters live outside the
+    deterministic result fingerprint (``stats.cache_dict()``, not
+    ``stats.as_dict()``) — batched speculation and in-process
+    interning legitimately change hit/miss splits without changing
+    results.
+    """
+    if base is None:
+        return
+    now = evaluator.cache_counters()
+    for name, value in now.items():
+        setattr(stats, name, getattr(stats, name) + value - base[name])

@@ -38,6 +38,8 @@ from .evaluation import (
     BINDING_BACKENDS,
     ENGINES,
     TIMING_MODES,
+    cache_counter_snapshot,
+    charge_cache_counters,
     make_evaluator,
 )
 from .pareto import final_front
@@ -48,6 +50,24 @@ logger = logging.getLogger(__name__)
 
 #: Accepted values of ``explore(parallel=...)``.
 PARALLEL_MODES = ("serial", "thread", "process")
+
+
+def warm_store_path(warm_store) -> Optional[str]:
+    """Normalise ``explore(warm_store=...)`` to a directory path.
+
+    Accepts ``None``, a directory path, or a
+    :class:`repro.store.WarmStore` (its root is used); anything else
+    raises :class:`ExplorationError`.
+    """
+    if warm_store is None:
+        return None
+    root = getattr(warm_store, "root", warm_store)
+    if not isinstance(root, str) or not root:
+        raise ExplorationError(
+            f"warm_store must be a store directory path or a "
+            f"repro.store.WarmStore, got {warm_store!r}"
+        )
+    return root
 
 
 class ExplorationSetup(NamedTuple):
@@ -209,6 +229,7 @@ def explore(
     tracer=None,
     engine: Optional[str] = None,
     shard=None,
+    warm_store=None,
 ) -> ExplorationResult:
     """Find all Pareto-optimal (cost, flexibility) implementations.
 
@@ -316,6 +337,18 @@ def explore(
         whole-space result byte-for-byte; see :mod:`repro.distributed`
         and ``docs/distributed.md``.  Incompatible with
         ``max_candidates``.
+    warm_store:
+        Directory of a persistent warm-start verdict store (or a
+        :class:`repro.store.WarmStore`): the compiled kernel's binding
+        verdicts are loaded before solving and written behind on
+        misses, so repeated runs — across processes and across latency
+        or cost edits of the specification — skip re-solving
+        sub-problems whose content-addressed inputs are unchanged.
+        Results are byte-identical with and without the store (and
+        after arbitrary edit chains — differentially tested); the
+        warm/cold split is reported in ``stats.cache_dict()``.  See
+        :mod:`repro.store`, ``docs/performance.md`` and
+        ``docs/formats.md``.
 
     Returns an :class:`~repro.core.result.ExplorationResult` whose
     ``points`` are the Pareto-optimal implementations in increasing cost
@@ -334,6 +367,7 @@ def explore(
         batch_timeout=batch_timeout,
         engine=engine,
     )
+    warm_path = warm_store_path(warm_store)
     emitter = ProgressEmitter(progress, progress_every)
     resilient = (
         deadline_seconds is not None
@@ -378,6 +412,7 @@ def explore(
             tracer=tracer,
             engine=engine,
             shard=shard,
+            warm_store=warm_path,
         )
 
     if not spec.frozen:
@@ -390,7 +425,9 @@ def explore(
         weighted=weighted,
         backend=backend,
         timing_mode=timing_mode,
+        warm_store=warm_path,
     )
+    cache_base = cache_counter_snapshot(evaluator)
     setup = prepare_exploration(
         spec,
         require_units,
@@ -624,6 +661,7 @@ def explore(
                 )
     points = kept
     stats.solver_invocations = solver_counter[0]
+    charge_cache_counters(stats, evaluator, cache_base)
     stats.elapsed_seconds = time.perf_counter() - started
     emitter.end(
         True,

@@ -108,7 +108,24 @@ class ExplorationStats:
         "quarantined",
         "cache_corruptions",
         "checkpoints_written",
+        "memo_hits",
+        "memo_misses",
+        "warm_hits",
+        "warm_misses",
+        "warm_writes",
+        "warm_corruptions",
         "events",
+    )
+
+    #: Compiled-kernel memo / warm-store counters: diagnostics outside
+    #: the deterministic result fingerprint (see :meth:`cache_dict`).
+    CACHE_COUNTERS = (
+        "memo_hits",
+        "memo_misses",
+        "warm_hits",
+        "warm_misses",
+        "warm_writes",
+        "warm_corruptions",
     )
 
     def __init__(self) -> None:
@@ -143,6 +160,21 @@ class ExplorationStats:
         self.cache_corruptions = 0
         #: Checkpoint records journaled during the run.
         self.checkpoints_written = 0
+        #: Compiled-kernel verdict-memo hits/misses and — once a
+        #: warm-start store is attached (``explore(warm_store=...)``) —
+        #: the warm split of the misses: store hits, store misses,
+        #: write-behinds and entries rejected as corrupt.  Diagnostics
+        #: only: excluded from :meth:`as_dict` (and thus from every
+        #: byte-identity fingerprint) because batched speculation and
+        #: in-process evaluator interning legitimately change the
+        #: hit/miss split without changing results; read them via
+        #: :meth:`cache_dict` or the result document's ``"cache"`` key.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.warm_hits = 0
+        self.warm_misses = 0
+        self.warm_writes = 0
+        self.warm_corruptions = 0
         #: Degradation events, newest last: dictionaries with at least a
         #: ``"kind"`` key (``pool_fallback``, ``pool_retry``,
         #: ``batch_timeout``, ``quarantine``, ``cache_corruption``).
@@ -150,16 +182,26 @@ class ExplorationStats:
         self.events: List[Dict[str, Any]] = []
 
     def as_dict(self) -> Dict[str, float]:
-        """All counters as a plain dictionary (for reports).
+        """The deterministic counters as a plain dictionary.
 
-        The :attr:`events` log is not a counter and is excluded; read
-        it directly (or via the serialised result document).
+        The :attr:`events` log is not a counter and is excluded, and so
+        are the memo/warm cache counters (:attr:`CACHE_COUNTERS`):
+        everything here is replay-deterministic — identical for serial,
+        batched, sharded and resumed runs — while cache hit/miss splits
+        are execution-dependent diagnostics (:meth:`cache_dict`).
         """
+        skip = set(self.CACHE_COUNTERS)
+        skip.add("events")
         return {
             name: getattr(self, name)
             for name in self.__slots__
-            if name != "events"
+            if name not in skip
         }
+
+    def cache_dict(self) -> Dict[str, int]:
+        """The memo/warm cache counters (diagnostics; see
+        :meth:`as_dict` for why they live outside the fingerprint)."""
+        return {name: getattr(self, name) for name in self.CACHE_COUNTERS}
 
     def record_event(self, kind: str, **fields: Any) -> None:
         """Append a degradation event (``kind`` plus free-form fields)."""

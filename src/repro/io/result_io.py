@@ -25,8 +25,10 @@ from ..errors import SerializationError
 #: Document format identifier.
 RESULT_FORMAT = "repro/exploration-result"
 #: Current document version.  Version 2 added the anytime/resilience
-#: fields (``completed``, ``gap``, ``events``); version-1 documents —
-#: always complete runs without events — still load.
+#: fields (``completed``, ``gap``, ``events``) and later the optional
+#: ``cache`` section (memo/warm-store counters — additive, so the
+#: version is unchanged); version-1 documents — always complete runs
+#: without events — still load.
 RESULT_VERSION = 2
 
 
@@ -89,6 +91,11 @@ def result_to_dict(result: ExplorationResult) -> Dict[str, Any]:
         "version": RESULT_VERSION,
         "max_flexibility_bound": result.max_flexibility_bound,
         "stats": result.stats.as_dict(),
+        # Memo/warm-store counters: diagnostics outside the
+        # deterministic fingerprint — comparisons that strip
+        # ``stats.elapsed_seconds`` strip this section too (a warm run
+        # legitimately differs from its cold twin only here).
+        "cache": result.stats.cache_dict(),
         "events": list(result.stats.events),
         "completed": result.completed,
         "gap": result.gap._asdict() if result.gap is not None else None,
@@ -114,6 +121,11 @@ def result_from_dict(document: Dict[str, Any]) -> ExplorationResult:
     stats = ExplorationStats()
     for key, value in document.get("stats", {}).items():
         if key in ExplorationStats.__slots__ and key != "events":
+            setattr(stats, key, value)
+    # The "cache" section is absent from older documents (the counters
+    # then stay zero) and tolerant of unknown keys in newer ones.
+    for key, value in (document.get("cache") or {}).items():
+        if key in ExplorationStats.CACHE_COUNTERS:
             setattr(stats, key, value)
     stats.events = [dict(event) for event in document.get("events", ())]
     points = [

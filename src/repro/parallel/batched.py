@@ -69,9 +69,14 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.candidates import iter_cost_batches
+from ..core.evaluation import (
+    cache_counter_snapshot,
+    charge_cache_counters,
+)
 from ..core.explorer import (
     prepare_exploration,
     validate_explore_options,
+    warm_store_path,
 )
 from ..core.pareto import final_front
 from ..core.progress import ProgressEmitter
@@ -490,6 +495,7 @@ def explore_batched(
     tracer=None,
     engine: Optional[str] = None,
     shard=None,
+    warm_store=None,
     _resume=None,
 ) -> ExplorationResult:
     """EXPLORE with batched, pooled, fault-tolerant candidate evaluation.
@@ -560,6 +566,14 @@ def explore_batched(
     cannot combine with ``shard`` (it counts enumeration positions,
     which differ per shard).
 
+    ``warm_store`` — directory of a persistent warm-start verdict
+    store (:mod:`repro.store`): the compiled kernel loads binding
+    verdicts before solving and writes behind on misses, across runs
+    and spec edits, with byte-identical results.  The path is recorded
+    in the checkpoint header (restorable and — like the execution
+    geometry — freely overridable on resume) and travels to process
+    pools through :class:`~repro.parallel.worker.EvalParams`.
+
     ``_resume`` — internal: a
     :class:`repro.resilience.checkpoint.LoadedCheckpoint` to continue
     from (use :func:`repro.resilience.resume_explore`).
@@ -597,6 +611,7 @@ def explore_batched(
     parallel_kind = "inline" if parallel == "serial" else parallel
     if not spec.frozen:
         raise ExplorationError("specification must be frozen before explore()")
+    warm_path = warm_store_path(warm_store)
     params = EvalParams(
         util_bound=util_bound,
         check_utilization=check_utilization,
@@ -608,8 +623,10 @@ def explore_batched(
         prune_comm=prune_comm,
         keep_ties=keep_ties,
         engine=engine,
+        warm_store=warm_path,
     )
     evaluator = params.evaluator(spec)
+    cache_base = cache_counter_snapshot(evaluator)
     setup = prepare_exploration(
         spec,
         require_units,
@@ -674,6 +691,7 @@ def explore_batched(
                 retry=retry,
                 engine=engine,
                 shard=shard.to_dict() if shard is not None else None,
+                warm_store=warm_path,
             ),
             resume_length=(
                 _resume.valid_length if _resume is not None else None
@@ -1039,6 +1057,7 @@ def explore_batched(
                 tracer.prune(
                     "dominated", p.cost, p.units, flexibility=p.flexibility
                 )
+    charge_cache_counters(stats, evaluator, cache_base)
     stats.elapsed_seconds = time.perf_counter() - started
     emitter.end(
         truncation is None,

@@ -46,6 +46,7 @@ class EvalParams:
         "prune_comm",
         "keep_ties",
         "engine",
+        "warm_store",
     )
 
     def __init__(
@@ -60,6 +61,7 @@ class EvalParams:
         prune_comm: bool,
         keep_ties: bool,
         engine: Optional[str] = None,
+        warm_store: Optional[str] = None,
     ) -> None:
         self.util_bound = util_bound
         self.check_utilization = check_utilization
@@ -71,6 +73,10 @@ class EvalParams:
         self.prune_comm = prune_comm
         self.keep_ties = keep_ties
         self.engine = engine
+        #: Warm-start store directory (:mod:`repro.store`) — shipped as
+        #: a plain path so it pickles to process-pool workers, each of
+        #: which opens its own store handle on the shared directory.
+        self.warm_store = warm_store
 
     def evaluator(self, spec: SpecificationGraph):
         """Build the engine evaluator these parameters describe.
@@ -87,6 +93,7 @@ class EvalParams:
             weighted=self.weighted,
             backend=self.backend,
             timing_mode=self.timing_mode,
+            warm_store=self.warm_store,
         )
 
 

@@ -88,6 +88,9 @@ def pareto_table(result: ExplorationResult) -> str:
 def stats_table(result: ExplorationResult) -> str:
     """Render exploration statistics (the Section-5 reduction numbers)."""
     stats = result.stats.as_dict()
+    # Memo/warm-store diagnostics ride along after the deterministic
+    # counters (they vary run-to-run; see ExplorationStats.cache_dict).
+    stats.update(result.stats.cache_dict())
     rows = [[key.replace("_", " "), f"{value:g}"] for key, value in stats.items()]
     return format_table(["counter", "value"], rows)
 

@@ -302,6 +302,11 @@ _RESUMABLE_PARAMS = (
     # repro.distributed): restored verbatim, frozen against change —
     # the journaled cursor counts positions of *this* shard's stream.
     "shard",
+    # Warm-start store directory (repro.store): recorded like the pool
+    # geometry and — since the store never affects results, only how
+    # fast verdicts are reached — freely overridable on resume (e.g.
+    # resuming on a host without the store directory).
+    "warm_store",
 )
 
 

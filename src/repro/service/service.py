@@ -94,6 +94,7 @@ class ExplorationService:
         max_queued: Optional[int] = None,
         overload_policy: str = "reject",
         slice_timeout: Optional[float] = None,
+        warm_store: Optional[str] = "auto",
     ) -> None:
         if slice_evaluations < 1:
             raise ServiceError(
@@ -108,6 +109,18 @@ class ExplorationService:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
         os.makedirs(job_io.events_dir(directory), exist_ok=True)
+        #: Warm-start store shared by every job on this host
+        #: (:mod:`repro.store`): ``"auto"`` (default) places it at
+        #: ``<directory>/warmstore``, any other string is used as the
+        #: store directory, ``None`` disables persistence.  Jobs on the
+        #: same specification structure share one content-addressed
+        #: namespace, so tenant A's completed exploration warms tenant
+        #: B's — with byte-identical results either way.
+        self.warm_store: Optional[str] = (
+            os.path.join(directory, "warmstore")
+            if warm_store == "auto"
+            else warm_store
+        )
         self.slice_evaluations = slice_evaluations
         self.checkpoint_every = checkpoint_every
         self.progress_every = progress_every
@@ -220,6 +233,18 @@ class ExplorationService:
         self.m_eval_rate = m.gauge(
             "repro_evaluations_per_second",
             "Evaluation throughput of the most recent slice",
+        )
+        self.m_warm_hits = m.counter(
+            "repro_warm_hits_total",
+            "Binding verdicts replayed from the warm-start store",
+        )
+        self.m_warm_misses = m.counter(
+            "repro_warm_misses_total",
+            "Warm-store lookups that fell through to a cold solve",
+        )
+        self.m_warm_corruptions = m.counter(
+            "repro_warm_corruptions_total",
+            "Warm-store entries rejected as corrupt (re-solved cold)",
         )
 
     # --- durable records and events ------------------------------------
@@ -545,6 +570,10 @@ class ExplorationService:
                     progress_every=self.progress_every,
                     max_evaluations=budget,
                     tracer=tracer,
+                    # The store is host configuration, like the pool:
+                    # the service's setting overrides the journaled
+                    # path (results are store-independent).
+                    warm_store=self.warm_store,
                 )
             except CheckpointError:
                 # Torn beyond use (e.g. killed before the header hit
@@ -561,6 +590,7 @@ class ExplorationService:
             progress=forward,
             progress_every=self.progress_every,
             tracer=tracer,
+            warm_store=self.warm_store,
             **options,
         )
 
@@ -670,6 +700,12 @@ class ExplorationService:
         self.m_checkpoints.inc(delta("checkpoints_written"))
         self.m_pool_retries.inc(delta("pool_retries"))
         self.m_quarantined.inc(delta("quarantined"))
+        # Cache counters are per-slice deltas already (they are not
+        # journaled across preemptions), so they are charged directly.
+        cache = result.stats.cache_dict()
+        self.m_warm_hits.inc(cache["warm_hits"])
+        self.m_warm_misses.inc(cache["warm_misses"])
+        self.m_warm_corruptions.inc(cache["warm_corruptions"])
         if elapsed > 0:
             self.m_eval_rate.set(evaluations / elapsed)
         job.evaluations = int(stats.get("estimate_exceeded", 0))

@@ -1,0 +1,157 @@
+"""Content addressing of specifications and binding-verdict keys.
+
+The warm-start store never trusts a cached verdict because of where it
+was found — it trusts it because of *what it is keyed by*.  Two layers
+of digests make stale reuse structurally impossible:
+
+* the **namespace digest** addresses the specification with every
+  locally-patchable number removed: mapping latencies and architecture
+  unit costs (exactly the fields :mod:`repro.analysis.patch` can
+  rewrite).  Edits to those fields keep the namespace, so verdicts
+  survive a latency sweep; any *structural* edit (a new unit, a moved
+  cluster, a changed period) lands in a fresh namespace and starts
+  cold — the conservative whole-spec fallback is automatic, not a
+  code path;
+
+* the **key digest** addresses one binding sub-problem by value: every
+  input :meth:`repro.compiled.CompiledEvaluator._compute_verdict`
+  reads — the run parameters, the ECS selection, the relevance
+  projection (``usable & ecs.support``) and the projected per-leaf
+  option records *including their utilisation increments* (which carry
+  the latencies).  A latency edit changes the increments, hence the
+  digest, hence the old entry is simply never looked up again.  For
+  the two modes whose verdicts read the specification beyond the
+  projection (``timing_mode="schedule"`` scheduling checks,
+  ``backend="sat"`` whole-allocation encodings) the digest folds in
+  the full spec digest and the full usable-unit set — maximally
+  conservative, still never wrong.
+
+Consequence: :mod:`repro.store.diff` invalidation is pure garbage
+collection.  Correctness never depends on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Tuple
+
+#: Version of the key-digest scheme.  Bump on any change to what a key
+#: or verdict payload encodes; old entries then become unreachable
+#: (version skew is a cache miss, never a wrong answer).
+KEY_VERSION = 1
+
+
+def _canonical(document: Any) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _sha(document: Any, length: int) -> str:
+    return hashlib.sha256(
+        _canonical(document).encode("utf-8")
+    ).hexdigest()[:length]
+
+
+def full_spec_digest(spec) -> str:
+    """The distributed-layer digest of the complete canonical document."""
+    from ..io import spec_to_dict
+    from ..io.shard_io import spec_digest
+
+    return spec_digest(spec_to_dict(spec))
+
+
+def _strip_scope_costs(scope_doc: Dict[str, Any]) -> None:
+    for vertex in scope_doc.get("vertices", ()):
+        attrs = vertex.get("attrs")
+        if attrs:
+            attrs.pop("cost", None)
+    for interface in scope_doc.get("interfaces", ()):
+        for cluster in interface.get("clusters", ()):
+            attrs = cluster.get("attrs")
+            if attrs:
+                attrs.pop("cost", None)
+            _strip_scope_costs(cluster)
+
+
+def stripped_spec_doc(document: Dict[str, Any]) -> Dict[str, Any]:
+    """A deep copy of a spec document with the locally-patchable
+    numbers removed: mapping ``latency`` fields and architecture unit
+    ``cost`` attributes (the two things :mod:`repro.analysis.patch`
+    can rewrite)."""
+    doc = json.loads(json.dumps(document))
+    for mapping in doc.get("mappings", ()):
+        mapping.pop("latency", None)
+    architecture = doc.get("architecture")
+    if isinstance(architecture, dict):
+        _strip_scope_costs(architecture)
+    return doc
+
+
+def namespace_digest(spec) -> str:
+    """16-hex-char address of the specification's *structure*.
+
+    Stable under latency and unit-cost edits; changed by anything
+    else.  One store namespace holds exactly one structure's verdicts.
+    """
+    from ..io import spec_to_dict
+
+    return _sha(stripped_spec_doc(spec_to_dict(spec)), 16)
+
+
+def key_digest(evaluator, info, usable: int) -> Tuple[str, Dict[str, Any]]:
+    """Content digest + dependency metadata of one verdict key.
+
+    ``evaluator`` is a :class:`repro.compiled.CompiledEvaluator`,
+    ``info`` the :class:`~repro.compiled.spec.EcsInfo` being solved and
+    ``usable`` the candidate's usable-unit mask.  Returns
+    ``(digest, deps)`` where ``deps`` names the leaves and projected
+    units the verdict depends on (the handle precise invalidation
+    grabs; see :mod:`repro.store.diff`).
+
+    Within one namespace the unit bit order, top-node indices and
+    interface ids are deterministic functions of the structure, so the
+    raw indices in :class:`~repro.compiled.spec.OptionRec` are stable
+    digest material.
+    """
+    cs = evaluator.cs
+    proj = usable & info.support
+    proj_names = sorted(cs.names_of(proj))
+    domains = []
+    for recs in info.options:
+        domains.append(
+            [
+                [
+                    rec.resource,
+                    rec.owner_bit,
+                    rec.owner_top,
+                    rec.iface_id,
+                    1 if rec.loaded else 0,
+                    rec.util_increment,
+                ]
+                for rec in recs
+                if usable >> rec.owner_bit & 1
+            ]
+        )
+    payload = [
+        KEY_VERSION,
+        [evaluator.util_bound, evaluator.backend, evaluator.timing_mode],
+        sorted(info.selection.items()),
+        list(info.leaves),
+        proj_names,
+        domains,
+    ]
+    if evaluator.timing_mode == "schedule" or evaluator.backend == "sat":
+        # These verdicts read the specification beyond the projection
+        # (exact scheduling; whole-allocation SAT encodings), so the
+        # key pins the complete document and the complete usable set.
+        # The full digest is a pure function of the frozen spec, so it
+        # is computed once and memoised on the compiled spec (the same
+        # lifetime as ``_warm_namespace``).
+        full = getattr(cs, "_warm_full_digest", None)
+        if full is None:
+            full = full_spec_digest(evaluator.spec)
+            cs._warm_full_digest = full
+        payload.append(full)
+        payload.append(sorted(cs.names_of(usable)))
+    deps = {"l": list(info.leaves), "u": proj_names}
+    return _sha(payload, 32), deps

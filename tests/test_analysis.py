@@ -55,6 +55,70 @@ class TestPatch:
         # the ASIC bundle gets much cheaper: f=3 at 10+10+100=120
         assert (120.0, 3.0) in front
 
+    def test_unknown_names_reported_exhaustively(self, tv_spec):
+        """The error names every missing override, not just the first,
+        and a single bad name poisons an otherwise-valid batch."""
+        with pytest.raises(ModelError, match="ghost.*phantom"):
+            with_unit_costs(
+                tv_spec, {"phantom": 2.0, "muP": 80.0, "ghost": 1.0}
+            )
+        with pytest.raises(ModelError, match="no_proc"):
+            with_latency(
+                tv_spec,
+                {("P_U1", "muP"): 99.0, ("no_proc", "muP"): 1.0},
+            )
+
+    def test_known_process_unknown_resource_rejected(self, tv_spec):
+        # both halves of the pair must name an existing mapping edge
+        with pytest.raises(ModelError):
+            with_latency(tv_spec, {("P_U1", "ghost_res"): 1.0})
+        with pytest.raises(ModelError):
+            with_latency(tv_spec, {("ghost_proc", "muP"): 1.0})
+
+    def test_latency_round_trip(self, tv_spec):
+        from repro.io import spec_to_dict
+
+        original = spec_to_dict(tv_spec)
+        there = with_latency(tv_spec, {("P_U1", "muP"): 99.0})
+        back = with_latency(there, {("P_U1", "muP"): 40.0})
+        assert spec_to_dict(back) == original
+        assert spec_to_dict(tv_spec) == original  # untouched throughout
+
+    def test_cost_round_trip(self, tv_spec):
+        from repro.io import spec_to_dict
+
+        original = spec_to_dict(tv_spec)
+        there = with_unit_costs(tv_spec, {"muP": 80.0, "D3": 99.0})
+        back = with_unit_costs(
+            there,
+            {
+                "muP": tv_spec.units.unit("muP").cost,
+                "D3": tv_spec.units.unit("D3").cost,
+            },
+        )
+        assert spec_to_dict(back) == original
+        assert spec_to_dict(tv_spec) == original
+
+    def test_failed_patch_leaves_original_untouched(self, tv_spec):
+        from repro.io import spec_to_dict
+
+        original = spec_to_dict(tv_spec)
+        with pytest.raises(ModelError):
+            with_unit_costs(tv_spec, {"muP": 1.0, "ghost": 1.0})
+        with pytest.raises(ModelError):
+            with_latency(tv_spec, {("P_U1", "muP"): 1.0, ("x", "y"): 1.0})
+        assert spec_to_dict(tv_spec) == original
+
+    def test_empty_overrides_are_identity(self, tv_spec):
+        from repro.io import spec_to_dict
+
+        assert spec_to_dict(with_unit_costs(tv_spec, {})) == spec_to_dict(
+            tv_spec
+        )
+        assert spec_to_dict(with_latency(tv_spec, {})) == spec_to_dict(
+            tv_spec
+        )
+
 
 class TestSensitivity:
     def test_sweep_shapes(self, tv_spec):

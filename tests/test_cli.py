@@ -266,3 +266,87 @@ class TestExploreResilience:
     def test_resume_missing_checkpoint_is_an_error(self, tmp_path):
         code, _ = run(["explore", "--resume", str(tmp_path / "no.ckpt")])
         assert code == 1
+
+
+class TestCacheCommand:
+    @pytest.fixture()
+    def warm_dir(self, settop_json, tmp_path):
+        from repro.store.store import _reset_stores
+
+        _reset_stores()
+        store = str(tmp_path / "ws")
+        code, _ = run(
+            ["explore", settop_json, "--warm-store", store]
+        )
+        assert code == EXIT_OK
+        _reset_stores()
+        return store
+
+    def test_explore_warm_store_round_trip(
+        self, settop_json, warm_dir, tmp_path
+    ):
+        from repro.store.store import _reset_stores
+
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        code, _ = run(["explore", settop_json, "--json", str(cold_json)])
+        assert code == EXIT_OK
+        _reset_stores()
+        code, _ = run(
+            ["explore", settop_json, "--warm-store", warm_dir,
+             "--json", str(warm_json)]
+        )
+        assert code == EXIT_OK
+        cold = json.load(open(cold_json))
+        warm = json.load(open(warm_json))
+        assert warm["cache"]["warm_hits"] > 0
+        for document in (cold, warm):
+            document["stats"].pop("elapsed_seconds")
+            document.pop("cache")
+        assert cold == warm
+
+    def test_stats(self, warm_dir):
+        code, text = run(["cache", "stats", warm_dir])
+        assert code == EXIT_OK
+        assert "entries" in text
+
+    def test_stats_json(self, warm_dir):
+        code, text = run(["cache", "stats", warm_dir, "--json"])
+        assert code == EXIT_OK
+        document = json.loads(text)
+        assert document["entries"] > 0
+        assert len(document["namespaces"]) == 1
+
+    def test_verify_clean(self, warm_dir):
+        code, text = run(["cache", "verify", warm_dir])
+        assert code == EXIT_OK
+        assert "ok" in text
+
+    def test_verify_corrupt_is_loud(self, warm_dir):
+        import os
+
+        from repro.store.store import _reset_stores
+
+        [segment] = [
+            os.path.join(root, name)
+            for root, _dirs, names in os.walk(warm_dir)
+            for name in names
+        ]
+        with open(segment, "ab") as handle:
+            handle.write(b'{"t": "entry", "p": {}, "c": 1}\njunk\n')
+        _reset_stores()
+        code, text = run(["cache", "verify", warm_dir])
+        assert code == 1
+        assert "problem" in text
+
+    def test_gc(self, warm_dir):
+        code, text = run(["cache", "gc", warm_dir])
+        assert code == EXIT_OK
+        assert "compacted 1 namespace" in text
+        code, text = run(["cache", "gc", warm_dir, "--max-bytes", "0"])
+        assert code == EXIT_OK
+        assert "evicted 1" in text
+
+    def test_missing_store_is_an_error(self, tmp_path):
+        code, _ = run(["cache", "stats", str(tmp_path / "absent")])
+        assert code == 1

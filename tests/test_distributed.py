@@ -56,6 +56,7 @@ def result_doc(result):
     """Canonical JSON of a result, minus wall-clock."""
     document = result_to_dict(result)
     document.get("stats", {}).pop("elapsed_seconds", None)
+    document.pop("cache", None)
     return json.dumps(document, sort_keys=True)
 
 

@@ -71,6 +71,7 @@ def free_port():
 def result_doc(result):
     document = result_to_dict(result)
     document.get("stats", {}).pop("elapsed_seconds", None)
+    document.pop("cache", None)
     return json.dumps(document, sort_keys=True)
 
 

@@ -187,6 +187,7 @@ from repro.parallel import EvaluationCache, explore_batched
 def _result_doc(result):
     document = result_to_dict(result)
     document.get("stats", {}).pop("elapsed_seconds", None)
+    document.pop("cache", None)
     return json.dumps(document, sort_keys=True)
 
 

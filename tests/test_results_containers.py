@@ -61,8 +61,16 @@ class TestExplorationResult:
         stats = ExplorationStats()
         data = stats.as_dict()
         # every slot is a counter exported by as_dict() except the
-        # events log, which is a list and deliberately excluded
-        assert set(data) == set(ExplorationStats.__slots__) - {"events"}
+        # events log (a list) and the cache counters, which are
+        # diagnostics outside the deterministic fingerprint
+        assert set(data) == (
+            set(ExplorationStats.__slots__)
+            - {"events"}
+            - set(ExplorationStats.CACHE_COUNTERS)
+        )
+        assert set(stats.cache_dict()) == set(
+            ExplorationStats.CACHE_COUNTERS
+        )
         assert "solver_invocations" in repr(stats)
 
 

@@ -1,0 +1,342 @@
+"""Unit tests of the warm-start store (:mod:`repro.store`).
+
+Covers the three layers separately — content addressing (digest),
+segment durability (store) and edit classification (diff) — while
+``test_warm_start.py`` proves the end-to-end byte-identity contract.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import with_latency, with_unit_costs
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.io import spec_from_dict, spec_to_dict
+from repro.resilience.journal import encode_record
+from repro.store import (
+    SEGMENT_FORMAT,
+    SEGMENT_VERSION,
+    WarmStore,
+    describe_store,
+    diff_specs,
+    invalidate,
+    namespace_digest,
+    open_store,
+    touched_keys,
+)
+from repro.store.store import _reset_stores
+
+
+@pytest.fixture(autouse=True)
+def fresh_intern_table():
+    """Every test sees the disk state, not another test's cache."""
+    _reset_stores()
+    yield
+    _reset_stores()
+
+
+@pytest.fixture(scope="module")
+def settop():
+    return build_settop_spec()
+
+
+@pytest.fixture(scope="module")
+def tv_spec():
+    return build_tv_decoder_spec()
+
+
+def first_mapping(spec):
+    mapping = spec_to_dict(spec)["mappings"][0]
+    return mapping["process"], mapping["resource"], mapping["latency"]
+
+
+class TestNamespaceDigest:
+    def test_stable_under_latency_edit(self, settop):
+        process, resource, latency = first_mapping(settop)
+        patched = with_latency(settop, {(process, resource): latency + 7})
+        assert namespace_digest(patched) == namespace_digest(settop)
+
+    def test_stable_under_cost_edit(self, settop):
+        unit = sorted(settop.units.names())[0]
+        patched = with_unit_costs(settop, {unit: 123.0})
+        assert namespace_digest(patched) == namespace_digest(settop)
+
+    def test_changed_by_structural_edit(self, settop):
+        document = spec_to_dict(settop)
+        document["mappings"] = document["mappings"][1:]
+        pruned = spec_from_dict(document)
+        assert namespace_digest(pruned) != namespace_digest(settop)
+
+    def test_distinct_specs_distinct_namespaces(self, settop, tv_spec):
+        assert namespace_digest(settop) != namespace_digest(tv_spec)
+
+    def test_roundtrip_is_stable(self, settop):
+        clone = spec_from_dict(spec_to_dict(settop))
+        assert namespace_digest(clone) == namespace_digest(settop)
+
+
+class TestSegmentStore:
+    def test_put_get_and_reload(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k1", {"l": ["p"], "u": ["u"]}, {"v": 1})
+        assert store.get("ns1", "k1") == {"v": 1}
+        # a fresh process (simulated by dropping the intern table)
+        # reads the entry back from disk
+        _reset_stores()
+        reloaded = open_store(str(tmp_path))
+        assert reloaded.get("ns1", "k1") == {"v": 1}
+        assert reloaded.counters()["hits"] == 1
+
+    def test_open_store_interns_per_path(self, tmp_path):
+        assert open_store(str(tmp_path)) is open_store(str(tmp_path))
+
+    def test_put_ignores_duplicate_keys(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k1", {}, "first")
+        store.put("ns1", "k1", {}, "second")
+        assert store.get("ns1", "k1") == "first"
+        assert store.writes == 1
+
+    def test_drop_tombstone_survives_reload(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k1", {}, 1)
+        store.put("ns1", "k2", {}, 2)
+        assert store.drop("ns1", ["k1", "missing"]) == 1
+        assert store.invalidated == 1
+        _reset_stores()
+        reloaded = open_store(str(tmp_path))
+        assert reloaded.get("ns1", "k1") is None
+        assert reloaded.get("ns1", "k2") == 2
+
+    def test_corrupt_record_skipped_and_counted(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k1", {}, 1)
+        store.put("ns1", "k2", {}, 2)
+        store.close()
+        [segment] = [
+            os.path.join(root, name)
+            for root, _dirs, names in os.walk(tmp_path)
+            for name in names
+        ]
+        lines = open(segment, "rb").read().splitlines(keepends=True)
+        # flip bits in the first entry record (not the header, not the
+        # final line: a torn tail is legitimately benign)
+        lines[1] = lines[1][:-10] + b"XXXXXXXX" + lines[1][-2:]
+        with open(segment, "wb") as handle:
+            handle.writelines(lines)
+        _reset_stores()
+        reloaded = open_store(str(tmp_path))
+        assert reloaded.get("ns1", "k2") == 2
+        assert reloaded.corrupt_entries == 1
+        report = reloaded.verify()
+        assert not report["ok"]
+        assert any(p["kind"] == "corrupt_record" for p in report["problems"])
+
+    def test_torn_final_line_is_benign(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k1", {}, 1)
+        store.put("ns1", "k2", {}, 2)
+        store.close()
+        [segment] = [
+            os.path.join(root, name)
+            for root, _dirs, names in os.walk(tmp_path)
+            for name in names
+        ]
+        data = open(segment, "rb").read()
+        with open(segment, "wb") as handle:
+            handle.write(data[:-9])  # kill -9 mid-append
+        _reset_stores()
+        reloaded = open_store(str(tmp_path))
+        assert reloaded.get("ns1", "k1") == 1
+        assert reloaded.get("ns1", "k2") is None
+        assert reloaded.corrupt_entries == 0
+
+    def test_version_skewed_segment_ignored_wholesale(self, tmp_path):
+        ns_dir = tmp_path / "ns-deadbeef"
+        ns_dir.mkdir()
+        with open(ns_dir / "seg-1-0.jsonl", "w", encoding="utf-8") as handle:
+            handle.write(
+                encode_record(
+                    "header",
+                    {
+                        "format": SEGMENT_FORMAT,
+                        "version": SEGMENT_VERSION + 1,
+                        "namespace": "deadbeef",
+                    },
+                )
+            )
+            handle.write(encode_record("entry", {"k": "k1", "v": 1}))
+        store = open_store(str(tmp_path))
+        assert store.get("deadbeef", "k1") is None
+        assert store.skewed_segments == 1
+
+    def test_foreign_namespace_segment_ignored(self, tmp_path):
+        ns_dir = tmp_path / "ns-aaaa"
+        ns_dir.mkdir()
+        with open(ns_dir / "seg-1-0.jsonl", "w", encoding="utf-8") as handle:
+            handle.write(
+                encode_record(
+                    "header",
+                    {
+                        "format": SEGMENT_FORMAT,
+                        "version": SEGMENT_VERSION,
+                        "namespace": "bbbb",  # misplaced segment
+                    },
+                )
+            )
+            handle.write(encode_record("entry", {"k": "k1", "v": 1}))
+        store = open_store(str(tmp_path))
+        assert store.get("aaaa", "k1") is None
+        assert store.skewed_segments == 1
+
+    def test_headerless_garbage_segment_ignored(self, tmp_path):
+        ns_dir = tmp_path / "ns-cccc"
+        ns_dir.mkdir()
+        (ns_dir / "seg-1-0.jsonl").write_bytes(b"not json at all\n")
+        store = open_store(str(tmp_path))
+        assert store.get("cccc", "anything") is None
+        assert store.skewed_segments == 1
+        assert not store.verify()["ok"]
+
+    def test_gc_compacts_segments_and_erases_tombstones(self, tmp_path):
+        store = open_store(str(tmp_path))
+        for index in range(4):
+            store.put("ns1", f"k{index}", {}, index)
+        store.drop("ns1", ["k0"])
+        report = store.gc()
+        assert report["compacted"] == 1
+        assert report["evicted"] == []
+        # one compacted segment, live entries only
+        _reset_stores()
+        reloaded = open_store(str(tmp_path))
+        stats = reloaded.stats()
+        assert stats["entries"] == 3
+        assert stats["namespaces"][0]["segments"] == 1
+        assert reloaded.get("ns1", "k0") is None
+        assert reloaded.get("ns1", "k3") == 3
+        assert reloaded.verify()["ok"]
+
+    def test_gc_budget_evicts_oldest_namespace(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("aaaa", "k", {}, "x" * 100)
+        store.put("bbbb", "k", {}, "y" * 100)
+        total = store.gc()["bytes"]  # compact first so sizes are stable
+        # namespaces are compacted in digest order, so "bbbb" ends up
+        # with the newest mtime and "aaaa" is the eviction victim
+        report = store.gc(max_bytes=total - 1)
+        assert report["evicted"] == ["aaaa"]
+        assert report["bytes"] <= total - 1
+        assert store.get("bbbb", "k") == "y" * 100
+        assert not os.path.exists(tmp_path / "ns-aaaa")
+
+    def test_gc_budget_zero_clears_everything(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k", {}, 1)
+        store.put("ns2", "k", {}, 2)
+        report = store.gc(max_bytes=0)
+        assert sorted(report["evicted"]) == ["ns1", "ns2"]
+        assert report["bytes"] == 0
+
+    def test_stats_and_describe(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k1", {}, 1)
+        document = store.stats()
+        assert document["entries"] == 1
+        assert document["bytes"] > 0
+        text = describe_store(document)
+        assert "ns1" in text and "1 entries" in text
+
+    def test_verify_clean_store(self, tmp_path):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k1", {}, 1)
+        store.close()
+        report = store.verify()
+        assert report["ok"] and report["problems"] == []
+        assert report["segments"] == 1
+
+    def test_write_failure_degrades_to_memory_only(self, tmp_path, monkeypatch):
+        store = open_store(str(tmp_path))
+        store.put("ns1", "k1", {}, 1)
+
+        ns = store.namespace("ns1")
+
+        def boom(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ns._writer, "write", boom)
+        store.put("ns1", "k2", {}, 2)  # must not raise
+        assert store.get("ns1", "k2") == 2  # still served in-process
+        assert ns._writer_dead
+        store.put("ns1", "k3", {}, 3)  # writer stays dead, still no raise
+        _reset_stores()
+        assert open_store(str(tmp_path)).get("ns1", "k2") is None
+
+
+class TestDiff:
+    def test_identical(self, settop):
+        clone = spec_from_dict(spec_to_dict(settop))
+        edit = diff_specs(settop, clone)
+        assert edit.kind == "identical"
+        assert edit.latency_edits == [] and edit.cost_edits == []
+
+    def test_latency_edit_is_local(self, settop):
+        process, resource, latency = first_mapping(settop)
+        patched = with_latency(settop, {(process, resource): latency + 1})
+        edit = diff_specs(settop, patched)
+        assert edit.kind == "local"
+        assert edit.latency_edits == [(process, resource)]
+        assert edit.cost_edits == []
+
+    def test_cost_edit_is_local(self, settop):
+        unit = sorted(settop.units.names())[0]
+        patched = with_unit_costs(settop, {unit: 1234.0})
+        edit = diff_specs(settop, patched)
+        assert edit.kind == "local"
+        assert edit.cost_edits == [unit]
+        assert edit.latency_edits == []
+
+    def test_structural_edit(self, settop):
+        document = spec_to_dict(settop)
+        document["mappings"] = document["mappings"][1:]
+        edit = diff_specs(settop, spec_from_dict(document))
+        assert edit.kind == "structural"
+        assert edit.old_namespace != edit.new_namespace
+
+    def test_cost_edit_invalidates_nothing(self, settop, tmp_path):
+        store = open_store(str(tmp_path))
+        ns = namespace_digest(settop)
+        store.put(ns, "k1", {"l": ["p"], "u": ["u"]}, 1)
+        unit = sorted(settop.units.names())[0]
+        patched = with_unit_costs(settop, {unit: 9.0})
+        report = invalidate(store, settop, patched)
+        assert report == {"kind": "local", "invalidated": 0, "namespace": ns}
+        assert store.get(ns, "k1") == 1
+
+    def test_latency_edit_drops_only_dependent_entries(self, settop, tmp_path):
+        process, resource, latency = first_mapping(settop)
+        unit = settop.units.unit_of_leaf[resource]
+        store = open_store(str(tmp_path))
+        ns = namespace_digest(settop)
+        store.put(ns, "dependent", {"l": [process], "u": [unit]}, 1)
+        store.put(ns, "other-process", {"l": ["nope"], "u": [unit]}, 2)
+        store.put(ns, "other-unit", {"l": [process], "u": ["nope"]}, 3)
+        patched = with_latency(settop, {(process, resource): latency + 1})
+        edit = diff_specs(settop, patched)
+        assert touched_keys(store, edit, settop) == ["dependent"]
+        report = invalidate(store, settop, patched, edit)
+        assert report["invalidated"] == 1
+        assert store.get(ns, "dependent") is None
+        assert store.get(ns, "other-process") == 2
+        assert store.get(ns, "other-unit") == 3
+
+    def test_structural_edit_drops_nothing(self, settop, tmp_path):
+        store = open_store(str(tmp_path))
+        ns = namespace_digest(settop)
+        store.put(ns, "k1", {"l": [], "u": []}, 1)
+        document = spec_to_dict(settop)
+        document["mappings"] = document["mappings"][1:]
+        report = invalidate(store, settop, spec_from_dict(document))
+        assert report["kind"] == "structural"
+        assert report["invalidated"] == 0
+        assert store.get(ns, "k1") == 1  # unreachable, not lost

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.timing",
     "repro.core",
     "repro.compiled",
+    "repro.store",
     "repro.parallel",
     "repro.resilience",
     "repro.supervision",
@@ -43,6 +44,19 @@ PACKAGES = [
 #: Hand-maintained prose appended after a package's symbol table
 #: (the only way narrative survives regeneration).
 EXTRA_SECTIONS = {
+    "repro.store": """\
+### Using a warm-start store
+
+| entry point | meaning |
+|---|---|
+| `explore(spec, warm_store=DIR)` | replay binding verdicts recorded in `DIR` by earlier runs and record this run's — results are byte-identical to cold (`docs/performance.md`) |
+| `repro explore --warm-store DIR` | the same from the CLI |
+| `repro serve DIR` | jobs share `DIR/warmstore` by default (`--warm-store none` disables) |
+| `repro cache stats\\|verify\\|gc STORE` | inspect, strictly check (nonzero exit on corruption) or compact/evict (`--max-bytes`) a store |
+| `invalidate(store, old_spec, new_spec)` | garbage-collect entries a spec edit can have touched (correctness never depends on it) |
+
+Segment layout and invalidation rules: `docs/formats.md`.
+""",
     "repro.core": """\
 ### `explore()` engine parameter
 
