@@ -23,6 +23,13 @@ and the exploration service (:mod:`repro.service`)::
     python -m repro serve run/ --workers 2           # drain the queue
     python -m repro jobs run/                        # list jobs
     python -m repro watch run/ j0000 --follow        # stream job events
+
+and the telemetry plane (:mod:`repro.telemetry`)::
+
+    python -m repro top run/                         # live dashboard
+    python -m repro telemetry dump run/ --format prometheus
+    python -m repro telemetry diff before/ after/    # per-series deltas
+    python -m repro cache stats store/ --format prometheus
 """
 
 from __future__ import annotations
@@ -499,6 +506,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument(
         "--json", action="store_true", help="print machine-readable JSON"
+    )
+    cache.add_argument(
+        "--format", choices=("text", "json", "prometheus"), default=None,
+        help=(
+            "stats output format (default text; 'prometheus' emits the "
+            "store's lifetime counters and sizes as exposition text)"
+        ),
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live job/resource dashboard for a service directory",
+        description=(
+            "Render a periodically refreshing dashboard for 'repro "
+            "serve DIR': one row per job (state, candidates, "
+            "evaluations, incumbent flexibility, last event) plus the "
+            "service's exported process/store metrics.  Reads only the "
+            "service's published artifacts (job ledger, per-job event "
+            "streams, metrics.json) — it never touches the service "
+            "process, so it is safe against a live or a dead service."
+        ),
+    )
+    top.add_argument("dir", help="service directory")
+    top.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default 1.0)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N refreshes (default: until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit (same as --iterations 1)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="print snapshots as JSON objects instead of a table",
+    )
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="dump or diff a service's exported metrics snapshots",
+        description=(
+            "Operate on the metrics.json a 'repro serve' exports: "
+            "'dump DIR' re-validates the snapshot and prints it as "
+            "JSON or Prometheus exposition text; 'diff A B' compares "
+            "two snapshots (directories or saved metrics.json files) "
+            "and prints per-series deltas — counters/gauges by value, "
+            "histograms by count and sum."
+        ),
+    )
+    telemetry.add_argument(
+        "action", choices=("dump", "diff"), help="what to do"
+    )
+    telemetry.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help=(
+            "dump: one service directory or metrics.json; "
+            "diff: two of them (before, after)"
+        ),
+    )
+    telemetry.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="dump output format (default json)",
     )
 
     shard_worker = commands.add_parser(
@@ -1069,8 +1141,16 @@ def _cmd_cache(args, out) -> int:
         return EXIT_ERROR
     store = open_store(args.store)
     if args.action == "stats":
+        fmt = args.format or ("json" if args.json else "text")
+        if fmt == "prometheus":
+            from .telemetry import MetricRegistry, export_store_metrics
+
+            registry = MetricRegistry()
+            export_store_metrics(store, registry)
+            _print(registry.to_prometheus(), out)
+            return EXIT_OK
         document = store.stats()
-        if args.json:
+        if fmt == "json":
             _print(json.dumps(document, indent=2, sort_keys=True), out)
         else:
             _print(describe_store(document), out)
@@ -1105,6 +1185,72 @@ def _cmd_cache(args, out) -> int:
             f"{len(report['evicted'])}; store is {report['bytes']} bytes",
             out,
         )
+    return EXIT_OK
+
+
+def _cmd_top(args, out) -> int:
+    from .telemetry import run_top
+
+    if not os.path.isdir(args.dir):
+        print(f"error: no service directory at {args.dir}", file=sys.stderr)
+        return EXIT_ERROR
+    iterations = 1 if args.once else args.iterations
+    try:
+        run_top(
+            args.dir,
+            out,
+            refresh=args.refresh,
+            iterations=iterations,
+            clear=not args.json and iterations != 1,
+            as_json=args.json,
+        )
+    except KeyboardInterrupt:
+        pass
+    return EXIT_OK
+
+
+def _metrics_document(path: str):
+    """Load an exported metrics snapshot from a service directory or a
+    saved ``metrics.json`` file."""
+    from .io import job_io
+
+    if os.path.isdir(path):
+        path = job_io.metrics_json_path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_telemetry(args, out) -> int:
+    from .telemetry import diff_snapshots, registry_from_snapshot
+
+    expected = 1 if args.action == "dump" else 2
+    if len(args.paths) != expected:
+        print(
+            f"error: telemetry {args.action} takes exactly "
+            f"{expected} PATH argument(s)",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    try:
+        documents = [_metrics_document(p) for p in args.paths]
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.action == "dump":
+        # Round-trip through a registry: validates the snapshot's
+        # metric grammar and types, not just its JSON well-formedness.
+        registry = registry_from_snapshot(documents[0])
+        registry.validate(strict=True)
+        if args.format == "prometheus":
+            _print(registry.to_prometheus(), out)
+        else:
+            _print(
+                json.dumps(registry.as_dict(), indent=2, sort_keys=True),
+                out,
+            )
+        return EXIT_OK
+    delta = diff_snapshots(documents[0], documents[1])
+    _print(json.dumps(delta, indent=2, sort_keys=True), out)
     return EXIT_OK
 
 
@@ -1232,6 +1378,8 @@ _HANDLERS = {
     "failures": _cmd_failures,
     "serve": _cmd_serve,
     "cache": _cmd_cache,
+    "top": _cmd_top,
+    "telemetry": _cmd_telemetry,
     "shard-worker": _cmd_shard_worker,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,

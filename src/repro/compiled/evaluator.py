@@ -121,6 +121,12 @@ class CompiledEvaluator:
         self.warm_misses = 0
         self.warm_writes = 0
         self.warm_corruptions = 0
+        #: Optional wall-clock sink (``charge(phase, seconds)`` — a
+        #: :class:`repro.telemetry.PhaseProfiler`): when set and no
+        #: ``detail`` dict is requested, per-solve binding/timing
+        #: wall-clock is charged here.  Pure observation — verdicts and
+        #: results are unaffected.
+        self.phase_sink = None
 
     # ------------------------------------------------------------------
     # Engine interface
@@ -191,10 +197,31 @@ class CompiledEvaluator:
             key = (sel_mask, usable & info.support)
             verdict = self._verdicts.get(key)
             if detail is None:
-                if verdict is None:
-                    verdict, _computed = self._memo_miss(info, usable, key)
+                sink = self.phase_sink
+                if sink is None:
+                    if verdict is None:
+                        verdict, _computed = self._memo_miss(
+                            info, usable, key
+                        )
+                    else:
+                        self.memo_hits += 1
                 else:
-                    self.memo_hits += 1
+                    t0 = time.perf_counter()
+                    if verdict is None:
+                        verdict, computed = self._memo_miss(
+                            info, usable, key
+                        )
+                    else:
+                        self.memo_hits += 1
+                        computed = False
+                    elapsed = time.perf_counter() - t0
+                    sink.charge(
+                        "binding",
+                        elapsed
+                        - (verdict.timing_seconds if computed else 0.0),
+                    )
+                    if verdict.timing_checks:
+                        sink.charge("timing", verdict.timing_seconds)
             else:
                 t0 = time.perf_counter()
                 if verdict is None:

@@ -230,6 +230,7 @@ def explore(
     engine: Optional[str] = None,
     shard=None,
     warm_store=None,
+    telemetry=None,
 ) -> ExplorationResult:
     """Find all Pareto-optimal (cost, flexibility) implementations.
 
@@ -349,6 +350,16 @@ def explore(
         warm/cold split is reported in ``stats.cache_dict()``.  See
         :mod:`repro.store`, ``docs/performance.md`` and
         ``docs/formats.md``.
+    telemetry:
+        An optional :class:`repro.telemetry.Telemetry` bundle (or bare
+        :class:`repro.telemetry.PhaseProfiler`) accumulating wall-clock
+        phase histograms on the same seam the tracer's ``phase_totals``
+        ride.  Telemetry is strictly wall-clock-side observation: the
+        result, progress events and logical trace fingerprints are
+        byte-identical with it on or off (differentially tested).  Not
+        journaled by checkpoints — like ``progress`` and ``tracer`` it
+        is a per-session observation seam.  See
+        ``docs/observability.md``.
 
     Returns an :class:`~repro.core.result.ExplorationResult` whose
     ``points`` are the Pareto-optimal implementations in increasing cost
@@ -413,6 +424,7 @@ def explore(
             engine=engine,
             shard=shard,
             warm_store=warm_path,
+            telemetry=telemetry,
         )
 
     if not spec.frozen:
@@ -445,6 +457,10 @@ def explore(
     points = []
     solver_counter = [0]
     audit = tracer is not None and tracer.audit
+    # Telemetry rides the tracer's phase seam (duck-typed: Telemetry
+    # and PhaseProfiler both expose ``.profiler``); kept import-free so
+    # the core never depends on repro.telemetry.
+    profiler = getattr(telemetry, "profiler", None)
     emitter.start(stats.design_space_size, f_max)
     if tracer is not None:
         tracer.start(stats.design_space_size, f_max)
@@ -517,10 +533,16 @@ def explore(
         estimate = None
         if use_estimation:
             stats.estimates_computed += 1
-            if tracer is not None:
-                estimate = tracer.timed("estimate", evaluator.estimate, units)
-            else:
+            if tracer is None and profiler is None:
                 estimate = evaluator.estimate(units)
+            else:
+                t_est = time.perf_counter()
+                estimate = evaluator.estimate(units)
+                dt_est = time.perf_counter() - t_est
+                if tracer is not None:
+                    tracer.charge("estimate", dt_est)
+                if profiler is not None:
+                    profiler.charge("estimate", dt_est)
             if estimate < f_cur or (estimate == f_cur and not keep_ties):
                 if audit:
                     tracer.prune(
@@ -548,7 +570,7 @@ def explore(
                     )
                 continue
         stats.estimate_exceeded += 1
-        if tracer is None:
+        if tracer is None and profiler is None:
             implementation = evaluator.evaluate(
                 units, solver_counter=solver_counter
             )
@@ -560,24 +582,28 @@ def explore(
                 units, solver_counter=solver_counter, detail=detail
             )
             t1 = time.perf_counter()
-            tracer.charge("evaluate", t1 - t0)
-            tracer.charge("binding", detail.get("binding_seconds", 0.0))
-            if detail.get("timing_checks"):
-                tracer.charge("timing", detail["timing_seconds"])
-            tracer.evaluate(
-                cost,
-                units,
-                estimate,
-                solver_counter[0] - calls_before,
-                implementation is not None,
-                implementation.flexibility
-                if implementation is not None
-                else 0.0,
-                f_cur,
-                t0=t0,
-                t1=t1,
-                diag=detail,
-            )
+            for sink in (tracer, profiler):
+                if sink is None:
+                    continue
+                sink.charge("evaluate", t1 - t0)
+                sink.charge("binding", detail.get("binding_seconds", 0.0))
+                if detail.get("timing_checks"):
+                    sink.charge("timing", detail["timing_seconds"])
+            if tracer is not None:
+                tracer.evaluate(
+                    cost,
+                    units,
+                    estimate,
+                    solver_counter[0] - calls_before,
+                    implementation is not None,
+                    implementation.flexibility
+                    if implementation is not None
+                    else 0.0,
+                    f_cur,
+                    t0=t0,
+                    t1=t1,
+                    diag=detail,
+                )
         if implementation is None:
             if audit:
                 tracer.prune(

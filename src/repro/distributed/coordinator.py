@@ -96,7 +96,7 @@ class ShardOutcome:
     __slots__ = (
         "shard", "journal_path", "elapsed_seconds", "attempts",
         "worker", "resumed", "lost", "cursor", "completed",
-        "heartbeats", "hangs", "failures",
+        "heartbeats", "hangs", "failures", "resources",
     )
 
     def __init__(self, shard: Shard, journal_path: str) -> None:
@@ -117,6 +117,10 @@ class ShardOutcome:
         #: attempt (``kind`` is one of :data:`FAILURE_KINDS`) — the
         #: typed hung-vs-dead-vs-garbled story of this shard.
         self.failures: List[Dict[str, Any]] = []
+        #: Newest worker resource snapshot (RSS/CPU/GC) seen on a
+        #: heartbeat or the final reply; ``{}`` from workers predating
+        #: the telemetry plane (the key is version-tolerant).
+        self.resources: Dict[str, Any] = {}
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -132,6 +136,7 @@ class ShardOutcome:
             "heartbeats": self.heartbeats,
             "hangs": self.hangs,
             "failures": list(self.failures),
+            "resources": dict(self.resources),
         }
 
 
@@ -359,6 +364,7 @@ def _remote_request(
     timeout: Optional[float],
     heartbeat_seconds: Optional[float] = None,
     heartbeat_timeout: float = HEARTBEAT_TIMEOUT_DEFAULT,
+    telemetry=None,
 ) -> Dict[str, Any]:
     """One run round-trip to one worker (raises on any failure).
 
@@ -409,6 +415,12 @@ def _remote_request(
                     evaluations=beat.get("evaluations"),
                 )
                 outcome.heartbeats += 1
+                resources = beat.get("resources")
+                if isinstance(resources, dict):
+                    # Additive telemetry key — absent from old workers.
+                    outcome.resources = resources
+                if telemetry is not None:
+                    telemetry.record_beat(outcome.shard.index, beat)
         else:
             message_type, payload = stream.receive()
     finally:
@@ -472,6 +484,7 @@ def _run_remote(
     heartbeat_seconds: Optional[float] = None,
     heartbeat_timeout: float = HEARTBEAT_TIMEOUT_DEFAULT,
     breakers=None,
+    telemetry=None,
 ) -> None:
     from ..io.json_io import spec_to_dict
     from ..resilience.checkpoint import load_checkpoint
@@ -511,6 +524,7 @@ def _run_remote(
                     checkpoint_every, run_options, timeout,
                     heartbeat_seconds=heartbeat_seconds,
                     heartbeat_timeout=heartbeat_timeout,
+                    telemetry=telemetry,
                 )
                 outcome.worker = key
                 if breakers is not None:
@@ -565,7 +579,12 @@ def _run_remote(
             outcome.cursor = reply.get("cursor")
             outcome.completed = bool(reply.get("completed"))
             outcome.resumed = bool(reply.get("resumed"))
+            resources = reply.get("resources")
+            if isinstance(resources, dict):
+                outcome.resources = resources
         outcome.elapsed_seconds = time.perf_counter() - started
+        if telemetry is not None:
+            telemetry.record_outcome(outcome)
 
 
 def explore_sharded(
@@ -587,6 +606,7 @@ def explore_sharded(
     progress=None,
     progress_every: Optional[int] = None,
     tracer=None,
+    telemetry=None,
     **options: Any,
 ) -> ShardedExploration:
     """Distributed EXPLORE: partition, dispatch, replay-merge.
@@ -630,6 +650,15 @@ def explore_sharded(
     trace, progress, progress_every, tracer:
         Observability of the *merged* (global) exploration, identical
         in meaning to the ``explore()`` parameters.
+    telemetry:
+        An optional :class:`repro.telemetry.FleetTelemetry`: every
+        worker heartbeat and every finished shard outcome is folded in
+        as it arrives, so ``telemetry.registry`` exports live
+        ``repro_shard_<n>_*`` and ``repro_fleet_*`` metrics (worker
+        RSS/CPU snapshots ride the heartbeat frames — old workers
+        interoperate, their beats just carry no resources).  Strictly
+        wall-clock-side: the merged result is byte-identical with or
+        without it.
     options:
         Result-affecting explore options (``util_bound``, ``max_cost``,
         ``backend``, ``engine``, ``keep_ties``, ...), applied uniformly
@@ -674,14 +703,26 @@ def explore_sharded(
         if breakers is None:
             from ..supervision.breaker import BreakerRegistry
 
-            breakers = BreakerRegistry()
+            # With fleet telemetry attached, breaker gauges join the
+            # same unified registry (one /metrics-style export).
+            breakers = BreakerRegistry(
+                metrics=telemetry.registry
+                if telemetry is not None
+                else None
+            )
         _run_remote(
             spec, outcomes, workers or (), checkpoint_every, options,
             retry_attempts, retry_delay, timeout,
             heartbeat_seconds=heartbeat_seconds,
             heartbeat_timeout=heartbeat_timeout,
             breakers=breakers,
+            telemetry=telemetry,
         )
+    if telemetry is not None and mode != "remote":
+        # Inline/service dispatch produces no heartbeats; the outcomes
+        # still feed the fleet view.
+        for outcome in outcomes:
+            telemetry.record_outcome(outcome)
     merge_started = time.perf_counter()
     merged = merge_shard_checkpoints(
         [o.journal_path for o in outcomes if not o.lost],

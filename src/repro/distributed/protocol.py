@@ -18,9 +18,10 @@ Message flow (coordinator = client, shard worker = server)::
     server: hello {format, version, pid}
     client: run   {job, spec, shard, options, checkpoint_every,
                    heartbeat_seconds}
-    server: heartbeat {job, cursor, evaluations}   (0..n, while running)
+    server: heartbeat {job, cursor, evaluations[, resources]}
+                                                   (0..n, while running)
     server: result {result: <result-JSON-v2>, journal: <checkpoint
-                    journal text>, job, cursor, completed}
+                    journal text>, job, cursor, completed[, resources]}
          or error  {kind, message}
     client: ping {} / shutdown {}      (liveness / orderly stop)
     server: pong {} / bye {}
@@ -32,6 +33,13 @@ the shard cursor and evaluation count, so the coordinator can
 distinguish a *slow* worker (beats keep arriving) from a *hung* one
 (silence past the heartbeat timeout) from a *dead* one (connection
 error) — and never blocks indefinitely on a single end-of-run receive.
+
+``resources`` is an *additive, optional* telemetry key on heartbeat
+and result payloads: a worker-side process snapshot (RSS/CPU/GC,
+:class:`repro.telemetry.ResourceSampler`) feeding the coordinator's
+:class:`repro.telemetry.FleetTelemetry`.  Payloads are open objects,
+so the key needs no version bump — old workers omit it, old
+coordinators ignore it; liveness and results never depend on it.
 
 The ``result`` payload speaks the two existing on-disk formats
 (``docs/formats.md``): the result document is result-JSON-v2 and the

@@ -223,6 +223,14 @@ def run_request(
         "resumed": resumed,
         "host": {"pid": os.getpid(), "name": socket.gethostname()},
     }
+    try:
+        # Final resource reading for the coordinator's fleet telemetry
+        # (additive key: old coordinators ignore it).
+        from ..telemetry import ResourceSampler
+
+        reply["resources"] = ResourceSampler().snapshot()
+    except Exception:  # pragma: no cover - OS accounting failure
+        pass
     if tracer is not None:
         reply["trace"] = tracer.all_records()
     return reply
@@ -239,9 +247,20 @@ def _heartbeat_sender(
     A send failure disables further beats but never aborts the run: the
     computation and its journal are worth finishing even if the
     coordinator is gone (a retry resumes from that journal).
+
+    Each beat carries a ``resources`` snapshot (RSS/CPU/GC, see
+    :class:`repro.telemetry.ResourceSampler`) next to the progress
+    fields.  The key is additive and version-tolerant both ways: an
+    old coordinator ignores it, and beats from an old worker simply
+    lack it.  Snapshots are taken only for beats that actually go on
+    the wire (the rate limit fires first), so the cost is bounded by
+    ``heartbeat_seconds``, not by progress cadence.
     """
     if not isinstance(interval, (int, float)) or interval <= 0:
         return None
+    from ..telemetry import ResourceSampler
+
+    sampler = ResourceSampler()
     state = {"last": float("-inf"), "dead": False}
 
     def send(info: Dict[str, Any]) -> None:
@@ -251,8 +270,13 @@ def _heartbeat_sender(
         if now - state["last"] < interval:
             return
         state["last"] = now
+        beat = {"job": job, **info}
         try:
-            stream.send("heartbeat", {"job": job, **info})
+            beat["resources"] = sampler.snapshot()
+        except Exception:  # pragma: no cover - OS accounting failure
+            pass  # liveness must never depend on resource accounting
+        try:
+            stream.send("heartbeat", beat)
         except OSError:
             state["dead"] = True
             logger.warning(

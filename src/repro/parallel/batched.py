@@ -496,6 +496,7 @@ def explore_batched(
     engine: Optional[str] = None,
     shard=None,
     warm_store=None,
+    telemetry=None,
     _resume=None,
 ) -> ExplorationResult:
     """EXPLORE with batched, pooled, fault-tolerant candidate evaluation.
@@ -573,6 +574,16 @@ def explore_batched(
     in the checkpoint header (restorable and — like the execution
     geometry — freely overridable on resume) and travels to process
     pools through :class:`~repro.parallel.worker.EvalParams`.
+
+    ``telemetry`` — an optional :class:`repro.telemetry.Telemetry`
+    bundle (or bare :class:`repro.telemetry.PhaseProfiler`): batch
+    dispatch wall-clock is charged to the ``dispatch`` phase, and the
+    compiled evaluator charges ``binding``/``timing`` per solve through
+    its ``phase_sink`` (inline/thread pools — process workers run in
+    other address spaces).  Strictly wall-clock-side observation:
+    results, progress events and trace fingerprints are byte-identical
+    with telemetry on or off.  Like ``progress``/``tracer``, a
+    per-session seam — never journaled by checkpoints.
 
     ``_resume`` — internal: a
     :class:`repro.resilience.checkpoint.LoadedCheckpoint` to continue
@@ -710,6 +721,13 @@ def explore_batched(
         pool=pool,
     )
     audit = tracer is not None and tracer.audit
+    # Telemetry rides the same duck-typed seam as in the serial loop
+    # (``.profiler`` on Telemetry and PhaseProfiler); the compiled
+    # evaluator additionally charges per-solve binding/timing through
+    # its ``phase_sink`` when evaluation happens in this process.
+    profiler = getattr(telemetry, "profiler", None)
+    if profiler is not None and hasattr(evaluator, "phase_sink"):
+        evaluator.phase_sink = profiler
     emitter.start(stats.design_space_size, f_max)
     if tracer is not None:
         tracer.start(stats.design_space_size, f_max, cursor=cursor)
@@ -772,9 +790,18 @@ def explore_batched(
                         candidates=stats.candidates_enumerated,
                     )
                 break
-            resolved = _evaluate_batch(
-                spec, batch, required, f_cur, cache, runner, writer
-            )
+            if profiler is None:
+                resolved = _evaluate_batch(
+                    spec, batch, required, f_cur, cache, runner, writer
+                )
+            else:
+                t_dispatch = time.perf_counter()
+                resolved = _evaluate_batch(
+                    spec, batch, required, f_cur, cache, runner, writer
+                )
+                profiler.charge(
+                    "dispatch", time.perf_counter() - t_dispatch
+                )
             # --- deterministic replay: the serial loop body, with the
             # incumbent-independent results looked up instead of computed.
             for (extra_cost, _), (units, outcome) in zip(batch, resolved):

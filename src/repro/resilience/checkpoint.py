@@ -316,6 +316,7 @@ def resume_explore(
     progress=None,
     progress_every: Optional[int] = None,
     tracer=None,
+    telemetry=None,
     **overrides: Any,
 ) -> ExplorationResult:
     """Continue a checkpointed exploration to its (identical) result.
@@ -335,8 +336,9 @@ def resume_explore(
     rejected — the journaled outcomes were computed under the original
     semantics.
 
-    ``pool``/``progress``/``progress_every``/``tracer`` are per-session
-    execution and observation seams (never journaled): a shared
+    ``pool``/``progress``/``progress_every``/``tracer``/``telemetry``
+    are per-session execution and observation seams (never journaled):
+    a shared
     :class:`repro.parallel.WorkerPool`, the structured progress
     callback (:mod:`repro.core.progress`) and a deterministic
     :class:`repro.trace.Tracer` for this continuation.  A tracer kept
@@ -396,6 +398,7 @@ def resume_explore(
         progress=progress,
         progress_every=progress_every,
         tracer=tracer,
+        telemetry=telemetry,
         _resume=loaded,
         **kwargs,
     )

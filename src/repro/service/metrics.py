@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import re
 import threading
+from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
@@ -67,6 +68,21 @@ class Counter:
                 f"counter {self.name!r} cannot decrease (inc({amount!r}))"
             )
         self._value += amount
+
+    def set_to(self, total: float) -> None:
+        """Synchronise with an externally accumulated monotone total.
+
+        Collectors that mirror another component's lifetime counters
+        (warm-store hits, fleet heartbeats, ...) set the absolute value
+        instead of computing deltas; monotonicity is still enforced.
+        """
+        total = float(total)
+        if total < self._value:
+            raise MetricError(
+                f"counter {self.name!r} cannot decrease "
+                f"(set_to({total!r}) < {self._value!r})"
+            )
+        self._value = total
 
     @property
     def value(self) -> float:
@@ -118,7 +134,7 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "bounds", "bucket_counts", "sum", "count")
+    __slots__ = ("name", "help", "bounds", "_raw_counts", "sum", "count")
 
     def __init__(
         self,
@@ -135,16 +151,58 @@ class Histogram:
                 f"sorted, got {bounds!r}"
             )
         self.bounds: Tuple[float, ...] = bounds
-        self.bucket_counts = [0] * len(bounds)
+        # Per-bucket (non-cumulative) counts; ``bucket_counts`` exposes
+        # the cumulative Prometheus view.
+        self._raw_counts = [0] * len(bounds)
         self.sum = 0.0
         self.count = 0
 
     def observe(self, value: float) -> None:
         self.sum += value
         self.count += 1
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
+        i = bisect_left(self.bounds, value)
+        if i < len(self._raw_counts):
+            self._raw_counts[i] += 1
+
+    @property
+    def bucket_counts(self) -> List[int]:
+        """Cumulative per-bucket counts (the Prometheus ``le`` view)."""
+        cumulative = []
+        total = 0
+        for raw in self._raw_counts:
+            total += raw
+            cumulative.append(total)
+        return cumulative
+
+    def restore(
+        self,
+        cumulative_counts: Sequence[int],
+        total_sum: float,
+        count: int,
+    ) -> None:
+        """Overwrite state from a snapshot (cumulative bucket counts).
+
+        Used when reconstructing a registry from an exported document
+        (``repro telemetry diff``) and when folding externally
+        accumulated distributions (the phase profiler) into a registry.
+        """
+        if len(cumulative_counts) != len(self.bounds):
+            raise MetricError(
+                f"histogram {self.name!r} snapshot has "
+                f"{len(cumulative_counts)} buckets, expected "
+                f"{len(self.bounds)}"
+            )
+        previous = 0
+        for i, cumulative in enumerate(cumulative_counts):
+            if cumulative < previous:
+                raise MetricError(
+                    f"histogram {self.name!r} snapshot buckets are not "
+                    f"cumulative"
+                )
+            self._raw_counts[i] = cumulative - previous
+            previous = cumulative
+        self.sum = float(total_sum)
+        self.count = int(count)
 
     def quantile(self, q: float) -> float:
         """Bucket-resolution quantile estimate (upper bucket bound).
@@ -157,8 +215,6 @@ class Histogram:
         if self.count == 0:
             return 0.0
         target = q * self.count
-        # ``bucket_counts`` are already cumulative (observe increments
-        # every bucket whose bound covers the value).
         for bound, cumulative in zip(self.bounds, self.bucket_counts):
             if cumulative >= target:
                 return bound

@@ -139,7 +139,17 @@ class ExplorationService:
         self.clock: ServiceClock = clock if clock is not None else MonotonicClock()
         self.pool = WorkerPool(workers=workers, kind=pool_kind)
         self.bus = EventBus()
-        self.metrics = MetricsRegistry()
+        # The unified telemetry plane (imported lazily: repro.telemetry
+        # builds on repro.service.metrics, so a module-level import
+        # here would be circular).  ``self.metrics`` keeps its historic
+        # name/API; it is now a collector-refreshing MetricRegistry
+        # carrying the service instruments, breaker gauges, trace
+        # bridge, process resources, phase histograms and — when a
+        # warm store is configured — the store's lifetime counters.
+        from ..telemetry import MetricRegistry, Telemetry
+
+        self.telemetry = Telemetry(registry=MetricRegistry())
+        self.metrics = self.telemetry.registry
         self.scheduler = StrideScheduler(self.clock, aging_rate)
         self.jobs: Dict[str, Job] = {}
         self._seq = 0
@@ -150,6 +160,17 @@ class ExplorationService:
         self._runtime: Dict[str, float] = {}
         self._slice_started: Dict[str, float] = {}
         self._instruments()
+        if self.warm_store:
+            from ..store import open_store
+            from ..telemetry import store_collector
+
+            # ``open_store`` interns per absolute path, so this is the
+            # same object the compiled evaluators attach to — its
+            # lifetime counters are the true totals behind the
+            # per-slice delta counters (``repro_warm_*_total``).
+            self.metrics.register_collector(
+                store_collector(open_store(self.warm_store))
+            )
         ledger = job_io.ledger_path(directory)
         if os.path.exists(ledger):
             recovered = job_io.read_job_ledger(ledger)
@@ -570,6 +591,7 @@ class ExplorationService:
                     progress_every=self.progress_every,
                     max_evaluations=budget,
                     tracer=tracer,
+                    telemetry=self.telemetry,
                     # The store is host configuration, like the pool:
                     # the service's setting overrides the journaled
                     # path (results are store-independent).
@@ -590,6 +612,7 @@ class ExplorationService:
             progress=forward,
             progress_every=self.progress_every,
             tracer=tracer,
+            telemetry=self.telemetry,
             warm_store=self.warm_store,
             **options,
         )

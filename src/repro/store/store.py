@@ -232,6 +232,8 @@ class WarmStore:
         self.skewed_segments = 0
         #: Entries dropped by diff-based invalidation.
         self.invalidated = 0
+        #: Namespaces evicted by ``gc(max_bytes=...)``.
+        self.evicted = 0
 
     # -- namespaces --------------------------------------------------
     def namespace(self, digest: str) -> _Namespace:
@@ -297,6 +299,7 @@ class WarmStore:
             "corrupt_entries": self.corrupt_entries,
             "skewed_segments": self.skewed_segments,
             "invalidated": self.invalidated,
+            "evicted": self.evicted,
         }
 
     def stats(self) -> Dict[str, Any]:
@@ -428,6 +431,7 @@ class WarmStore:
                     ns.close()
                 _remove_tree(os.path.join(self.root, _NS_PREFIX + digest))
                 evicted.append(digest)
+        self.evicted += len(evicted)
         return {
             "root": self.root,
             "compacted": compacted,

@@ -1,0 +1,92 @@
+"""Warm-store metric export: lifetime counters + disk accounting.
+
+Mirrors a :class:`~repro.store.WarmStore`'s cache-protocol counters
+(hits, misses, writes, corrupt entries, skewed segments, invalidated,
+evicted) into ``repro_store_*_total`` counters and — optionally, since
+it walks the store directory — entry/byte/namespace gauges.
+
+These are *lifetime* totals of the store object, deliberately distinct
+from the service's per-slice delta counters (``repro_warm_*_total``):
+the service charges what each slice consumed, the store reports what
+the process has seen.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+#: counters() key -> metric suffix + help.
+_COUNTER_METRICS = (
+    ("hits", "hits_total", "Warm-store verdict replays (cache hits)."),
+    ("misses", "misses_total", "Warm-store lookups that missed."),
+    ("writes", "writes_total", "Verdicts written to the warm store."),
+    (
+        "corrupt_entries",
+        "corrupt_entries_total",
+        "Entries skipped for CRC/payload corruption.",
+    ),
+    (
+        "skewed_segments",
+        "skewed_segments_total",
+        "Segments ignored wholesale (bad header).",
+    ),
+    (
+        "invalidated",
+        "invalidated_total",
+        "Entries dropped by spec-diff invalidation.",
+    ),
+    (
+        "evicted",
+        "evicted_total",
+        "Namespaces evicted by gc(max_bytes).",
+    ),
+)
+
+
+def export_store_metrics(
+    store: Any,
+    registry: Any,
+    prefix: str = "repro_store_",
+    include_disk: bool = True,
+) -> None:
+    """Mirror ``store`` state into ``<prefix>*`` metrics.
+
+    ``include_disk=False`` skips the ``stats()`` directory walk and
+    exports only the in-memory lifetime counters.
+    """
+    counters = store.counters()
+    for key, suffix, help_text in _COUNTER_METRICS:
+        registry.counter(prefix + suffix, help_text).set_to(
+            counters.get(key, 0)
+        )
+    if not include_disk:
+        return
+    stats = store.stats()
+    registry.gauge(
+        prefix + "entries", "Live entries across namespaces."
+    ).set(float(stats.get("entries", 0)))
+    registry.gauge(
+        prefix + "bytes", "Bytes on disk under the store root."
+    ).set(float(stats.get("bytes", 0)))
+    registry.gauge(
+        prefix + "namespaces", "Namespace directories in the store."
+    ).set(float(len(stats.get("namespaces", ()))))
+
+
+def store_collector(
+    store: Any,
+    prefix: str = "repro_store_",
+    include_disk: bool = True,
+) -> Callable[[Any], None]:
+    """A collector callback exporting ``store`` on every registry
+    snapshot (``MetricRegistry.register_collector``)."""
+
+    def collect(registry) -> None:
+        export_store_metrics(
+            store, registry, prefix=prefix, include_disk=include_disk
+        )
+
+    return collect
+
+
+__all__ = ["export_store_metrics", "store_collector"]

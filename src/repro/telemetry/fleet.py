@@ -1,0 +1,235 @@
+"""Coordinator-side fleet telemetry from shard heartbeats + outcomes.
+
+Workers attach a resource snapshot (``ResourceSampler.snapshot()``) to
+the heartbeat frames they already send (:mod:`repro.distributed`); the
+coordinator feeds every beat and every finished
+:class:`~repro.distributed.coordinator.ShardOutcome` into a
+:class:`FleetTelemetry`, which re-exports the state per shard
+(``repro_shard_<n>_*``) and fleet-wide (``repro_fleet_*``).
+
+The wire contract is version-tolerant in both directions: an old
+worker's beats simply carry no ``resources`` key (the shard rows then
+show progress only), and an old coordinator ignores the extra key —
+interop needs no protocol version bump.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .registry import MetricRegistry
+
+#: Resource keys mirrored per shard from heartbeat snapshots.
+_SHARD_RESOURCE_KEYS = (
+    "rss_max_bytes",
+    "cpu_user_seconds",
+    "cpu_system_seconds",
+    "uptime_seconds",
+)
+
+#: Outcome fields mirrored per shard as gauges.
+_SHARD_OUTCOME_KEYS = (
+    "attempts",
+    "elapsed_seconds",
+    "heartbeats",
+    "hangs",
+    "failures",
+)
+
+
+def _count(value: Any) -> int:
+    """Numeric view of an outcome field; ``failures`` is a list of
+    typed failure records, so a collection counts by length."""
+    if isinstance(value, (list, tuple)):
+        return len(value)
+    return int(value or 0)
+
+
+def _outcome_dict(outcome: Any) -> Dict[str, Any]:
+    if isinstance(outcome, dict):
+        return outcome
+    to_dict = getattr(outcome, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise TypeError(f"not a shard outcome: {outcome!r}")
+
+
+class FleetTelemetry:
+    """Aggregates per-shard progress/resources; exports both levels."""
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        # shard index -> {"beats", "cursor", "evaluations", "resources",
+        #                 "outcome"}
+        self._shards: Dict[int, Dict[str, Any]] = {}
+        self.registry.register_collector(self._collect)
+
+    def _shard(self, index: int) -> Dict[str, Any]:
+        state = self._shards.get(index)
+        if state is None:
+            state = self._shards[index] = {
+                "beats": 0,
+                "cursor": None,
+                "evaluations": None,
+                "resources": {},
+                "outcome": None,
+            }
+        return state
+
+    def record_beat(self, shard_index: int, beat: Dict[str, Any]) -> None:
+        """Fold one heartbeat payload into the shard's live state."""
+        state = self._shard(int(shard_index))
+        state["beats"] += 1
+        if beat.get("cursor") is not None:
+            state["cursor"] = beat["cursor"]
+        if beat.get("evaluations") is not None:
+            state["evaluations"] = beat["evaluations"]
+        resources = beat.get("resources")
+        if isinstance(resources, dict):
+            state["resources"] = resources
+
+    def record_outcome(self, outcome: Any) -> None:
+        """Fold a finished shard's outcome (ShardOutcome or its dict)."""
+        doc = _outcome_dict(outcome)
+        state = self._shard(int(doc.get("shard", 0)))
+        state["outcome"] = doc
+        resources = doc.get("resources")
+        if isinstance(resources, dict) and resources:
+            state["resources"] = resources
+        if doc.get("cursor") is not None:
+            state["cursor"] = doc["cursor"]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready fleet view: per-shard states + aggregates."""
+        shards = {
+            str(index): dict(state)
+            for index, state in sorted(self._shards.items())
+        }
+        return {"shards": shards, "fleet": self._aggregates()}
+
+    def _aggregates(self) -> Dict[str, Any]:
+        workers = set()
+        totals = {
+            "shards": len(self._shards),
+            "shards_completed": 0,
+            "shards_lost": 0,
+            "heartbeats": 0,
+            "attempts": 0,
+            "hangs": 0,
+            "failures": 0,
+            "evaluations": 0,
+            "rss_max_bytes": 0,
+            "cpu_seconds": 0.0,
+        }
+        for state in self._shards.values():
+            totals["heartbeats"] += state["beats"]
+            if state["evaluations"] is not None:
+                totals["evaluations"] += int(state["evaluations"])
+            resources = state["resources"]
+            totals["rss_max_bytes"] = max(
+                totals["rss_max_bytes"],
+                int(resources.get("rss_max_bytes", 0)),
+            )
+            totals["cpu_seconds"] += float(
+                resources.get("cpu_user_seconds", 0.0)
+            ) + float(resources.get("cpu_system_seconds", 0.0))
+            outcome = state["outcome"]
+            if outcome is None:
+                continue
+            if outcome.get("completed"):
+                totals["shards_completed"] += 1
+            if outcome.get("lost"):
+                totals["shards_lost"] += 1
+            totals["attempts"] += _count(outcome.get("attempts"))
+            totals["hangs"] += _count(outcome.get("hangs"))
+            totals["failures"] += _count(outcome.get("failures"))
+            if outcome.get("worker"):
+                workers.add(outcome["worker"])
+        totals["workers"] = len(workers)
+        return totals
+
+    def export(self, registry=None) -> None:
+        """Mirror shard + fleet state into ``repro_shard_*``/
+        ``repro_fleet_*`` metrics."""
+        registry = registry if registry is not None else self.registry
+        for index, state in sorted(self._shards.items()):
+            prefix = f"repro_shard_{index:03d}_"
+            registry.counter(
+                prefix + "heartbeats_total",
+                f"Heartbeats received from shard {index}.",
+            ).set_to(state["beats"])
+            if state["cursor"] is not None:
+                registry.gauge(
+                    prefix + "cursor",
+                    f"Candidate cursor last reported by shard {index}.",
+                ).set(float(state["cursor"]))
+            if state["evaluations"] is not None:
+                registry.gauge(
+                    prefix + "evaluations",
+                    f"Evaluations last reported by shard {index}.",
+                ).set(float(state["evaluations"]))
+            resources = state["resources"]
+            for key in _SHARD_RESOURCE_KEYS:
+                if key in resources:
+                    registry.gauge(
+                        prefix + key,
+                        f"Worker {key} last reported by shard {index}.",
+                    ).set(float(resources[key]))
+            outcome = state["outcome"]
+            if outcome is not None:
+                registry.gauge(
+                    prefix + "completed",
+                    f"1 if shard {index} finished its space.",
+                ).set(1.0 if outcome.get("completed") else 0.0)
+                for key in _SHARD_OUTCOME_KEYS:
+                    value = outcome.get(key)
+                    if value is not None:
+                        if isinstance(value, (list, tuple)):
+                            value = len(value)
+                        registry.gauge(
+                            prefix + key,
+                            f"Outcome {key} of shard {index}.",
+                        ).set(float(value))
+        fleet = self._aggregates()
+        registry.gauge(
+            "repro_fleet_shards", "Shards known to the coordinator."
+        ).set(float(fleet["shards"]))
+        registry.gauge(
+            "repro_fleet_shards_completed", "Shards that completed."
+        ).set(float(fleet["shards_completed"]))
+        registry.gauge(
+            "repro_fleet_shards_lost", "Shards lost after retries."
+        ).set(float(fleet["shards_lost"]))
+        registry.gauge(
+            "repro_fleet_workers", "Distinct workers that ran shards."
+        ).set(float(fleet["workers"]))
+        registry.counter(
+            "repro_fleet_heartbeats_total", "Heartbeats across shards."
+        ).set_to(fleet["heartbeats"])
+        registry.gauge(
+            "repro_fleet_attempts", "Shard attempts across the fleet."
+        ).set(float(fleet["attempts"]))
+        registry.gauge(
+            "repro_fleet_hangs", "Heartbeat-timeout hangs across shards."
+        ).set(float(fleet["hangs"]))
+        registry.gauge(
+            "repro_fleet_failures", "Shard attempt failures."
+        ).set(float(fleet["failures"]))
+        registry.gauge(
+            "repro_fleet_evaluations",
+            "Evaluations last reported, summed over shards.",
+        ).set(float(fleet["evaluations"]))
+        registry.gauge(
+            "repro_fleet_rss_max_bytes",
+            "Largest per-worker peak RSS reported (bytes).",
+        ).set(float(fleet["rss_max_bytes"]))
+        registry.gauge(
+            "repro_fleet_cpu_seconds",
+            "Worker CPU (user+system) summed over shards.",
+        ).set(float(fleet["cpu_seconds"]))
+
+    def _collect(self, registry) -> None:
+        self.export(registry)
+
+
+__all__ = ["FleetTelemetry"]

@@ -1,0 +1,256 @@
+"""The perf-trend observatory: a ledger over the committed BENCH files.
+
+Every benchmark in ``benchmarks/`` writes a ``BENCH_<name>.json``
+document at the repo root; each file is a point-in-time measurement
+with no memory of the previous run.  This tool gives them one:
+
+* it **collects** every directional numeric leaf from the committed
+  ``BENCH_*.json`` files into one flat ``{path: value}`` map (a leaf
+  is *directional* when its name says which way is better — see
+  :func:`direction`); non-directional numbers (counts, sizes, config
+  knobs) are ignored, so the ledger only ever tracks claims that can
+  regress;
+* ``--update`` appends that map as a new entry to the
+  ``BENCH_trend.json`` ledger (``repro/bench-trend`` v1);
+* ``--check`` compares the current files against the ledger's newest
+  entry and exits nonzero when any metric moved the *wrong* way by
+  more than ``--tolerance`` (a relative fraction, with a small
+  absolute floor so near-zero baselines — e.g. overhead fractions —
+  do not trip on noise).
+
+Benchmark wall-clock numbers are noisy across hosts, so the default
+tolerance is deliberately loose (50%): the check catches order-of-
+magnitude cliffs and inverted speedups, not jitter.
+
+Usage::
+
+    python tools/bench_trend.py                  # report vs ledger
+    python tools/bench_trend.py --check          # CI gate (exit 1)
+    python tools/bench_trend.py --update --label "pr-9"
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+TREND_FORMAT = "repro/bench-trend"
+TREND_VERSION = 1
+LEDGER_NAME = "BENCH_trend.json"
+
+#: Leaf-key patterns that say "lower is better".
+LOWER_SUFFIXES = ("_seconds",)
+LOWER_KEYS = ("overhead", "overhead_fraction")
+#: Leaf-key patterns that say "higher is better".
+HIGHER_SUFFIXES = ("_per_second", "speedup")
+HIGHER_KEYS = ("speedup",)
+
+#: Relative tolerance a metric may move the wrong way before --check
+#: fails, and the absolute floor it is measured against (so a 0.001s
+#: baseline does not fail on a 0.002s measurement).
+DEFAULT_TOLERANCE = 0.5
+ABSOLUTE_FLOOR = 0.05
+
+
+def direction(key: str) -> Optional[str]:
+    """``"lower"``/``"higher"`` when the leaf name encodes a direction,
+    else ``None`` (untracked)."""
+    if key in LOWER_KEYS or key.endswith(LOWER_SUFFIXES):
+        return "lower"
+    if key in HIGHER_KEYS or key.endswith(HIGHER_SUFFIXES):
+        return "higher"
+    return None
+
+
+def _walk(node: Any, path: str, leaves: Dict[str, float]) -> None:
+    if isinstance(node, dict):
+        for key in sorted(node):
+            child = f"{path}.{key}" if path else key
+            _walk(node[key], child, leaves)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            _walk(item, f"{path}[{index}]", leaves)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        key = path.rsplit(".", 1)[-1]
+        if direction(key) is not None:
+            leaves[path] = float(node)
+
+
+def bench_files(root: str) -> List[str]:
+    """The committed BENCH documents, ledger excluded."""
+    return sorted(
+        path
+        for path in glob.glob(os.path.join(root, "BENCH_*.json"))
+        if os.path.basename(path) != LEDGER_NAME
+    )
+
+
+def collect_metrics(root: str) -> Dict[str, float]:
+    """Every directional numeric leaf across the BENCH files, keyed
+    ``<bench>.<dotted.path>``."""
+    metrics: Dict[str, float] = {}
+    for path in bench_files(root):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"warning: skipping {path}: {error}", file=sys.stderr)
+            continue
+        _walk(document, name, metrics)
+    return metrics
+
+
+def load_ledger(path: str) -> Dict[str, Any]:
+    if not os.path.exists(path):
+        return {"format": TREND_FORMAT, "version": TREND_VERSION,
+                "entries": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != TREND_FORMAT:
+        raise ValueError(
+            f"{path} is not a {TREND_FORMAT} ledger "
+            f"(format={document.get('format')!r})"
+        )
+    return document
+
+
+def compare(
+    previous: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """``(regressions, improvements)`` of current vs previous.
+
+    A metric regresses when it moves the wrong way by more than
+    ``tolerance`` relative to ``max(|previous|, ABSOLUTE_FLOOR)`` —
+    the floor keeps microsecond baselines and near-zero overhead
+    fractions from flagging on noise.
+    """
+    regressions: List[Dict[str, Any]] = []
+    improvements: List[Dict[str, Any]] = []
+    for path in sorted(set(previous) & set(current)):
+        before, after = previous[path], current[path]
+        sign = direction(path.rsplit(".", 1)[-1])
+        if sign is None:
+            continue
+        slack = tolerance * max(abs(before), ABSOLUTE_FLOOR)
+        worse = (after - before) if sign == "lower" else (before - after)
+        record = {
+            "metric": path, "direction": sign,
+            "before": before, "after": after, "delta": after - before,
+        }
+        if worse > slack:
+            regressions.append(record)
+        elif worse < -slack:
+            improvements.append(record)
+    return regressions, improvements
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="trend ledger over the committed BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--root", default=os.path.join(os.path.dirname(__file__), ".."),
+        help="repository root holding the BENCH files (default: repo)",
+    )
+    parser.add_argument(
+        "--ledger", default=None,
+        help=f"ledger path (default <root>/{LEDGER_NAME})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="append the current metrics as a new ledger entry",
+    )
+    parser.add_argument(
+        "--label", default=None,
+        help="entry label for --update (default: entry-<n>)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any metric regressed beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"relative regression budget (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the comparison as machine-readable JSON",
+    )
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    ledger_path = args.ledger or os.path.join(root, LEDGER_NAME)
+
+    current = collect_metrics(root)
+    if not current:
+        print(f"error: no BENCH_*.json files under {root}",
+              file=sys.stderr)
+        return 1
+    ledger = load_ledger(ledger_path)
+    entries = ledger["entries"]
+    previous = entries[-1]["metrics"] if entries else {}
+    regressions, improvements = compare(previous, current, args.tolerance)
+
+    if args.json:
+        print(json.dumps(
+            {
+                "metrics": len(current),
+                "baseline": entries[-1]["label"] if entries else None,
+                "regressions": regressions,
+                "improvements": improvements,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        baseline = entries[-1]["label"] if entries else "(no ledger)"
+        print(
+            f"{len(current)} tracked metrics across "
+            f"{len(bench_files(root))} BENCH files; baseline {baseline}"
+        )
+        for record in regressions:
+            print(
+                f"REGRESSION {record['metric']}: "
+                f"{record['before']:g} -> {record['after']:g} "
+                f"({record['direction']} is better)"
+            )
+        for record in improvements:
+            print(
+                f"improved   {record['metric']}: "
+                f"{record['before']:g} -> {record['after']:g}"
+            )
+        if previous and not regressions and not improvements:
+            print(f"no movement beyond tolerance {args.tolerance:g}")
+
+    if args.update:
+        entries.append(
+            {
+                "label": args.label or f"entry-{len(entries)}",
+                "recorded_unix": int(time.time()),
+                "files": [os.path.basename(p) for p in bench_files(root)],
+                "metrics": current,
+            }
+        )
+        with open(ledger_path, "w", encoding="utf-8") as handle:
+            json.dump(ledger, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {ledger_path} ({len(entries)} entries)")
+
+    if args.check and regressions:
+        print(
+            f"error: {len(regressions)} metric(s) regressed beyond "
+            f"{args.tolerance:g}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
