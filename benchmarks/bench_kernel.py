@@ -5,8 +5,15 @@ and the scalability-suite synthetic specifications through both
 evaluation engines, verifies the *identical* Pareto front and
 statistics (the differential guarantee of :mod:`repro.compiled`), and
 records wall clock, candidates/second and the per-phase breakdown
-(estimate / evaluate / binding / timing, from the tracer's phase
-accounting) to ``BENCH_kernel.json``.
+(enumerate / filter / estimate / evaluate / binding / timing /
+pareto / dispatch, from the tracer's phase accounting) to
+``BENCH_kernel.json``.
+
+When numpy is importable the compiled engine runs its block-vectorized
+kernel (:mod:`repro.compiled.batch`); each record then also carries a
+warm scalar-vs-vectorized comparison (``REPRO_VECTORIZE=0`` forces the
+pure-stdlib scalar kernel on the same spec) and the full run asserts
+the vectorized kernel's >= 3x target on the "large" synthetic.
 
 Usage::
 
@@ -22,6 +29,7 @@ conservative candidates/second floor.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -32,6 +40,7 @@ from repro.casestudies import (
     build_settop_spec,
     synthetic_spec,
 )
+from repro.compiled.batch import active_numpy, numpy_version
 from repro.core import explore
 from repro.report import format_table
 from repro.trace import Tracer
@@ -54,11 +63,24 @@ SIZES = [
 ]
 
 #: The engine phases reported from the tracer's phase accounting.
-#: "evaluate" covers the full per-candidate evaluation; "binding" and
-#: "timing" are its solver / schedule-test shares; "estimate" is the
-#: pruning bound.  Enumeration + mask filters are the remainder of the
-#: elapsed time and are reported as "other".
-PHASES = ("estimate", "evaluate", "binding", "timing")
+#: "enumerate" is candidate-stream production (heap pulls or the
+#: materialized block order), "filter" the block mask checks,
+#: "estimate" the pruning bound, "evaluate" the full per-candidate
+#: evaluation ("binding" and "timing" are its solver / schedule-test
+#: shares), "pareto" the final front pass and "dispatch" the batched
+#: runner's hand-off (serial runs report it as zero).  Whatever wall
+#: clock remains unattributed is reported as "other".
+PHASES = (
+    "enumerate", "filter", "estimate", "evaluate", "binding", "timing",
+    "pareto", "dispatch",
+)
+
+#: The phases that partition the elapsed wall clock ("binding" and
+#: "timing" are sub-shares of "evaluate" and must not be double
+#: counted when computing the unattributed "other" remainder).
+TOP_PHASES = (
+    "enumerate", "filter", "estimate", "evaluate", "pareto", "dispatch",
+)
 
 #: Conservative smoke-mode floor on the compiled engine's end-to-end
 #: enumeration rate (candidates/second) on the set-top case study.
@@ -68,6 +90,29 @@ SMOKE_CANDIDATES_PER_SECOND_FLOOR = 500.0
 
 #: Full-run requirement: compiled end-to-end speedup on "large".
 LARGE_SPEEDUP_TARGET = 3.0
+
+#: Full-run requirement when numpy is importable: warm end-to-end
+#: speedup of the block-vectorized kernel over the scalar compiled
+#: kernel on the "large" synthetic.
+VECTORIZED_SPEEDUP_TARGET = 3.0
+
+
+@contextlib.contextmanager
+def _vectorize(enabled):
+    """Force the block kernel on/off via ``REPRO_VECTORIZE``; ``None``
+    leaves the environment untouched."""
+    if enabled is None:
+        yield
+        return
+    before = os.environ.get("REPRO_VECTORIZE")
+    os.environ["REPRO_VECTORIZE"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if before is None:
+            os.environ.pop("REPRO_VECTORIZE", None)
+        else:
+            os.environ["REPRO_VECTORIZE"] = before
 
 
 def fingerprint(result):
@@ -98,20 +143,22 @@ def timed_explore(spec, repeat, **kw):
     return best, result
 
 
-def phase_seconds(spec, engine):
+def phase_seconds(spec, engine, vectorize=None):
     """Per-phase wall-clock of one traced run (tracer overhead is the
     same for both engines, so phase *ratios* stay meaningful)."""
     tracer = Tracer(level="spans")
-    start = time.perf_counter()
-    explore(spec, engine=engine, tracer=tracer)
-    elapsed = time.perf_counter() - start
+    with _vectorize(vectorize):
+        start = time.perf_counter()
+        explore(spec, engine=engine, tracer=tracer)
+        elapsed = time.perf_counter() - start
     seconds = {
         phase: totals[1]
         for phase, totals in tracer.phase_totals.items()
         if phase in PHASES
     }
-    accounted = seconds.get("estimate", 0.0) + seconds.get("evaluate", 0.0)
+    accounted = sum(seconds.get(phase, 0.0) for phase in TOP_PHASES)
     seconds["other"] = max(0.0, elapsed - accounted)
+    seconds["other_share"] = seconds["other"] / elapsed if elapsed else 0.0
     return seconds
 
 
@@ -124,6 +171,7 @@ def bench_spec(label, spec_factory, repeat, with_phases=True):
     identical = fingerprint(compiled) == fingerprint(reference)
     candidates = compiled.stats.candidates_enumerated
     record = {
+        "vectorized": active_numpy() is not None,
         "spec": label,
         "units": len(spec.units),
         "design_space": spec.design_space_size(),
@@ -142,6 +190,30 @@ def bench_spec(label, spec_factory, repeat, with_phases=True):
             candidates / compiled_time if compiled_time > 0 else None
         ),
     }
+    if active_numpy() is not None:
+        # Warm scalar-vs-vectorized comparison on the *same* compiled
+        # spec: best-of-two so both kernels are measured with hot
+        # memo caches, isolating the block kernel itself.
+        kernel_repeat = max(repeat, 2)
+        with _vectorize(False):
+            scalar_time, scalar = timed_explore(
+                spec, kernel_repeat, engine="compiled"
+            )
+        with _vectorize(True):
+            vector_time, vector = timed_explore(
+                spec, kernel_repeat, engine="compiled"
+            )
+        identical = (
+            identical
+            and fingerprint(scalar) == fingerprint(reference)
+            and fingerprint(vector) == fingerprint(reference)
+        )
+        record["identical"] = identical
+        record["scalar_compiled_seconds"] = scalar_time
+        record["vectorized_compiled_seconds"] = vector_time
+        record["vectorized_speedup"] = (
+            scalar_time / vector_time if vector_time > 0 else None
+        )
     if with_phases:
         reference_phases = phase_seconds(spec, "reference")
         compiled_phases = phase_seconds(spec, "compiled")
@@ -158,6 +230,14 @@ def bench_spec(label, spec_factory, repeat, with_phases=True):
             for phase in PHASES + ("other",)
             if phase in reference_phases or phase in compiled_phases
         }
+        record["compiled_other_share"] = compiled_phases.get(
+            "other_share", 0.0
+        )
+        if active_numpy() is not None:
+            scalar_phases = phase_seconds(spec, "compiled", vectorize=False)
+            record["scalar_other_share"] = scalar_phases.get(
+                "other_share", 0.0
+            )
     return record
 
 
@@ -173,17 +253,24 @@ def run(smoke, repeat, out_path, verbose=True):
         record = bench_spec(label, factory, repeat, with_phases=not smoke)
         records.append(record)
         if verbose:
+            vec = record.get("vectorized_speedup")
             print(
                 f"{label:10s} reference {record['reference_seconds']:.3f}s"
                 f" | compiled {record['compiled_seconds']:.3f}s"
                 f" ({record['speedup']:.2f}x)"
-                f" | {record['compiled_candidates_per_second']:.0f}"
+                + (f" | vectorized {vec:.2f}x" if vec is not None else "")
+                + f" | {record['compiled_candidates_per_second']:.0f}"
                 f" cand/s | identical={record['identical']}"
             )
 
     document = {
         "bench": "kernel",
         "cpu_count": os.cpu_count(),
+        "numpy": {
+            "present": numpy_version() is not None,
+            "version": numpy_version(),
+            "vectorized": active_numpy() is not None,
+        },
         "smoke": smoke,
         "repeat": repeat,
         "all_identical": all(r["identical"] for r in records),
@@ -210,6 +297,13 @@ def run(smoke, repeat, out_path, verbose=True):
                 f"large speedup {large['speedup']:.2f}x below the "
                 f"{LARGE_SPEEDUP_TARGET:.1f}x target"
             )
+        if large is not None and large.get("vectorized_speedup") is not None:
+            if large["vectorized_speedup"] < VECTORIZED_SPEEDUP_TARGET:
+                failures.append(
+                    f"large vectorized speedup "
+                    f"{large['vectorized_speedup']:.2f}x below the "
+                    f"{VECTORIZED_SPEEDUP_TARGET:.1f}x target"
+                )
     document["failures"] = failures
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)

@@ -3,16 +3,22 @@
 This package compiles a frozen specification once into bit-level
 tables (:class:`CompiledSpec`), then evaluates candidates over masks
 with cross-candidate memoization keyed by relevance projections
-(:class:`CompiledEvaluator`).  It is the default engine; the reference
-pipeline remains available as ``engine="reference"`` and the two are
-differentially tested to produce identical fronts, statistics,
-progress events and logical traces.  See ``docs/performance.md``.
+(:class:`CompiledEvaluator`).  When numpy is importable the optional
+block-vectorized layer (:mod:`repro.compiled.batch`) additionally runs
+enumeration and the cheap checks as uint64 bit-plane kernels over
+thousands of candidates per call (:func:`active_numpy` says whether it
+is on; ``REPRO_VECTORIZE=0`` forces it off).  It is the default
+engine; the reference pipeline remains available as
+``engine="reference"`` and the two are differentially tested to
+produce identical fronts, statistics, progress events and logical
+traces.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import weakref
 
+from .batch import BlockKernel, active_numpy, numpy_version
 from .enumerate import MaskAllocationEnumerator
 from .evaluator import CompiledEvaluator, Verdict, compiled_evaluator
 from .spec import CompiledSpec, EcsInfo, OptionRec
@@ -33,12 +39,15 @@ def compiled_spec_for(spec) -> CompiledSpec:
 
 
 __all__ = [
+    "BlockKernel",
     "CompiledEvaluator",
     "CompiledSpec",
     "EcsInfo",
     "MaskAllocationEnumerator",
     "OptionRec",
     "Verdict",
+    "active_numpy",
     "compiled_evaluator",
     "compiled_spec_for",
+    "numpy_version",
 ]

@@ -1,0 +1,827 @@
+"""Batch-vectorized enumeration and pre-filter kernel (uint64 blocks).
+
+The per-candidate compiled kernel (:mod:`repro.compiled.spec`) spends
+most of its remaining wall-clock not in any check but in the Python
+loop *around* the checks: one heap pop, one frozenset, and four or five
+attribute lookups per candidate, hundreds of thousands of times.  This
+module lifts the incumbent-independent front of the EXPLORE loop from
+per-candidate to per-block:
+
+* allocation masks are rows of a numpy ``uint64`` array (one word per
+  candidate — the repo gates the kernel to ``unit_count <= 64``),
+  thousands of candidates per block;
+* the cost-ordered enumeration is produced as arrays: either fully
+  *materialized* (an exact replay of the heap's float derivations over
+  all ``2^n`` subsets, lexsorted by ``(cost, tie-key)``) when the extra
+  space is small enough, or streamed a cost *band* at a time through
+  :meth:`MaskAllocationEnumerator.next_band`;
+* usability, the possible-allocation BDD, useless-communication
+  pruning and the flexibility-estimate lookup run as vectorized
+  bitwise/gather operations over whole blocks, dropping to the scalar
+  kernel only for the memoised binding verdicts and for the per-unique
+  residues a block pre-filter cannot decide (communication component
+  analysis, uncached estimate values).
+
+numpy is an *optional* accelerator: the import is guarded, every entry
+point returns ``None`` when numpy is unavailable (or disabled via
+``REPRO_VECTORIZE=0``), and callers fall back to the scalar kernel —
+results are byte-identical either way (differentially tested).
+
+Exactness of the materialized order
+-----------------------------------
+The heap stream of :class:`MaskAllocationEnumerator` yields subsets in
+``(cost, index-tuple)`` order, where ``cost`` is *derivation-path*
+float arithmetic, not a plain sum: subset ``(j0..jm)`` is created
+either by an append from ``(j0..j_{m-1})`` (iff ``jm == j_{m-1}+1``;
+``cost = parent + c[jm]``) or by a replace from ``(j0..j_{m-1}, jm-1)``
+(``cost = (parent - c[jm-1]) + c[jm]``).  Each subset has exactly one
+such parent, so a dynamic program over index-masks grouped by highest
+bit replicates every float operation in the same left-to-right order —
+the materialized costs are bit-identical to the heap's.  The tie order
+(lexicographic on increasing index tuples) is encoded as a packed
+2-bit-per-level key (``0`` = tuple ended, ``1`` = index present, ``2``
+= absent with higher indices present), proven equivalent to Python
+tuple comparison; ``lexsort`` over ``(tie-key, cost)`` then reproduces
+the pop order exactly.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from .enumerate import MaskAllocationEnumerator
+from .spec import CompiledSpec
+
+try:  # numpy is an optional accelerator, never a dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the stub in CI
+    _np = None
+
+logger = logging.getLogger(__name__)
+
+#: Candidates per vectorized block (bounds temp-array memory; the
+#: per-block Python overhead is amortised over this many candidates).
+BLOCK_ROWS = 4096
+
+#: Largest extra-unit count for which the full ``2^n`` enumeration
+#: order is materialized up front (arrays of ``2^n`` rows); larger
+#: spaces stream cost bands through the enumerator's band API.
+MATERIALIZE_MAX_BITS_DEFAULT = 20
+
+#: Smallest extra-unit count worth vectorizing in the serial loop.
+#: Below it (< 2^12 candidates before pruning) the whole search is
+#: sub-millisecond scalar and the kernel's array setup costs more
+#: than it saves; overridable via ``REPRO_VECTORIZE_MIN_BITS``.
+MIN_VECTOR_BITS_DEFAULT = 12
+
+
+def active_numpy():
+    """numpy, or ``None`` when absent or disabled (``REPRO_VECTORIZE=0``).
+
+    Read at call time so tests (and operators) can flip the gate
+    without reimporting; ``REPRO_VECTORIZE=0`` forces the scalar
+    kernel, any other value (or unset) enables vectorization whenever
+    numpy imports.
+    """
+    if _np is None:
+        return None
+    if os.environ.get("REPRO_VECTORIZE", "1") == "0":
+        return None
+    return _np
+
+
+def numpy_version() -> Optional[str]:
+    """The installed numpy version string, or ``None`` (gate-independent)."""
+    return None if _np is None else str(_np.__version__)
+
+
+def _materialize_max_bits() -> int:
+    try:
+        return int(os.environ.get("REPRO_MATERIALIZE_MAX_BITS", ""))
+    except ValueError:
+        return MATERIALIZE_MAX_BITS_DEFAULT
+
+
+def _min_vector_bits() -> int:
+    try:
+        return int(os.environ.get("REPRO_VECTORIZE_MIN_BITS", ""))
+    except ValueError:
+        return MIN_VECTOR_BITS_DEFAULT
+
+
+def popcount64(values):
+    """Vectorized population count of a ``uint64`` array."""
+    np = _np
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(values)
+    v = values.copy()  # pragma: no cover - numpy < 2.0 fallback
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    v = v - ((v >> np.uint64(1)) & m1)
+    v = (v & m2) + ((v >> np.uint64(2)) & m2)
+    v = (v + (v >> np.uint64(4))) & m4
+    return (v * np.uint64(0x0101010101010101)) >> np.uint64(56)
+
+
+def _byte_tables(bit_values: Tuple[int, ...]):
+    """256-entry OR-gather tables: ``tab[b][v]`` ORs ``bit_values[8b+k]``
+    for every bit ``k`` set in byte value ``v``."""
+    np = _np
+    n = len(bit_values)
+    nb = (n + 7) // 8
+    tables = np.zeros((max(nb, 1), 256), dtype=np.uint64)
+    v = np.arange(256)
+    for j, bit in enumerate(bit_values):
+        b, k = divmod(j, 8)
+        tables[b][(v >> k) & 1 == 1] |= np.uint64(bit)
+    return tables
+
+
+def _gather_bytes(tables, masks):
+    """Apply :func:`_byte_tables` to a ``uint64`` mask array."""
+    np = _np
+    out = np.zeros(len(masks), dtype=np.uint64)
+    byte_mask = np.uint64(0xFF)
+    for b in range(tables.shape[0]):
+        shift = np.uint64(8 * b)
+        out |= tables[b][((masks >> shift) & byte_mask).astype(np.intp)]
+    return out
+
+
+class BlockKernel:
+    """Vectorized per-block twins of the :class:`CompiledSpec` checks.
+
+    One kernel per compiled spec (interned via :func:`kernel_for`); all
+    methods take/return numpy arrays over whole candidate blocks and
+    share the spec's scalar caches for the residues they cannot decide
+    vectorially, so scalar and block paths warm each other.
+    """
+
+    def __init__(self, cspec: CompiledSpec) -> None:
+        np = _np
+        self.cs = cspec
+        nodes = cspec._bdd_nodes
+        self.bdd_levels = np.array(
+            [max(n[0], 0) for n in nodes], dtype=np.uint64
+        )
+        self.bdd_lows = np.array([max(n[1], 0) for n in nodes], dtype=np.intp)
+        self.bdd_highs = np.array([max(n[2], 0) for n in nodes], dtype=np.intp)
+        self.bdd_root = cspec._bdd_root
+        # (bit, ancestor-mask) pairs driving the usability reduction.
+        self.nested = tuple(
+            (np.uint64(bit), np.uint64(anc)) for bit, anc in cspec.nested
+        )
+        # Usable-mask -> top-node projections, one gather table for the
+        # communication units and one for the functional units.
+        comm = cspec.comm_units_mask
+        self.comm_top_tables = _byte_tables(
+            tuple(
+                cspec.unit_top_bit[i] if comm >> i & 1 else 0
+                for i in range(cspec.unit_count)
+            )
+        )
+        self.func_top_tables = _byte_tables(
+            tuple(
+                0 if comm >> i & 1 else cspec.unit_top_bit[i]
+                for i in range(cspec.unit_count)
+            )
+        )
+        self.root_support = np.uint64(cspec.root_support)
+
+    # -- usability ------------------------------------------------------
+    def usable(self, masks):
+        """Vectorized :meth:`CompiledSpec.usable_mask` over a block."""
+        usable = masks.copy()
+        for bit, anc in self.nested:
+            bad = ((masks & bit) != 0) & ((masks & anc) != anc)
+            usable[bad] &= ~bit
+        return usable
+
+    # -- possible-allocation BDD ---------------------------------------
+    def possible(self, masks):
+        """Vectorized theorem-1 test: bottom-up BDD evaluation.
+
+        Node children always precede their parents in the table (the
+        builder appends after interning the children), so one forward
+        pass over the nodes evaluates every candidate simultaneously.
+        """
+        np = _np
+        root = self.bdd_root
+        if root <= 1:
+            return np.full(len(masks), root == 1)
+        count = root + 1
+        values = np.empty((count, len(masks)), dtype=bool)
+        values[0] = False
+        values[1] = True
+        one = np.uint64(1)
+        for i in range(2, count):
+            takes_high = (masks >> self.bdd_levels[i]) & one != 0
+            values[i] = np.where(
+                takes_high,
+                values[self.bdd_highs[i]],
+                values[self.bdd_lows[i]],
+            )
+        return values[root]
+
+    # -- useless-communication pruning ---------------------------------
+    def comm_pruned(self, usable):
+        """Vectorized :meth:`CompiledSpec.comm_pruned` over usable masks.
+
+        The top-node projection and two sound pre-decides (no comm
+        tops -> keep; fewer than two functional tops anywhere -> prune)
+        run vectorized; only the unique undecided ``(comm_tops,
+        func_tops)`` pairs fall through to the scalar component
+        analysis, memoised on the spec.
+        """
+        np = _np
+        cs = self.cs
+        comm_tops = _gather_bytes(self.comm_top_tables, usable)
+        func_tops = _gather_bytes(self.func_top_tables, usable)
+        pruned = np.zeros(len(usable), dtype=bool)
+        has_comm = comm_tops != 0
+        # Any component's touched functional tops are a subset of all
+        # functional tops: fewer than two anywhere decides the prune.
+        pruned[has_comm & (popcount64(func_tops) < 2)] = True
+        undecided = np.nonzero(has_comm & ~pruned)[0]
+        if len(undecided):
+            pairs = np.stack(
+                (comm_tops[undecided], func_tops[undecided]), axis=1
+            )
+            uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
+            # ``tolist`` converts the whole array to Python ints in C;
+            # warm blocks then resolve as plain dict hits.
+            cache_get = cs._comm_tops_cache.get
+            decide = cs.comm_pruned_tops
+            flags = [
+                hit if (hit := cache_get((ct, ft))) is not None
+                else decide(ct, ft)
+                for ct, ft in uniq.tolist()
+            ]
+            verdicts = np.fromiter(flags, dtype=bool, count=len(uniq))
+            pruned[undecided] = verdicts[inverse]
+        return pruned
+
+    # -- flexibility estimate ------------------------------------------
+    def estimates(self, masks, weighted: bool):
+        """Estimates for a block: unique root-support projections,
+        scalar-evaluated once each (sharing the spec's caches)."""
+        np = _np
+        cs = self.cs
+        proj = masks & self.root_support
+        uniq, inverse = np.unique(proj, return_inverse=True)
+        values = np.fromiter(
+            (cs.estimate(int(key), weighted) for key in uniq),
+            dtype=np.float64,
+            count=len(uniq),
+        )
+        return values[inverse]
+
+
+def kernel_for(cspec: CompiledSpec) -> BlockKernel:
+    """The interned block kernel of a compiled spec (numpy must be on)."""
+    kernel = getattr(cspec, "_block_kernel", None)
+    if kernel is None:
+        kernel = BlockKernel(cspec)
+        cspec._block_kernel = kernel
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# Block-ordered enumeration sources
+# ---------------------------------------------------------------------------
+
+
+def materialized_order(costs: Tuple[float, ...], include_empty: bool):
+    """``(costs, index_masks)`` of the full ``2^n`` heap stream.
+
+    Bit ``j`` of an index mask is the ``j``-th unit in enumeration
+    order (by cost, then name); costs replicate the heap's float
+    derivations exactly (module docstring).  The empty set leads the
+    stream unconditionally when included — the scalar enumerator yields
+    it before seeding the heap.
+    """
+    np = _np
+    n = len(costs)
+    total = 1 << n
+    c = np.asarray(costs, dtype=np.float64)
+    cost = np.empty(total, dtype=np.float64)
+    cost[0] = 0.0
+    if n:
+        cost[1] = c[0]
+    for hi in range(1, n):
+        base = 1 << hi
+        half = base >> 1
+        idx = np.arange(base)
+        has = (idx & half) != 0
+        parent_cost = cost[np.where(has, idx, idx | half)]
+        adj = np.where(has, parent_cost, parent_cost - c[hi - 1])
+        cost[base : 2 * base] = adj + c[hi]
+    # Packed tie key: per level j (most significant first), 0 when the
+    # index tuple has ended, 1 when j is a member, 2 otherwise.
+    m = np.arange(total, dtype=np.uint64)
+    sec = np.zeros(total, dtype=np.uint64)
+    one = np.uint64(1)
+    two = np.uint64(2)
+    for j in range(n):
+        above = m >> np.uint64(j)
+        key = np.full(total, two, dtype=np.uint64)
+        key[(above & one) != 0] = one
+        key[above == 0] = 0
+        sec = (sec << two) | key
+    order = np.lexsort((sec[1:], cost[1:])) + 1
+    if include_empty:
+        order = np.concatenate((np.zeros(1, dtype=order.dtype), order))
+    return cost[order], m[order]
+
+
+def _iter_materialized_blocks(
+    enum: MaskAllocationEnumerator,
+    include_empty: bool,
+    block_rows: int,
+    charge: Callable[[str, float], None],
+    clock,
+) -> Iterator[Tuple["object", "object"]]:
+    """Blocks of ``(extra_costs, extras_spec_masks)`` from the
+    materialized order (index masks converted through byte tables)."""
+    t0 = clock()
+    ecosts, imasks = materialized_order(enum._costs, include_empty)
+    tables = _byte_tables(enum._bits)
+    charge("enumerate", clock() - t0)
+    for start in range(0, len(ecosts), block_rows):
+        t0 = clock()
+        chunk = imasks[start : start + block_rows]
+        block = (
+            ecosts[start : start + block_rows],
+            _gather_bytes(tables, chunk),
+        )
+        charge("enumerate", clock() - t0)
+        yield block
+
+
+def _iter_band_blocks(
+    enum: MaskAllocationEnumerator,
+    block_rows: int,
+    charge: Callable[[str, float], None],
+    clock,
+) -> Iterator[Tuple["object", "object"]]:
+    """Blocks assembled from whole cost bands (band-API streaming)."""
+    np = _np
+    while True:
+        t0 = clock()
+        costs: List[float] = []
+        masks: List[int] = []
+        while len(masks) < block_rows:
+            try:
+                band_cost, band_masks = enum.next_band()
+            except StopIteration:
+                break
+            costs.extend([band_cost] * len(band_masks))
+            masks.extend(band_masks)
+        if not masks:
+            charge("enumerate", clock() - t0)
+            return
+        block = (
+            np.asarray(costs, dtype=np.float64),
+            np.asarray(masks, dtype=np.uint64),
+        )
+        charge("enumerate", clock() - t0)
+        yield block
+
+
+# ---------------------------------------------------------------------------
+# Block exploration context
+# ---------------------------------------------------------------------------
+
+
+class BlockContext:
+    """Blocked candidate stream + pre-filter state for one EXPLORE run.
+
+    Two consumption modes, both byte-identical to the scalar loop:
+
+    * :meth:`run_fast` — the whole incumbent-dependent replay over
+      block arrays (used when nothing observes per-candidate events);
+    * :meth:`candidates` + the evaluator facade — a drop-in
+      ``(cost, units)`` stream whose per-candidate check answers are
+      served from the block arrays, for traced/observed runs.
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        extra_names: List[str],
+        include_empty: bool,
+        required: FrozenSet[str],
+        required_cost: float,
+        use_possible_filter: bool,
+        prune_comm: bool,
+        use_estimation: bool,
+        sinks: Tuple[object, ...] = (),
+        block_rows: int = BLOCK_ROWS,
+    ) -> None:
+        import time
+
+        self.evaluator = evaluator
+        self.cs = evaluator.cs
+        self.kernel = kernel_for(self.cs)
+        self.enum = MaskAllocationEnumerator(
+            self.cs, extra_names, include_empty=include_empty
+        )
+        self.include_empty = include_empty
+        self.required = required
+        self.required_mask = _np.uint64(self.cs.mask_of(required))
+        self.required_cost = required_cost
+        self.use_possible_filter = use_possible_filter
+        self.prune_comm = prune_comm
+        self.use_estimation = use_estimation
+        self.sinks = tuple(s for s in sinks if s is not None)
+        self.block_rows = block_rows
+        self.clock = time.perf_counter
+        self.materialized = (
+            len(extra_names) <= _materialize_max_bits()
+        )
+        # Eventful-mode cursor: the last yielded candidate's answers.
+        self.cur_units: Optional[FrozenSet[str]] = None
+        self.cur_possible = True
+        self.cur_comm = False
+        self.cur_estimate = 0.0
+
+    # -- plumbing -------------------------------------------------------
+    def _charge(self, phase: str, seconds: float) -> None:
+        for sink in self.sinks:
+            sink.charge(phase, seconds)
+
+    def _blocks(self):
+        if self.materialized:
+            return _iter_materialized_blocks(
+                self.enum,
+                self.include_empty,
+                self.block_rows,
+                self._charge,
+                self.clock,
+            )
+        return _iter_band_blocks(
+            self.enum, self.block_rows, self._charge, self.clock
+        )
+
+    def _checks(self, full_masks):
+        """(possible, comm_pruned, estimate) arrays for a block.
+
+        Row restriction mirrors the scalar loop's short-circuiting:
+        communication pruning is only computed for rows that pass the
+        possible filter (all rows when the filter is off), estimates
+        only for rows that pass both — other rows hold unread defaults.
+        """
+        np = _np
+        kernel = self.kernel
+        t0 = self.clock()
+        n = len(full_masks)
+        if self.use_possible_filter:
+            possible = kernel.possible(full_masks)
+            alive = possible
+        else:
+            possible = np.ones(n, dtype=bool)
+            alive = possible
+        comm = np.zeros(n, dtype=bool)
+        if self.prune_comm:
+            rows = np.nonzero(alive)[0]
+            if len(rows):
+                comm[rows] = kernel.comm_pruned(
+                    kernel.usable(full_masks[rows])
+                )
+            alive = alive & ~comm
+        self._charge("filter", self.clock() - t0)
+        estimates = np.zeros(n, dtype=np.float64)
+        if self.use_estimation:
+            t0 = self.clock()
+            rows = np.nonzero(alive)[0]
+            if len(rows):
+                estimates[rows] = kernel.estimates(
+                    full_masks[rows], self.evaluator.weighted
+                )
+            self._charge("estimate", self.clock() - t0)
+        return possible, comm, estimates
+
+    def _materialise_units(self, extras_mask: int) -> FrozenSet[str]:
+        """The candidate's unit set, with the mask handed off by
+        identity so the scalar evaluator skips re-encoding it."""
+        extras = self.cs.names_of(extras_mask)
+        units = self.required | extras if self.required else extras
+        self.cs._enum_memo = (units, extras_mask | int(self.required_mask))
+        return units
+
+    # -- eventful mode --------------------------------------------------
+    def candidates(self) -> Iterator[Tuple[float, FrozenSet[str]]]:
+        """The scalar enumerator's ``(cost, extras)`` stream, with the
+        per-candidate check answers staged for the evaluator facade."""
+        for ecosts, emasks in self._blocks():
+            full = emasks | self.required_mask
+            possible, comm, estimates = self._checks(full)
+            cs = self.cs
+            names_of = cs.names_of
+            for i in range(len(ecosts)):
+                extras_mask = int(emasks[i])
+                extras = names_of(extras_mask)
+                cs._enum_memo = (extras, extras_mask)
+                self.cur_units = extras
+                self.cur_possible = bool(possible[i])
+                self.cur_comm = bool(comm[i])
+                self.cur_estimate = float(estimates[i])
+                yield float(ecosts[i]), extras
+
+    def facade(self):
+        """An evaluator view answering the pre-filter checks from the
+        staged block results (identity-matched; anything else falls
+        through to the scalar evaluator)."""
+        return _BlockFacade(self.evaluator, self)
+
+    # -- fast mode ------------------------------------------------------
+    def run_fast(
+        self,
+        stats,
+        points: List,
+        solver_counter: List[int],
+        f_cur: float,
+        f_max: float,
+        max_cost: Optional[float],
+        emitter=None,
+    ) -> float:
+        """The serial EXPLORE loop over whole blocks (no per-candidate
+        observers: no tracer, no audit, inactive progress emitter, no
+        ``keep_ties``/``max_candidates``).
+
+        Mutates ``stats``/``points``/``solver_counter`` exactly as the
+        scalar loop would and returns the final incumbent flexibility.
+        """
+        np = _np
+        evaluator = self.evaluator
+        use_filter = self.use_possible_filter
+        use_comm = self.prune_comm
+        use_est = self.use_estimation
+        for ecosts, emasks in self._blocks():
+            if f_cur >= f_max:
+                break
+            limit = len(ecosts)
+            tot = self.required_cost + ecosts
+            over_budget = False
+            if max_cost is not None:
+                over = np.nonzero(tot > max_cost)[0]
+                if len(over):
+                    limit = int(over[0])
+                    over_budget = True
+                    if limit == 0:
+                        break
+            full = emasks[:limit] | self.required_mask
+            possible, comm, estimates = self._checks(full)
+            alive = possible & ~comm if use_comm else possible
+            # Rows [0, counted) have been charged to the statistics.
+            counted = 0
+
+            def count_to(row: int) -> None:
+                nonlocal counted
+                if row <= counted:
+                    return
+                stats.candidates_enumerated += row - counted
+                if use_filter:
+                    stats.possible_allocations += int(
+                        np.count_nonzero(possible[counted:row])
+                    )
+                if use_comm:
+                    stats.pruned_comm += int(
+                        np.count_nonzero(comm[counted:row])
+                    )
+                if use_est:
+                    stats.estimates_computed += int(
+                        np.count_nonzero(alive[counted:row])
+                    )
+                counted = row
+
+            stopped = False
+            survivors = np.nonzero(alive)[0]
+            position = 0
+            while position < len(survivors):
+                if use_est:
+                    passing = np.nonzero(
+                        estimates[survivors[position:]] > f_cur
+                    )[0]
+                    if not len(passing):
+                        break
+                    position += int(passing[0])
+                row = int(survivors[position])
+                position += 1
+                count_to(row + 1)
+                stats.estimate_exceeded += 1
+                units = self._materialise_units(int(emasks[row]))
+                implementation = evaluator.evaluate(
+                    units, solver_counter=solver_counter
+                )
+                if implementation is None:
+                    continue
+                stats.feasible_implementations += 1
+                if implementation.flexibility > f_cur:
+                    points.append(implementation)
+                    f_cur = implementation.flexibility
+                    if emitter is not None:
+                        emitter.incumbent(
+                            implementation.cost,
+                            implementation.flexibility,
+                            implementation.units,
+                            stats.candidates_enumerated,
+                            stats.estimate_exceeded,
+                        )
+                    logger.debug(
+                        "incumbent: cost=%g flexibility=%g after %d "
+                        "candidates",
+                        implementation.cost,
+                        implementation.flexibility,
+                        stats.candidates_enumerated,
+                    )
+                    if f_cur >= f_max:
+                        # The scalar loop breaks at the *next* candidate
+                        # before counting it.
+                        stopped = True
+                        break
+            if not stopped:
+                count_to(limit)
+            if stopped or over_budget:
+                break
+        return f_cur
+
+
+class _BlockFacade:
+    """Evaluator view for eventful block runs: answers the three
+    pre-filter checks from the staged block results when the query is
+    for the candidate the stream just yielded (identity match), and
+    delegates everything else — including all evaluations — to the
+    scalar evaluator."""
+
+    __slots__ = ("_inner", "_ctx")
+
+    def __init__(self, inner, ctx: BlockContext) -> None:
+        self._inner = inner
+        self._ctx = ctx
+
+    def possible(self, units) -> bool:
+        ctx = self._ctx
+        if units is ctx.cur_units:
+            return ctx.cur_possible
+        return self._inner.possible(units)
+
+    def comm_pruned(self, units) -> bool:
+        ctx = self._ctx
+        if units is ctx.cur_units:
+            return ctx.cur_comm
+        return self._inner.comm_pruned(units)
+
+    def estimate(self, units) -> float:
+        ctx = self._ctx
+        if units is ctx.cur_units:
+            return ctx.cur_estimate
+        return self._inner.estimate(units)
+
+    def evaluate(self, units, solver_counter=None, detail=None):
+        return self._inner.evaluate(
+            units, solver_counter=solver_counter, detail=detail
+        )
+
+    def infeasibility_reason(self, units) -> str:
+        return self._inner.infeasibility_reason(units)
+
+
+def make_block_context(
+    evaluator,
+    extra_names: List[str],
+    include_empty: bool,
+    required: FrozenSet[str],
+    required_cost: float,
+    *,
+    use_possible_filter: bool,
+    prune_comm: bool,
+    use_estimation: bool,
+    sinks: Tuple[object, ...] = (),
+    block_rows: int = BLOCK_ROWS,
+) -> Optional[BlockContext]:
+    """A :class:`BlockContext` for one run, or ``None`` when the
+    vectorized kernel cannot serve it (numpy absent or disabled, more
+    than 64 unit bits, nothing to enumerate, or a negative-cost unit —
+    the heap stream is only globally cost-sorted for costs >= 0) or
+    would not pay for itself (fewer than ``REPRO_VECTORIZE_MIN_BITS``
+    enumerated units: sub-millisecond searches are faster scalar than
+    the kernel's array setup)."""
+    if active_numpy() is None:
+        return None
+    if len(extra_names) < _min_vector_bits():
+        return None
+    cs = evaluator.cs
+    if not 0 < cs.unit_count <= 64:
+        return None
+    catalog = cs.spec.units
+    if any(catalog.unit(n).cost < 0 for n in extra_names):
+        return None
+    return BlockContext(
+        evaluator,
+        list(extra_names),
+        include_empty,
+        required,
+        required_cost,
+        use_possible_filter,
+        prune_comm,
+        use_estimation,
+        sinks=sinks,
+        block_rows=block_rows,
+    )
+
+
+def batch_outcomes(
+    evaluator, unit_sets: List[FrozenSet[str]], params, f_entry: float
+) -> Optional[List[object]]:
+    """Vectorized :func:`repro.parallel.worker.evaluate_candidate` over
+    one dispatched batch, or ``None`` when the kernel cannot run.
+
+    The pre-filter checks run as one block; candidates that survive
+    speculation fall through to the scalar evaluator (memoised binding
+    verdicts), replicating the worker's short-circuit order field for
+    field.
+    """
+    np = active_numpy()
+    if np is None or not unit_sets:
+        return None
+    cs = evaluator.cs
+    if not 0 < cs.unit_count <= 64:
+        return None
+    from ..parallel.worker import CandidateOutcome
+
+    kernel = kernel_for(cs)
+    mask_ints = [cs.mask_of(units) for units in unit_sets]
+    masks = np.array(mask_ints, dtype=np.uint64)
+    n = len(masks)
+    if params.use_possible_filter:
+        possible = kernel.possible(masks)
+        alive = possible
+    else:
+        possible = np.ones(n, dtype=bool)
+        alive = possible
+    comm = np.zeros(n, dtype=bool)
+    if params.prune_comm:
+        rows = np.nonzero(alive)[0]
+        if len(rows):
+            comm[rows] = kernel.comm_pruned(kernel.usable(masks[rows]))
+        alive = alive & ~comm
+    estimates = np.zeros(n, dtype=np.float64)
+    if params.use_estimation:
+        rows = np.nonzero(alive)[0]
+        if len(rows):
+            estimates[rows] = kernel.estimates(
+                masks[rows], evaluator.weighted
+            )
+    outcomes: List[object] = []
+    for i, units in enumerate(unit_sets):
+        out = CandidateOutcome()
+        if params.use_possible_filter:
+            out.possible = bool(possible[i])
+            if not out.possible:
+                outcomes.append(out)
+                continue
+        if params.prune_comm:
+            out.comm_pruned = bool(comm[i])
+            if out.comm_pruned:
+                outcomes.append(out)
+                continue
+        if params.use_estimation:
+            out.estimate = float(estimates[i])
+            speculate = out.estimate > f_entry or (
+                params.keep_ties and out.estimate == f_entry
+            )
+            if not speculate:
+                outcomes.append(out)
+                continue
+        counter = [0]
+        cs._enum_memo = (units, mask_ints[i])
+        implementation = evaluator.evaluate(units, solver_counter=counter)
+        out.evaluated = True
+        out.solver_calls = counter[0]
+        if implementation is not None:
+            out.feasible = True
+            out.flexibility = implementation.flexibility
+            out.clusters = implementation.clusters
+            out.coverage = implementation.coverage
+        outcomes.append(out)
+    return outcomes
+
+
+__all__ = [
+    "BLOCK_ROWS",
+    "BlockContext",
+    "BlockKernel",
+    "MATERIALIZE_MAX_BITS_DEFAULT",
+    "MIN_VECTOR_BITS_DEFAULT",
+    "active_numpy",
+    "batch_outcomes",
+    "kernel_for",
+    "make_block_context",
+    "materialized_order",
+    "numpy_version",
+    "popcount64",
+]

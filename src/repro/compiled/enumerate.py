@@ -24,6 +24,17 @@ class MaskAllocationEnumerator:
     reference enumerator (the shared exploration loop consumes unit
     sets); :meth:`iter_masks` exposes the raw ``(cost, mask)`` stream
     for mask-native consumers and the differential tests.
+
+    Band API
+    --------
+    :meth:`peek_cost` / :meth:`next_band` expose the heap a *cost band*
+    at a time — every candidate of the next (equal) cost value in one
+    call, in the exact global pop order — so block consumers (the
+    vectorized batch kernel, shard planners) never reach into the heap
+    internals.  The band cursor is stateful and single-stream: it is
+    independent of the fresh streams :meth:`iter_masks` / ``__iter__``
+    create, but interleaving two band consumers on one enumerator would
+    split the sequence between them.
     """
 
     def __init__(
@@ -46,6 +57,11 @@ class MaskAllocationEnumerator:
         )
         self._include_empty = include_empty
         self._cspec = cspec
+        # Band-cursor state (lazily seeded by peek_cost/next_band).
+        self._band_heap: Optional[
+            List[Tuple[float, Tuple[int, ...], int]]
+        ] = None
+        self._band_empty_pending = include_empty
 
     @property
     def unit_order(self) -> Tuple[str, ...]:
@@ -91,6 +107,71 @@ class MaskAllocationEnumerator:
                         (mask ^ bits[last]) | bits[last + 1],
                     ),
                 )
+
+    def _seed_band_heap(self) -> List[Tuple[float, Tuple[int, ...], int]]:
+        heap: List[Tuple[float, Tuple[int, ...], int]] = []
+        if self._costs:
+            heap.append((self._costs[0], (0,), self._bits[0]))
+        self._band_heap = heap
+        return heap
+
+    def peek_cost(self) -> Optional[float]:
+        """Cost of the next band, or ``None`` when exhausted.
+
+        Does not advance the band cursor; the following
+        :meth:`next_band` call returns every candidate of exactly this
+        cost.
+        """
+        if self._band_empty_pending:
+            return 0.0
+        heap = self._band_heap
+        if heap is None:
+            heap = self._seed_band_heap()
+        return heap[0][0] if heap else None
+
+    def next_band(self) -> Tuple[float, List[int]]:
+        """Pop the entire next cost band as ``(cost, [mask, ...])``.
+
+        Masks appear in the exact order the global ``iter_masks`` stream
+        yields them (heap pop order, re-examined after each child push
+        so equal-cost children surface inside their own band).  Raises
+        :class:`StopIteration` when the stream is exhausted.
+        """
+        if self._band_empty_pending:
+            self._band_empty_pending = False
+            return 0.0, [0]
+        heap = self._band_heap
+        if heap is None:
+            heap = self._seed_band_heap()
+        if not heap:
+            raise StopIteration
+        costs = self._costs
+        bits = self._bits
+        n = len(costs)
+        band_cost = heap[0][0]
+        masks: List[int] = []
+        while heap and heap[0][0] == band_cost:
+            cost, indices, mask = heapq.heappop(heap)
+            masks.append(mask)
+            last = indices[-1]
+            if last + 1 < n:
+                heapq.heappush(
+                    heap,
+                    (
+                        cost + costs[last + 1],
+                        indices + (last + 1,),
+                        mask | bits[last + 1],
+                    ),
+                )
+                heapq.heappush(
+                    heap,
+                    (
+                        cost - costs[last] + costs[last + 1],
+                        indices[:-1] + (last + 1,),
+                        (mask ^ bits[last]) | bits[last + 1],
+                    ),
+                )
+        return band_cost, masks
 
     def __iter__(self) -> Iterator[Tuple[float, FrozenSet[str]]]:
         """Yield ``(cost, unit-set)`` pairs (the shared-loop contract).

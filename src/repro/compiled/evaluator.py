@@ -143,6 +143,48 @@ class CompiledEvaluator:
             include_empty=include_empty,
         )
 
+    def block_context(
+        self,
+        extra_names,
+        include_empty: bool,
+        required: FrozenSet[str],
+        required_cost: float,
+        *,
+        use_possible_filter: bool = True,
+        prune_comm: bool = True,
+        use_estimation: bool = True,
+        sinks: Tuple = (),
+    ):
+        """A batch-vectorized exploration context
+        (:class:`repro.compiled.batch.BlockContext`), or ``None`` when
+        the vectorized kernel cannot serve this run (numpy absent or
+        disabled, >64 unit bits, negative-cost units) — callers then
+        use the scalar enumerator/check path, with identical results."""
+        from .batch import make_block_context
+
+        return make_block_context(
+            self,
+            extra_names,
+            include_empty,
+            required,
+            required_cost,
+            use_possible_filter=use_possible_filter,
+            prune_comm=prune_comm,
+            use_estimation=use_estimation,
+            sinks=sinks,
+        )
+
+    def block_outcomes(
+        self, unit_sets, params, f_entry: float
+    ) -> Optional[list]:
+        """Vectorized batch evaluation for the parallel replay loop
+        (one :class:`~repro.parallel.worker.CandidateOutcome` per unit
+        set), or ``None`` when the kernel cannot run — the caller then
+        evaluates the batch with the scalar per-candidate pipeline."""
+        from .batch import batch_outcomes
+
+        return batch_outcomes(self, unit_sets, params, f_entry)
+
     def possible(self, units: Iterable[str]) -> bool:
         """The possible-resource-allocation equation (BDD mask walk)."""
         mask, _usable = self._masks_of(units)

@@ -200,6 +200,29 @@ def prepare_exploration(
     )
 
 
+def _charged_enumeration(stream, sinks):
+    """Yield from ``stream``, charging each pull's wall-clock to the
+    ``enumerate`` phase of every sink (tracer/profiler).  Pure
+    observation on the wall-clock channel — ``phase_totals`` records
+    are excluded from trace fingerprints."""
+    sinks = tuple(s for s in sinks if s is not None)
+    iterator = iter(stream)
+    clock = time.perf_counter
+    while True:
+        t0 = clock()
+        try:
+            item = next(iterator)
+        except StopIteration:
+            dt = clock() - t0
+            for sink in sinks:
+                sink.charge("enumerate", dt)
+            return
+        dt = clock() - t0
+        for sink in sinks:
+            sink.charge("enumerate", dt)
+        yield item
+
+
 def explore(
     spec: SpecificationGraph,
     util_bound: float = PAPER_UTILIZATION_BOUND,
@@ -471,9 +494,49 @@ def explore(
         f_max,
     )
 
-    for extra_cost, extras in evaluator.enumerator(
-        setup.extra_names, include_empty=bool(required)
+    # Batch-vectorized block kernel (repro.compiled.batch): when the
+    # engine offers it and numpy is available, candidate enumeration
+    # and the incumbent-independent pre-filters run over uint64 blocks.
+    # With no per-candidate observers the whole replay runs blocked
+    # (run_fast); otherwise the loop below consumes the block stream
+    # with per-candidate answers staged behind the evaluator facade.
+    # Results are byte-identical either way (differentially tested).
+    loop_eval = evaluator
+    block_factory = getattr(evaluator, "block_context", None)
+    block = None
+    if block_factory is not None:
+        block = block_factory(
+            setup.extra_names,
+            bool(required),
+            required,
+            setup.required_cost,
+            use_possible_filter=use_possible_filter,
+            prune_comm=prune_comm,
+            use_estimation=use_estimation,
+            sinks=(tracer, profiler),
+        )
+    if (
+        block is not None
+        and tracer is None
+        and not emitter.active
+        and not keep_ties
+        and max_candidates is None
     ):
+        f_cur = block.run_fast(
+            stats, points, solver_counter, f_cur, f_max, max_cost
+        )
+        stream = ()
+    elif block is not None:
+        stream = block.candidates()
+        loop_eval = block.facade()
+    else:
+        stream = evaluator.enumerator(
+            setup.extra_names, include_empty=bool(required)
+        )
+        if tracer is not None or profiler is not None:
+            stream = _charged_enumeration(stream, (tracer, profiler))
+
+    for extra_cost, extras in stream:
         cost = setup.required_cost + extra_cost
         # Preserve the enumerator's frozenset identity when nothing is
         # required — the compiled engine keys its units->mask handoff
@@ -520,12 +583,12 @@ def explore(
                 )
             break
         if use_possible_filter:
-            if not evaluator.possible(units):
+            if not loop_eval.possible(units):
                 if audit:
                     tracer.prune("impossible_allocation", cost, units)
                 continue
             stats.possible_allocations += 1
-        if prune_comm and evaluator.comm_pruned(units):
+        if prune_comm and loop_eval.comm_pruned(units):
             stats.pruned_comm += 1
             if audit:
                 tracer.prune("useless_comm", cost, units)
@@ -534,10 +597,10 @@ def explore(
         if use_estimation:
             stats.estimates_computed += 1
             if tracer is None and profiler is None:
-                estimate = evaluator.estimate(units)
+                estimate = loop_eval.estimate(units)
             else:
                 t_est = time.perf_counter()
-                estimate = evaluator.estimate(units)
+                estimate = loop_eval.estimate(units)
                 dt_est = time.perf_counter() - t_est
                 if tracer is not None:
                     tracer.charge("estimate", dt_est)
@@ -571,14 +634,14 @@ def explore(
                 continue
         stats.estimate_exceeded += 1
         if tracer is None and profiler is None:
-            implementation = evaluator.evaluate(
+            implementation = loop_eval.evaluate(
                 units, solver_counter=solver_counter
             )
         else:
             calls_before = solver_counter[0]
             detail: dict = {}
             t0 = time.perf_counter()
-            implementation = evaluator.evaluate(
+            implementation = loop_eval.evaluate(
                 units, solver_counter=solver_counter, detail=detail
             )
             t1 = time.perf_counter()
@@ -607,7 +670,7 @@ def explore(
         if implementation is None:
             if audit:
                 tracer.prune(
-                    evaluator.infeasibility_reason(units),
+                    loop_eval.infeasibility_reason(units),
                     cost,
                     units,
                     estimate=estimate,
@@ -677,7 +740,15 @@ def explore(
     # same-cost candidate later in the tie order may achieve strictly
     # more flexibility.  A final linear dominance pass removes such
     # points (see :func:`repro.core.pareto.final_front`).
-    kept = final_front(points)
+    if tracer is None and profiler is None:
+        kept = final_front(points)
+    else:
+        t_pareto = time.perf_counter()
+        kept = final_front(points)
+        dt_pareto = time.perf_counter() - t_pareto
+        for sink in (tracer, profiler):
+            if sink is not None:
+                sink.charge("pareto", dt_pareto)
     if audit and len(kept) < len(points):
         survivors = {id(p) for p in kept}
         for p in points:

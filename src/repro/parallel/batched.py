@@ -74,6 +74,7 @@ from ..core.evaluation import (
     charge_cache_counters,
 )
 from ..core.explorer import (
+    _charged_enumeration,
     prepare_exploration,
     validate_explore_options,
     warm_store_path,
@@ -96,6 +97,7 @@ from ..spec import SpecificationGraph
 from ..timing import PAPER_UTILIZATION_BOUND
 from .cache import EvaluationCache
 from .signature import canonical_signature
+from . import worker as worker_module
 from .worker import (
     CandidateOutcome,
     EvalParams,
@@ -401,6 +403,17 @@ class _BatchRunner:
             futures = self._dispatch(unit_sets, f_entry)
             if futures is not None:
                 return self._collect(unit_sets, futures, f_entry)
+        # Inline execution: when the compiled engine offers the
+        # batch-vectorized kernel and no fault injection is armed, the
+        # whole batch's pre-filters run as one uint64 block (identical
+        # outcomes to the per-candidate pipeline; falls through to it
+        # when the kernel declines, e.g. numpy absent).
+        if worker_module._FAULT_HOOK is None:
+            block = getattr(self.evaluator, "block_outcomes", None)
+            if block is not None:
+                outcomes = block(unit_sets, self.params, f_entry)
+                if outcomes is not None:
+                    return outcomes
         return [
             self._evaluate_inline(units, f_entry) for units in unit_sets
         ]
@@ -749,6 +762,10 @@ def explore_batched(
     candidate_stream = iter(
         evaluator.enumerator(setup.extra_names, include_empty=bool(required))
     )
+    if tracer is not None or profiler is not None:
+        candidate_stream = _charged_enumeration(
+            candidate_stream, (tracer, profiler)
+        )
     if shard is not None:
         # The shard's sub-stream preserves global enumeration order, so
         # the replay below — and the checkpoint cursor — count positions
@@ -790,7 +807,7 @@ def explore_batched(
                         candidates=stats.candidates_enumerated,
                     )
                 break
-            if profiler is None:
+            if profiler is None and tracer is None:
                 resolved = _evaluate_batch(
                     spec, batch, required, f_cur, cache, runner, writer
                 )
@@ -799,9 +816,10 @@ def explore_batched(
                 resolved = _evaluate_batch(
                     spec, batch, required, f_cur, cache, runner, writer
                 )
-                profiler.charge(
-                    "dispatch", time.perf_counter() - t_dispatch
-                )
+                dt_dispatch = time.perf_counter() - t_dispatch
+                for sink in (tracer, profiler):
+                    if sink is not None:
+                        sink.charge("dispatch", dt_dispatch)
             # --- deterministic replay: the serial loop body, with the
             # incumbent-independent results looked up instead of computed.
             for (extra_cost, _), (units, outcome) in zip(batch, resolved):
@@ -1069,7 +1087,15 @@ def explore_batched(
         if writer is not None:
             writer.close()
 
-    front = final_front(points)
+    if tracer is None and profiler is None:
+        front = final_front(points)
+    else:
+        t_pareto = time.perf_counter()
+        front = final_front(points)
+        dt_pareto = time.perf_counter() - t_pareto
+        for sink in (tracer, profiler):
+            if sink is not None:
+                sink.charge("pareto", dt_pareto)
     # Dominated-point audit records belong to a run's *final* dominance
     # pass; a preempted service slice (truncation suppressed) re-runs
     # this pass every slice and must not re-record them.

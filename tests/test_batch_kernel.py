@@ -1,0 +1,284 @@
+"""The block-vectorized kernel IS the scalar kernel IS the reference.
+
+:mod:`repro.compiled.batch` re-expresses enumeration and the cheap
+candidate checks as uint64 bit-plane operations over blocks of
+thousands of candidates.  Its contract is the same as the compiled
+engine's: byte-identical results, enumeration order, progress events
+and logical traces.  These tests prove it at three levels:
+
+* the band-cursor API of :class:`MaskAllocationEnumerator`
+  (``peek_cost``/``next_band``) partitions the heap stream exactly,
+  including equal-cost bands (the set-top catalog has bands of
+  thousands of tied masks);
+* the materialized closed-form order and every vectorized check
+  (usable / possible / comm-pruned / estimate) match the scalar
+  kernel element-for-element over random specs (hypothesis-driven)
+  and the corpus seeds;
+* ``explore()`` results, event streams and trace fingerprints are
+  identical with the block kernel on, forced off
+  (``REPRO_VECTORIZE=0``), with numpy absent (import-path fallback),
+  and on the band-streaming source
+  (``REPRO_MATERIALIZE_MAX_BITS=0``) — serially and batched.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from .randspec import random_spec
+from .test_parallel_explore import SEEDS, fingerprint
+from repro.casestudies import build_settop_spec, build_tv_decoder_spec
+from repro.compiled import MaskAllocationEnumerator, compiled_spec_for
+from repro.compiled import batch
+from repro.core import explore
+from repro.trace import Tracer, trace_fingerprint
+
+requires_numpy = pytest.mark.skipif(
+    batch._np is None, reason="numpy not installed"
+)
+
+
+def _enumerator(spec, include_empty=True):
+    cspec = compiled_spec_for(spec)
+    return cspec, MaskAllocationEnumerator(
+        cspec, list(spec.units.names()), include_empty=include_empty
+    )
+
+
+# ---------------------------------------------------------------------------
+# Band-cursor API (pure stdlib — runs with or without numpy)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("include_empty", [False, True])
+def test_bands_partition_the_heap_stream(include_empty):
+    """Concatenated bands reproduce ``iter_masks`` order exactly, and
+    every band is a maximal equal-cost run announced by peek_cost."""
+    spec = build_settop_spec()
+    _, enum = _enumerator(spec, include_empty)
+    reference = list(
+        MaskAllocationEnumerator(
+            compiled_spec_for(spec),
+            list(spec.units.names()),
+            include_empty=include_empty,
+        ).iter_masks()
+    )
+    replayed = []
+    previous = None
+    while True:
+        peek = enum.peek_cost()
+        try:
+            cost, masks = enum.next_band()
+        except StopIteration:
+            assert peek is None
+            break
+        assert peek == cost
+        assert masks, "bands are never empty"
+        if previous is not None:
+            assert cost > previous, "band costs strictly increase"
+        previous = cost
+        replayed.extend((cost, mask) for mask in masks)
+    assert replayed == reference
+
+
+def test_band_tie_corners_on_settop():
+    """The set-top catalog has thousands of equal-cost candidates; the
+    band cursor must group each tie run into one band, in pop order."""
+    spec = build_settop_spec()
+    _, enum = _enumerator(spec)
+    sizes = []
+    while True:
+        try:
+            _, masks = enum.next_band()
+        except StopIteration:
+            break
+        sizes.append(len(masks))
+    assert max(sizes) > 1000, "expected large tied bands on settop"
+    assert sizes[0] == 1, "the empty allocation is its own zero band"
+
+
+def test_band_cursor_is_lazy_and_restartable():
+    """peek_cost before any pull answers the first cost without
+    consuming it; a fresh enumerator starts over."""
+    spec = build_tv_decoder_spec()
+    _, enum = _enumerator(spec, include_empty=False)
+    first_cost = enum.peek_cost()
+    cost, _ = enum.next_band()
+    assert cost == first_cost
+    _, again = _enumerator(spec, include_empty=False)
+    assert again.next_band()[0] == first_cost
+
+
+# ---------------------------------------------------------------------------
+# Vectorized checks vs the scalar kernel (numpy only)
+# ---------------------------------------------------------------------------
+
+
+def _assert_kernel_matches_scalar(spec):
+    np = batch._np
+    cspec = compiled_spec_for(spec)
+    kernel = batch.kernel_for(cspec)
+    n = cspec.unit_count
+    assert n <= 16, "exhaustive check needs a small spec"
+    masks = np.arange(1 << n, dtype=np.uint64)
+    usable = kernel.usable(masks)
+    possible = kernel.possible(masks)
+    comm = kernel.comm_pruned(usable)
+    estimates = kernel.estimates(masks, False)
+    for i in range(1 << n):
+        assert int(usable[i]) == cspec.usable_mask(i)
+        assert bool(possible[i]) == cspec.possible(i)
+        assert bool(comm[i]) == cspec.comm_pruned(i)
+        assert float(estimates[i]) == cspec.estimate(i, False)
+
+
+@requires_numpy
+def test_block_checks_match_scalar_corpus():
+    for seed in SEEDS[::5]:
+        _assert_kernel_matches_scalar(random_spec(seed))
+
+
+@requires_numpy
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_block_checks_match_scalar_property(seed):
+    """Block-vectorized check results == scalar kernel, exhaustively
+    over every allocation mask of an arbitrary random spec."""
+    _assert_kernel_matches_scalar(random_spec(seed))
+
+
+@requires_numpy
+def test_materialized_order_matches_heap_order():
+    """The closed-form DP order equals the heap stream — costs, masks
+    and tie-breaking — on tied (settop) and corpus specs."""
+    np = batch._np
+    specs = [build_settop_spec(), build_tv_decoder_spec()]
+    specs += [random_spec(seed) for seed in SEEDS[::7]]
+    for spec in specs:
+        for include_empty in (False, True):
+            _, enum = _enumerator(spec, include_empty)
+            if len(enum._costs) > 12:
+                continue
+            costs, index_masks = batch.materialized_order(
+                enum._costs, include_empty
+            )
+            spec_masks = []
+            for imask in index_masks.tolist():
+                mask = 0
+                for j, bit in enumerate(enum._bits):
+                    if imask >> j & 1:
+                        mask |= bit
+                spec_masks.append(mask)
+            observed = list(zip(costs.tolist(), spec_masks))
+            assert observed == list(enum.iter_masks())
+
+
+@requires_numpy
+def test_popcount64_fallback_matches():
+    """The SWAR fallback equals numpy's bitwise_count when present."""
+    np = batch._np
+    values = np.array(
+        [0, 1, 2**64 - 1, 0x5555555555555555, 0x0123456789ABCDEF],
+        dtype=np.uint64,
+    )
+    observed = batch.popcount64(values)
+    assert observed.tolist() == [bin(int(v)).count("1") for v in values]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end fallback seams
+# ---------------------------------------------------------------------------
+
+
+def test_explore_with_numpy_absent(monkeypatch):
+    """With numpy unimportable the engine silently runs the scalar
+    kernel and produces the identical result document."""
+    monkeypatch.setattr(batch, "_np", None)
+    assert batch.active_numpy() is None
+    assert batch.numpy_version() is None
+    spec = build_settop_spec()
+    observed = fingerprint(explore(spec, engine="compiled"))
+    assert observed == fingerprint(explore(spec, engine="reference"))
+
+
+def test_explore_with_vectorize_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_VECTORIZE", "0")
+    assert batch.active_numpy() is None
+    spec = build_tv_decoder_spec()
+    observed = fingerprint(explore(spec, engine="compiled"))
+    assert observed == fingerprint(explore(spec, engine="reference"))
+
+
+def test_block_context_gate_without_numpy(monkeypatch):
+    from repro.compiled import compiled_evaluator
+
+    monkeypatch.setattr(batch, "_np", None)
+    evaluator = compiled_evaluator(build_settop_spec())
+    context = evaluator.block_context([], False, frozenset(), 0.0)
+    assert context is None
+    assert evaluator.block_outcomes([], None, 0.0) is None
+
+
+@requires_numpy
+def test_band_streaming_source_matches(monkeypatch):
+    """Forcing the band-streaming block source (materialization
+    threshold 0) changes nothing observable."""
+    monkeypatch.setenv("REPRO_MATERIALIZE_MAX_BITS", "0")
+    spec = build_settop_spec()
+    observed = fingerprint(explore(spec, engine="compiled"))
+    assert observed == fingerprint(explore(spec, engine="reference"))
+
+
+@requires_numpy
+@pytest.mark.parametrize("parallel", [None, "thread"])
+def test_vectorized_vs_scalar_full_contract(monkeypatch, parallel):
+    """Result document, progress events and audit-trace fingerprints
+    are identical with the block kernel on and off — serial and
+    batched."""
+    spec = build_settop_spec()
+    contracts = {}
+    for mode in ("1", "0"):
+        monkeypatch.setenv("REPRO_VECTORIZE", mode)
+        events = []
+        kw = dict(parallel=parallel, batch_size=16) if parallel else {}
+        result = explore(
+            spec, engine="compiled", progress=events.append,
+            progress_every=25, **kw
+        )
+        tracer = Tracer(level="audit")
+        explore(spec, engine="compiled", tracer=tracer, **kw)
+        contracts[mode] = (
+            fingerprint(result),
+            events,
+            trace_fingerprint(tracer.all_records()),
+        )
+    assert contracts["1"] == contracts["0"]
+
+
+@requires_numpy
+def test_vectorized_corpus_differential(monkeypatch):
+    """Vectorized == scalar over the random corpus end to end (the
+    small-spec floor is lifted so the block path actually runs)."""
+    monkeypatch.setenv("REPRO_VECTORIZE_MIN_BITS", "0")
+    for seed in SEEDS[::5]:
+        spec = random_spec(seed)
+        monkeypatch.setenv("REPRO_VECTORIZE", "1")
+        vectorized = fingerprint(explore(spec, engine="compiled"))
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        scalar = fingerprint(explore(spec, engine="compiled"))
+        assert vectorized == scalar, f"seed {seed} diverged"
+
+
+@requires_numpy
+def test_small_spec_floor_falls_back_scalar(monkeypatch):
+    """Below REPRO_VECTORIZE_MIN_BITS the gate declines (array setup
+    costs more than a sub-millisecond scalar search saves)."""
+    from repro.compiled import compiled_evaluator
+
+    spec = build_tv_decoder_spec()
+    evaluator = compiled_evaluator(spec)
+    names = list(spec.units.names())
+    monkeypatch.setenv("REPRO_VECTORIZE_MIN_BITS", str(len(names) + 1))
+    assert evaluator.block_context(names, True, frozenset(), 0.0) is None
+    monkeypatch.setenv("REPRO_VECTORIZE_MIN_BITS", "0")
+    assert evaluator.block_context(names, True, frozenset(), 0.0) is not None

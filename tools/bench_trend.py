@@ -43,8 +43,10 @@ TREND_FORMAT = "repro/bench-trend"
 TREND_VERSION = 1
 LEDGER_NAME = "BENCH_trend.json"
 
-#: Leaf-key patterns that say "lower is better".
-LOWER_SUFFIXES = ("_seconds",)
+#: Leaf-key patterns that say "lower is better".  ``_share`` covers
+#: the kernel benchmark's unattributed-phase shares ("other" collapses
+#: as the vectorized kernel attributes enumeration/filter time).
+LOWER_SUFFIXES = ("_seconds", "_share")
 LOWER_KEYS = ("overhead", "overhead_fraction")
 #: Leaf-key patterns that say "higher is better".
 HIGHER_SUFFIXES = ("_per_second", "speedup")
